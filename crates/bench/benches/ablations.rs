@@ -1,0 +1,411 @@
+//! Ablation studies of the design choices called out in DESIGN.md, beyond
+//! the paper's own figures:
+//!
+//! - A1: the two-level (LFTA/HFTA) split and the LFTA table size — how much
+//!   does Gigascope's architecture buy, and when does the low table thrash?
+//! - A2: SpaceSaving capacity — the O(log 1/ε) update of the indexed heap.
+//! - A3: landmark renormalization — the cost of exponential decay rescales
+//!   as a function of the decay rate α.
+//! - A4: q-digest compression parameter — update cost vs space vs rank
+//!   error.
+//!
+//! Run: `cargo bench --bench ablations`
+
+use std::time::Instant;
+
+use fd_bench::{fmt_bytes, measure_query, Table};
+use fd_core::aggregates::DecayedSum;
+use fd_core::cm::DecayedCmHeavyHitters;
+use fd_core::decay::{Exponential, Monomial};
+use fd_core::heavy_hitters::{DecayedHeavyHitters, WeightedSpaceSaving};
+use fd_core::quantiles::QDigest;
+use fd_core::sampling::{JumpWeightedReservoir, WeightedReservoir};
+use fd_engine::prelude::*;
+use fd_gen::TraceConfig;
+
+fn a1_two_level_and_lfta_size() {
+    let packets = TraceConfig {
+        seed: 8,
+        duration_secs: 10.0,
+        rate_pps: 200_000.0,
+        n_hosts: 50_000, // stress the LFTA with many groups
+        zipf_skew: 1.0,
+        tcp_fraction: 1.0,
+        ..Default::default()
+    }
+    .generate();
+    let mut table = Table::new(
+        "A1 — two-level split and LFTA size (forward-quadratic sum, 50k hosts)",
+        "configuration",
+        &["ns/pkt", "LFTA evictions"],
+    );
+    let mk = |two_level: bool, slots: usize| {
+        Query::builder("a1")
+            .group_by(|p| p.dst_key())
+            .bucket_secs(60)
+            .aggregate(fwd_sum_factory(Monomial::quadratic(), |p| p.len as f64))
+            .two_level(two_level)
+            .lfta_slots(slots)
+            .build()
+    };
+    let single = measure_query(&mk(false, 1), &packets);
+    table.row(
+        "single level",
+        vec![format!("{:.0}", single.ns_per_tuple), "–".into()],
+    );
+    let mut costs = vec![("single", single.ns_per_tuple)];
+    for slots in [1_024usize, 16_384, 262_144] {
+        let m = measure_query(&mk(true, slots), &packets);
+        table.row(
+            format!("two-level, {slots} slots"),
+            vec![
+                format!("{:.0}", m.ns_per_tuple),
+                format!("{}", m.stats.lfta_evictions),
+            ],
+        );
+        costs.push(("split", m.ns_per_tuple));
+    }
+    table.print();
+    println!(
+        "(a thrashing 1k-slot LFTA forwards most tuples as evicted partials; a \
+         right-sized table approaches plain hashing)"
+    );
+}
+
+fn a2_space_saving_capacity() {
+    let items: Vec<(u64, f64)> = (0..2_000_000u64)
+        .map(|i| {
+            let h = i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            (h % 100_000, 1.0 + (h % 7) as f64)
+        })
+        .collect();
+    let mut table = Table::new(
+        "A2 — weighted SpaceSaving update cost vs capacity (indexed min-heap)",
+        "capacity (1/ε)",
+        &["ns/update", "space"],
+    );
+    let mut costs = Vec::new();
+    for cap in [16usize, 128, 1024, 8192, 65_536] {
+        let mut ss = WeightedSpaceSaving::new(cap);
+        let t0 = Instant::now();
+        for &(item, w) in &items {
+            ss.update(item, w);
+        }
+        let ns = t0.elapsed().as_nanos() as f64 / items.len() as f64;
+        costs.push(ns);
+        table.row(
+            format!("{cap}"),
+            vec![format!("{ns:.0}"), fmt_bytes(ss.size_bytes() as f64)],
+        );
+    }
+    table.print();
+    // O(log k): the 4096× capacity range should cost only a small multiple.
+    assert!(
+        costs[4] < 8.0 * costs[0],
+        "update cost should grow logarithmically in capacity: {costs:?}"
+    );
+    println!("(update cost grows ~logarithmically with capacity — Theorem 2's O(log 1/ε))");
+}
+
+fn a3_renormalization_cost() {
+    // Exponential decay over a fixed stream; larger α → g overflows sooner →
+    // more landmark rescales. Rescaling a constant-space aggregate is O(1),
+    // so even α chosen to rescale thousands of times must barely move the
+    // per-update cost.
+    let n = 5_000_000u64;
+    let mut table = Table::new(
+        "A3 — landmark renormalization: exponential decay rate vs cost",
+        "α (per second)",
+        &["ns/update", "rescales (approx)"],
+    );
+    let mut costs = Vec::new();
+    for alpha in [0.001, 0.1, 10.0, 1000.0] {
+        let g = Exponential::new(alpha);
+        let mut s = DecayedSum::new(g, 0.0);
+        let t0 = Instant::now();
+        for i in 0..n {
+            s.update(i as f64 * 1e-2, 1.0);
+        }
+        let ns = t0.elapsed().as_nanos() as f64 / n as f64;
+        // ln(RESCALE_THRESHOLD) ≈ 345; a rescale fires every 345/α seconds
+        // of stream time (5e4 s total).
+        let expected_rescales = (5e4 * alpha / 345.0).floor();
+        costs.push(ns);
+        table.row(
+            format!("{alpha}"),
+            vec![format!("{ns:.1}"), format!("{expected_rescales}")],
+        );
+        assert!(s.query(n as f64 * 1e-2).is_finite());
+    }
+    table.print();
+    let (min, max) = (
+        costs.iter().cloned().fold(f64::MAX, f64::min),
+        costs.iter().cloned().fold(0.0, f64::max),
+    );
+    assert!(
+        max < 2.0 * min + 5.0,
+        "renormalization should be ~free: {costs:?}"
+    );
+    println!("(rescale frequency varies by 10⁶×; per-update cost does not care)");
+}
+
+fn a4_qdigest_compression() {
+    let items: Vec<(u64, f64)> = (0..1_000_000u64)
+        .map(|i| {
+            let h = i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            (h & 0xFFFF, 1.0)
+        })
+        .collect();
+    let exact_rank = |v: u64| items.iter().filter(|&&(x, _)| x <= v).count() as f64;
+    let mut table = Table::new(
+        "A4 — q-digest compression parameter k (16-bit domain, 1M updates)",
+        "k",
+        &[
+            "ns/update",
+            "nodes",
+            "space",
+            "worst rank err (εW units of k=bits/ε)",
+        ],
+    );
+    for k in [160u64, 1_600, 16_000, 160_000] {
+        let mut q = QDigest::new(16, k);
+        let t0 = Instant::now();
+        for &(v, w) in &items {
+            q.update(v, w);
+        }
+        let ns = t0.elapsed().as_nanos() as f64 / items.len() as f64;
+        let worst = (0..0xFFFFu64)
+            .step_by(3001)
+            .map(|v| (q.rank(v) - exact_rank(v)).abs())
+            .fold(0.0f64, f64::max);
+        table.row(
+            format!("{k}"),
+            vec![
+                format!("{ns:.0}"),
+                format!("{}", q.len()),
+                fmt_bytes(q.size_bytes() as f64),
+                format!("{:.4}", worst / items.len() as f64),
+            ],
+        );
+        // Documented bound: rank error ≤ W · bits / k.
+        assert!(
+            worst <= items.len() as f64 * 16.0 / k as f64 + 1e-6,
+            "rank error beyond bound at k = {k}"
+        );
+    }
+    table.print();
+    println!("(space and accuracy trade off linearly in k; update cost stays ~flat)");
+}
+
+fn a5_cm_vs_space_saving() {
+    // Same decayed heavy-hitter task, two backends: the paper's weighted
+    // SpaceSaving (Theorem 2) vs a weighted Count-Min sketch + candidate
+    // set. Both receive the same forward-decay weights.
+    let packets = TraceConfig {
+        seed: 9,
+        duration_secs: 10.0,
+        rate_pps: 200_000.0,
+        n_hosts: 20_000,
+        zipf_skew: 1.1,
+        tcp_fraction: 1.0,
+        ..Default::default()
+    }
+    .generate();
+    let g = Exponential::new(0.1);
+    let (phi, eps) = (0.02, 0.002);
+    let mut table = Table::new(
+        "A5 — heavy-hitter backends: SpaceSaving vs Count-Min (φ = 0.02)",
+        "backend",
+        &["ns/update", "space", "top-5"],
+    );
+
+    let mut ss = DecayedHeavyHitters::with_epsilon(g, 0.0, eps);
+    let t0 = Instant::now();
+    for p in &packets {
+        ss.update(p.ts_secs(), p.dst_host());
+    }
+    let ss_ns = t0.elapsed().as_nanos() as f64 / packets.len() as f64;
+    let ss_top: Vec<u64> = ss
+        .heavy_hitters(phi, 10.0)
+        .iter()
+        .take(5)
+        .map(|h| h.item)
+        .collect();
+    table.row(
+        "weighted SpaceSaving",
+        vec![
+            format!("{ss_ns:.0}"),
+            fmt_bytes(ss.size_bytes() as f64),
+            format!("{ss_top:?}"),
+        ],
+    );
+
+    let mut cm = DecayedCmHeavyHitters::new(g, 0.0, phi, eps, 0.01, 11);
+    let t0 = Instant::now();
+    for p in &packets {
+        cm.update(p.ts_secs(), p.dst_host());
+    }
+    let cm_ns = t0.elapsed().as_nanos() as f64 / packets.len() as f64;
+    let cm_top: Vec<u64> = cm
+        .heavy_hitters(10.0)
+        .iter()
+        .take(5)
+        .map(|h| h.item)
+        .collect();
+    table.row(
+        "Count-Min + candidates",
+        vec![
+            format!("{cm_ns:.0}"),
+            fmt_bytes(cm.size_bytes() as f64),
+            format!("{cm_top:?}"),
+        ],
+    );
+    table.print();
+    assert_eq!(
+        ss_top[..3],
+        cm_top[..3],
+        "backends must agree on the heavy head"
+    );
+    println!("(both backends find the same heavy head; SpaceSaving is the paper's choice)");
+}
+
+fn a6_jump_vs_heap_weighted_reservoir() {
+    // Theorem 6's heap-based Efraimidis–Spirakis sampler vs the A-ES
+    // exponential-jumps acceleration: identical distribution, far fewer
+    // random draws.
+    let g = Monomial::new(1.0);
+    let n = 2_000_000u64;
+    let k = 1000;
+    let mut table = Table::new(
+        "A6 — weighted reservoir: heap (O(log k)/item) vs exponential jumps",
+        "variant",
+        &["ns/item", "random draws"],
+    );
+    let mut heap = WeightedReservoir::new(g, 0.0, k, 5);
+    let t0 = Instant::now();
+    for i in 0..n {
+        heap.update(1.0 + i as f64 * 1e-3, &i);
+    }
+    let heap_ns = t0.elapsed().as_nanos() as f64 / n as f64;
+    table.row(
+        "heap ES",
+        vec![format!("{heap_ns:.0}"), format!("{n} (one per item)")],
+    );
+
+    let mut jump = JumpWeightedReservoir::new(0.0, k, 5);
+    let t0 = Instant::now();
+    for i in 0..n {
+        jump.update(&g, 1.0 + i as f64 * 1e-3, &i);
+    }
+    let jump_ns = t0.elapsed().as_nanos() as f64 / n as f64;
+    table.row(
+        "A-ES jumps",
+        vec![format!("{jump_ns:.0}"), format!("{}", jump.random_draws())],
+    );
+    table.print();
+    assert_eq!(jump.sample().len(), k);
+    assert!(
+        jump.random_draws() < n / 20,
+        "jumps should draw ≪ n randoms: {}",
+        jump.random_draws()
+    );
+    println!(
+        "(same sample distribution — see fd-core sampling tests — with ~{}× fewer draws)",
+        n / jump.random_draws().max(1)
+    );
+}
+
+fn a7_answer_quality_under_nonstationary_load() {
+    // Beyond the paper's CPU/space figures: how *accurate* are the decayed
+    // heavy-hitter estimates when the traffic itself is non-stationary?
+    // A bursty on/off trace with a mid-stream flood; per decay function we
+    // compare the SpaceSaving estimates of the top-20 hosts against exact
+    // decayed counts.
+    use fd_gen::{Burst, OnOff};
+    use std::collections::HashMap;
+
+    let packets = TraceConfig {
+        seed: 14,
+        duration_secs: 30.0,
+        rate_pps: 50_000.0,
+        n_hosts: 5_000,
+        zipf_skew: 1.1,
+        tcp_fraction: 1.0,
+        burst: Some(Burst {
+            start_secs: 20.0,
+            end_secs: 30.0,
+            dst_ip: 0xBEEF,
+            fraction: 0.2,
+        }),
+        on_off: Some(OnOff {
+            on_secs: 5.0,
+            off_secs: 5.0,
+            off_rate_fraction: 0.3,
+        }),
+        ..Default::default()
+    }
+    .generate();
+    let t_q = 30.0;
+    let mut table = Table::new(
+        "A7 — decayed HH estimate quality on bursty traffic (top-20 hosts, ε = 0.001)",
+        "decay",
+        &["max rel. error", "mean rel. error", "victim share"],
+    );
+    let decays: Vec<(&str, fd_core::decay::AnyDecay)> = vec![
+        ("none", "none".parse().unwrap()),
+        ("poly:2", "poly:2".parse().unwrap()),
+        ("exp:0.1", "exp:0.1".parse().unwrap()),
+        ("halflife:5", "halflife:5".parse().unwrap()),
+    ];
+    for (label, g) in decays {
+        use fd_core::decay::ForwardDecay as _;
+        let mut hh = DecayedHeavyHitters::with_epsilon(g.clone(), 0.0, 0.001);
+        let mut exact: HashMap<u64, f64> = HashMap::new();
+        for p in &packets {
+            hh.update(p.ts_secs(), p.dst_host());
+            *exact.entry(p.dst_host()).or_default() += g.weight(0.0, p.ts_secs(), t_q);
+        }
+        let total: f64 = exact.values().sum();
+        let mut top: Vec<(&u64, &f64)> = exact.iter().collect();
+        top.sort_by(|a, b| b.1.total_cmp(a.1));
+        let (mut max_err, mut sum_err) = (0.0f64, 0.0f64);
+        for &(item, truth) in top.iter().take(20) {
+            let est = hh.estimate(*item, t_q).map(|c| c.count).unwrap_or(0.0);
+            let rel = (est - truth).abs() / truth;
+            max_err = max_err.max(rel);
+            sum_err += rel;
+        }
+        let victim_share = exact.get(&0xBEEF).copied().unwrap_or(0.0) / total;
+        table.row(
+            label,
+            vec![
+                format!("{:.5}", max_err),
+                format!("{:.5}", sum_err / 20.0),
+                format!("{:.1}%", victim_share * 100.0),
+            ],
+        );
+        // ε = 0.001 with heavy hosts ≥ 1% of mass: relative error ≤ ε/0.01.
+        assert!(
+            max_err < 0.15,
+            "{label}: top-20 estimate error too large: {max_err}"
+        );
+    }
+    table.print();
+    println!(
+        "(estimates stay within the εC bound for every decay function even under \
+         on/off modulation and a mid-stream flood; stronger decay raises the \
+         in-progress flood's share — the ddos_detection example's effect, quantified)"
+    );
+}
+
+fn main() {
+    println!("\nAblation studies (see DESIGN.md §8).\n");
+    a1_two_level_and_lfta_size();
+    a2_space_saving_capacity();
+    a3_renormalization_cost();
+    a4_qdigest_compression();
+    a5_cm_vs_space_saving();
+    a6_jump_vs_heap_weighted_reservoir();
+    a7_answer_quality_under_nonstationary_load();
+    println!("\nablations: all sanity assertions passed ✓");
+}

@@ -1,0 +1,296 @@
+//! Criterion micro-benchmarks: per-update cost of every summary in
+//! fd-core, the primitive costs underlying the figure-level results.
+//!
+//! Run: `cargo bench --bench micro_summaries`
+
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+
+use fd_core::aggregates::{DecayedCount, DecayedSum};
+use fd_core::backward::{ExponentialHistogram, PrefixBackwardHH, SlidingWindowHH};
+use fd_core::decay::{Exponential, Monomial, NoDecay};
+use fd_core::distinct::{DominanceSketch, ExactDominance};
+use fd_core::heavy_hitters::{DecayedHeavyHitters, UnarySpaceSaving, WeightedSpaceSaving};
+use fd_core::quantiles::{QDigest, WeightedGK};
+use fd_core::sampling::{BiasedReservoir, PrioritySampler, ReservoirSampler, WeightedReservoir};
+
+const N: u64 = 100_000;
+
+/// Deterministic pseudo-stream: (timestamp, item, value).
+fn stream() -> Vec<(f64, u64, u64)> {
+    (0..N)
+        .map(|i| {
+            let h = i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            (i as f64 * 1e-3, h % 10_000, 40 + h % 1460)
+        })
+        .collect()
+}
+
+fn bench_scalar_aggregates(c: &mut Criterion) {
+    let data = stream();
+    let mut g = c.benchmark_group("scalar_aggregates");
+    g.throughput(Throughput::Elements(N));
+    g.bench_function("decayed_sum_poly", |b| {
+        b.iter_batched(
+            || DecayedSum::new(Monomial::quadratic(), 0.0),
+            |mut s| {
+                for &(t, _, v) in &data {
+                    s.update(t, v as f64);
+                }
+                black_box(s.query(100.0))
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("decayed_sum_exp", |b| {
+        b.iter_batched(
+            || DecayedSum::new(Exponential::new(0.1), 0.0),
+            |mut s| {
+                for &(t, _, v) in &data {
+                    s.update(t, v as f64);
+                }
+                black_box(s.query(100.0))
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("decayed_count_nodecay", |b| {
+        b.iter_batched(
+            || DecayedCount::new(NoDecay, 0.0),
+            |mut s| {
+                for &(t, _, _) in &data {
+                    s.update(t);
+                }
+                black_box(s.query(100.0))
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_heavy_hitters(c: &mut Criterion) {
+    let data = stream();
+    let mut g = c.benchmark_group("heavy_hitters");
+    g.throughput(Throughput::Elements(N));
+    g.bench_function("unary_space_saving", |b| {
+        b.iter_batched(
+            || UnarySpaceSaving::with_epsilon(0.01),
+            |mut s| {
+                for &(_, item, _) in &data {
+                    s.update(item);
+                }
+                black_box(s.len())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("weighted_space_saving", |b| {
+        b.iter_batched(
+            || WeightedSpaceSaving::with_epsilon(0.01),
+            |mut s| {
+                for &(_, item, v) in &data {
+                    s.update(item, v as f64);
+                }
+                black_box(s.len())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("decayed_hh_exp", |b| {
+        b.iter_batched(
+            || DecayedHeavyHitters::with_epsilon(Exponential::new(0.1), 0.0, 0.01),
+            |mut s| {
+                for &(t, item, _) in &data {
+                    s.update(t, item);
+                }
+                black_box(s.decayed_count(100.0))
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_backward_baselines(c: &mut Criterion) {
+    let data = stream();
+    let mut g = c.benchmark_group("backward_baselines");
+    g.throughput(Throughput::Elements(N));
+    g.bench_function("eh_count_eps0.01", |b| {
+        b.iter_batched(
+            || ExponentialHistogram::with_epsilon(0.01),
+            |mut s| {
+                for &(t, _, _) in &data {
+                    s.insert(t);
+                }
+                black_box(s.bucket_count())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("eh_sum_eps0.01", |b| {
+        b.iter_batched(
+            || ExponentialHistogram::with_epsilon(0.01),
+            |mut s| {
+                for &(t, _, v) in &data {
+                    s.insert_value(t, v);
+                }
+                black_box(s.bucket_count())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("dyadic_window_hh", |b| {
+        b.iter_batched(
+            || SlidingWindowHH::new(1.0, 8),
+            |mut s| {
+                for &(t, item, _) in &data {
+                    s.update(t, item);
+                }
+                black_box(s.interval_count())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("prefix_backward_hh", |b| {
+        b.iter_batched(
+            || PrefixBackwardHH::new(16, 0.05),
+            |mut s| {
+                for &(t, item, _) in &data {
+                    s.update(t, item);
+                }
+                black_box(s.node_count())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_quantiles(c: &mut Criterion) {
+    let data = stream();
+    let mut g = c.benchmark_group("quantiles");
+    g.throughput(Throughput::Elements(N));
+    g.bench_function("qdigest_weighted", |b| {
+        b.iter_batched(
+            || QDigest::with_epsilon(14, 0.01),
+            |mut s| {
+                for &(_, item, v) in &data {
+                    s.update(item & 0x3FFF, v as f64);
+                }
+                black_box(s.quantile(0.5))
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("gk_weighted", |b| {
+        b.iter_batched(
+            || WeightedGK::new(0.01),
+            |mut s| {
+                for &(_, item, v) in &data {
+                    s.update(item as f64, v as f64);
+                }
+                black_box(s.quantile(0.5))
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_samplers(c: &mut Criterion) {
+    let data = stream();
+    let mut g = c.benchmark_group("samplers");
+    g.throughput(Throughput::Elements(N));
+    g.bench_function("reservoir_k1000", |b| {
+        b.iter_batched(
+            || ReservoirSampler::new(1000, 7),
+            |mut s| {
+                for &(_, item, _) in &data {
+                    s.update(item);
+                }
+                black_box(s.sample().len())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("weighted_reservoir_exp_k1000", |b| {
+        b.iter_batched(
+            || WeightedReservoir::new(Exponential::new(0.1), 0.0, 1000, 7),
+            |mut s| {
+                for &(t, item, _) in &data {
+                    s.update(t, &item);
+                }
+                black_box(s.sample().len())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("priority_sampler_exp_k1000", |b| {
+        b.iter_batched(
+            || PrioritySampler::new(Exponential::new(0.1), 0.0, 1000, 7),
+            |mut s| {
+                for &(t, item, _) in &data {
+                    s.update(t, &item);
+                }
+                black_box(s.sample().len())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("biased_reservoir_lambda0.001", |b| {
+        b.iter_batched(
+            || BiasedReservoir::new(0.001, 7),
+            |mut s| {
+                for &(_, item, _) in &data {
+                    s.update(item);
+                }
+                black_box(s.sample().len())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_distinct(c: &mut Criterion) {
+    let data = stream();
+    let mut g = c.benchmark_group("distinct");
+    g.throughput(Throughput::Elements(N));
+    g.bench_function("exact_dominance", |b| {
+        b.iter_batched(
+            || ExactDominance::new(Monomial::quadratic(), 0.0),
+            |mut s| {
+                for &(t, item, _) in &data {
+                    s.update(t, item);
+                }
+                black_box(s.query(100.0))
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("dominance_sketch_eps0.2", |b| {
+        b.iter_batched(
+            || DominanceSketch::new(Monomial::quadratic(), 0.0, 0.2, 7),
+            |mut s| {
+                for &(t, item, _) in &data {
+                    s.update(t, item);
+                }
+                black_box(s.query(100.0))
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_scalar_aggregates,
+        bench_heavy_hitters,
+        bench_backward_baselines,
+        bench_quantiles,
+        bench_samplers,
+        bench_distinct
+);
+criterion_main!(benches);

@@ -1,0 +1,537 @@
+//! # fd-cli — the `fdql` command-line tool
+//!
+//! Runs a forward-decayed continuous query over a synthetic packet trace
+//! and prints the result rows, exercising the whole stack (fd-gen →
+//! fd-engine → fd-core) from a shell:
+//!
+//! ```text
+//! fdql --agg fwd_sum --decay poly:2 --group dst_key --bucket 60 \
+//!      --proto tcp --rate 100000 --duration 120 --format csv
+//! ```
+//!
+//! The argument grammar is deliberately tiny (no external parser crate);
+//! [`CliConfig::parse`] turns an argument list into a validated
+//! configuration, [`run`] executes it and returns the rendered output.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![deny(unsafe_code)]
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+use fd_core::decay::AnyDecay;
+use fd_engine::prelude::*;
+use fd_engine::udaf::FnFactory;
+use fd_gen::{Burst, TraceConfig};
+
+/// Which aggregate to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggKind {
+    /// Undecayed `count(*)`.
+    Count,
+    /// Undecayed `sum(len)`.
+    Sum,
+    /// Forward-decayed count.
+    FwdCount,
+    /// Forward-decayed `sum(len)`.
+    FwdSum,
+    /// Forward-decayed average of `len`.
+    FwdAvg,
+    /// Forward-decayed φ = 0.01 heavy hitters over the group's items.
+    FwdHh,
+    /// Forward-decayed quantiles (p50/p95/p99) of `len`.
+    FwdQuantiles,
+    /// Forward-decayed count-distinct of source hosts.
+    FwdDistinct,
+}
+
+impl AggKind {
+    fn parse(s: &str) -> Result<Self, String> {
+        Ok(match s {
+            "count" => Self::Count,
+            "sum" => Self::Sum,
+            "fwd_count" => Self::FwdCount,
+            "fwd_sum" => Self::FwdSum,
+            "fwd_avg" => Self::FwdAvg,
+            "fwd_hh" => Self::FwdHh,
+            "fwd_quantiles" => Self::FwdQuantiles,
+            "fwd_distinct" => Self::FwdDistinct,
+            other => {
+                return Err(format!(
+                    "unknown aggregate '{other}' \
+                     (count|sum|fwd_count|fwd_sum|fwd_avg|fwd_hh|fwd_quantiles|fwd_distinct)"
+                ))
+            }
+        })
+    }
+}
+
+/// Group-by key choice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GroupKey {
+    /// One global group.
+    None,
+    /// Destination host.
+    DstHost,
+    /// Destination (host, port) pair.
+    DstKey,
+    /// Source host.
+    SrcHost,
+}
+
+impl GroupKey {
+    fn parse(s: &str) -> Result<Self, String> {
+        Ok(match s {
+            "none" => Self::None,
+            "dst_host" => Self::DstHost,
+            "dst_key" => Self::DstKey,
+            "src_host" => Self::SrcHost,
+            other => {
+                return Err(format!(
+                    "unknown group key '{other}' (none|dst_host|dst_key|src_host)"
+                ))
+            }
+        })
+    }
+}
+
+/// Output format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Format {
+    /// CSV rows.
+    Csv,
+    /// Aligned text table.
+    Table,
+    /// Only the engine statistics.
+    Stats,
+}
+
+/// A parsed, validated `fdql` invocation.
+#[derive(Debug, Clone)]
+pub struct CliConfig {
+    /// Aggregate to run.
+    pub agg: AggKind,
+    /// Forward decay function (for the `fwd_*` aggregates).
+    pub decay: AnyDecay,
+    /// Group-by key.
+    pub group: GroupKey,
+    /// Time-bucket width in seconds.
+    pub bucket_secs: u64,
+    /// Optional protocol filter.
+    pub proto: Option<Proto>,
+    /// Trace rate (packets/second).
+    pub rate_pps: f64,
+    /// Trace duration (seconds).
+    pub duration_secs: f64,
+    /// Trace host count.
+    pub n_hosts: usize,
+    /// Trace RNG seed.
+    pub seed: u64,
+    /// Output format.
+    pub format: Format,
+    /// Limit on printed rows (0 = unlimited).
+    pub limit: usize,
+    /// Out-of-order timestamp jitter half-width in seconds.
+    pub ooo_jitter_secs: f64,
+    /// Engine watermark slack in seconds (tolerates the jitter).
+    pub slack_secs: f64,
+    /// Optional flood: `start,end,fraction` toward one victim host.
+    pub burst: Option<Burst>,
+}
+
+impl Default for CliConfig {
+    fn default() -> Self {
+        Self {
+            agg: AggKind::FwdSum,
+            decay: AnyDecay::Monomial(fd_core::decay::Monomial::quadratic()),
+            group: GroupKey::DstHost,
+            bucket_secs: 60,
+            proto: None,
+            rate_pps: 50_000.0,
+            duration_secs: 60.0,
+            n_hosts: 10_000,
+            seed: 42,
+            format: Format::Table,
+            limit: 20,
+            ooo_jitter_secs: 0.0,
+            slack_secs: 0.0,
+            burst: None,
+        }
+    }
+}
+
+/// The `--help` text.
+pub const USAGE: &str = "\
+fdql — forward-decayed continuous queries over synthetic packet traces
+
+USAGE:
+    fdql [OPTIONS]
+
+OPTIONS (all optional):
+    --agg <kind>        count|sum|fwd_count|fwd_sum|fwd_avg|fwd_hh|fwd_quantiles|fwd_distinct
+                        [default: fwd_sum]
+    --decay <spec>      none|landmark|poly:<β>|exp:<α>|halflife:<secs>  [default: poly:2]
+    --group <key>       none|dst_host|dst_key|src_host                  [default: dst_host]
+    --bucket <secs>     time bucket width                               [default: 60]
+    --proto <p>         tcp|udp (omit for both)
+    --rate <pps>        trace packet rate                               [default: 50000]
+    --duration <secs>   trace duration                                  [default: 60]
+    --hosts <n>         distinct destination hosts                      [default: 10000]
+    --seed <n>          trace RNG seed                                  [default: 42]
+    --format <f>        csv|table|stats                                 [default: table]
+    --limit <n>         max rows printed, 0 = all                       [default: 20]
+    --ooo <secs>        out-of-order timestamp jitter half-width        [default: 0]
+    --slack <secs>      engine watermark slack for late tuples          [default: 0]
+    --burst <s,e,f>     flood fraction f toward one host in [s, e) secs
+    --help              print this text
+";
+
+impl CliConfig {
+    /// Parses an argument list (without the program name).
+    pub fn parse<I, S>(args: I) -> Result<Self, String>
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut cfg = Self::default();
+        let mut it = args.into_iter();
+        while let Some(flag) = it.next() {
+            let flag = flag.as_ref();
+            if flag == "--help" {
+                return Err(USAGE.to_string());
+            }
+            let value = it
+                .next()
+                .ok_or_else(|| format!("flag '{flag}' needs a value\n\n{USAGE}"))?;
+            let v = value.as_ref();
+            let num = |v: &str| {
+                v.parse::<f64>()
+                    .map_err(|e| format!("bad number '{v}': {e}"))
+            };
+            let int = |v: &str| {
+                v.parse::<u64>()
+                    .map_err(|e| format!("bad integer '{v}': {e}"))
+            };
+            match flag {
+                "--agg" => cfg.agg = AggKind::parse(v)?,
+                "--decay" => cfg.decay = v.parse()?,
+                "--group" => cfg.group = GroupKey::parse(v)?,
+                "--bucket" => {
+                    cfg.bucket_secs = int(v)?;
+                    if cfg.bucket_secs == 0 {
+                        return Err("bucket width must be positive".into());
+                    }
+                }
+                "--proto" => {
+                    cfg.proto = Some(match v {
+                        "tcp" => Proto::Tcp,
+                        "udp" => Proto::Udp,
+                        other => return Err(format!("unknown protocol '{other}' (tcp|udp)")),
+                    })
+                }
+                "--rate" => {
+                    cfg.rate_pps = num(v)?;
+                    if cfg.rate_pps <= 0.0 {
+                        return Err("rate must be positive".into());
+                    }
+                }
+                "--duration" => {
+                    cfg.duration_secs = num(v)?;
+                    if cfg.duration_secs <= 0.0 {
+                        return Err("duration must be positive".into());
+                    }
+                }
+                "--hosts" => {
+                    cfg.n_hosts = int(v)? as usize;
+                    if cfg.n_hosts == 0 {
+                        return Err("need at least one host".into());
+                    }
+                }
+                "--seed" => cfg.seed = int(v)?,
+                "--format" => {
+                    cfg.format = match v {
+                        "csv" => Format::Csv,
+                        "table" => Format::Table,
+                        "stats" => Format::Stats,
+                        other => return Err(format!("unknown format '{other}' (csv|table|stats)")),
+                    }
+                }
+                "--limit" => cfg.limit = int(v)? as usize,
+                "--ooo" => {
+                    cfg.ooo_jitter_secs = num(v)?;
+                    if cfg.ooo_jitter_secs < 0.0 {
+                        return Err("jitter must be non-negative".into());
+                    }
+                }
+                "--slack" => {
+                    cfg.slack_secs = num(v)?;
+                    if cfg.slack_secs < 0.0 {
+                        return Err("slack must be non-negative".into());
+                    }
+                }
+                "--burst" => {
+                    let parts: Vec<&str> = v.split(',').collect();
+                    if parts.len() != 3 {
+                        return Err(format!("--burst wants start,end,fraction, got '{v}'"));
+                    }
+                    let (start, end, fraction) = (num(parts[0])?, num(parts[1])?, num(parts[2])?);
+                    if !(start >= 0.0 && end > start && fraction > 0.0 && fraction <= 1.0) {
+                        return Err(format!("bad burst spec '{v}'"));
+                    }
+                    cfg.burst = Some(Burst {
+                        start_secs: start,
+                        end_secs: end,
+                        dst_ip: 0x0A00_BEEF,
+                        fraction,
+                    });
+                }
+                other => return Err(format!("unknown flag '{other}'\n\n{USAGE}")),
+            }
+        }
+        Ok(cfg)
+    }
+
+    fn factory(&self) -> Arc<FnFactory> {
+        let g = self.decay.clone();
+        match self.agg {
+            AggKind::Count => count_factory(),
+            AggKind::Sum => sum_factory(|p| p.len as f64),
+            AggKind::FwdCount => fwd_count_factory(g),
+            AggKind::FwdSum => fwd_sum_factory(g, |p| p.len as f64),
+            AggKind::FwdAvg => fwd_avg_factory(g, |p| p.len as f64),
+            AggKind::FwdHh => fwd_hh_factory(g, 0.001, 0.01, |p| p.dst_host()),
+            AggKind::FwdQuantiles => {
+                fwd_quantile_factory(g, 11, 0.01, vec![0.5, 0.95, 0.99], |p| p.len as u64)
+            }
+            AggKind::FwdDistinct => distinct_factory(g, 0.1, 7, |p| p.src_host()),
+        }
+    }
+
+    fn query(&self) -> Query {
+        let mut b = Query::builder(format!("fdql-{:?}", self.agg))
+            .bucket_secs(self.bucket_secs)
+            .slack_secs(self.slack_secs)
+            .aggregate(self.factory());
+        if let Some(proto) = self.proto {
+            b = b.filter(move |p| p.proto == proto);
+        }
+        b = match self.group {
+            GroupKey::None => b,
+            GroupKey::DstHost => b.group_by(|p| p.dst_host()),
+            GroupKey::DstKey => b.group_by(|p| p.dst_key()),
+            GroupKey::SrcHost => b.group_by(|p| p.src_host()),
+        };
+        b.build()
+    }
+}
+
+/// Executes a parsed invocation and returns the rendered output.
+pub fn run(cfg: &CliConfig) -> String {
+    let trace = TraceConfig {
+        seed: cfg.seed,
+        duration_secs: cfg.duration_secs,
+        rate_pps: cfg.rate_pps,
+        n_hosts: cfg.n_hosts,
+        ooo_jitter_secs: cfg.ooo_jitter_secs,
+        burst: cfg.burst,
+        ..Default::default()
+    };
+    let mut engine = Engine::new(cfg.query());
+    let mut rows = engine.run(trace.iter());
+    let stats = engine.stats();
+    if cfg.limit > 0 && rows.len() > cfg.limit {
+        rows.truncate(cfg.limit);
+    }
+    let mut out = String::new();
+    match cfg.format {
+        Format::Csv => out.push_str(&rows_to_csv(&rows)),
+        Format::Table => out.push_str(&rows_to_table(&rows, cfg.bucket_secs)),
+        Format::Stats => {}
+    }
+    let _ = writeln!(
+        out,
+        "# tuples={} filtered={} rows={} buckets={} evictions={} late_drops={}",
+        stats.tuples_in,
+        stats.filtered,
+        stats.rows_out,
+        stats.buckets_closed,
+        stats.lfta_evictions,
+        stats.late_drops
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_parse_empty_args() {
+        let cfg = CliConfig::parse(Vec::<String>::new()).unwrap();
+        assert_eq!(cfg.agg, AggKind::FwdSum);
+        assert_eq!(cfg.bucket_secs, 60);
+    }
+
+    #[test]
+    fn full_flag_set_parses() {
+        let cfg = CliConfig::parse([
+            "--agg",
+            "fwd_hh",
+            "--decay",
+            "halflife:15",
+            "--group",
+            "none",
+            "--bucket",
+            "30",
+            "--proto",
+            "udp",
+            "--rate",
+            "1000",
+            "--duration",
+            "5",
+            "--hosts",
+            "100",
+            "--seed",
+            "7",
+            "--format",
+            "csv",
+            "--limit",
+            "0",
+        ])
+        .unwrap();
+        assert_eq!(cfg.agg, AggKind::FwdHh);
+        assert_eq!(cfg.group, GroupKey::None);
+        assert_eq!(cfg.bucket_secs, 30);
+        assert_eq!(cfg.proto, Some(Proto::Udp));
+        assert_eq!(cfg.format, Format::Csv);
+        assert_eq!(cfg.limit, 0);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(CliConfig::parse(["--agg", "nope"]).is_err());
+        assert!(CliConfig::parse(["--decay", "poly:-3"]).is_err());
+        assert!(CliConfig::parse(["--bucket", "0"]).is_err());
+        assert!(CliConfig::parse(["--rate"]).is_err());
+        assert!(CliConfig::parse(["--bogus", "1"]).is_err());
+        assert!(CliConfig::parse(["--help"]).is_err()); // help is an Err(USAGE)
+    }
+
+    #[test]
+    fn runs_a_small_decayed_sum() {
+        let cfg = CliConfig::parse([
+            "--rate",
+            "5000",
+            "--duration",
+            "2",
+            "--hosts",
+            "50",
+            "--group",
+            "dst_host",
+            "--format",
+            "csv",
+            "--limit",
+            "0",
+        ])
+        .unwrap();
+        let out = run(&cfg);
+        // header + ~50 groups + stats comment
+        assert!(out.lines().count() > 40, "{out}");
+        assert!(out.contains("# tuples=") && out.contains("rows="));
+    }
+
+    #[test]
+    fn runs_heavy_hitters_with_exponential_decay() {
+        let cfg = CliConfig::parse([
+            "--agg",
+            "fwd_hh",
+            "--decay",
+            "exp:0.1",
+            "--group",
+            "none",
+            "--rate",
+            "20000",
+            "--duration",
+            "3",
+            "--hosts",
+            "200",
+            "--format",
+            "table",
+        ])
+        .unwrap();
+        let out = run(&cfg);
+        assert!(
+            out.contains(':'),
+            "heavy-hitter items should be listed: {out}"
+        );
+    }
+
+    #[test]
+    fn burst_and_ooo_flags_parse_and_run() {
+        let cfg = CliConfig::parse([
+            "--agg",
+            "fwd_hh",
+            "--group",
+            "none",
+            "--rate",
+            "10000",
+            "--duration",
+            "4",
+            "--hosts",
+            "100",
+            "--ooo",
+            "0.5",
+            "--slack",
+            "1",
+            "--burst",
+            "2,4,0.5",
+            "--format",
+            "table",
+        ])
+        .unwrap();
+        assert_eq!(cfg.ooo_jitter_secs, 0.5);
+        assert_eq!(cfg.slack_secs, 1.0);
+        let burst = cfg.burst.unwrap();
+        assert_eq!(
+            (burst.start_secs, burst.end_secs, burst.fraction),
+            (2.0, 4.0, 0.5)
+        );
+        let out = run(&cfg);
+        // The flood victim (10.0.190.239 = 0x0A00BEEF) must lead the report.
+        assert!(
+            out.contains(&format!("{}", 0x0A00_BEEFu64)),
+            "victim missing from heavy hitters: {out}"
+        );
+    }
+
+    #[test]
+    fn bad_burst_specs_are_rejected() {
+        for bad in ["1,2", "2,1,0.5", "0,1,0", "0,1,2", "a,b,c"] {
+            assert!(
+                CliConfig::parse(["--burst", bad]).is_err(),
+                "accepted {bad:?}"
+            );
+        }
+        assert!(CliConfig::parse(["--ooo", "-1"]).is_err());
+        assert!(CliConfig::parse(["--slack", "-1"]).is_err());
+    }
+
+    #[test]
+    fn stats_format_prints_only_counters() {
+        let cfg = CliConfig::parse([
+            "--format",
+            "stats",
+            "--rate",
+            "1000",
+            "--duration",
+            "1",
+            "--hosts",
+            "10",
+        ])
+        .unwrap();
+        let out = run(&cfg);
+        assert_eq!(out.lines().count(), 1);
+        assert!(out.starts_with("# tuples="));
+    }
+}

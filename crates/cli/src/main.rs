@@ -1,0 +1,22 @@
+//! `fdql` binary entry point: parse flags, run the query, print the rows.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match fd_cli::CliConfig::parse(args.iter().map(String::as_str)) {
+        Ok(cfg) => {
+            print!("{}", fd_cli::run(&cfg));
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            // `--help` also lands here, carrying the usage text.
+            eprintln!("{msg}");
+            if msg == fd_cli::USAGE {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+    }
+}

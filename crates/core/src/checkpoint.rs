@@ -1,0 +1,676 @@
+//! Checkpoint and restore: compact binary snapshots of any summary.
+//!
+//! Stream processors checkpoint operator state to survive restarts; all
+//! fd-core summaries derive `serde::{Serialize, Deserialize}`, and this
+//! module supplies the wire format — a minimal, non-self-describing binary
+//! codec in the spirit of bincode (fixed-width little-endian integers,
+//! length-prefixed sequences), implemented in-repo because the workspace
+//! deliberately carries no serde format crate.
+//!
+//! ```
+//! use fd_core::aggregates::DecayedSum;
+//! use fd_core::decay::Monomial;
+//! use fd_core::checkpoint::{from_bytes, to_bytes};
+//!
+//! let mut sum = DecayedSum::new(Monomial::quadratic(), 0.0);
+//! sum.update(5.0, 2.0);
+//! let snapshot = to_bytes(&sum).unwrap();
+//! let mut restored: DecayedSum<Monomial> = from_bytes(&snapshot).unwrap();
+//! restored.update(8.0, 3.0);
+//! sum.update(8.0, 3.0);
+//! assert_eq!(sum.query(10.0), restored.query(10.0));
+//! ```
+//!
+//! The randomized samplers checkpoint their sample state but **not** their
+//! RNG (a fresh deterministic RNG is seeded on restore); the restored
+//! sampler draws fresh randomness, which leaves all sampling guarantees
+//! intact.
+
+use std::fmt;
+
+use serde::de::{self, DeserializeOwned, IntoDeserializer, Visitor};
+use serde::ser::{self, Serialize};
+
+/// Serializes a value into the checkpoint wire format.
+pub fn to_bytes<T: Serialize>(value: &T) -> Result<Vec<u8>, CodecError> {
+    let mut ser = BinSerializer { out: Vec::new() };
+    value.serialize(&mut ser)?;
+    Ok(ser.out)
+}
+
+/// Restores a value from [`to_bytes`] output. Fails on truncated or
+/// malformed input and on trailing garbage.
+pub fn from_bytes<T: DeserializeOwned>(bytes: &[u8]) -> Result<T, CodecError> {
+    let mut de = BinDeserializer { input: bytes };
+    let value = T::deserialize(&mut de)?;
+    if !de.input.is_empty() {
+        return Err(CodecError::msg(format!(
+            "{} trailing bytes",
+            de.input.len()
+        )));
+    }
+    Ok(value)
+}
+
+/// Codec failure: truncated input, oversized lengths, bad UTF-8, or a
+/// custom serde error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodecError(String);
+
+impl CodecError {
+    fn msg(m: impl Into<String>) -> Self {
+        Self(m.into())
+    }
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "checkpoint codec: {}", self.0)
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+impl ser::Error for CodecError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Self(msg.to_string())
+    }
+}
+
+impl de::Error for CodecError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Self(msg.to_string())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Serializer
+// ---------------------------------------------------------------------------
+
+struct BinSerializer {
+    out: Vec<u8>,
+}
+
+impl BinSerializer {
+    fn put_len(&mut self, len: usize) {
+        self.out.extend_from_slice(&(len as u64).to_le_bytes());
+    }
+}
+
+impl ser::Serializer for &mut BinSerializer {
+    type Ok = ();
+    type Error = CodecError;
+    type SerializeSeq = Self;
+    type SerializeTuple = Self;
+    type SerializeTupleStruct = Self;
+    type SerializeTupleVariant = Self;
+    type SerializeMap = Self;
+    type SerializeStruct = Self;
+    type SerializeStructVariant = Self;
+
+    fn serialize_bool(self, v: bool) -> Result<(), CodecError> {
+        self.out.push(v as u8);
+        Ok(())
+    }
+    fn serialize_i8(self, v: i8) -> Result<(), CodecError> {
+        self.out.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+    fn serialize_i16(self, v: i16) -> Result<(), CodecError> {
+        self.out.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+    fn serialize_i32(self, v: i32) -> Result<(), CodecError> {
+        self.out.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+    fn serialize_i64(self, v: i64) -> Result<(), CodecError> {
+        self.out.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+    fn serialize_u8(self, v: u8) -> Result<(), CodecError> {
+        self.out.push(v);
+        Ok(())
+    }
+    fn serialize_u16(self, v: u16) -> Result<(), CodecError> {
+        self.out.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+    fn serialize_u32(self, v: u32) -> Result<(), CodecError> {
+        self.out.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+    fn serialize_u64(self, v: u64) -> Result<(), CodecError> {
+        self.out.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+    fn serialize_f32(self, v: f32) -> Result<(), CodecError> {
+        self.out.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+    fn serialize_f64(self, v: f64) -> Result<(), CodecError> {
+        self.out.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+    fn serialize_char(self, v: char) -> Result<(), CodecError> {
+        self.serialize_u32(v as u32)
+    }
+    fn serialize_str(self, v: &str) -> Result<(), CodecError> {
+        self.put_len(v.len());
+        self.out.extend_from_slice(v.as_bytes());
+        Ok(())
+    }
+    fn serialize_bytes(self, v: &[u8]) -> Result<(), CodecError> {
+        self.put_len(v.len());
+        self.out.extend_from_slice(v);
+        Ok(())
+    }
+    fn serialize_none(self) -> Result<(), CodecError> {
+        self.out.push(0);
+        Ok(())
+    }
+    fn serialize_some<T: Serialize + ?Sized>(self, v: &T) -> Result<(), CodecError> {
+        self.out.push(1);
+        v.serialize(self)
+    }
+    fn serialize_unit(self) -> Result<(), CodecError> {
+        Ok(())
+    }
+    fn serialize_unit_struct(self, _name: &'static str) -> Result<(), CodecError> {
+        Ok(())
+    }
+    fn serialize_unit_variant(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+    ) -> Result<(), CodecError> {
+        self.serialize_u32(variant_index)
+    }
+    fn serialize_newtype_struct<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        v: &T,
+    ) -> Result<(), CodecError> {
+        v.serialize(self)
+    }
+    fn serialize_newtype_variant<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+        v: &T,
+    ) -> Result<(), CodecError> {
+        self.serialize_u32(variant_index)?;
+        v.serialize(self)
+    }
+    fn serialize_seq(self, len: Option<usize>) -> Result<Self, CodecError> {
+        let len = len.ok_or_else(|| CodecError::msg("sequences need a known length"))?;
+        self.put_len(len);
+        Ok(self)
+    }
+    fn serialize_tuple(self, _len: usize) -> Result<Self, CodecError> {
+        Ok(self)
+    }
+    fn serialize_tuple_struct(self, _name: &'static str, _len: usize) -> Result<Self, CodecError> {
+        Ok(self)
+    }
+    fn serialize_tuple_variant(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+        _len: usize,
+    ) -> Result<Self, CodecError> {
+        self.serialize_u32(variant_index)?;
+        Ok(self)
+    }
+    fn serialize_map(self, len: Option<usize>) -> Result<Self, CodecError> {
+        let len = len.ok_or_else(|| CodecError::msg("maps need a known length"))?;
+        self.put_len(len);
+        Ok(self)
+    }
+    fn serialize_struct(self, _name: &'static str, _len: usize) -> Result<Self, CodecError> {
+        Ok(self)
+    }
+    fn serialize_struct_variant(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+        _len: usize,
+    ) -> Result<Self, CodecError> {
+        self.serialize_u32(variant_index)?;
+        Ok(self)
+    }
+}
+
+macro_rules! forward_compound {
+    ($trait:path, $method:ident $(, $key:ident)?) => {
+        impl $trait for &mut BinSerializer {
+            type Ok = ();
+            type Error = CodecError;
+            $(
+                fn $key<T: Serialize + ?Sized>(&mut self, key: &T) -> Result<(), CodecError> {
+                    key.serialize(&mut **self)
+                }
+            )?
+            fn $method<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), CodecError> {
+                value.serialize(&mut **self)
+            }
+            fn end(self) -> Result<(), CodecError> {
+                Ok(())
+            }
+        }
+    };
+}
+
+forward_compound!(ser::SerializeSeq, serialize_element);
+forward_compound!(ser::SerializeTuple, serialize_element);
+forward_compound!(ser::SerializeTupleStruct, serialize_field);
+forward_compound!(ser::SerializeTupleVariant, serialize_field);
+forward_compound!(ser::SerializeMap, serialize_value, serialize_key);
+
+impl ser::SerializeStruct for &mut BinSerializer {
+    type Ok = ();
+    type Error = CodecError;
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        _key: &'static str,
+        value: &T,
+    ) -> Result<(), CodecError> {
+        value.serialize(&mut **self)
+    }
+    fn end(self) -> Result<(), CodecError> {
+        Ok(())
+    }
+}
+
+impl ser::SerializeStructVariant for &mut BinSerializer {
+    type Ok = ();
+    type Error = CodecError;
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        _key: &'static str,
+        value: &T,
+    ) -> Result<(), CodecError> {
+        value.serialize(&mut **self)
+    }
+    fn end(self) -> Result<(), CodecError> {
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deserializer
+// ---------------------------------------------------------------------------
+
+struct BinDeserializer<'de> {
+    input: &'de [u8],
+}
+
+impl<'de> BinDeserializer<'de> {
+    fn take(&mut self, n: usize) -> Result<&'de [u8], CodecError> {
+        if self.input.len() < n {
+            return Err(CodecError::msg(format!(
+                "truncated input: wanted {n} bytes, have {}",
+                self.input.len()
+            )));
+        }
+        let (head, tail) = self.input.split_at(n);
+        self.input = tail;
+        Ok(head)
+    }
+
+    fn get_len(&mut self) -> Result<usize, CodecError> {
+        let raw = u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes"));
+        // A length cannot exceed the remaining payload (1 byte per element
+        // minimum) — reject early rather than attempting huge allocations.
+        if raw > self.input.len() as u64 * 8 + 8 {
+            return Err(CodecError::msg(format!("implausible length {raw}")));
+        }
+        Ok(raw as usize)
+    }
+}
+
+macro_rules! de_fixed {
+    ($method:ident, $visit:ident, $ty:ty) => {
+        fn $method<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+            let bytes = self.take(std::mem::size_of::<$ty>())?;
+            visitor.$visit(<$ty>::from_le_bytes(bytes.try_into().expect("sized")))
+        }
+    };
+}
+
+impl<'de> de::Deserializer<'de> for &mut BinDeserializer<'de> {
+    type Error = CodecError;
+
+    fn deserialize_any<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value, CodecError> {
+        Err(CodecError::msg("format is not self-describing"))
+    }
+
+    fn deserialize_bool<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        match self.take(1)?[0] {
+            0 => visitor.visit_bool(false),
+            1 => visitor.visit_bool(true),
+            other => Err(CodecError::msg(format!("invalid bool byte {other}"))),
+        }
+    }
+
+    de_fixed!(deserialize_i8, visit_i8, i8);
+    de_fixed!(deserialize_i16, visit_i16, i16);
+    de_fixed!(deserialize_i32, visit_i32, i32);
+    de_fixed!(deserialize_i64, visit_i64, i64);
+    de_fixed!(deserialize_u16, visit_u16, u16);
+    de_fixed!(deserialize_u32, visit_u32, u32);
+    de_fixed!(deserialize_u64, visit_u64, u64);
+    de_fixed!(deserialize_f32, visit_f32, f32);
+    de_fixed!(deserialize_f64, visit_f64, f64);
+
+    fn deserialize_u8<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        visitor.visit_u8(self.take(1)?[0])
+    }
+
+    fn deserialize_char<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        let raw = u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes"));
+        visitor.visit_char(char::from_u32(raw).ok_or_else(|| CodecError::msg("bad char"))?)
+    }
+
+    fn deserialize_str<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        let len = self.get_len()?;
+        let bytes = self.take(len)?;
+        visitor.visit_str(std::str::from_utf8(bytes).map_err(|e| CodecError::msg(e.to_string()))?)
+    }
+
+    fn deserialize_string<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        self.deserialize_str(visitor)
+    }
+
+    fn deserialize_bytes<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        let len = self.get_len()?;
+        visitor.visit_bytes(self.take(len)?)
+    }
+
+    fn deserialize_byte_buf<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        self.deserialize_bytes(visitor)
+    }
+
+    fn deserialize_option<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        match self.take(1)?[0] {
+            0 => visitor.visit_none(),
+            1 => visitor.visit_some(self),
+            other => Err(CodecError::msg(format!("invalid option tag {other}"))),
+        }
+    }
+
+    fn deserialize_unit<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        visitor.visit_unit()
+    }
+
+    fn deserialize_unit_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value, CodecError> {
+        visitor.visit_unit()
+    }
+
+    fn deserialize_newtype_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value, CodecError> {
+        visitor.visit_newtype_struct(self)
+    }
+
+    fn deserialize_seq<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        let len = self.get_len()?;
+        visitor.visit_seq(Elements {
+            de: self,
+            remaining: len,
+        })
+    }
+
+    fn deserialize_tuple<V: Visitor<'de>>(
+        self,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, CodecError> {
+        visitor.visit_seq(Elements {
+            de: self,
+            remaining: len,
+        })
+    }
+
+    fn deserialize_tuple_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, CodecError> {
+        self.deserialize_tuple(len, visitor)
+    }
+
+    fn deserialize_map<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
+        let len = self.get_len()?;
+        visitor.visit_map(Entries {
+            de: self,
+            remaining: len,
+        })
+    }
+
+    fn deserialize_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, CodecError> {
+        self.deserialize_tuple(fields.len(), visitor)
+    }
+
+    fn deserialize_enum<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        _variants: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, CodecError> {
+        visitor.visit_enum(VariantAccess { de: self })
+    }
+
+    fn deserialize_identifier<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value, CodecError> {
+        Err(CodecError::msg("identifiers are not encoded"))
+    }
+
+    fn deserialize_ignored_any<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value, CodecError> {
+        Err(CodecError::msg(
+            "cannot skip fields in a non-self-describing format",
+        ))
+    }
+}
+
+struct Elements<'a, 'de> {
+    de: &'a mut BinDeserializer<'de>,
+    remaining: usize,
+}
+
+impl<'de> de::SeqAccess<'de> for Elements<'_, 'de> {
+    type Error = CodecError;
+    fn next_element_seed<T: de::DeserializeSeed<'de>>(
+        &mut self,
+        seed: T,
+    ) -> Result<Option<T::Value>, CodecError> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        self.remaining -= 1;
+        seed.deserialize(&mut *self.de).map(Some)
+    }
+    fn size_hint(&self) -> Option<usize> {
+        Some(self.remaining)
+    }
+}
+
+struct Entries<'a, 'de> {
+    de: &'a mut BinDeserializer<'de>,
+    remaining: usize,
+}
+
+impl<'de> de::MapAccess<'de> for Entries<'_, 'de> {
+    type Error = CodecError;
+    fn next_key_seed<K: de::DeserializeSeed<'de>>(
+        &mut self,
+        seed: K,
+    ) -> Result<Option<K::Value>, CodecError> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        self.remaining -= 1;
+        seed.deserialize(&mut *self.de).map(Some)
+    }
+    fn next_value_seed<V: de::DeserializeSeed<'de>>(
+        &mut self,
+        seed: V,
+    ) -> Result<V::Value, CodecError> {
+        seed.deserialize(&mut *self.de)
+    }
+    fn size_hint(&self) -> Option<usize> {
+        Some(self.remaining)
+    }
+}
+
+struct VariantAccess<'a, 'de> {
+    de: &'a mut BinDeserializer<'de>,
+}
+
+impl<'de> de::EnumAccess<'de> for VariantAccess<'_, 'de> {
+    type Error = CodecError;
+    type Variant = Self;
+    fn variant_seed<V: de::DeserializeSeed<'de>>(
+        self,
+        seed: V,
+    ) -> Result<(V::Value, Self), CodecError> {
+        let idx = u32::from_le_bytes(self.de.take(4)?.try_into().expect("4 bytes"));
+        let value = seed.deserialize(idx.into_deserializer())?;
+        Ok((value, self))
+    }
+}
+
+impl<'de> de::VariantAccess<'de> for VariantAccess<'_, 'de> {
+    type Error = CodecError;
+    fn unit_variant(self) -> Result<(), CodecError> {
+        Ok(())
+    }
+    fn newtype_variant_seed<T: de::DeserializeSeed<'de>>(
+        self,
+        seed: T,
+    ) -> Result<T::Value, CodecError> {
+        seed.deserialize(self.de)
+    }
+    fn tuple_variant<V: Visitor<'de>>(
+        self,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, CodecError> {
+        de::Deserializer::deserialize_tuple(self.de, len, visitor)
+    }
+    fn struct_variant<V: Visitor<'de>>(
+        self,
+        fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, CodecError> {
+        de::Deserializer::deserialize_tuple(self.de, fields.len(), visitor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::Deserialize;
+    use std::collections::{BTreeMap, HashMap};
+
+    fn roundtrip<T: Serialize + DeserializeOwned + PartialEq + std::fmt::Debug>(v: &T) {
+        let bytes = to_bytes(v).expect("serialize");
+        let back: T = from_bytes(&bytes).expect("deserialize");
+        assert_eq!(&back, v);
+    }
+
+    #[test]
+    fn primitives_roundtrip() {
+        roundtrip(&true);
+        roundtrip(&false);
+        roundtrip(&0u8);
+        roundtrip(&u64::MAX);
+        roundtrip(&i64::MIN);
+        roundtrip(&-0.0f64);
+        roundtrip(&f64::MAX);
+        roundtrip(&'λ');
+        roundtrip(&"forward decay".to_string());
+    }
+
+    #[test]
+    fn collections_roundtrip() {
+        roundtrip(&vec![1u64, 2, 3]);
+        roundtrip(&Vec::<f64>::new());
+        roundtrip(&Some(3.5f64));
+        roundtrip(&Option::<u32>::None);
+        let mut m = HashMap::new();
+        m.insert((1u32, 2u64), 3.0f64);
+        m.insert((4, 5), 6.0);
+        roundtrip(&m);
+        let mut bt = BTreeMap::new();
+        bt.insert(-3i64, vec![1u8, 2]);
+        roundtrip(&bt);
+    }
+
+    #[derive(Debug, PartialEq, serde::Serialize, Deserialize)]
+    struct Nested {
+        name: String,
+        values: Vec<(u64, f64)>,
+        tag: Option<Tag>,
+    }
+
+    #[derive(Debug, PartialEq, serde::Serialize, Deserialize)]
+    enum Tag {
+        Unit,
+        One(u32),
+        Pair(u32, u32),
+        Struct { a: f64 },
+    }
+
+    #[test]
+    fn structs_and_enums_roundtrip() {
+        roundtrip(&Nested {
+            name: "x".into(),
+            values: vec![(1, 2.0), (3, 4.0)],
+            tag: Some(Tag::Struct { a: 9.5 }),
+        });
+        roundtrip(&Tag::Unit);
+        roundtrip(&Tag::One(7));
+        roundtrip(&Tag::Pair(1, 2));
+    }
+
+    #[test]
+    fn truncated_input_is_rejected() {
+        let bytes = to_bytes(&12345u64).unwrap();
+        assert!(from_bytes::<u64>(&bytes[..4]).is_err());
+        // Trailing garbage too.
+        let mut extended = bytes.clone();
+        extended.push(0);
+        assert!(from_bytes::<u64>(&extended).is_err());
+    }
+
+    #[test]
+    fn implausible_lengths_are_rejected() {
+        // A claimed 2^60-element vector in a 16-byte payload.
+        let mut bytes = (1u64 << 60).to_le_bytes().to_vec();
+        bytes.extend_from_slice(&[0; 8]);
+        assert!(from_bytes::<Vec<u64>>(&bytes).is_err());
+    }
+
+    #[test]
+    fn nan_survives() {
+        let bytes = to_bytes(&f64::NAN).unwrap();
+        let back: f64 = from_bytes(&bytes).unwrap();
+        assert!(back.is_nan());
+    }
+}

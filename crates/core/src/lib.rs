@@ -1,0 +1,126 @@
+//! # fd-core — Forward Decay for data streams
+//!
+//! A from-scratch implementation of *"Forward Decay: A Practical Time Decay
+//! Model for Streaming Systems"* (Cormode, Shkapenyuk, Srivastava, Xu,
+//! ICDE 2009).
+//!
+//! The paper's central idea: instead of weighting a stream item by a function
+//! of its *age* measured **backward** from the (ever-moving) current time,
+//! weight it by a function of the time elapsed **forward** from a fixed
+//! landmark `L`:
+//!
+//! ```text
+//! w(i, t) = g(t_i − L) / g(t − L)
+//! ```
+//!
+//! for a monotone non-decreasing `g`. The numerator is *fixed at arrival*, so
+//! every aggregate reduces to its weighted, undecayed counterpart plus a
+//! single scaling by `g(t − L)` at query time. This crate provides:
+//!
+//! - [`decay`] — forward decay functions (no decay, monomial, exponential,
+//!   landmark window, general polynomials) and the classical backward decay
+//!   functions they are compared against;
+//! - [`aggregates`] — constant-space decayed Count / Sum / Average /
+//!   Variance / Min / Max (Theorem 1 of the paper);
+//! - [`heavy_hitters`] — weighted SpaceSaving for decayed φ-heavy-hitters
+//!   (Theorem 2), plus the unary-optimized variant used as the undecayed
+//!   baseline in the paper's experiments;
+//! - [`quantiles`] — a weighted q-digest for decayed φ-quantiles (Theorem 3)
+//!   and a weighted Greenwald–Khanna summary for unbounded value domains;
+//! - [`distinct`] — decayed count-distinct, i.e. the dominance norm
+//!   `Σ_v max_{v_i = v} g(t_i − L)` (Theorem 4);
+//! - [`sampling`] — decayed sampling with replacement (Theorem 5), weighted
+//!   reservoir sampling and priority sampling without replacement
+//!   (Theorem 6), and the exponential-decay sampler of Corollary 1, plus
+//!   Aggarwal's biased reservoir as the backward-decay baseline;
+//! - [`backward`] — the backward-decay machinery the paper benchmarks
+//!   against: exponential histograms for sliding-window / arbitrary-decay
+//!   sums and counts (with the Cohen–Strauss query-time combination) and a
+//!   pane-structured sliding-window heavy-hitter summary;
+//! - [`numerics`] — landmark renormalization and log-domain accumulation,
+//!   handling the overflow issues of exponential `g` (Section VI-A);
+//! - [`merge`] — the [`merge::Mergeable`] trait: every summary in this crate
+//!   can be merged across distributed sites or shards (Section VI-B);
+//! - [`cm`] — a weighted Count-Min sketch as an alternative heavy-hitter
+//!   backend (compared against SpaceSaving in the ablation benches);
+//! - [`checkpoint`] — binary snapshot/restore for every summary (all derive
+//!   serde), via an in-repo bincode-style codec.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use fd_core::decay::Monomial;
+//! use fd_core::aggregates::{DecayedCount, DecayedSum};
+//!
+//! // Example 1 of the paper: landmark L = 100, g(n) = n², queried at t = 110.
+//! let g = Monomial::new(2.0);
+//! let landmark = 100.0;
+//! let stream = [(105.0, 4.0), (107.0, 8.0), (103.0, 3.0), (108.0, 6.0), (104.0, 4.0)];
+//!
+//! let mut count = DecayedCount::new(g.clone(), landmark);
+//! let mut sum = DecayedSum::new(g.clone(), landmark);
+//! for &(t, v) in &stream {
+//!     count.update(t);
+//!     sum.update(t, v);
+//! }
+//! assert!((count.query(110.0) - 1.63).abs() < 1e-9);
+//! assert!((sum.query(110.0) - 9.67).abs() < 1e-9);
+//! ```
+//!
+//! ## Timestamps
+//!
+//! All APIs take timestamps as `f64` seconds (any fixed epoch). The companion
+//! crate `fd-engine` converts from its integer microsecond packet clock.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![deny(unsafe_code)]
+
+pub mod aggregates;
+pub mod backward;
+pub mod checkpoint;
+pub mod cm;
+pub mod decay;
+pub mod distinct;
+pub mod hash;
+pub mod heavy_hitters;
+pub mod merge;
+pub mod numerics;
+pub mod quantiles;
+pub mod sampling;
+
+pub use decay::{BackwardDecay, ForwardDecay};
+pub use merge::Mergeable;
+
+/// One-stop imports for typical forward-decay use.
+///
+/// ```
+/// use fd_core::prelude::*;
+///
+/// let mut sum = DecayedSum::new(Exponential::with_half_life(60.0), 0.0);
+/// sum.update(10.0, 3.0);
+/// assert!(sum.query(20.0) > 0.0);
+/// ```
+pub mod prelude {
+    pub use crate::aggregates::{
+        DecayedAverage, DecayedCount, DecayedExtremum, DecayedSum, DecayedVariance,
+    };
+    pub use crate::decay::{
+        AnyDecay, BackwardDecay, Exponential, ForwardDecay, LandmarkWindow, Monomial, NoDecay,
+        PolySum,
+    };
+    pub use crate::distinct::DominanceSketch;
+    pub use crate::heavy_hitters::DecayedHeavyHitters;
+    pub use crate::merge::Mergeable;
+    pub use crate::quantiles::DecayedQuantiles;
+    pub use crate::sampling::{exp_decay_sample, PrioritySampler, WeightedReservoir};
+    pub use crate::Timestamp;
+}
+
+/// A timestamp, in seconds since an arbitrary fixed epoch.
+///
+/// The paper is agnostic to time units; the whole crate follows suit. The
+/// only requirements are that timestamps are non-decreasing *on average*
+/// (out-of-order arrivals are explicitly supported) and that every item
+/// timestamp is at or after the landmark of the summary it feeds.
+pub type Timestamp = f64;

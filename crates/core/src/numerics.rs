@@ -1,0 +1,301 @@
+//! Numerical machinery for forward decay (Section VI-A of the paper).
+//!
+//! The efficiency of forward decay comes from storing quantities built from
+//! the *un-normalized* weights `g(t_i − L)` and scaling by `g(t − L)` only at
+//! query time. For polynomial `g` these intermediates stay comfortably inside
+//! `f64` range; for exponential `g(n) = exp(αn)` they grow without bound as
+//! the stream ages. The paper's fix is **landmark renormalization**: because
+//! exponential decay is invariant under the choice of landmark, all stored
+//! values can be multiplied by `exp(−α(L′ − L))` to re-express them relative
+//! to a fresh landmark `L′` — a linear pass over whatever data structure is in
+//! use.
+//!
+//! This module provides two tools:
+//!
+//! - [`Renormalizer`], which watches the magnitude of stored `g` values and
+//!   tells a summary when (and by how much) to rescale;
+//! - [`LogSum`], a log-domain accumulator (`logsumexp`) used by the samplers,
+//!   which never overflows regardless of `α` or stream length.
+
+use crate::decay::ForwardDecay;
+use crate::Timestamp;
+
+/// Magnitude at which a summary should renormalize its stored `g` values.
+///
+/// `f64::MAX ≈ 1.8e308`; renormalizing at `1e150` leaves ~158 decimal orders
+/// of headroom for sums of many terms and products taken during queries.
+pub const RESCALE_THRESHOLD: f64 = 1e150;
+
+/// Tracks the current *effective landmark* of a summary and decides when the
+/// stored `g(t_i − L)` values must be rescaled to a newer landmark.
+///
+/// For decay functions that are not multiplicative (see
+/// [`ForwardDecay::is_multiplicative`]) renormalization is unsound, and this
+/// type never requests it; such functions (the polynomials) do not need it,
+/// as their `g` values grow only polynomially in the stream age.
+///
+/// # Usage
+///
+/// ```
+/// use fd_core::decay::{Exponential, ForwardDecay};
+/// use fd_core::numerics::Renormalizer;
+///
+/// let g = Exponential::new(2.0);
+/// let mut r = Renormalizer::new(0.0);
+/// let mut acc = 0.0_f64; // Σ g(t_i − L_eff)
+/// for i in 0..1000 {
+///     let t = i as f64;
+///     if let Some(rescale) = r.pre_update(&g, t) {
+///         acc *= rescale; // the linear pass from Section VI-A
+///     }
+///     acc += g.g(t - r.landmark());
+/// }
+/// // Query at t = 1000: scale by g(t − L_eff) exactly as with the original L.
+/// let decayed_count = acc / g.g(1000.0 - r.landmark());
+/// assert!(decayed_count.is_finite() && decayed_count > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Renormalizer {
+    /// The landmark all stored values are currently relative to.
+    landmark: f64,
+    /// The original landmark, preserved for reporting.
+    original: f64,
+}
+
+impl Renormalizer {
+    /// Creates a renormalizer with the given initial landmark.
+    pub fn new(landmark: Timestamp) -> Self {
+        Self {
+            landmark,
+            original: landmark,
+        }
+    }
+
+    /// The current effective landmark. Use this (not the original landmark)
+    /// when computing `g(t_i − L)` for new arrivals and `g(t − L)` at query
+    /// time.
+    #[inline]
+    pub fn landmark(&self) -> Timestamp {
+        self.landmark
+    }
+
+    /// The landmark the summary was created with.
+    #[inline]
+    pub fn original_landmark(&self) -> Timestamp {
+        self.original
+    }
+
+    /// Call before ingesting an item with timestamp `t`. If the stored values
+    /// need rescaling, advances the effective landmark to `t` and returns the
+    /// factor `g(L − L′)⁻¹`-equivalent, i.e. the value every stored `g`-based
+    /// quantity must be **multiplied by**. Returns `None` when no rescale is
+    /// needed.
+    #[inline]
+    pub fn pre_update<G: ForwardDecay>(&mut self, g: &G, t: Timestamp) -> Option<f64> {
+        if !g.is_multiplicative() {
+            return None;
+        }
+        let n = t - self.landmark;
+        if n <= 0.0 || g.g(n) < RESCALE_THRESHOLD {
+            return None;
+        }
+        // Rescale so the newest item has g-value g(0)… but for exponential g,
+        // g(0) = 1 and g(t_i − L′) = g(t_i − L) · exp(−α (L′ − L)).
+        // Multiplicative g means g(a + b) = g(a) · g(b), so the factor is
+        // 1 / g(L′ − L).
+        let factor = 1.0 / g.g(n);
+        self.landmark = t;
+        Some(factor)
+    }
+
+    /// Forces the effective landmark to `new_landmark` (which must not
+    /// precede the current one) and returns the multiplicative rescale factor
+    /// for stored values, or `None` for non-multiplicative decay functions.
+    pub fn rescale_to<G: ForwardDecay>(&mut self, g: &G, new_landmark: Timestamp) -> Option<f64> {
+        if !g.is_multiplicative() || new_landmark <= self.landmark {
+            return None;
+        }
+        let factor = 1.0 / g.g(new_landmark - self.landmark);
+        self.landmark = new_landmark;
+        Some(factor)
+    }
+}
+
+/// A log-domain accumulator: maintains `ln Σ exp(xᵢ)` without ever leaving
+/// the representable range of `f64`.
+///
+/// Used by the samplers, whose acceptance probabilities are ratios
+/// `g(t_i − L) / Σ g(t_j − L)`; with exponential decay and long streams both
+/// numerator and denominator overflow long before the ratio does.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct LogSum {
+    /// `ln` of the running sum; `-∞` for an empty sum.
+    ln_total: f64,
+}
+
+impl Default for LogSum {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogSum {
+    /// An empty sum (`ln 0 = −∞`).
+    pub fn new() -> Self {
+        Self {
+            ln_total: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds a term given by its natural logarithm.
+    #[inline]
+    pub fn add_ln(&mut self, ln_x: f64) {
+        if ln_x == f64::NEG_INFINITY {
+            return;
+        }
+        if self.ln_total == f64::NEG_INFINITY {
+            self.ln_total = ln_x;
+        } else if ln_x > self.ln_total {
+            self.ln_total = ln_x + (self.ln_total - ln_x).exp().ln_1p();
+        } else {
+            self.ln_total += (ln_x - self.ln_total).exp().ln_1p();
+        }
+    }
+
+    /// `ln` of the current sum (`−∞` if empty).
+    #[inline]
+    pub fn ln(&self) -> f64 {
+        self.ln_total
+    }
+
+    /// The current sum itself; may be `+∞` if it exceeds `f64` range.
+    #[inline]
+    pub fn value(&self) -> f64 {
+        self.ln_total.exp()
+    }
+
+    /// True if no terms have been added.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.ln_total == f64::NEG_INFINITY
+    }
+
+    /// Merges another log-sum into this one (sum of the two sums).
+    #[inline]
+    pub fn merge(&mut self, other: &LogSum) {
+        self.add_ln(other.ln_total);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decay::{Exponential, Monomial};
+
+    #[test]
+    fn logsum_matches_direct_sum_for_small_values() {
+        let xs: [f64; 5] = [0.5, 1.5, 2.0, 0.1, 3.3];
+        let mut ls = LogSum::new();
+        for &x in &xs {
+            ls.add_ln(x.ln());
+        }
+        let direct: f64 = xs.iter().sum();
+        assert!((ls.value() - direct).abs() < 1e-9);
+    }
+
+    #[test]
+    fn logsum_handles_huge_terms() {
+        let mut ls = LogSum::new();
+        ls.add_ln(1000.0); // e^1000 — far beyond f64 range
+        ls.add_ln(1001.0);
+        ls.add_ln(999.0);
+        // ln(e^1000 + e^1001 + e^999) = 1001 + ln(1 + e^-1 + e^-2)
+        let expected = 1001.0 + (1.0 + (-1.0f64).exp() + (-2.0f64).exp()).ln();
+        assert!((ls.ln() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn logsum_empty_and_neg_infinity() {
+        let mut ls = LogSum::new();
+        assert!(ls.is_empty());
+        assert_eq!(ls.value(), 0.0);
+        ls.add_ln(f64::NEG_INFINITY); // adding zero changes nothing
+        assert!(ls.is_empty());
+        ls.add_ln(0.0); // add 1
+        assert!(!ls.is_empty());
+        assert!((ls.value() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn logsum_merge_equals_concat() {
+        let mut a = LogSum::new();
+        let mut b = LogSum::new();
+        let mut all = LogSum::new();
+        for i in 0..10 {
+            let x = (i as f64) * 0.7 - 2.0;
+            if i % 2 == 0 {
+                a.add_ln(x);
+            } else {
+                b.add_ln(x);
+            }
+            all.add_ln(x);
+        }
+        a.merge(&b);
+        assert!((a.ln() - all.ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn renormalizer_keeps_exponential_sums_finite() {
+        // α = 1, items every second for 2000 seconds: g(2000) = e^2000
+        // overflows f64 (max ~e^709) without renormalization.
+        let g = Exponential::new(1.0);
+        let mut r = Renormalizer::new(0.0);
+        let mut acc = 0.0_f64;
+        let mut rescales = 0;
+        for i in 0..=2000 {
+            let t = i as f64;
+            if let Some(f) = r.pre_update(&g, t) {
+                acc *= f;
+                rescales += 1;
+            }
+            acc += g.g(t - r.landmark());
+            assert!(acc.is_finite(), "overflow at t = {t}");
+        }
+        assert!(rescales >= 4, "expected several rescales, got {rescales}");
+        // Decayed count at t = 2000 with α = 1: Σ e^{-(2000-i)} ≈ 1/(1-e^{-1}).
+        let decayed = acc / g.g(2000.0 - r.landmark());
+        let expected = 1.0 / (1.0 - (-1.0f64).exp());
+        assert!((decayed - expected).abs() < 1e-9, "decayed = {decayed}");
+    }
+
+    #[test]
+    fn renormalizer_is_inert_for_polynomials() {
+        let g = Monomial::new(2.0);
+        let mut r = Renormalizer::new(0.0);
+        assert_eq!(r.pre_update(&g, 1e200), None);
+        assert_eq!(r.landmark(), 0.0);
+        assert_eq!(r.rescale_to(&g, 50.0), None);
+    }
+
+    #[test]
+    fn renormalizer_rescale_to_is_exact() {
+        let g = Exponential::new(0.5);
+        let mut r = Renormalizer::new(10.0);
+        let t_i = 30.0;
+        let before = g.g(t_i - r.landmark());
+        let factor = r.rescale_to(&g, 20.0).unwrap();
+        let after = g.g(t_i - r.landmark());
+        assert!((before * factor - after).abs() / after < 1e-12);
+        assert_eq!(r.landmark(), 20.0);
+        assert_eq!(r.original_landmark(), 10.0);
+    }
+
+    #[test]
+    fn renormalizer_ignores_backward_time() {
+        let g = Exponential::new(1.0);
+        let mut r = Renormalizer::new(100.0);
+        assert_eq!(r.pre_update(&g, 50.0), None);
+        assert_eq!(r.rescale_to(&g, 50.0), None);
+        assert_eq!(r.landmark(), 100.0);
+    }
+}

@@ -1,0 +1,838 @@
+//! Quantiles under forward decay (Section IV-C, Theorem 3).
+//!
+//! Definition 8: the decayed rank of value `v` is
+//! `r_v = Σ_{v_i ≤ v} g(t_i − L) / g(t − L)`; the φ-quantile is the smallest
+//! `v` with `r_v ≥ φ·C`. As with heavy hitters, factoring out `g(t − L)`
+//! reduces this to a *weighted* quantile problem over static weights
+//! `g(t_i − L)`, which the q-digest of Shrivastava et al. handles natively.
+//!
+//! This module provides:
+//!
+//! - [`QDigest`] — a weighted q-digest over an integer domain `[0, 2^bits)`:
+//!   space `O((1/ε)·log U)` counters for rank error `ε·W` (Theorem 3);
+//! - [`WeightedGK`] — a weighted Greenwald–Khanna summary over arbitrary
+//!   `f64` values (an extension beyond the paper, for unbounded domains);
+//! - [`DecayedQuantiles`] — the forward-decay wrapper around [`QDigest`].
+
+use std::collections::HashMap;
+
+use crate::decay::ForwardDecay;
+use crate::merge::Mergeable;
+use crate::numerics::Renormalizer;
+use crate::Timestamp;
+
+// ---------------------------------------------------------------------------
+// Weighted q-digest
+// ---------------------------------------------------------------------------
+
+/// A weighted q-digest over the integer domain `[0, 2^bits)`.
+///
+/// Nodes are the dyadic intervals of the domain, identified by 1-based heap
+/// numbering (`1` = whole domain, children of `id` are `2·id`, `2·id + 1`,
+/// leaves are `2^bits + v`). Each carries an `f64` weight. The digest
+/// property is restored by [`Self::compress`], which runs automatically
+/// every `capacity` updates.
+///
+/// For compression parameter `k` (see [`QDigest::new`]), any rank query is
+/// answered within `W · bits / k` of the true weighted rank, using at most
+/// `O(k)` live nodes. [`QDigest::with_epsilon`] picks `k = ⌈bits/ε⌉` so the
+/// rank error is at most `ε·W` — the `O((1/ε) log U)` space of Theorem 3.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct QDigest {
+    bits: u32,
+    k: u64,
+    nodes: HashMap<u64, f64>,
+    total: f64,
+    pending: usize,
+}
+
+impl QDigest {
+    /// Creates a q-digest for values in `[0, 2^bits)` with compression
+    /// parameter `k` (maximum ≈ `3k` live nodes, rank error `W·bits/k`).
+    ///
+    /// # Panics
+    /// Panics unless `1 ≤ bits ≤ 62` and `k ≥ 1`.
+    pub fn new(bits: u32, k: u64) -> Self {
+        assert!((1..=62).contains(&bits), "bits must be in 1..=62");
+        assert!(k >= 1);
+        Self {
+            bits,
+            k,
+            nodes: HashMap::new(),
+            total: 0.0,
+            pending: 0,
+        }
+    }
+
+    /// Creates a q-digest with rank error at most `ε·W` for values in
+    /// `[0, 2^bits)`.
+    ///
+    /// # Panics
+    /// Panics unless `0 < ε ≤ 1`.
+    pub fn with_epsilon(bits: u32, epsilon: f64) -> Self {
+        assert!(epsilon > 0.0 && epsilon <= 1.0);
+        Self::new(bits, (bits as f64 / epsilon).ceil() as u64)
+    }
+
+    /// The domain size `2^bits`.
+    pub fn domain(&self) -> u64 {
+        1u64 << self.bits
+    }
+
+    /// Total ingested weight.
+    pub fn total_weight(&self) -> f64 {
+        self.total
+    }
+
+    /// Number of live nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if nothing has been ingested.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Approximate memory footprint in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.nodes.capacity() * (std::mem::size_of::<u64>() + std::mem::size_of::<f64>() + 8)
+            + std::mem::size_of::<Self>()
+    }
+
+    /// Guaranteed upper bound on rank error, as a fraction of total weight.
+    pub fn epsilon(&self) -> f64 {
+        self.bits as f64 / self.k as f64
+    }
+
+    /// Adds `value` with positive weight `w`. Amortized O(1) plus a periodic
+    /// compress.
+    pub fn update(&mut self, value: u64, w: f64) {
+        assert!(value < self.domain(), "value {value} outside domain");
+        debug_assert!(w >= 0.0 && w.is_finite());
+        if w == 0.0 {
+            return;
+        }
+        let leaf = self.domain() + value;
+        *self.nodes.entry(leaf).or_insert(0.0) += w;
+        self.total += w;
+        self.pending += 1;
+        if self.pending as u64 >= self.k {
+            self.compress();
+        }
+    }
+
+    /// Restores the digest property, pruning light nodes into their parents.
+    /// Runs automatically; public for tests and benchmarks. One pass over
+    /// the live nodes (bucketed by level, swept leaves-first).
+    pub fn compress(&mut self) {
+        self.pending = 0;
+        let tau = self.total / self.k as f64;
+        if tau <= 0.0 {
+            return;
+        }
+        let mut by_level: Vec<Vec<u64>> = vec![Vec::new(); self.bits as usize + 1];
+        for &id in self.nodes.keys() {
+            let level = 63 - id.leading_zeros();
+            by_level[level as usize].push(id);
+        }
+        for level in (1..=self.bits as usize).rev() {
+            let mut i = 0;
+            while i < by_level[level].len() {
+                let id = by_level[level][i];
+                i += 1;
+                let sib = id ^ 1;
+                let parent = id >> 1;
+                // The node may have been merged away as a sibling, or the
+                // parent may appear several times in its level bucket; a
+                // zero/absent own weight makes the revisit a no-op.
+                let own = self.nodes.get(&id).copied().unwrap_or(0.0);
+                if own == 0.0 {
+                    continue;
+                }
+                let sib_w = self.nodes.get(&sib).copied().unwrap_or(0.0);
+                let par_w = self.nodes.get(&parent).copied().unwrap_or(0.0);
+                // q-digest violation: the triple is too light to deserve
+                // separate nodes.
+                if own + sib_w + par_w < tau {
+                    *self.nodes.entry(parent).or_insert(0.0) += own + sib_w;
+                    self.nodes.remove(&id);
+                    if sib_w > 0.0 {
+                        self.nodes.remove(&sib);
+                    }
+                    // The (possibly new) parent becomes a candidate one
+                    // level up.
+                    by_level[level - 1].push(parent);
+                }
+            }
+        }
+    }
+
+    /// The (approximate) weighted rank of `value`: total weight of items
+    /// `≤ value`. Within `ε·W` of the truth.
+    pub fn rank(&self, value: u64) -> f64 {
+        debug_assert!(value < self.domain());
+        // A node [lo, hi] contributes fully if hi ≤ value, half-heartedly
+        // (not at all, here) if it straddles. Counting straddlers as zero
+        // keeps rank() a lower-ish estimate within the error bound.
+        let mut r = 0.0;
+        for (&id, &w) in &self.nodes {
+            let (_, hi) = self.range(id);
+            if hi <= value {
+                r += w;
+            }
+        }
+        r
+    }
+
+    /// The φ-quantile: the smallest value whose estimated rank reaches
+    /// `φ·W`. `None` on an empty digest.
+    pub fn quantile(&self, phi: f64) -> Option<u64> {
+        if self.nodes.is_empty() || self.total <= 0.0 {
+            return None;
+        }
+        let target = (phi.clamp(0.0, 1.0)) * self.total;
+        // Visit nodes in increasing max-value order, smaller ranges first
+        // (the classic q-digest query order).
+        let mut ordered: Vec<(u64, u64, f64)> = self
+            .nodes
+            .iter()
+            .map(|(&id, &w)| {
+                let (lo, hi) = self.range(id);
+                (hi, hi - lo, w)
+            })
+            .collect();
+        ordered.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
+        let mut acc = 0.0;
+        for (hi, _, w) in ordered {
+            acc += w;
+            if acc >= target {
+                return Some(hi);
+            }
+        }
+        // Rounding: fall back to the maximum value present.
+        self.nodes.keys().map(|&id| self.range(id).1).max()
+    }
+
+    /// The `[lo, hi]` value range (inclusive) covered by node `id`.
+    fn range(&self, id: u64) -> (u64, u64) {
+        let level = 63 - id.leading_zeros(); // depth of the node; leaves at `bits`
+        let span_bits = self.bits - level;
+        let lo = (id - (1u64 << level)) << span_bits;
+        (lo, lo + (1u64 << span_bits) - 1)
+    }
+
+    /// Multiplies all node weights and the total by `factor`
+    /// (landmark-renormalization support).
+    pub fn scale_all(&mut self, factor: f64) {
+        debug_assert!(factor > 0.0);
+        for w in self.nodes.values_mut() {
+            *w *= factor;
+        }
+        self.total *= factor;
+    }
+}
+
+impl Mergeable for QDigest {
+    fn merge_from(&mut self, other: &Self) {
+        assert_eq!(self.bits, other.bits, "domains must match");
+        assert_eq!(self.k, other.k, "compression parameters must match");
+        for (&id, &w) in &other.nodes {
+            *self.nodes.entry(id).or_insert(0.0) += w;
+        }
+        self.total += other.total;
+        self.compress();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Weighted Greenwald–Khanna
+// ---------------------------------------------------------------------------
+
+/// One GK tuple: a stored value, the weight `g` it absorbs, and the
+/// uncertainty `Δ` of its rank.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+struct GkTuple {
+    v: f64,
+    g: f64,
+    delta: f64,
+}
+
+/// A weighted Greenwald–Khanna quantile summary over arbitrary `f64`
+/// values — an extension beyond the paper's q-digest (which needs a bounded
+/// integer domain).
+///
+/// Maintains the invariant `g_i + Δ_i ≤ 2εW`, giving rank queries within
+/// `ε·W`. Space is `O((1/ε)·log(εW))` in theory; in practice a few hundred
+/// tuples for ε = 0.01.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct WeightedGK {
+    epsilon: f64,
+    tuples: Vec<GkTuple>,
+    total: f64,
+    pending: usize,
+}
+
+impl WeightedGK {
+    /// Creates a summary with rank error at most `ε·W`.
+    ///
+    /// # Panics
+    /// Panics unless `0 < ε < 1`.
+    pub fn new(epsilon: f64) -> Self {
+        assert!(epsilon > 0.0 && epsilon < 1.0);
+        Self {
+            epsilon,
+            tuples: Vec::new(),
+            total: 0.0,
+            pending: 0,
+        }
+    }
+
+    /// Total ingested weight.
+    pub fn total_weight(&self) -> f64 {
+        self.total
+    }
+
+    /// Number of stored tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// True if nothing has been ingested.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Approximate memory footprint in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.tuples.capacity() * std::mem::size_of::<GkTuple>() + std::mem::size_of::<Self>()
+    }
+
+    /// Adds `value` with positive weight `w`.
+    pub fn update(&mut self, value: f64, w: f64) {
+        debug_assert!(value.is_finite() && w >= 0.0 && w.is_finite());
+        if w == 0.0 {
+            return;
+        }
+        self.total += w;
+        let budget = 2.0 * self.epsilon * self.total;
+        // Position of the first tuple with v ≥ value.
+        let pos = self.tuples.partition_point(|t| t.v < value);
+        let delta = if pos == 0 || pos == self.tuples.len() {
+            0.0 // extremes carry no uncertainty
+        } else {
+            (budget - w).max(0.0)
+        };
+        self.tuples.insert(
+            pos,
+            GkTuple {
+                v: value,
+                g: w,
+                delta,
+            },
+        );
+        self.pending += 1;
+        if self.pending as f64 >= 1.0 / (2.0 * self.epsilon) {
+            self.compress();
+        }
+    }
+
+    /// Merges adjacent tuples while the invariant allows.
+    pub fn compress(&mut self) {
+        self.pending = 0;
+        if self.tuples.len() < 3 {
+            return;
+        }
+        let budget = 2.0 * self.epsilon * self.total;
+        let mut out: Vec<GkTuple> = Vec::with_capacity(self.tuples.len());
+        out.push(self.tuples[0]);
+        // Never merge into the last tuple's slot prematurely; walk left to
+        // right merging tuple i into i+1 where allowed.
+        for i in 1..self.tuples.len() {
+            let cur = self.tuples[i];
+            let prev = *out.last().unwrap();
+            let is_first = out.len() == 1;
+            if !is_first && prev.g + cur.g + cur.delta <= budget {
+                // Absorb prev into cur.
+                out.pop();
+                out.push(GkTuple {
+                    v: cur.v,
+                    g: prev.g + cur.g,
+                    delta: cur.delta,
+                });
+            } else {
+                out.push(cur);
+            }
+        }
+        self.tuples = out;
+    }
+
+    /// The (approximate) weighted rank of `value`, within `ε·W`.
+    pub fn rank(&self, value: f64) -> f64 {
+        let mut r_min = 0.0;
+        for t in &self.tuples {
+            if t.v <= value {
+                r_min += t.g;
+            } else {
+                // Midpoint of the uncertainty window.
+                return r_min + t.delta / 2.0;
+            }
+        }
+        r_min
+    }
+
+    /// The φ-quantile: a value whose weighted rank is within `ε·W` of
+    /// `φ·W`. `None` on an empty summary.
+    pub fn quantile(&self, phi: f64) -> Option<f64> {
+        if self.tuples.is_empty() {
+            return None;
+        }
+        let target = phi.clamp(0.0, 1.0) * self.total;
+        let mut r_min = 0.0;
+        for t in &self.tuples {
+            r_min += t.g;
+            // First tuple whose maximum possible rank reaches the target:
+            // its true rank is within 2εW of the target by the invariant.
+            if r_min + t.delta >= target {
+                return Some(t.v);
+            }
+        }
+        Some(self.tuples.last().unwrap().v)
+    }
+
+    /// Multiplies all tuple weights and the total by `factor`.
+    pub fn scale_all(&mut self, factor: f64) {
+        debug_assert!(factor > 0.0);
+        for t in &mut self.tuples {
+            t.g *= factor;
+            t.delta *= factor;
+        }
+        self.total *= factor;
+    }
+}
+
+impl Mergeable for WeightedGK {
+    /// Merge by interleaving the tuple lists (the standard GK merge: ranks
+    /// add, errors add) and recompressing.
+    fn merge_from(&mut self, other: &Self) {
+        assert_eq!(
+            self.epsilon.to_bits(),
+            other.epsilon.to_bits(),
+            "error parameters must match"
+        );
+        let mut merged = Vec::with_capacity(self.tuples.len() + other.tuples.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.tuples.len() || j < other.tuples.len() {
+            let take_left = j >= other.tuples.len()
+                || (i < self.tuples.len() && self.tuples[i].v <= other.tuples[j].v);
+            if take_left {
+                merged.push(self.tuples[i]);
+                i += 1;
+            } else {
+                merged.push(other.tuples[j]);
+                j += 1;
+            }
+        }
+        self.tuples = merged;
+        self.total += other.total;
+        self.compress();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Forward-decayed wrapper
+// ---------------------------------------------------------------------------
+
+/// Decayed φ-quantiles under forward decay (Definition 8 / Theorem 3),
+/// backed by a weighted [`QDigest`].
+///
+/// ```
+/// use fd_core::quantiles::DecayedQuantiles;
+/// use fd_core::decay::Monomial;
+///
+/// let mut q = DecayedQuantiles::new(Monomial::quadratic(), 0.0, 16, 0.01);
+/// for i in 1..=1000u64 {
+///     q.update(i as f64 * 0.01, i % 1000);
+/// }
+/// let median = q.quantile(0.5, 10.0).unwrap();
+/// // Under quadratic decay recent (larger) values weigh more, so the
+/// // decayed median sits above the plain median of ~500.
+/// assert!(median > 550);
+/// ```
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct DecayedQuantiles<G: ForwardDecay> {
+    g: G,
+    renorm: Renormalizer,
+    inner: QDigest,
+}
+
+impl<G: ForwardDecay> DecayedQuantiles<G> {
+    /// Creates a decayed quantile summary for values in `[0, 2^bits)` with
+    /// rank error `ε` relative to the decayed count.
+    pub fn new(g: G, landmark: Timestamp, bits: u32, epsilon: f64) -> Self {
+        Self {
+            g,
+            renorm: Renormalizer::new(landmark),
+            inner: QDigest::with_epsilon(bits, epsilon),
+        }
+    }
+
+    /// Ingests `(t_i, value)` with `t_i ≥ L`.
+    #[inline]
+    pub fn update(&mut self, t_i: Timestamp, value: u64) {
+        if let Some(factor) = self.renorm.pre_update(&self.g, t_i) {
+            self.inner.scale_all(factor);
+        }
+        self.inner
+            .update(value, self.g.g(t_i - self.renorm.landmark()));
+    }
+
+    /// The decayed φ-quantile at query time `t` (which only normalizes; the
+    /// quantile itself is independent of `t` because the `g(t−L)` factor
+    /// cancels between rank and count).
+    pub fn quantile(&self, phi: f64, _t: Timestamp) -> Option<u64> {
+        self.inner.quantile(phi)
+    }
+
+    /// The decayed rank of `value` at query time `t` (Definition 8).
+    pub fn rank(&self, value: u64, t: Timestamp) -> f64 {
+        let denom = self.g.g(t - self.renorm.landmark());
+        if denom == 0.0 {
+            0.0
+        } else {
+            self.inner.rank(value) / denom
+        }
+    }
+
+    /// The total decayed count `C` at query time `t`.
+    pub fn decayed_count(&self, t: Timestamp) -> f64 {
+        let denom = self.g.g(t - self.renorm.landmark());
+        if denom == 0.0 {
+            0.0
+        } else {
+            self.inner.total_weight() / denom
+        }
+    }
+
+    /// Approximate memory footprint in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.inner.size_bytes() + std::mem::size_of::<Self>()
+    }
+
+    /// Access to the underlying q-digest.
+    pub fn inner(&self) -> &QDigest {
+        &self.inner
+    }
+}
+
+impl<G: ForwardDecay> Mergeable for DecayedQuantiles<G> {
+    fn merge_from(&mut self, other: &Self) {
+        assert_eq!(
+            self.renorm.original_landmark(),
+            other.renorm.original_landmark(),
+            "summaries must share a landmark"
+        );
+        if other.renorm.landmark() > self.renorm.landmark() {
+            if let Some(f) = self.renorm.rescale_to(&self.g, other.renorm.landmark()) {
+                self.inner.scale_all(f);
+            }
+            self.inner.merge_from(&other.inner);
+        } else if other.renorm.landmark() < self.renorm.landmark() {
+            let mut o = other.inner.clone();
+            o.scale_all(1.0 / self.g.g(self.renorm.landmark() - other.renorm.landmark()));
+            self.inner.merge_from(&o);
+        } else {
+            self.inner.merge_from(&other.inner);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decay::{Exponential, Monomial, NoDecay};
+
+    /// Brute-force weighted rank for checking.
+    fn exact_rank(items: &[(u64, f64)], v: u64) -> f64 {
+        items.iter().filter(|(x, _)| *x <= v).map(|(_, w)| w).sum()
+    }
+
+    #[test]
+    fn qdigest_node_ranges() {
+        let q = QDigest::new(3, 8); // domain [0, 8)
+        assert_eq!(q.range(1), (0, 7));
+        assert_eq!(q.range(2), (0, 3));
+        assert_eq!(q.range(3), (4, 7));
+        assert_eq!(q.range(8), (0, 0)); // first leaf
+        assert_eq!(q.range(15), (7, 7)); // last leaf
+    }
+
+    #[test]
+    fn qdigest_exact_when_uncompressed() {
+        let mut q = QDigest::new(8, 1_000_000);
+        let items: Vec<(u64, f64)> = (0..100).map(|i| (i % 256, 1.0 + (i % 3) as f64)).collect();
+        for &(v, w) in &items {
+            q.update(v, w);
+        }
+        for v in [0u64, 50, 99, 255] {
+            assert!((q.rank(v) - exact_rank(&items, v)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn qdigest_rank_error_within_epsilon() {
+        let eps = 0.05;
+        let mut q = QDigest::with_epsilon(16, eps);
+        let mut items = Vec::new();
+        // Deterministic messy mixture over a 16-bit domain.
+        for i in 0..20_000u64 {
+            let v = (i.wrapping_mul(2654435761) >> 16) & 0xFFFF;
+            let w = 1.0 + (i % 7) as f64;
+            q.update(v, w);
+            items.push((v, w));
+        }
+        let w_total: f64 = items.iter().map(|(_, w)| w).sum();
+        assert!((q.total_weight() - w_total).abs() < 1e-6 * w_total);
+        for v in (0..0xFFFFu64).step_by(4111) {
+            let err = (q.rank(v) - exact_rank(&items, v)).abs();
+            assert!(
+                err <= eps * w_total + 1e-6,
+                "rank({v}) error {err} > {}",
+                eps * w_total
+            );
+        }
+        // Space bound: O((1/ε) log U) nodes.
+        assert!(
+            q.len() as f64 <= 4.0 * 16.0 / eps,
+            "too many nodes: {}",
+            q.len()
+        );
+    }
+
+    #[test]
+    fn qdigest_quantiles_within_epsilon() {
+        let eps = 0.02;
+        let mut q = QDigest::with_epsilon(12, eps);
+        let mut items = Vec::new();
+        for i in 0..50_000u64 {
+            let v = (i.wrapping_mul(40503) ^ (i >> 3)) & 0xFFF;
+            q.update(v, 1.0);
+            items.push((v, 1.0));
+        }
+        let w_total = items.len() as f64;
+        for &phi in &[0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99] {
+            let est = q.quantile(phi).unwrap();
+            let r = exact_rank(&items, est);
+            assert!(
+                r >= (phi - 2.0 * eps) * w_total && r - 1.0 <= (phi + 2.0 * eps) * w_total,
+                "phi = {phi}: rank {r} of estimate {est} outside window"
+            );
+        }
+    }
+
+    #[test]
+    fn qdigest_merge_matches_concat() {
+        let eps = 0.05;
+        let mut a = QDigest::with_epsilon(10, eps);
+        let mut b = QDigest::with_epsilon(10, eps);
+        let mut whole = QDigest::with_epsilon(10, eps);
+        let mut items = Vec::new();
+        for i in 0..10_000u64 {
+            let v = (i * 37) % 1024;
+            let w = 1.0;
+            whole.update(v, w);
+            if i % 2 == 0 {
+                a.update(v, w)
+            } else {
+                b.update(v, w)
+            }
+            items.push((v, w));
+        }
+        a.merge_from(&b);
+        let w_total = items.len() as f64;
+        for v in (0..1024u64).step_by(101) {
+            let exact = exact_rank(&items, v);
+            assert!((a.rank(v) - exact).abs() <= 2.0 * eps * w_total);
+        }
+        assert!((a.total_weight() - whole.total_weight()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gk_exact_small_stream() {
+        let mut gk = WeightedGK::new(0.1);
+        for v in [5.0, 1.0, 3.0, 2.0, 4.0] {
+            gk.update(v, 1.0);
+        }
+        assert_eq!(gk.quantile(0.5), Some(3.0));
+        assert!((gk.rank(3.0) - 3.0).abs() <= 0.5 + 1e-9);
+    }
+
+    #[test]
+    fn gk_rank_error_within_epsilon() {
+        let eps = 0.02;
+        let mut gk = WeightedGK::new(eps);
+        let mut items: Vec<(f64, f64)> = Vec::new();
+        for i in 0..30_000u64 {
+            let v = ((i.wrapping_mul(2654435761)) % 100_000) as f64 / 100.0;
+            let w = 1.0 + (i % 4) as f64;
+            gk.update(v, w);
+            items.push((v, w));
+        }
+        let w_total: f64 = items.iter().map(|(_, w)| w).sum();
+        for &v in &[1.0, 100.0, 250.0, 500.0, 900.0, 999.0] {
+            let exact: f64 = items.iter().filter(|(x, _)| *x <= v).map(|(_, w)| w).sum();
+            let err = (gk.rank(v) - exact).abs();
+            assert!(err <= 2.0 * eps * w_total, "rank({v}) err {err}");
+        }
+        // Sublinear space.
+        assert!(gk.len() < 2_000, "GK kept {} tuples", gk.len());
+    }
+
+    #[test]
+    fn gk_quantile_error_with_heavy_weights() {
+        // One very heavy late item must shift quantiles decisively.
+        let eps = 0.05;
+        let mut gk = WeightedGK::new(eps);
+        for i in 0..1000 {
+            gk.update(i as f64, 1.0);
+        }
+        gk.update(5000.0, 10_000.0); // dominates everything
+        let med = gk.quantile(0.5).unwrap();
+        assert_eq!(med, 5000.0);
+    }
+
+    #[test]
+    fn gk_merge_matches_concat() {
+        let eps = 0.05;
+        let mut a = WeightedGK::new(eps);
+        let mut b = WeightedGK::new(eps);
+        let mut items: Vec<(f64, f64)> = Vec::new();
+        for i in 0..5_000u64 {
+            let v = ((i * 97) % 1000) as f64;
+            if i % 2 == 0 {
+                a.update(v, 1.0)
+            } else {
+                b.update(v, 1.0)
+            }
+            items.push((v, 1.0));
+        }
+        a.merge_from(&b);
+        let w_total = items.len() as f64;
+        for &v in &[100.0, 400.0, 700.0] {
+            let exact: f64 = items.iter().filter(|(x, _)| *x <= v).map(|(_, w)| w).sum();
+            assert!((a.rank(v) - exact).abs() <= 2.0 * eps * w_total);
+        }
+    }
+
+    #[test]
+    fn decayed_quantiles_follow_recency() {
+        // Early values small, late values large; decay should pull the
+        // median toward the late (large) values.
+        let g = Exponential::new(0.1);
+        let mut q = DecayedQuantiles::new(g, 0.0, 10, 0.01);
+        for i in 0..500 {
+            q.update(i as f64 * 0.1, 100); // early: value 100
+        }
+        for i in 500..600 {
+            q.update(i as f64 * 0.1, 900); // late: value 900
+        }
+        let med = q.quantile(0.5, 60.0).unwrap();
+        assert_eq!(med, 900);
+        // Without decay the median would be 100 (500 vs 100 occurrences).
+        let mut undecayed = DecayedQuantiles::new(NoDecay, 0.0, 10, 0.01);
+        for i in 0..500 {
+            undecayed.update(i as f64 * 0.1, 100);
+        }
+        for i in 500..600 {
+            undecayed.update(i as f64 * 0.1, 900);
+        }
+        assert_eq!(undecayed.quantile(0.5, 60.0), Some(100));
+    }
+
+    #[test]
+    fn decayed_quantiles_match_brute_force() {
+        let g = Monomial::quadratic();
+        let landmark = 0.0;
+        let eps = 0.02;
+        let mut q = DecayedQuantiles::new(g, landmark, 10, eps);
+        let mut items = Vec::new();
+        for i in 0..10_000u64 {
+            let t = 1.0 + i as f64 * 0.01;
+            let v = (i.wrapping_mul(48271)) % 1024;
+            q.update(t, v);
+            items.push((t, v));
+        }
+        let t_q = 102.0;
+        let weights: Vec<f64> = items
+            .iter()
+            .map(|&(t, _)| g.weight(landmark, t, t_q))
+            .collect();
+        let w_total: f64 = weights.iter().sum();
+        for &phi in &[0.25, 0.5, 0.75] {
+            let est = q.quantile(phi, t_q).unwrap();
+            let exact_r: f64 = items
+                .iter()
+                .zip(&weights)
+                .filter(|((_, v), _)| *v <= est)
+                .map(|(_, w)| w)
+                .sum();
+            let frac = exact_r / w_total;
+            assert!(
+                (frac - phi).abs() <= 3.0 * eps,
+                "phi = {phi}: estimate {est} has decayed rank fraction {frac}"
+            );
+        }
+    }
+
+    #[test]
+    fn decayed_quantiles_survive_exponential_overflow() {
+        let g = Exponential::new(1.0);
+        let mut q = DecayedQuantiles::new(g, 0.0, 8, 0.05);
+        for i in 0..5_000u64 {
+            q.update(i as f64, i % 256);
+        }
+        let med = q.quantile(0.5, 5_000.0);
+        assert!(med.is_some());
+        assert!(q.decayed_count(5_000.0).is_finite());
+    }
+
+    #[test]
+    fn decayed_quantiles_merge() {
+        let g = Monomial::quadratic();
+        let mut whole = DecayedQuantiles::new(g, 0.0, 10, 0.02);
+        let mut left = DecayedQuantiles::new(g, 0.0, 10, 0.02);
+        let mut right = DecayedQuantiles::new(g, 0.0, 10, 0.02);
+        for i in 0..4_000u64 {
+            let t = 1.0 + i as f64 * 0.01;
+            let v = (i * 7) % 1024;
+            whole.update(t, v);
+            if i % 2 == 0 {
+                left.update(t, v)
+            } else {
+                right.update(t, v)
+            }
+        }
+        left.merge_from(&right);
+        for &phi in &[0.25, 0.5, 0.75] {
+            let a = whole.quantile(phi, 50.0).unwrap() as f64;
+            let b = left.quantile(phi, 50.0).unwrap() as f64;
+            assert!((a - b).abs() <= 0.1 * 1024.0, "phi = {phi}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn empty_summaries() {
+        assert_eq!(QDigest::new(8, 10).quantile(0.5), None);
+        assert_eq!(WeightedGK::new(0.1).quantile(0.5), None);
+        let d = DecayedQuantiles::new(NoDecay, 0.0, 8, 0.1);
+        assert_eq!(d.quantile(0.5, 10.0), None);
+        assert_eq!(d.decayed_count(10.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside domain")]
+    fn qdigest_rejects_out_of_domain() {
+        let mut q = QDigest::new(4, 10);
+        q.update(16, 1.0);
+    }
+}

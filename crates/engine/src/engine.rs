@@ -1,0 +1,509 @@
+//! The query execution pipeline: selection → (LFTA) → HFTA → output rows.
+//!
+//! Mirrors Gigascope's two-level architecture (Section VIII of the paper):
+//! splittable aggregates are partially aggregated in the fixed-size
+//! low-level table ([`crate::lfta::Lfta`]) and combined in the high-level
+//! hash map here; non-splittable aggregates (the UDAFs, "written to run at
+//! the high-level only") receive raw tuples directly. Figure 2(b) of the
+//! paper disables the split — [`crate::udaf::QueryBuilder::two_level`]
+//! reproduces that ablation.
+//!
+//! Time buckets close when the watermark (largest timestamp seen) passes the
+//! bucket end plus the query's out-of-order slack — the engine's stand-in
+//! for GS's punctuation/heartbeat mechanism.
+
+use std::collections::{BTreeMap, HashMap};
+
+use crate::lfta::Lfta;
+use crate::tuple::{secs, Micros, Packet};
+use crate::udaf::{AggValue, Aggregator, Query};
+
+/// One output row of a continuous query: a closed (bucket, group) with its
+/// aggregate value.
+#[derive(Debug)]
+pub struct Row {
+    /// Start of the time bucket (microseconds).
+    pub bucket_start: Micros,
+    /// Group key.
+    pub key: u64,
+    /// The aggregate result, evaluated at the bucket end.
+    pub value: AggValue,
+}
+
+/// A stream element: data or control.
+///
+/// GS avoids query blocking on idle or lossy feeds with *heartbeats* and
+/// *punctuations* (Johnson et al., VLDB 2005; Tucker et al., TKDE 2003,
+/// both cited in the paper's introduction): control tuples promising that
+/// no data tuple with a smaller timestamp will follow, which lets operators
+/// close time buckets without waiting for data.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StreamEvent {
+    /// A data tuple.
+    Data(Packet),
+    /// A punctuation: no later data tuple will carry a timestamp below this
+    /// value. Advances the watermark (and closes due buckets) even when the
+    /// data itself has gone quiet.
+    Punctuation(Micros),
+}
+
+/// Execution counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Tuples offered to the engine.
+    pub tuples_in: u64,
+    /// Tuples rejected by the selection predicate.
+    pub filtered: u64,
+    /// Tuples arriving after their bucket closed (dropped, counted — the
+    /// out-of-order support of forward decay needs slack > 0 to use them).
+    pub late_drops: u64,
+    /// Partial aggregates evicted from the LFTA by collisions.
+    pub lfta_evictions: u64,
+    /// Output rows emitted.
+    pub rows_out: u64,
+    /// Buckets closed.
+    pub buckets_closed: u64,
+}
+
+/// A running instance of one continuous query.
+pub struct Engine {
+    query: Query,
+    lfta: Option<Lfta>,
+    split: bool,
+    /// bucket id → (group key → high-level aggregate).
+    buckets: BTreeMap<u64, HashMap<u64, Box<dyn Aggregator>>>,
+    /// Closed rows awaiting collection.
+    out: Vec<Row>,
+    watermark: Micros,
+    /// Buckets at ids below this are closed.
+    closed_below: u64,
+    stats: EngineStats,
+}
+
+impl Engine {
+    /// Instantiates the query.
+    pub fn new(query: Query) -> Self {
+        let split = query.two_level && query.aggregate.splittable();
+        let lfta = split.then(|| Lfta::new(query.lfta_slots));
+        Self {
+            query,
+            lfta,
+            split,
+            buckets: BTreeMap::new(),
+            out: Vec::new(),
+            watermark: 0,
+            closed_below: 0,
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// Whether the two-level split is active for this query.
+    pub fn is_split(&self) -> bool {
+        self.split
+    }
+
+    /// The query's display name.
+    pub fn query_name(&self) -> &str {
+        &self.query.name
+    }
+
+    /// Offers one tuple to the query.
+    pub fn process(&mut self, pkt: &Packet) {
+        self.stats.tuples_in += 1;
+        if let Some(f) = &self.query.filter {
+            if !f(pkt) {
+                self.stats.filtered += 1;
+                return;
+            }
+        }
+        let bucket = pkt.ts / self.query.bucket_micros;
+        if bucket < self.closed_below {
+            self.stats.late_drops += 1;
+            return;
+        }
+        self.watermark = self.watermark.max(pkt.ts);
+        let key = (self.query.group_by)(pkt);
+        let bucket_start = bucket * self.query.bucket_micros;
+        if let Some(lfta) = &mut self.lfta {
+            if let Some(partial) = lfta.update(
+                key,
+                bucket,
+                pkt,
+                self.query.aggregate.as_ref(),
+                bucket_start,
+            ) {
+                self.stats.lfta_evictions += 1;
+                Self::absorb_partial(
+                    &mut self.buckets,
+                    &self.query,
+                    partial.bucket,
+                    partial.key,
+                    partial.agg,
+                );
+            }
+        } else {
+            let agg = self
+                .buckets
+                .entry(bucket)
+                .or_default()
+                .entry(key)
+                .or_insert_with(|| self.query.aggregate.make(bucket_start));
+            agg.update(pkt);
+        }
+        self.maybe_close_buckets();
+    }
+
+    fn absorb_partial(
+        buckets: &mut BTreeMap<u64, HashMap<u64, Box<dyn Aggregator>>>,
+        query: &Query,
+        bucket: u64,
+        key: u64,
+        agg: Box<dyn Aggregator>,
+    ) {
+        let bucket_start = bucket * query.bucket_micros;
+        match buckets.entry(bucket).or_default().entry(key) {
+            std::collections::hash_map::Entry::Occupied(mut e) => e.get_mut().merge_boxed(agg),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                // First partial for the group: it IS the high-level state,
+                // but create-and-merge keeps the code path uniform.
+                let mut fresh = query.aggregate.make(bucket_start);
+                fresh.merge_boxed(agg);
+                e.insert(fresh);
+            }
+        }
+    }
+
+    /// Closes every bucket whose end + slack has been passed by the
+    /// watermark. Empty buckets cost nothing: the LFTA is flushed once for
+    /// the whole closeable range, then only data-bearing buckets emit.
+    fn maybe_close_buckets(&mut self) {
+        let horizon = self.watermark.saturating_sub(self.query.slack_micros);
+        let target = horizon / self.query.bucket_micros;
+        if target <= self.closed_below {
+            return;
+        }
+        if let Some(lfta) = &mut self.lfta {
+            for p in lfta.flush_below(target) {
+                Self::absorb_partial(&mut self.buckets, &self.query, p.bucket, p.key, p.agg);
+            }
+        }
+        while let Some((&b, _)) = self.buckets.iter().next() {
+            if b >= target {
+                break;
+            }
+            self.close_bucket(b);
+        }
+        self.closed_below = target;
+    }
+
+    fn close_bucket(&mut self, bucket: u64) {
+        let Some(groups) = self.buckets.remove(&bucket) else {
+            return;
+        };
+        let bucket_start = bucket * self.query.bucket_micros;
+        let t_end = secs((bucket + 1) * self.query.bucket_micros);
+        let mut rows: Vec<Row> = groups
+            .into_iter()
+            .map(|(key, agg)| Row {
+                bucket_start,
+                key,
+                value: agg.emit(t_end),
+            })
+            .collect();
+        rows.sort_by_key(|r| r.key);
+        self.stats.rows_out += rows.len() as u64;
+        self.stats.buckets_closed += 1;
+        self.out.extend(rows);
+    }
+
+    /// Processes a punctuation: advances the watermark to `ts` and closes
+    /// every bucket whose end + slack it passes, without any data tuple.
+    pub fn punctuate(&mut self, ts: Micros) {
+        self.watermark = self.watermark.max(ts);
+        self.maybe_close_buckets();
+    }
+
+    /// Offers one stream element (data or control).
+    pub fn process_event(&mut self, ev: &StreamEvent) {
+        match ev {
+            StreamEvent::Data(pkt) => self.process(pkt),
+            StreamEvent::Punctuation(ts) => self.punctuate(*ts),
+        }
+    }
+
+    /// Collects the rows of all buckets closed so far.
+    pub fn drain_rows(&mut self) -> Vec<Row> {
+        std::mem::take(&mut self.out)
+    }
+
+    /// Ends the stream: closes all open buckets and returns every pending
+    /// row.
+    pub fn finish(&mut self) -> Vec<Row> {
+        if let Some(lfta) = &mut self.lfta {
+            for p in lfta.flush_all() {
+                Self::absorb_partial(&mut self.buckets, &self.query, p.bucket, p.key, p.agg);
+            }
+        }
+        while let Some((&b, _)) = self.buckets.iter().next() {
+            self.close_bucket(b);
+            self.closed_below = self.closed_below.max(b + 1);
+        }
+        self.drain_rows()
+    }
+
+    /// Runs a whole stream through the query and returns all rows.
+    pub fn run(&mut self, stream: impl IntoIterator<Item = Packet>) -> Vec<Row> {
+        for pkt in stream {
+            self.process(&pkt);
+        }
+        self.finish()
+    }
+
+    /// Execution counters so far.
+    pub fn stats(&self) -> EngineStats {
+        let mut s = self.stats;
+        if let Some(lfta) = &self.lfta {
+            s.lfta_evictions = lfta.evictions();
+        }
+        s
+    }
+
+    /// Current memory footprint of all live aggregation state.
+    pub fn space_bytes(&self) -> usize {
+        let high: usize = self
+            .buckets
+            .values()
+            .flat_map(|g| g.values())
+            .map(|a| a.size_bytes())
+            .sum();
+        high + self.lfta.as_ref().map_or(0, Lfta::size_bytes)
+    }
+
+    /// Average space per live group in bytes — the paper's Figure 2(d) /
+    /// 4(c) metric. `None` when no groups are live.
+    pub fn space_per_group(&self) -> Option<f64> {
+        let groups: Vec<usize> = self
+            .buckets
+            .values()
+            .flat_map(|g| g.values())
+            .map(|a| a.size_bytes())
+            .collect();
+        if groups.is_empty() {
+            return None;
+        }
+        Some(groups.iter().sum::<usize>() as f64 / groups.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregators::{count_factory, fwd_count_factory};
+    use crate::tuple::{Proto, MICROS_PER_SEC};
+    use fd_core::decay::Monomial;
+
+    fn pkt(ts_s: f64, dst_ip: u32) -> Packet {
+        Packet {
+            ts: (ts_s * MICROS_PER_SEC as f64) as Micros,
+            src_ip: 1,
+            dst_ip,
+            src_port: 1000,
+            dst_port: 80,
+            len: 100,
+            proto: Proto::Tcp,
+        }
+    }
+
+    fn count_query(two_level: bool) -> Query {
+        Query::builder("count")
+            .group_by(|p| p.dst_host())
+            .bucket_secs(60)
+            .aggregate(count_factory())
+            .two_level(two_level)
+            .lfta_slots(16)
+            .build()
+    }
+
+    #[test]
+    fn counts_per_group_and_bucket() {
+        for two_level in [false, true] {
+            let mut e = Engine::new(count_query(two_level));
+            let mut stream = Vec::new();
+            // Bucket 0: host 1 ×10, host 2 ×5. Bucket 1: host 1 ×3.
+            for i in 0..10 {
+                stream.push(pkt(1.0 + i as f64, 1));
+            }
+            for i in 0..5 {
+                stream.push(pkt(20.0 + i as f64, 2));
+            }
+            for i in 0..3 {
+                stream.push(pkt(61.0 + i as f64, 1));
+            }
+            let rows = e.run(stream);
+            assert_eq!(rows.len(), 3, "two_level = {two_level}");
+            let find = |bs: Micros, key: u64| {
+                rows.iter()
+                    .find(|r| r.bucket_start == bs && r.key == key)
+                    .map(|r| r.value.as_float().expect("float"))
+            };
+            assert_eq!(find(0, 1), Some(10.0));
+            assert_eq!(find(0, 2), Some(5.0));
+            assert_eq!(find(60 * MICROS_PER_SEC, 1), Some(3.0));
+        }
+    }
+
+    #[test]
+    fn two_level_and_single_level_agree_under_collisions() {
+        // Many more groups than LFTA slots: heavy eviction traffic must not
+        // change the results.
+        let stream: Vec<Packet> = (0..20_000)
+            .map(|i| pkt(0.001 * i as f64, (i % 500) as u32))
+            .collect();
+        let mut split = Engine::new(count_query(true));
+        let mut flat = Engine::new(count_query(false));
+        let rows_split = split.run(stream.clone());
+        let rows_flat = flat.run(stream);
+        assert!(split.stats().lfta_evictions > 0);
+        assert_eq!(rows_split.len(), rows_flat.len());
+        for (a, b) in rows_split.iter().zip(&rows_flat) {
+            assert_eq!((a.bucket_start, a.key), (b.bucket_start, b.key));
+            assert_eq!(a.value, b.value);
+        }
+    }
+
+    #[test]
+    fn forward_decayed_count_uses_bucket_start_as_landmark() {
+        // One packet at t = 90 in the bucket [60, 120): landmark 60,
+        // queried at 120 → weight = ((90−60)/(120−60))² = 0.25.
+        let q = Query::builder("fwd")
+            .group_by(|p| p.dst_host())
+            .bucket_secs(60)
+            .aggregate(fwd_count_factory(Monomial::quadratic()))
+            .build();
+        let mut e = Engine::new(q);
+        let rows = e.run(vec![pkt(90.0, 1)]);
+        assert_eq!(rows.len(), 1);
+        let v = rows[0].value.as_float().expect("float");
+        assert!((v - 0.25).abs() < 1e-9, "got {v}");
+    }
+
+    #[test]
+    fn filter_drops_tuples() {
+        let q = Query::builder("tcp_only")
+            .filter(|p| p.proto == Proto::Udp)
+            .aggregate(count_factory())
+            .build();
+        let mut e = Engine::new(q);
+        let rows = e.run(vec![pkt(1.0, 1), pkt(2.0, 1)]);
+        assert!(rows.is_empty());
+        assert_eq!(e.stats().filtered, 2);
+    }
+
+    #[test]
+    fn buckets_close_on_watermark_and_late_tuples_drop() {
+        let mut e = Engine::new(count_query(false));
+        e.process(&pkt(10.0, 1));
+        e.process(&pkt(130.0, 1)); // watermark 130 closes bucket 0 (and 1)
+        let rows = e.drain_rows();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].bucket_start, 0);
+        e.process(&pkt(15.0, 1)); // late into closed bucket 0
+        assert_eq!(e.stats().late_drops, 1);
+        let final_rows = e.finish();
+        assert_eq!(final_rows.len(), 1); // the t=130 bucket
+    }
+
+    #[test]
+    fn slack_tolerates_out_of_order() {
+        let q = Query::builder("slack")
+            .group_by(|p| p.dst_host())
+            .bucket_secs(60)
+            .slack_secs(10.0)
+            .aggregate(count_factory())
+            .two_level(false)
+            .build();
+        let mut e = Engine::new(q);
+        e.process(&pkt(59.0, 1));
+        e.process(&pkt(65.0, 1)); // watermark 65 < 60 + 10: bucket 0 stays open
+        e.process(&pkt(58.0, 1)); // out of order, still accepted
+        assert_eq!(e.stats().late_drops, 0);
+        let rows = e.finish();
+        let b0 = rows.iter().find(|r| r.bucket_start == 0).expect("bucket 0");
+        assert_eq!(b0.value.as_float(), Some(2.0));
+    }
+
+    #[test]
+    fn stats_and_space_reporting() {
+        let mut e = Engine::new(count_query(true));
+        for i in 0..100 {
+            e.process(&pkt(i as f64 * 0.1, (i % 7) as u32));
+        }
+        assert_eq!(e.stats().tuples_in, 100);
+        assert!(e.space_bytes() > 0);
+        e.finish();
+        assert_eq!(e.stats().rows_out, 7);
+    }
+
+    #[test]
+    fn multi_aggregate_splits_through_the_two_level_pipeline() {
+        use crate::aggregators::{multi_factory, sum_factory};
+        let combo = multi_factory(vec![count_factory(), sum_factory(|p| p.len as f64)]);
+        let q = Query::builder("multi")
+            .group_by(|p| p.dst_host())
+            .bucket_secs(60)
+            .aggregate(combo)
+            .two_level(true)
+            .lfta_slots(4) // force eviction/merge traffic through MultiAgg
+            .build();
+        let mut e = Engine::new(q);
+        assert!(e.is_split());
+        let stream: Vec<Packet> = (0..1000)
+            .map(|i| pkt(i as f64 * 0.01, (i % 20) as u32))
+            .collect();
+        let rows = e.run(stream);
+        assert!(e.stats().lfta_evictions > 0);
+        assert_eq!(rows.len(), 20);
+        for r in &rows {
+            let parts = r.value.as_multi().expect("multi");
+            assert_eq!(parts[0].as_float(), Some(50.0)); // 1000 / 20 groups
+            assert_eq!(parts[1].as_float(), Some(50.0 * 100.0));
+        }
+    }
+
+    #[test]
+    fn punctuation_closes_buckets_without_data() {
+        let mut e = Engine::new(count_query(false));
+        e.process(&pkt(10.0, 1));
+        assert!(e.drain_rows().is_empty(), "bucket must stay open");
+        // A heartbeat promises that t < 120 s is complete: bucket 0 closes
+        // even though no data tuple has passed its boundary.
+        e.punctuate(120 * MICROS_PER_SEC);
+        let rows = e.drain_rows();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].value.as_float(), Some(1.0));
+        // Data arriving before the punctuation's promise is late.
+        e.process(&pkt(30.0, 1));
+        assert_eq!(e.stats().late_drops, 1);
+    }
+
+    #[test]
+    fn process_event_dispatches() {
+        let mut e = Engine::new(count_query(true));
+        e.process_event(&StreamEvent::Data(pkt(5.0, 1)));
+        e.process_event(&StreamEvent::Punctuation(70 * MICROS_PER_SEC));
+        let rows = e.drain_rows();
+        assert_eq!(rows.len(), 1);
+        // Punctuations never regress the watermark.
+        e.process_event(&StreamEvent::Punctuation(0));
+        e.process_event(&StreamEvent::Data(pkt(100.0, 2)));
+        assert_eq!(e.finish().len(), 1);
+    }
+
+    #[test]
+    fn empty_stream_produces_no_rows() {
+        let mut e = Engine::new(count_query(true));
+        assert!(e.finish().is_empty());
+        assert_eq!(e.stats().buckets_closed, 0);
+        assert!(e.space_per_group().is_none());
+    }
+}

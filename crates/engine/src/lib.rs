@@ -1,0 +1,75 @@
+//! # fd-engine — a Gigascope-like mini stream engine
+//!
+//! The paper's experiments (Section VIII) run inside GS/Gigascope, AT&T's
+//! production network-stream DBMS: SQL-like continuous queries with
+//! time-bucket group-by, user-defined aggregate functions (UDAFs), and a
+//! two-level execution architecture that splits a query into a *low-level*
+//! part (LFTA: partial aggregation in a fixed-size hash table close to the
+//! NIC) and a *high-level* part (HFTA: super-aggregation combining the
+//! partial results).
+//!
+//! This crate reproduces that substrate:
+//!
+//! - [`mod@tuple`] — the packet record type and the microsecond clock;
+//! - [`udaf`] — the [`udaf::Aggregator`] trait (GS's UDAF hook) and the
+//!   query model: filter → group-by → time bucket → aggregate;
+//! - [`aggregators`] — ready-made aggregator factories wrapping every
+//!   fd-core summary, plus the undecayed built-ins (`count(*)`,
+//!   `sum(len)`) and the backward-decay baselines;
+//! - [`lfta`] — the low-level fixed-size direct-mapped aggregation table
+//!   with collision eviction;
+//! - [`engine`] — the full pipeline: two-level or single-level execution,
+//!   bucket close on watermark, per-tuple cost accounting;
+//! - [`metrics`] — the CPU-load model translating measured per-tuple cost
+//!   into the load/drop curves the paper plots.
+//!
+//! The paper's example query
+//!
+//! ```sql
+//! select tb, destIP, destPort, sum(len*(time % 60)*(time % 60))/3600
+//! from TCP group by time/60 as tb, destIP, destPort
+//! ```
+//!
+//! is expressed here as:
+//!
+//! ```
+//! use fd_engine::prelude::*;
+//! use fd_core::decay::Monomial;
+//!
+//! let query = Query::builder("decayed_traffic")
+//!     .filter(|p| p.proto == Proto::Tcp)
+//!     .group_by(|p| p.dst_key())
+//!     .bucket_secs(60)
+//!     .aggregate(fwd_sum_factory(Monomial::quadratic(), |p| p.len as f64))
+//!     .build();
+//! let mut engine = Engine::new(query);
+//! # let pkt = Packet { ts: 1_000_000, src_ip: 1, dst_ip: 2, src_port: 3,
+//! #                    dst_port: 80, len: 100, proto: Proto::Tcp };
+//! engine.process(&pkt);
+//! let rows = engine.finish();
+//! assert_eq!(rows.len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![deny(unsafe_code)]
+
+pub mod aggregators;
+pub mod driver;
+pub mod engine;
+pub mod lfta;
+pub mod metrics;
+pub mod report;
+pub mod tuple;
+pub mod udaf;
+
+/// One-stop imports for writing queries.
+pub mod prelude {
+    pub use crate::aggregators::*;
+    pub use crate::driver::{QuerySet, RateDriver, ReplayStats};
+    pub use crate::engine::{Engine, EngineStats, Row, StreamEvent};
+    pub use crate::metrics::{cpu_load_pct, drop_fraction, LoadPoint};
+    pub use crate::report::{rows_to_csv, rows_to_table};
+    pub use crate::tuple::{secs, Micros, Packet, Proto, MICROS_PER_SEC};
+    pub use crate::udaf::{AggValue, Aggregator, AggregatorFactory, ItemValue, Query};
+}

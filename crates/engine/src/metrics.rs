@@ -1,0 +1,99 @@
+//! The CPU-load model used to present measured per-tuple costs the way the
+//! paper does.
+//!
+//! The paper plots *CPU load %* against offered stream rate on a fixed
+//! machine: a query whose per-tuple cost is `c` nanoseconds saturates one
+//! core at `10⁹/c` packets per second, and its load at offered rate `R` is
+//! `R·c` (capped at 100%, beyond which GS drops tuples). We measure `c`
+//! directly on this machine by timing a full engine run and translate to
+//! the same curves; who saturates first — and by what factor — is a
+//! machine-independent property of the algorithms.
+
+/// CPU load (percent, capped at 100) for per-tuple cost `ns_per_tuple`
+/// nanoseconds at an offered rate of `rate_pps` packets/second.
+pub fn cpu_load_pct(rate_pps: f64, ns_per_tuple: f64) -> f64 {
+    (rate_pps * ns_per_tuple / 1e9 * 100.0).min(100.0)
+}
+
+/// Fraction of tuples dropped at the offered rate: zero until the core
+/// saturates, then `1 − capacity/rate`.
+pub fn drop_fraction(rate_pps: f64, ns_per_tuple: f64) -> f64 {
+    let load = rate_pps * ns_per_tuple / 1e9;
+    if load <= 1.0 {
+        0.0
+    } else {
+        1.0 - 1.0 / load
+    }
+}
+
+/// One point of a load curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoadPoint {
+    /// Offered stream rate, packets per second.
+    pub rate_pps: f64,
+    /// Resulting CPU load, percent (≤ 100).
+    pub cpu_pct: f64,
+    /// Fraction of tuples dropped (> 0 only at 100% load).
+    pub drop_frac: f64,
+}
+
+impl LoadPoint {
+    /// Builds the load point for a measured per-tuple cost.
+    pub fn from_cost(rate_pps: f64, ns_per_tuple: f64) -> Self {
+        Self {
+            rate_pps,
+            cpu_pct: cpu_load_pct(rate_pps, ns_per_tuple),
+            drop_frac: drop_fraction(rate_pps, ns_per_tuple),
+        }
+    }
+}
+
+/// Times a closure and reports nanoseconds per item for `items` processed.
+pub fn measure_ns_per_item(items: u64, f: impl FnOnce()) -> f64 {
+    assert!(items > 0);
+    let start = std::time::Instant::now();
+    f();
+    start.elapsed().as_nanos() as f64 / items as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_is_linear_then_capped() {
+        assert_eq!(cpu_load_pct(100_000.0, 1_000.0), 10.0); // 1 µs × 100k/s
+        assert_eq!(cpu_load_pct(1_000_000.0, 1_000.0), 100.0);
+        assert_eq!(cpu_load_pct(5_000_000.0, 1_000.0), 100.0);
+    }
+
+    #[test]
+    fn drops_begin_exactly_at_saturation() {
+        assert_eq!(drop_fraction(999_999.0, 1_000.0), 0.0);
+        assert_eq!(drop_fraction(1_000_000.0, 1_000.0), 0.0);
+        let d = drop_fraction(2_000_000.0, 1_000.0);
+        assert!((d - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn load_point_bundles_both() {
+        let p = LoadPoint::from_cost(400_000.0, 3_000.0);
+        assert_eq!(p.cpu_pct, 100.0);
+        assert!(p.drop_frac > 0.0);
+        let q = LoadPoint::from_cost(100_000.0, 2_500.0);
+        assert_eq!(q.cpu_pct, 25.0);
+        assert_eq!(q.drop_frac, 0.0);
+    }
+
+    #[test]
+    fn measure_reports_positive_cost() {
+        let ns = measure_ns_per_item(1000, || {
+            let mut x = 0u64;
+            for i in 0..1000u64 {
+                x = x.wrapping_add(i * i);
+            }
+            std::hint::black_box(x);
+        });
+        assert!(ns > 0.0);
+    }
+}

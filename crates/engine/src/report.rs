@@ -1,0 +1,124 @@
+//! Result-row rendering: turn engine output into CSV or aligned text, the
+//! way GS streams query results onward to consumers.
+
+use std::fmt::Write as _;
+
+use crate::engine::Row;
+use crate::tuple::{secs, MICROS_PER_SEC};
+use crate::udaf::AggValue;
+
+/// Renders rows as CSV with header
+/// `bucket_start_secs,key,value` — item-valued aggregates expand to one
+/// line per item with a fourth `item_value` column.
+pub fn rows_to_csv(rows: &[Row]) -> String {
+    let mut out = String::from("bucket_start_secs,key,value,item_value\n");
+    for r in rows {
+        csv_value(&mut out, secs(r.bucket_start), r.key, &r.value);
+    }
+    out
+}
+
+fn csv_value(out: &mut String, bucket: f64, key: u64, value: &AggValue) {
+    match value {
+        AggValue::Float(x) => {
+            let _ = writeln!(out, "{bucket},{key},{x},");
+        }
+        AggValue::Items(items) => {
+            for iv in items {
+                let _ = writeln!(out, "{bucket},{key},{},{}", iv.item, iv.value);
+            }
+        }
+        AggValue::Multi(parts) => {
+            for p in parts {
+                csv_value(out, bucket, key, p);
+            }
+        }
+    }
+}
+
+/// Renders rows as an aligned text table for terminal display; buckets are
+/// shown as minute indices (the `tb` column of the paper's GSQL output).
+pub fn rows_to_table(rows: &[Row], bucket_secs: u64) -> String {
+    let mut out = format!("{:>8} {:>20} {:>24}\n", "tb", "key", "value");
+    for r in rows {
+        let tb = r.bucket_start / (bucket_secs.max(1) * MICROS_PER_SEC);
+        let _ = writeln!(out, "{:>8} {:>20} {:>24}", tb, r.key, r.value.to_string());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::udaf::ItemValue;
+
+    fn rows() -> Vec<Row> {
+        vec![
+            Row {
+                bucket_start: 0,
+                key: 7,
+                value: AggValue::Float(1.5),
+            },
+            Row {
+                bucket_start: 60 * MICROS_PER_SEC,
+                key: 9,
+                value: AggValue::Items(vec![
+                    ItemValue {
+                        item: 42,
+                        value: 3.0,
+                    },
+                    ItemValue {
+                        item: 43,
+                        value: 2.0,
+                    },
+                ]),
+            },
+        ]
+    }
+
+    #[test]
+    fn csv_expands_items() {
+        let csv = rows_to_csv(&rows());
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "bucket_start_secs,key,value,item_value");
+        assert_eq!(lines[1], "0,7,1.5,");
+        assert_eq!(lines[2], "60,9,42,3");
+        assert_eq!(lines[3], "60,9,43,2");
+        assert_eq!(lines.len(), 4);
+    }
+
+    #[test]
+    fn table_shows_bucket_indices() {
+        let txt = rows_to_table(&rows(), 60);
+        assert!(txt.contains("tb"));
+        let second_row = txt.lines().nth(2).unwrap();
+        assert!(second_row.trim_start().starts_with('1'), "{second_row}");
+    }
+
+    #[test]
+    fn empty_rows_render_header_only() {
+        assert_eq!(rows_to_csv(&[]).lines().count(), 1);
+        assert_eq!(rows_to_table(&[], 60).lines().count(), 1);
+    }
+
+    #[test]
+    fn multi_values_flatten_in_csv_and_nest_in_table() {
+        let rows = vec![Row {
+            bucket_start: 0,
+            key: 3,
+            value: AggValue::Multi(vec![
+                AggValue::Float(7.0),
+                AggValue::Items(vec![ItemValue {
+                    item: 1,
+                    value: 2.0,
+                }]),
+            ]),
+        }];
+        let csv = rows_to_csv(&rows);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[1], "0,3,7,");
+        assert_eq!(lines[2], "0,3,1,2");
+        let table = rows_to_table(&rows, 60);
+        assert!(table.contains("(7.0000, [1:2.000])"), "{table}");
+    }
+}

@@ -1,0 +1,387 @@
+//! The aggregation abstraction (GS's UDAF hook) and the query model.
+//!
+//! GS lets arbitrary C/C++ code run as a *user defined aggregate function*
+//! over the tuples of a group; the paper implements its weighted
+//! SpaceSaving, samplers and exponential-histogram baselines exactly this
+//! way. [`Aggregator`] is the Rust equivalent: per-group state with
+//! `update` / `merge` / `emit`, plus a size probe for the paper's
+//! space-per-group measurements.
+//!
+//! A [`Query`] mirrors the GSQL queries of Section VIII: an optional
+//! selection, a group-by key function, a time-bucket duration (`group by
+//! time/60 as tb`), and one aggregate.
+
+use std::any::Any;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::tuple::{Micros, Packet, MICROS_PER_SEC};
+
+/// A single reported item with an associated value (a heavy hitter and its
+/// count, a sampled key, a quantile, …).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ItemValue {
+    /// The item (group-internal key: an IP, a port pair, a sampled value…).
+    pub item: u64,
+    /// Its associated value (estimated count, weight, …).
+    pub value: f64,
+}
+
+/// The value a group's aggregator emits when its time bucket closes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AggValue {
+    /// A scalar (count, sum, average, …).
+    Float(f64),
+    /// A list of items with values (heavy hitters, samples, quantiles).
+    Items(Vec<ItemValue>),
+    /// Several aggregates computed over the same group (the GSQL
+    /// `select count(*), sum(len), …` shape) — see
+    /// [`crate::aggregators::multi_factory`].
+    Multi(Vec<AggValue>),
+}
+
+impl AggValue {
+    /// The scalar value, if this is a `Float`.
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            AggValue::Float(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The item list, if this is an `Items`.
+    pub fn as_items(&self) -> Option<&[ItemValue]> {
+        match self {
+            AggValue::Items(v) => Some(v.as_slice()),
+            _ => None,
+        }
+    }
+
+    /// The component values, if this is a `Multi`.
+    pub fn as_multi(&self) -> Option<&[AggValue]> {
+        match self {
+            AggValue::Multi(v) => Some(v.as_slice()),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for AggValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AggValue::Float(x) => write!(f, "{x:.4}"),
+            AggValue::Items(items) => {
+                write!(f, "[")?;
+                for (i, iv) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{}:{:.3}", iv.item, iv.value)?;
+                }
+                write!(f, "]")
+            }
+            AggValue::Multi(parts) => {
+                write!(f, "(")?;
+                for (i, p) in parts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+/// Per-group aggregation state — the UDAF interface.
+///
+/// `update` receives every tuple of the group; `merge_boxed` combines a
+/// partial aggregate produced at the low level (LFTA) into this high-level
+/// state; `emit` produces the group's output row when the bucket closes,
+/// given the query time in seconds (the bucket end).
+pub trait Aggregator: Any + Send {
+    /// Folds one tuple into the state.
+    fn update(&mut self, pkt: &Packet);
+
+    /// Absorbs a partial aggregate of the *same concrete type*.
+    ///
+    /// # Panics
+    /// Panics if `other` is a different aggregator type (an engine bug).
+    fn merge_boxed(&mut self, other: Box<dyn Aggregator>);
+
+    /// Produces the output value at query time `t` (seconds).
+    fn emit(&self, t: f64) -> AggValue;
+
+    /// Approximate state size in bytes (the paper's space-per-group
+    /// metric).
+    fn size_bytes(&self) -> usize;
+
+    /// Upcast for the downcasting dance inside `merge_boxed`
+    /// implementations.
+    fn as_any_box(self: Box<Self>) -> Box<dyn Any>;
+}
+
+/// Creates fresh per-group aggregators. One factory per query.
+pub trait AggregatorFactory: Send + Sync {
+    /// Creates the aggregator for a group in the bucket starting at
+    /// `bucket_start`. Decayed aggregates use it as their landmark, exactly
+    /// as the paper's GSQL query uses `time % 60` (landmark = start of the
+    /// minute).
+    fn make(&self, bucket_start: Micros) -> Box<dyn Aggregator>;
+
+    /// Display name (used in benchmark tables).
+    fn name(&self) -> &str;
+
+    /// Whether the engine may split this aggregate across the two-level
+    /// architecture (partial aggregation at the LFTA). The paper's UDAFs
+    /// "were written to run at the high-level only"; built-in count/sum and
+    /// the forward-decayed count/sum are splittable.
+    fn splittable(&self) -> bool;
+}
+
+/// A factory built from a closure — removes per-aggregator factory
+/// boilerplate.
+pub struct FnFactory {
+    name: String,
+    splittable: bool,
+    make: Arc<dyn Fn(Micros) -> Box<dyn Aggregator> + Send + Sync>,
+}
+
+impl FnFactory {
+    /// Wraps `make` as a factory.
+    pub fn new(
+        name: impl Into<String>,
+        splittable: bool,
+        make: impl Fn(Micros) -> Box<dyn Aggregator> + Send + Sync + 'static,
+    ) -> Arc<Self> {
+        Arc::new(Self {
+            name: name.into(),
+            splittable,
+            make: Arc::new(make),
+        })
+    }
+}
+
+impl AggregatorFactory for FnFactory {
+    fn make(&self, bucket_start: Micros) -> Box<dyn Aggregator> {
+        (self.make)(bucket_start)
+    }
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn splittable(&self) -> bool {
+        self.splittable
+    }
+}
+
+/// Tuple filter (the GSQL `from TCP` selection).
+pub type Filter = Arc<dyn Fn(&Packet) -> bool + Send + Sync>;
+/// Group-by key extractor (the GSQL `group by destIP, destPort`).
+pub type KeyFn = Arc<dyn Fn(&Packet) -> u64 + Send + Sync>;
+
+/// A continuous aggregate query: selection → group-by → time bucket →
+/// aggregate.
+#[derive(Clone)]
+pub struct Query {
+    /// Query name (for reports).
+    pub name: String,
+    /// Optional tuple selection.
+    pub filter: Option<Filter>,
+    /// Group-by key.
+    pub group_by: KeyFn,
+    /// Time-bucket width in microseconds (the `time/60` of GSQL).
+    pub bucket_micros: Micros,
+    /// Out-of-order slack: a bucket closes only once the watermark passes
+    /// its end by this much.
+    pub slack_micros: Micros,
+    /// The aggregate to compute per group.
+    pub aggregate: Arc<dyn AggregatorFactory>,
+    /// Run the two-level (LFTA/HFTA) architecture. Figure 2(b) disables
+    /// this.
+    pub two_level: bool,
+    /// Number of slots in the low-level direct-mapped table.
+    pub lfta_slots: usize,
+}
+
+impl Query {
+    /// Starts building a query.
+    pub fn builder(name: impl Into<String>) -> QueryBuilder {
+        QueryBuilder {
+            name: name.into(),
+            filter: None,
+            group_by: None,
+            bucket_micros: 60 * MICROS_PER_SEC,
+            slack_micros: 0,
+            aggregate: None,
+            two_level: true,
+            lfta_slots: 4096,
+        }
+    }
+}
+
+/// Builder for [`Query`].
+pub struct QueryBuilder {
+    name: String,
+    filter: Option<Filter>,
+    group_by: Option<KeyFn>,
+    bucket_micros: Micros,
+    slack_micros: Micros,
+    aggregate: Option<Arc<dyn AggregatorFactory>>,
+    two_level: bool,
+    lfta_slots: usize,
+}
+
+impl QueryBuilder {
+    /// Sets the tuple selection predicate.
+    pub fn filter(mut self, f: impl Fn(&Packet) -> bool + Send + Sync + 'static) -> Self {
+        self.filter = Some(Arc::new(f));
+        self
+    }
+
+    /// Sets the group-by key function. Defaults to a single global group.
+    pub fn group_by(mut self, f: impl Fn(&Packet) -> u64 + Send + Sync + 'static) -> Self {
+        self.group_by = Some(Arc::new(f));
+        self
+    }
+
+    /// Sets the time-bucket width in seconds (default 60, as in the
+    /// paper's queries).
+    pub fn bucket_secs(mut self, secs: u64) -> Self {
+        assert!(secs > 0, "bucket width must be positive");
+        self.bucket_micros = secs * MICROS_PER_SEC;
+        self
+    }
+
+    /// Sets the out-of-order slack in seconds (default 0).
+    pub fn slack_secs(mut self, secs: f64) -> Self {
+        assert!(secs >= 0.0);
+        self.slack_micros = (secs * MICROS_PER_SEC as f64) as Micros;
+        self
+    }
+
+    /// Sets the aggregate factory. Required.
+    pub fn aggregate(mut self, f: Arc<dyn AggregatorFactory>) -> Self {
+        self.aggregate = Some(f);
+        self
+    }
+
+    /// Enables/disables the two-level architecture (default on).
+    pub fn two_level(mut self, on: bool) -> Self {
+        self.two_level = on;
+        self
+    }
+
+    /// Sets the LFTA table size (default 4096 slots).
+    pub fn lfta_slots(mut self, slots: usize) -> Self {
+        assert!(slots > 0);
+        self.lfta_slots = slots;
+        self
+    }
+
+    /// Finishes the query.
+    ///
+    /// # Panics
+    /// Panics if no aggregate was supplied.
+    pub fn build(self) -> Query {
+        Query {
+            name: self.name,
+            filter: self.filter,
+            group_by: self.group_by.unwrap_or_else(|| Arc::new(|_| 0)),
+            bucket_micros: self.bucket_micros,
+            slack_micros: self.slack_micros,
+            aggregate: self.aggregate.expect("query needs an aggregate"),
+            two_level: self.two_level,
+            lfta_slots: self.lfta_slots,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple::Proto;
+
+    struct CountingAgg(u64);
+    impl Aggregator for CountingAgg {
+        fn update(&mut self, _pkt: &Packet) {
+            self.0 += 1;
+        }
+        fn merge_boxed(&mut self, other: Box<dyn Aggregator>) {
+            let o = other
+                .as_any_box()
+                .downcast::<CountingAgg>()
+                .expect("type mismatch");
+            self.0 += o.0;
+        }
+        fn emit(&self, _t: f64) -> AggValue {
+            AggValue::Float(self.0 as f64)
+        }
+        fn size_bytes(&self) -> usize {
+            8
+        }
+        fn as_any_box(self: Box<Self>) -> Box<dyn Any> {
+            self
+        }
+    }
+
+    fn pkt(ts: Micros) -> Packet {
+        Packet {
+            ts,
+            src_ip: 1,
+            dst_ip: 2,
+            src_port: 3,
+            dst_port: 4,
+            len: 100,
+            proto: Proto::Tcp,
+        }
+    }
+
+    #[test]
+    fn fn_factory_basics() {
+        let f = FnFactory::new("count", true, |_| Box::new(CountingAgg(0)));
+        assert_eq!(f.name(), "count");
+        assert!(f.splittable());
+        let mut a = f.make(0);
+        a.update(&pkt(10));
+        a.update(&pkt(20));
+        assert_eq!(a.emit(1.0), AggValue::Float(2.0));
+    }
+
+    #[test]
+    fn merge_boxed_downcasts() {
+        let mut a: Box<dyn Aggregator> = Box::new(CountingAgg(3));
+        let b: Box<dyn Aggregator> = Box::new(CountingAgg(4));
+        a.merge_boxed(b);
+        assert_eq!(a.emit(0.0), AggValue::Float(7.0));
+    }
+
+    #[test]
+    fn query_builder_defaults() {
+        let f = FnFactory::new("count", true, |_| Box::new(CountingAgg(0)));
+        let q = Query::builder("q").aggregate(f).build();
+        assert_eq!(q.bucket_micros, 60 * MICROS_PER_SEC);
+        assert!(q.two_level);
+        assert!(q.filter.is_none());
+        assert_eq!((q.group_by)(&pkt(0)), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs an aggregate")]
+    fn query_requires_aggregate() {
+        let _ = Query::builder("q").build();
+    }
+
+    #[test]
+    fn agg_value_accessors_and_display() {
+        let f = AggValue::Float(1.5);
+        assert_eq!(f.as_float(), Some(1.5));
+        assert!(f.as_items().is_none());
+        let items = AggValue::Items(vec![ItemValue {
+            item: 9,
+            value: 2.0,
+        }]);
+        assert_eq!(items.as_items().unwrap().len(), 1);
+        assert_eq!(format!("{items}"), "[9:2.000]");
+    }
+}

@@ -1,0 +1,593 @@
+//! # fd-gen — synthetic workloads for the forward-decay experiments
+//!
+//! The paper evaluates on a live AT&T network tap (~400 000 packets/s,
+//! ≈1.8 Gbit/s of TCP and UDP). That feed is obviously unavailable, so this
+//! crate generates the closest synthetic equivalent (see DESIGN.md for the
+//! substitution argument): Poisson arrivals at a configurable rate,
+//! Zipf-skewed destination popularity (tens of thousands of active groups
+//! per minute, like the paper's per-destination queries), a realistic
+//! packet-length mixture, a TCP/UDP mix, optional timestamp jitter for
+//! out-of-order arrival testing, and the NIC flow-sampling knob the paper
+//! used to vary the effective stream rate.
+//!
+//! Also provides a random-walk trade-tick stream for the financial example.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![deny(unsafe_code)]
+
+use fd_engine::tuple::{Micros, Packet, Proto, MICROS_PER_SEC};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+// ---------------------------------------------------------------------------
+// Zipf sampling
+// ---------------------------------------------------------------------------
+
+/// An exact Zipf(α) sampler over ranks `0..n` via an inverse-CDF table.
+///
+/// `P(rank = k) ∝ (k + 1)^{−α}`. Construction is O(n); each sample is one
+/// uniform draw plus a binary search (O(log n)). Implemented in-repo rather
+/// than pulling `rand_distr`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the sampler for `n` ranks with skew `alpha ≥ 0` (0 =
+    /// uniform).
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `alpha` is negative/non-finite.
+    pub fn new(n: usize, alpha: f64) -> Self {
+        assert!(n > 0, "need at least one rank");
+        assert!(alpha >= 0.0 && alpha.is_finite());
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 0..n {
+            acc += ((k + 1) as f64).powf(-alpha);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Self { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Always false: construction guarantees at least one rank.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Draws one rank.
+    #[inline]
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+
+    /// Probability of the given rank.
+    pub fn pmf(&self, rank: usize) -> f64 {
+        if rank == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[rank] - self.cdf[rank - 1]
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Packet traces
+// ---------------------------------------------------------------------------
+
+/// Configuration of a synthetic packet trace.
+#[derive(Debug, Clone)]
+pub struct TraceConfig {
+    /// RNG seed; same seed ⇒ identical trace.
+    pub seed: u64,
+    /// Trace duration in seconds.
+    pub duration_secs: f64,
+    /// Mean arrival rate, packets per second (Poisson arrivals).
+    pub rate_pps: f64,
+    /// Number of distinct destination hosts (Zipf-ranked popularity).
+    pub n_hosts: usize,
+    /// Destination ports drawn per host (a busy server listens on few).
+    pub ports_per_host: u16,
+    /// Zipf skew of destination popularity (≈1.0 for internet-like).
+    pub zipf_skew: f64,
+    /// Fraction of TCP packets (the rest are UDP).
+    pub tcp_fraction: f64,
+    /// Uniform timestamp jitter half-width in seconds (0 = in-order).
+    pub ooo_jitter_secs: f64,
+    /// Flow-sampling keep-fraction in `(0, 1]` — the paper's NIC knob for
+    /// varying the effective stream rate.
+    pub flow_sample_rate: f64,
+    /// Timestamp of the first packet (microseconds).
+    pub start_micros: Micros,
+    /// Optional traffic anomaly (e.g. a DDoS-like flood toward one host).
+    pub burst: Option<Burst>,
+    /// Optional square-wave rate modulation (bursty, non-stationary load).
+    pub on_off: Option<OnOff>,
+}
+
+/// Square-wave rate modulation: the stream alternates between `on_secs` at
+/// the configured rate and `off_secs` at `off_rate_fraction` of it —
+/// a simple model of bursty, diurnal or congestion-shaped traffic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OnOff {
+    /// Length of the full-rate phase, seconds.
+    pub on_secs: f64,
+    /// Length of the reduced-rate phase, seconds.
+    pub off_secs: f64,
+    /// Rate multiplier during the reduced phase, in `(0, 1]`.
+    pub off_rate_fraction: f64,
+}
+
+/// A traffic anomaly: during `[start_secs, end_secs)`, `fraction` of all
+/// packets are redirected to one victim destination — the kind of sudden
+/// shift decayed heavy hitters are meant to surface quickly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Burst {
+    /// Burst start, seconds into the trace.
+    pub start_secs: f64,
+    /// Burst end, seconds into the trace.
+    pub end_secs: f64,
+    /// Victim destination IP.
+    pub dst_ip: u32,
+    /// Fraction of in-burst packets aimed at the victim, in `(0, 1]`.
+    pub fraction: f64,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        Self {
+            seed: 42,
+            duration_secs: 60.0,
+            rate_pps: 100_000.0,
+            n_hosts: 20_000,
+            ports_per_host: 4,
+            zipf_skew: 1.1,
+            tcp_fraction: 0.85,
+            ooo_jitter_secs: 0.0,
+            flow_sample_rate: 1.0,
+            start_micros: 0,
+            burst: None,
+            on_off: None,
+        }
+    }
+}
+
+impl TraceConfig {
+    /// Expected number of packets in the trace.
+    pub fn expected_packets(&self) -> usize {
+        (self.duration_secs * self.rate_pps * self.flow_sample_rate) as usize
+    }
+
+    /// Generates the whole trace into memory.
+    pub fn generate(&self) -> Vec<Packet> {
+        self.iter().collect()
+    }
+
+    /// Streams the trace lazily.
+    pub fn iter(&self) -> TraceIter {
+        assert!(self.duration_secs > 0.0 && self.rate_pps > 0.0);
+        assert!(self.flow_sample_rate > 0.0 && self.flow_sample_rate <= 1.0);
+        assert!((0.0..=1.0).contains(&self.tcp_fraction));
+        assert!(self.ooo_jitter_secs >= 0.0);
+        TraceIter {
+            cfg: self.clone(),
+            zipf: Zipf::new(self.n_hosts, self.zipf_skew),
+            rng: SmallRng::seed_from_u64(self.seed),
+            clock_secs: 0.0,
+        }
+    }
+}
+
+/// Lazy packet-trace iterator (see [`TraceConfig::iter`]).
+pub struct TraceIter {
+    cfg: TraceConfig,
+    zipf: Zipf,
+    rng: SmallRng,
+    clock_secs: f64,
+}
+
+impl TraceIter {
+    /// The classic trimodal internet packet-length mix: ~40% minimal
+    /// (ACKs), ~30% mid-size, ~30% MTU-size.
+    fn draw_len(&mut self) -> u32 {
+        let u: f64 = self.rng.gen();
+        if u < 0.4 {
+            self.rng.gen_range(40..=100)
+        } else if u < 0.7 {
+            self.rng.gen_range(101..=576)
+        } else {
+            1500
+        }
+    }
+}
+
+impl Iterator for TraceIter {
+    type Item = Packet;
+
+    fn next(&mut self) -> Option<Packet> {
+        loop {
+            // Poisson arrivals: exponential inter-arrival times, at a rate
+            // possibly modulated by the on/off square wave.
+            let rate = match self.cfg.on_off {
+                Some(oo) => {
+                    debug_assert!(oo.on_secs > 0.0 && oo.off_secs > 0.0);
+                    debug_assert!(oo.off_rate_fraction > 0.0 && oo.off_rate_fraction <= 1.0);
+                    let phase = self.clock_secs % (oo.on_secs + oo.off_secs);
+                    if phase < oo.on_secs {
+                        self.cfg.rate_pps
+                    } else {
+                        self.cfg.rate_pps * oo.off_rate_fraction
+                    }
+                }
+                None => self.cfg.rate_pps,
+            };
+            let u: f64 = self.rng.gen::<f64>().max(1e-300);
+            self.clock_secs += -u.ln() / rate;
+            if self.clock_secs >= self.cfg.duration_secs {
+                return None;
+            }
+            // Flow sampling drops packets at the NIC, before the engine.
+            if self.cfg.flow_sample_rate < 1.0 && self.rng.gen::<f64>() >= self.cfg.flow_sample_rate
+            {
+                continue;
+            }
+            let in_burst = self.cfg.burst.is_some_and(|b| {
+                (b.start_secs..b.end_secs).contains(&self.clock_secs)
+                    && self.rng.gen::<f64>() < b.fraction
+            });
+            let dst_ip = if in_burst {
+                self.cfg.burst.expect("checked above").dst_ip
+            } else {
+                0x0A00_0000 | self.zipf.sample(&mut self.rng) as u32 // 10.x.y.z
+            };
+            let dst_port = 8000 + (self.rng.gen::<u16>() % self.cfg.ports_per_host.max(1));
+            let src_ip: u32 = self.rng.gen();
+            let src_port: u16 = self.rng.gen_range(1024..=65535);
+            let len = self.draw_len();
+            let proto = if self.rng.gen::<f64>() < self.cfg.tcp_fraction {
+                Proto::Tcp
+            } else {
+                Proto::Udp
+            };
+            let mut ts_secs = self.clock_secs;
+            if self.cfg.ooo_jitter_secs > 0.0 {
+                ts_secs += self
+                    .rng
+                    .gen_range(-self.cfg.ooo_jitter_secs..=self.cfg.ooo_jitter_secs);
+                ts_secs = ts_secs.max(0.0);
+            }
+            let ts = self.cfg.start_micros + (ts_secs * MICROS_PER_SEC as f64) as Micros;
+            return Some(Packet {
+                ts,
+                src_ip,
+                dst_ip,
+                src_port,
+                dst_port,
+                len,
+                proto,
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Trade ticks (financial example)
+// ---------------------------------------------------------------------------
+
+/// One trade tick.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Tick {
+    /// Trade time in seconds.
+    pub ts_secs: f64,
+    /// Instrument id.
+    pub symbol: u32,
+    /// Trade price.
+    pub price: f64,
+    /// Trade size (shares).
+    pub size: u32,
+}
+
+/// Configuration of a synthetic trade-tick stream: per-symbol geometric
+/// random-walk prices with Poisson arrivals.
+#[derive(Debug, Clone)]
+pub struct TickerConfig {
+    /// RNG seed.
+    pub seed: u64,
+    /// Stream duration in seconds.
+    pub duration_secs: f64,
+    /// Mean tick rate across all symbols, ticks per second.
+    pub rate_tps: f64,
+    /// Number of instruments.
+    pub n_symbols: usize,
+    /// Per-√second log-price volatility.
+    pub volatility: f64,
+    /// Initial price for every symbol.
+    pub start_price: f64,
+}
+
+impl Default for TickerConfig {
+    fn default() -> Self {
+        Self {
+            seed: 7,
+            duration_secs: 600.0,
+            rate_tps: 1_000.0,
+            n_symbols: 16,
+            volatility: 0.005,
+            start_price: 100.0,
+        }
+    }
+}
+
+impl TickerConfig {
+    /// Generates the tick stream (time-ordered).
+    pub fn generate(&self) -> Vec<Tick> {
+        assert!(self.duration_secs > 0.0 && self.rate_tps > 0.0 && self.n_symbols > 0);
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let mut prices = vec![self.start_price; self.n_symbols];
+        let mut last_t = vec![0.0f64; self.n_symbols];
+        let mut out = Vec::with_capacity((self.duration_secs * self.rate_tps) as usize);
+        let mut clock = 0.0;
+        loop {
+            let u: f64 = rng.gen::<f64>().max(1e-300);
+            clock += -u.ln() / self.rate_tps;
+            if clock >= self.duration_secs {
+                break;
+            }
+            let s = rng.gen_range(0..self.n_symbols);
+            let dt = (clock - last_t[s]).max(1e-6);
+            last_t[s] = clock;
+            // Gaussian step via Box–Muller.
+            let (u1, u2): (f64, f64) = (rng.gen::<f64>().max(1e-300), rng.gen());
+            let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+            prices[s] *= (self.volatility * dt.sqrt() * z).exp();
+            out.push(Tick {
+                ts_secs: clock,
+                symbol: s as u32,
+                price: prices[s],
+                size: 100 * rng.gen_range(1..=10),
+            });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_pmf_sums_to_one_and_is_monotone() {
+        let z = Zipf::new(1000, 1.2);
+        let total: f64 = (0..1000).map(|k| z.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        for k in 1..1000 {
+            assert!(z.pmf(k) <= z.pmf(k - 1) + 1e-15);
+        }
+    }
+
+    #[test]
+    fn zipf_empirical_frequencies_match_pmf() {
+        let z = Zipf::new(50, 1.0);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let n = 200_000;
+        let mut counts = [0u32; 50];
+        for _ in 0..n {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for k in [0usize, 1, 5, 20, 49] {
+            let emp = counts[k] as f64 / n as f64;
+            let exp = z.pmf(k);
+            assert!(
+                (emp - exp).abs() < 0.1 * exp + 0.001,
+                "rank {k}: emp {emp}, exp {exp}"
+            );
+        }
+    }
+
+    #[test]
+    fn zipf_zero_skew_is_uniform() {
+        let z = Zipf::new(10, 0.0);
+        for k in 0..10 {
+            assert!((z.pmf(k) - 0.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn trace_respects_rate_and_duration() {
+        let cfg = TraceConfig {
+            rate_pps: 10_000.0,
+            duration_secs: 10.0,
+            ..Default::default()
+        };
+        let pkts = cfg.generate();
+        let expected = cfg.expected_packets() as f64;
+        assert!((pkts.len() as f64 - expected).abs() < 0.05 * expected);
+        assert!(pkts.iter().all(|p| p.ts < 10 * MICROS_PER_SEC));
+    }
+
+    #[test]
+    fn trace_is_deterministic_per_seed() {
+        let cfg = TraceConfig {
+            duration_secs: 1.0,
+            ..Default::default()
+        };
+        assert_eq!(cfg.generate(), cfg.generate());
+        let other = TraceConfig {
+            seed: 43,
+            duration_secs: 1.0,
+            ..Default::default()
+        };
+        assert_ne!(cfg.generate(), other.generate());
+    }
+
+    #[test]
+    fn trace_destinations_are_zipf_skewed() {
+        let cfg = TraceConfig {
+            duration_secs: 2.0,
+            rate_pps: 100_000.0,
+            n_hosts: 10_000,
+            zipf_skew: 1.1,
+            ..Default::default()
+        };
+        let pkts = cfg.generate();
+        let mut counts = std::collections::HashMap::<u32, u32>::new();
+        for p in &pkts {
+            *counts.entry(p.dst_ip).or_default() += 1;
+        }
+        // Head heaviness: rank-0 host (10.0.0.0) must dwarf the mean.
+        let hot = counts.get(&0x0A00_0000).copied().unwrap_or(0) as f64;
+        let mean = pkts.len() as f64 / counts.len() as f64;
+        assert!(hot > 10.0 * mean, "hot {hot}, mean {mean}");
+        // And there must be many distinct groups, as the paper stresses.
+        assert!(counts.len() > 2_000, "only {} distinct hosts", counts.len());
+    }
+
+    #[test]
+    fn trace_protocol_mix() {
+        let cfg = TraceConfig {
+            duration_secs: 1.0,
+            tcp_fraction: 0.7,
+            ..Default::default()
+        };
+        let pkts = cfg.generate();
+        let tcp = pkts.iter().filter(|p| p.proto == Proto::Tcp).count() as f64;
+        let frac = tcp / pkts.len() as f64;
+        assert!((frac - 0.7).abs() < 0.02, "tcp fraction {frac}");
+    }
+
+    #[test]
+    fn flow_sampling_halves_the_stream() {
+        let full = TraceConfig {
+            duration_secs: 2.0,
+            ..Default::default()
+        };
+        let half = TraceConfig {
+            flow_sample_rate: 0.5,
+            ..full.clone()
+        };
+        let (nf, nh) = (full.generate().len() as f64, half.generate().len() as f64);
+        assert!((nh / nf - 0.5).abs() < 0.03, "ratio {}", nh / nf);
+    }
+
+    #[test]
+    fn jitter_produces_out_of_order_arrivals() {
+        let sorted = TraceConfig {
+            duration_secs: 1.0,
+            ..Default::default()
+        };
+        let jittered = TraceConfig {
+            ooo_jitter_secs: 0.05,
+            ..sorted.clone()
+        };
+        let is_sorted = |pkts: &[Packet]| pkts.windows(2).all(|w| w[0].ts <= w[1].ts);
+        assert!(is_sorted(&sorted.generate()));
+        assert!(!is_sorted(&jittered.generate()));
+    }
+
+    #[test]
+    fn packet_lengths_follow_trimodal_mix() {
+        let cfg = TraceConfig {
+            duration_secs: 1.0,
+            ..Default::default()
+        };
+        let pkts = cfg.generate();
+        let n = pkts.len() as f64;
+        let small = pkts.iter().filter(|p| p.len <= 100).count() as f64 / n;
+        let mtu = pkts.iter().filter(|p| p.len == 1500).count() as f64 / n;
+        assert!((small - 0.4).abs() < 0.03, "small fraction {small}");
+        assert!((mtu - 0.3).abs() < 0.03, "mtu fraction {mtu}");
+    }
+
+    #[test]
+    fn burst_floods_the_victim_during_the_window() {
+        let victim = 0x0A00_4242;
+        let cfg = TraceConfig {
+            duration_secs: 30.0,
+            rate_pps: 20_000.0,
+            burst: Some(Burst {
+                start_secs: 10.0,
+                end_secs: 20.0,
+                dst_ip: victim,
+                fraction: 0.5,
+            }),
+            ..Default::default()
+        };
+        let pkts = cfg.generate();
+        let count_in = |lo: f64, hi: f64| {
+            pkts.iter()
+                .filter(|p| {
+                    let t = p.ts as f64 / MICROS_PER_SEC as f64;
+                    (lo..hi).contains(&t) && p.dst_ip == victim
+                })
+                .count() as f64
+        };
+        let before = count_in(0.0, 10.0);
+        let during = count_in(10.0, 20.0);
+        let after = count_in(20.0, 30.0);
+        assert!(during > 90_000.0, "burst too weak: {during}");
+        assert!(
+            before < 100.0 && after < 100.0,
+            "victim traffic outside window: {before}/{after}"
+        );
+    }
+
+    #[test]
+    fn on_off_modulation_shapes_the_rate() {
+        let cfg = TraceConfig {
+            duration_secs: 40.0,
+            rate_pps: 10_000.0,
+            on_off: Some(OnOff {
+                on_secs: 10.0,
+                off_secs: 10.0,
+                off_rate_fraction: 0.1,
+            }),
+            ..Default::default()
+        };
+        let pkts = cfg.generate();
+        let count_in = |lo: f64, hi: f64| {
+            pkts.iter()
+                .filter(|p| {
+                    let t = p.ts as f64 / MICROS_PER_SEC as f64;
+                    (lo..hi).contains(&t)
+                })
+                .count() as f64
+        };
+        let on_phase = count_in(0.0, 10.0) + count_in(20.0, 30.0);
+        let off_phase = count_in(10.0, 20.0) + count_in(30.0, 40.0);
+        let ratio = off_phase / on_phase;
+        assert!(
+            (ratio - 0.1).abs() < 0.03,
+            "off/on ratio {ratio}, expected ≈ 0.1"
+        );
+    }
+
+    #[test]
+    fn ticker_prices_walk_and_stay_positive() {
+        let cfg = TickerConfig {
+            duration_secs: 60.0,
+            ..Default::default()
+        };
+        let ticks = cfg.generate();
+        assert!(!ticks.is_empty());
+        assert!(ticks.windows(2).all(|w| w[0].ts_secs <= w[1].ts_secs));
+        assert!(ticks.iter().all(|t| t.price > 0.0 && t.size > 0));
+        // Prices must actually move.
+        let p0 = ticks.first().unwrap().price;
+        assert!(ticks.iter().any(|t| (t.price - p0).abs() > 1e-6));
+        // All symbols show up.
+        let symbols: std::collections::HashSet<u32> = ticks.iter().map(|t| t.symbol).collect();
+        assert_eq!(symbols.len(), cfg.n_symbols);
+    }
+}

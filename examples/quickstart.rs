@@ -1,0 +1,75 @@
+//! Quickstart: the paper's worked examples, end to end.
+//!
+//! Reproduces Examples 1–3 of *Forward Decay* (Cormode et al., ICDE 2009)
+//! with the public API: decayed weights, count/sum/average, heavy hitters,
+//! plus a decayed quantile and a weighted sample on the same tiny stream.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use forward_decay::core::aggregates::{DecayedAverage, DecayedCount, DecayedSum};
+use forward_decay::core::decay::{ForwardDecay, Monomial};
+use forward_decay::core::heavy_hitters::DecayedHeavyHitters;
+use forward_decay::core::quantiles::DecayedQuantiles;
+use forward_decay::core::sampling::WeightedReservoir;
+
+fn main() {
+    // Example 1: stream of (tᵢ, vᵢ), landmark L = 100, g(n) = n², t = 110.
+    let stream = [
+        (105.0, 4u64),
+        (107.0, 8),
+        (103.0, 3),
+        (108.0, 6),
+        (104.0, 4),
+    ];
+    let landmark = 100.0;
+    let t_query = 110.0;
+    let g = Monomial::quadratic();
+
+    println!("== Example 1: decayed weights under g(n) = n², L = 100, t = 110 ==");
+    for (t_i, v) in stream {
+        println!(
+            "  item ({t_i:5.1}, {v}) -> weight {:.2}",
+            g.weight(landmark, t_i, t_query)
+        );
+    }
+
+    // Example 2: decayed count, sum and average.
+    let mut count = DecayedCount::new(g, landmark);
+    let mut sum = DecayedSum::new(g, landmark);
+    let mut avg = DecayedAverage::new(g, landmark);
+    for (t_i, v) in stream {
+        count.update(t_i);
+        sum.update(t_i, v as f64);
+        avg.update(t_i, v as f64);
+    }
+    println!("\n== Example 2: decayed aggregates at t = 110 ==");
+    println!("  C = {:.2}   (paper: 1.63)", count.query(t_query));
+    println!("  S = {:.2}   (paper: 9.67)", sum.query(t_query));
+    println!("  A = {:.2}   (paper: 5.93)", avg.query(t_query).unwrap());
+
+    // Example 3: φ = 0.2 decayed heavy hitters.
+    let mut hh = DecayedHeavyHitters::new(g, landmark, 16);
+    for (t_i, v) in stream {
+        hh.update(t_i, v);
+    }
+    println!("\n== Example 3: φ = 0.2 heavy hitters (paper: items 4, 6, 8) ==");
+    for h in hh.heavy_hitters(0.2, t_query) {
+        println!("  item {}: decayed count {:.2}", h.item, h.count);
+    }
+
+    // Beyond the worked examples: a decayed median and a weighted sample.
+    let mut quant = DecayedQuantiles::new(g, landmark, 8, 0.05);
+    let mut sampler = WeightedReservoir::new(g, landmark, 3, 2024);
+    for (t_i, v) in stream {
+        quant.update(t_i, v);
+        sampler.update(t_i, &v);
+    }
+    println!("\n== Extras on the same stream ==");
+    println!(
+        "  decayed median: {}",
+        quant.quantile(0.5, t_query).unwrap()
+    );
+    let mut sample: Vec<u64> = sampler.sample().iter().map(|e| e.item).collect();
+    sample.sort_unstable();
+    println!("  weighted sample of 3 (recent items favoured): {sample:?}");
+}

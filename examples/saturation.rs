@@ -1,0 +1,90 @@
+//! Saturation demo: watch the backward-decay machinery fall over, live.
+//!
+//! The paper's headline operational result: *"the forward decay approach
+//! could answer queries on multi-gigabit data without loss, while methods
+//! based on backward decay dropped many packets, and reached 100% CPU
+//! load."* This example replays the same synthetic trace through the
+//! forward-decayed query and the backward (CKT prefix-hierarchy) baseline
+//! at increasing offered rates, using the real measured processing speed of
+//! this machine, and reports CPU load and dropped tuples as the ingress
+//! buffer overflows.
+//!
+//! Run with: `cargo run --release --example saturation`
+
+use forward_decay::core::decay::{BackExponential, Exponential};
+use forward_decay::engine::prelude::*;
+use forward_decay::gen::TraceConfig;
+
+fn main() {
+    let packets = TraceConfig {
+        seed: 77,
+        duration_secs: 10.0,
+        rate_pps: 200_000.0,
+        n_hosts: 20_000,
+        zipf_skew: 1.1,
+        tcp_fraction: 1.0,
+        ..Default::default()
+    }
+    .generate();
+    println!(
+        "trace: {} packets; query: per-minute heavy TCP receivers (φ = 0.02)\n",
+        packets.len()
+    );
+
+    let forward_query = || {
+        Query::builder("forward")
+            .bucket_secs(60)
+            .aggregate(fwd_hh_factory(Exponential::new(0.1), 0.01, 0.02, |p| {
+                p.dst_host()
+            }))
+            .build()
+    };
+    let backward_query = || {
+        Query::builder("backward")
+            .bucket_secs(60)
+            .aggregate(prefix_hh_factory(
+                16,
+                0.01,
+                DynBackward::from_decay(BackExponential::new(0.1)),
+                0.02,
+                |p| p.dst_host(),
+            ))
+            .build()
+    };
+
+    println!(
+        "{:>12} | {:>22} | {:>22}",
+        "offered rate", "forward decay", "backward decay (CKT)"
+    );
+    println!("{:->12}-+-{:->22}-+-{:->22}", "", "", "");
+    for rate in [100_000.0, 400_000.0, 1_600_000.0, 6_400_000.0f64] {
+        let driver = RateDriver::new(rate);
+        let mut fwd = Engine::new(forward_query());
+        let f = driver.replay(&mut fwd, &packets);
+        let mut bwd = Engine::new(backward_query());
+        let b = driver.replay(&mut bwd, &packets);
+        let fmt = |s: ReplayStats| {
+            if s.dropped > 0 {
+                format!(
+                    "{:.0}% load, {:.0}% DROPPED",
+                    s.cpu_load_pct,
+                    s.drop_fraction() * 100.0
+                )
+            } else {
+                format!("{:.1}% load, no loss", s.cpu_load_pct)
+            }
+        };
+        println!(
+            "{:>9}k/s | {:>22} | {:>22}",
+            rate as u64 / 1000,
+            fmt(f),
+            fmt(b)
+        );
+    }
+
+    println!(
+        "\nThe forward-decayed SpaceSaving keeps up long after the backward\n\
+         structure saturates — the paper's Section VIII conclusion, reproduced\n\
+         on this machine's clock."
+    );
+}

@@ -1,0 +1,18 @@
+//! # forward-decay — umbrella crate
+//!
+//! Re-exports the three crates of the forward-decay reproduction
+//! (Cormode, Shkapenyuk, Srivastava, Xu, ICDE 2009) under one roof and
+//! hosts the runnable examples (`examples/`) and the cross-crate
+//! integration tests (`tests/`).
+//!
+//! - [`core`] (`fd-core`) — decay functions, decayed aggregates, sketches
+//!   and samplers: the paper's contribution;
+//! - [`engine`] (`fd-engine`) — a Gigascope-like mini stream engine with
+//!   time-bucket group-by queries, UDAFs and two-level aggregation: the
+//!   substrate the paper's experiments ran on;
+//! - [`gen`] (`fd-gen`) — synthetic packet traces and value streams
+//!   standing in for the paper's live network tap.
+
+pub use fd_core as core;
+pub use fd_engine as engine;
+pub use fd_gen as gen;

@@ -1,0 +1,205 @@
+//! Checkpoint/restore: every fd-core summary snapshots to bytes mid-stream,
+//! restores, continues ingesting, and answers exactly like the original —
+//! the state-recovery story a production stream processor needs.
+
+use forward_decay::core::aggregates::{DecayedCount, DecayedSum, DecayedVariance};
+use forward_decay::core::backward::{
+    DeterministicWave, ExponentialHistogram, PrefixBackwardHH, SlidingWindowHH,
+};
+use forward_decay::core::checkpoint::{from_bytes, to_bytes};
+use forward_decay::core::cm::CmSketch;
+use forward_decay::core::decay::{AnyDecay, BackExponential, Exponential, Monomial};
+use forward_decay::core::distinct::{DominanceSketch, ExactDominance};
+use forward_decay::core::heavy_hitters::{
+    DecayedHeavyHitters, UnarySpaceSaving, WeightedSpaceSaving,
+};
+use forward_decay::core::quantiles::{DecayedQuantiles, QDigest, WeightedGK};
+use forward_decay::engine::prelude::*;
+use forward_decay::gen::TraceConfig;
+
+fn trace() -> Vec<Packet> {
+    TraceConfig {
+        seed: 97,
+        duration_secs: 20.0,
+        rate_pps: 10_000.0,
+        n_hosts: 500,
+        ..Default::default()
+    }
+    .generate()
+}
+
+/// Ingests the first half, snapshots, restores, feeds the second half into
+/// both the original and the restored copy, and compares via `query`.
+fn check_roundtrip<S, Q>(mut summary: S, mut feed: impl FnMut(&mut S, &Packet), query: Q)
+where
+    S: serde::Serialize + serde::de::DeserializeOwned,
+    Q: Fn(&S) -> f64,
+{
+    let packets = trace();
+    let mid = packets.len() / 2;
+    for p in &packets[..mid] {
+        feed(&mut summary, p);
+    }
+    let snapshot = to_bytes(&summary).expect("serialize");
+    let mut restored: S = from_bytes(&snapshot).expect("deserialize");
+    // HashMap-backed summaries may iterate in a different order after
+    // restore, reordering floating-point accumulation — allow ULP noise.
+    let (a0, b0) = (query(&summary), query(&restored));
+    assert!(
+        (a0 - b0).abs() <= 1e-12 * a0.abs().max(1.0),
+        "state differs at snapshot: {a0} vs {b0}"
+    );
+    for p in &packets[mid..] {
+        feed(&mut summary, p);
+        feed(&mut restored, p);
+    }
+    let (a, b) = (query(&summary), query(&restored));
+    assert!(
+        (a - b).abs() <= 1e-12 * a.abs().max(1.0),
+        "diverged after restore: {a} vs {b}"
+    );
+}
+
+#[test]
+fn scalar_aggregates_checkpoint() {
+    check_roundtrip(
+        DecayedSum::new(Monomial::quadratic(), 0.0),
+        |s, p| s.update(p.ts_secs(), p.len as f64),
+        |s| s.query(21.0),
+    );
+    check_roundtrip(
+        DecayedCount::new(Exponential::new(0.5), 0.0), // exercises renormalizer state
+        |s, p| s.update(p.ts_secs()),
+        |s| s.query(21.0),
+    );
+    check_roundtrip(
+        DecayedVariance::new(AnyDecay::Monomial(Monomial::new(1.5)), 0.0),
+        |s, p| s.update(p.ts_secs(), p.len as f64),
+        |s| s.query(21.0).unwrap(),
+    );
+}
+
+#[test]
+fn heavy_hitter_summaries_checkpoint() {
+    check_roundtrip(
+        WeightedSpaceSaving::with_epsilon(0.01),
+        |s, p| s.update(p.dst_host(), p.len as f64),
+        |s| {
+            s.heavy_hitters(0.02)
+                .first()
+                .map(|h| h.count)
+                .unwrap_or(0.0)
+        },
+    );
+    check_roundtrip(
+        UnarySpaceSaving::with_epsilon(0.01),
+        |s, p| s.update(p.dst_host()),
+        |s| {
+            s.heavy_hitters(0.02)
+                .first()
+                .map(|h| h.count)
+                .unwrap_or(0.0)
+        },
+    );
+    check_roundtrip(
+        DecayedHeavyHitters::new(Exponential::new(0.2), 0.0, 256),
+        |s, p| s.update(p.ts_secs(), p.dst_host()),
+        |s| s.decayed_count(21.0),
+    );
+    check_roundtrip(
+        CmSketch::with_epsilon_delta(0.01, 0.01, 5),
+        |s, p| s.update(p.dst_host(), 1.0),
+        |s| s.query(0x0A00_0000),
+    );
+}
+
+#[test]
+fn quantile_summaries_checkpoint() {
+    check_roundtrip(
+        QDigest::with_epsilon(11, 0.02),
+        |s, p| s.update(p.len as u64, 1.0),
+        |s| s.quantile(0.5).unwrap_or(0) as f64,
+    );
+    check_roundtrip(
+        WeightedGK::new(0.02),
+        |s, p| s.update(p.len as f64, 1.0),
+        |s| s.quantile(0.5).unwrap_or(0.0),
+    );
+    check_roundtrip(
+        DecayedQuantiles::new(Monomial::quadratic(), 0.0, 11, 0.02),
+        |s, p| s.update(p.ts_secs(), p.len as u64),
+        |s| s.quantile(0.5, 21.0).unwrap_or(0) as f64,
+    );
+}
+
+#[test]
+fn distinct_summaries_checkpoint() {
+    check_roundtrip(
+        ExactDominance::new(Monomial::new(1.0), 0.0),
+        |s, p| s.update(p.ts_secs(), p.dst_host()),
+        |s| s.query(21.0),
+    );
+    check_roundtrip(
+        DominanceSketch::new(Monomial::new(1.0), 0.0, 0.2, 9),
+        |s, p| s.update(p.ts_secs(), p.dst_host()),
+        |s| s.query(21.0),
+    );
+}
+
+#[test]
+fn backward_baselines_checkpoint() {
+    let f = BackExponential::new(0.1);
+    check_roundtrip(
+        ExponentialHistogram::with_epsilon(0.05),
+        |s, p| s.insert_value(p.ts_secs(), p.len as u64),
+        |s| s.decayed_query(&f, 21.0),
+    );
+    check_roundtrip(
+        DeterministicWave::with_epsilon(0.1),
+        |s, p| s.insert(p.ts_secs()),
+        |s| s.window_query(5.0, 21.0),
+    );
+    check_roundtrip(
+        SlidingWindowHH::new(1.0, 6),
+        |s, p| s.update(p.ts_secs(), p.dst_host()),
+        |s| s.decayed_counts(&f, 21.0).1,
+    );
+    check_roundtrip(
+        PrefixBackwardHH::new(10, 0.1),
+        |s, p| s.update(p.ts_secs(), p.dst_host() % 1024),
+        |s| s.decayed_total(&f, 21.0),
+    );
+}
+
+#[test]
+fn snapshots_are_compact() {
+    // A constant-space aggregate's snapshot is a few dozen bytes; a
+    // SpaceSaving summary is proportional to its counters, not the stream.
+    let mut sum = DecayedSum::new(Monomial::quadratic(), 0.0);
+    let mut ss = WeightedSpaceSaving::with_epsilon(0.01);
+    for p in trace() {
+        sum.update(p.ts_secs(), p.len as f64);
+        ss.update(p.dst_host(), 1.0);
+    }
+    let sum_bytes = to_bytes(&sum).unwrap();
+    let ss_bytes = to_bytes(&ss).unwrap();
+    assert!(
+        sum_bytes.len() < 128,
+        "scalar snapshot is {} bytes",
+        sum_bytes.len()
+    );
+    assert!(
+        ss_bytes.len() < 64 * 1024,
+        "SS snapshot is {} bytes",
+        ss_bytes.len()
+    );
+}
+
+#[test]
+fn corrupted_snapshots_fail_loudly() {
+    let mut q = QDigest::with_epsilon(8, 0.1);
+    q.update(5, 1.0);
+    let mut bytes = to_bytes(&q).unwrap();
+    bytes.truncate(bytes.len() / 2);
+    assert!(from_bytes::<QDigest>(&bytes).is_err());
+}

@@ -1,0 +1,190 @@
+//! Section VI-B: distributed operation. Every summary type is built at four
+//! simulated sites over disjoint shards of one trace, merged, and compared
+//! to a single centralized run over the whole trace.
+
+use forward_decay::core::aggregates::{DecayedCount, DecayedSum, DecayedVariance};
+use forward_decay::core::decay::{Exponential, Monomial};
+use forward_decay::core::distinct::{DominanceSketch, ExactDominance};
+use forward_decay::core::heavy_hitters::DecayedHeavyHitters;
+use forward_decay::core::quantiles::DecayedQuantiles;
+use forward_decay::core::sampling::{PrioritySampler, WeightedReservoir};
+use forward_decay::core::Mergeable;
+use forward_decay::engine::prelude::*;
+use forward_decay::gen::TraceConfig;
+
+const SITES: usize = 4;
+
+fn trace() -> Vec<Packet> {
+    TraceConfig {
+        seed: 31,
+        duration_secs: 45.0,
+        rate_pps: 15_000.0,
+        n_hosts: 800,
+        ..Default::default()
+    }
+    .generate()
+}
+
+/// Shards by round-robin, builds per-site summaries with `make`, feeds via
+/// `feed`, merges and returns (merged, centralized).
+fn build_merged<S: Mergeable>(
+    packets: &[Packet],
+    make: impl Fn(usize) -> S,
+    mut feed: impl FnMut(&mut S, &Packet),
+) -> (S, S) {
+    let mut sites: Vec<S> = (0..SITES).map(&make).collect();
+    let mut central = make(0);
+    for (i, p) in packets.iter().enumerate() {
+        feed(&mut sites[i % SITES], p);
+        feed(&mut central, p);
+    }
+    let mut merged = sites.remove(0);
+    for s in &sites {
+        merged.merge_from(s);
+    }
+    (merged, central)
+}
+
+#[test]
+fn scalar_aggregates_merge_exactly() {
+    let packets = trace();
+    let t_q = 46.0;
+    let g = Exponential::new(0.2); // strong decay → renormalization paths run
+
+    let (m, c) = build_merged(
+        &packets,
+        |_| DecayedCount::new(g, 0.0),
+        |s, p| s.update(p.ts_secs()),
+    );
+    assert!((m.query(t_q) - c.query(t_q)).abs() <= 1e-9 * c.query(t_q).max(1e-300));
+
+    let (m, c) = build_merged(
+        &packets,
+        |_| DecayedSum::new(Monomial::quadratic(), 0.0),
+        |s, p| s.update(p.ts_secs(), p.len as f64),
+    );
+    assert!((m.query(t_q) - c.query(t_q)).abs() <= 1e-9 * c.query(t_q));
+
+    let (m, c) = build_merged(
+        &packets,
+        |_| DecayedVariance::new(Monomial::new(1.5), 0.0),
+        |s, p| s.update(p.ts_secs(), p.len as f64),
+    );
+    let (mv, cv) = (m.query(t_q).unwrap(), c.query(t_q).unwrap());
+    assert!((mv - cv).abs() <= 1e-6 * cv.max(1.0));
+}
+
+#[test]
+fn heavy_hitters_merge_within_bounds() {
+    let packets = trace();
+    let t_q = 46.0;
+    let g = Monomial::quadratic();
+    let (m, c) = build_merged(
+        &packets,
+        |_| DecayedHeavyHitters::new(g, 0.0, 256),
+        |s, p| s.update(p.ts_secs(), p.dst_host()),
+    );
+    assert!((m.decayed_count(t_q) - c.decayed_count(t_q)).abs() <= 1e-6 * c.decayed_count(t_q));
+    let top_m: Vec<u64> = m.heavy_hitters(0.02, t_q).iter().map(|h| h.item).collect();
+    let top_c: Vec<u64> = c.heavy_hitters(0.02, t_q).iter().map(|h| h.item).collect();
+    // The heavy head must be identical; tie-order may vary in the tail.
+    assert_eq!(&top_m[..3.min(top_m.len())], &top_c[..3.min(top_c.len())]);
+}
+
+#[test]
+fn quantiles_merge_within_bounds() {
+    let packets = trace();
+    let t_q = 46.0;
+    let (m, c) = build_merged(
+        &packets,
+        |_| DecayedQuantiles::new(Monomial::quadratic(), 0.0, 11, 0.02),
+        |s, p| s.update(p.ts_secs(), p.len as u64),
+    );
+    for phi in [0.25, 0.5, 0.75] {
+        let (a, b) = (
+            m.quantile(phi, t_q).unwrap() as f64,
+            c.quantile(phi, t_q).unwrap() as f64,
+        );
+        // Both are ε-approximations of the same distribution: allow a few
+        // length values of slack.
+        assert!(
+            (a - b).abs() <= 160.0,
+            "phi = {phi}: merged {a}, central {b}"
+        );
+    }
+}
+
+#[test]
+fn distinct_sketch_merges_like_exact() {
+    let packets = trace();
+    let t_q = 46.0;
+    let g = Monomial::new(1.0);
+    let (m_sketch, _) = build_merged(
+        &packets,
+        |_| DominanceSketch::new(g, 0.0, 0.15, 77),
+        |s, p| s.update(p.ts_secs(), p.dst_host()),
+    );
+    let mut exact = ExactDominance::new(g, 0.0);
+    for p in &packets {
+        exact.update(p.ts_secs(), p.dst_host());
+    }
+    let (est, truth) = (m_sketch.query(t_q), exact.query(t_q));
+    assert!(
+        (est - truth).abs() / truth < 0.45,
+        "merged sketch {est}, exact {truth}"
+    );
+}
+
+#[test]
+fn samplers_merge_preserve_size_and_recency_bias() {
+    let packets = trace();
+    let g = Exponential::new(0.15);
+    let (m, _) = build_merged(
+        &packets,
+        |site| WeightedReservoir::<u64, _>::new(g, 0.0, 100, site as u64),
+        |s, p| s.update(p.ts_secs(), &p.ts),
+    );
+    let sample = m.sample();
+    assert_eq!(sample.len(), 100);
+    // With a ~4.6 s half-life over 45 s, ~89% of the decayed weight lies in
+    // the last 15 s (1 − e^{−0.15·15}); samples concentrate there.
+    let recent = sample.iter().filter(|e| e.t > 30.0).count();
+    assert!(recent > 75, "only {recent}/100 samples from the last 15 s");
+
+    let (m, c) = build_merged(
+        &packets,
+        |site| PrioritySampler::<u64, _>::new(Monomial::new(1.0), 0.0, 50, site as u64),
+        |s, p| s.update(p.ts_secs(), &p.dst_host()),
+    );
+    // The merged estimator still targets the same decayed count.
+    let (em, ec) = (
+        m.estimate_decayed_count(46.0),
+        c.estimate_decayed_count(46.0),
+    );
+    assert!((em - ec).abs() / ec < 0.35, "merged {em}, central {ec}");
+}
+
+#[test]
+fn engine_level_distributed_merge_via_merge_boxed() {
+    // Split one bucket's packets across two aggregator instances (as two
+    // LFTA partials would) and merge through the engine's UDAF interface.
+    let packets = trace();
+    let factory = fwd_sum_factory(Monomial::quadratic(), |p: &Packet| p.len as f64);
+    let mut a = factory.make(0);
+    let mut b = factory.make(0);
+    let mut whole = factory.make(0);
+    for (i, p) in packets.iter().enumerate() {
+        whole.update(p);
+        if i % 2 == 0 {
+            a.update(p);
+        } else {
+            b.update(p);
+        }
+    }
+    a.merge_boxed(b);
+    let (x, y) = (
+        a.emit(60.0).as_float().unwrap(),
+        whole.emit(60.0).as_float().unwrap(),
+    );
+    assert!((x - y).abs() <= 1e-9 * y);
+}

@@ -1,0 +1,148 @@
+//! Section VI-B: out-of-order arrivals. Forward decay never relies on
+//! timestamp order — the same trace shuffled and sorted must give identical
+//! answers, both at the summary level and through the engine (given enough
+//! watermark slack).
+
+use forward_decay::core::aggregates::{DecayedCount, DecayedSum};
+use forward_decay::core::decay::{Exponential, ForwardDecay, Monomial};
+use forward_decay::core::heavy_hitters::DecayedHeavyHitters;
+use forward_decay::core::quantiles::DecayedQuantiles;
+use forward_decay::engine::prelude::*;
+use forward_decay::gen::TraceConfig;
+
+fn jittered_trace() -> Vec<Packet> {
+    TraceConfig {
+        seed: 47,
+        duration_secs: 50.0,
+        rate_pps: 10_000.0,
+        n_hosts: 300,
+        ooo_jitter_secs: 3.0,
+        ..Default::default()
+    }
+    .generate()
+}
+
+#[test]
+fn summaries_are_arrival_order_independent() {
+    let packets = jittered_trace();
+    let mut sorted = packets.clone();
+    sorted.sort_by_key(|p| p.ts);
+    assert_ne!(
+        packets.iter().map(|p| p.ts).collect::<Vec<_>>(),
+        sorted.iter().map(|p| p.ts).collect::<Vec<_>>(),
+        "trace must actually be out of order"
+    );
+    let t_q = 55.0;
+    let g = Monomial::quadratic();
+
+    // Exact aggregates: identical up to floating-point summation order.
+    let feed_sum = |pkts: &[Packet]| {
+        let mut s = DecayedSum::new(g, 0.0);
+        for p in pkts {
+            s.update(p.ts_secs(), p.len as f64);
+        }
+        s.query(t_q)
+    };
+    let (a, b) = (feed_sum(&packets), feed_sum(&sorted));
+    assert!((a - b).abs() <= 1e-12 * a, "{a} vs {b}");
+
+    let feed_count = |pkts: &[Packet]| {
+        let mut c = DecayedCount::new(Exponential::new(0.1), 0.0);
+        for p in pkts {
+            c.update(p.ts_secs());
+        }
+        c.query(t_q)
+    };
+    let (a, b) = (feed_count(&packets), feed_count(&sorted));
+    assert!((a - b).abs() <= 1e-9 * a);
+
+    // Approximate sketches: their *guarantees* are order-independent (the
+    // weights fed in are identical multisets), though internal tie-breaking
+    // may differ — the heavy head and the quantile band must agree.
+    let feed_hh = |pkts: &[Packet]| {
+        let mut h = DecayedHeavyHitters::new(g, 0.0, 128);
+        for p in pkts {
+            h.update(p.ts_secs(), p.dst_host());
+        }
+        h.heavy_hitters(0.05, t_q)
+            .iter()
+            .map(|x| x.item)
+            .collect::<Vec<_>>()
+    };
+    let (hh_a, hh_b) = (feed_hh(&packets), feed_hh(&sorted));
+    assert_eq!(&hh_a[..3.min(hh_a.len())], &hh_b[..3.min(hh_b.len())]);
+
+    let feed_quant = |pkts: &[Packet]| {
+        let mut q = DecayedQuantiles::new(g, 0.0, 11, 0.02);
+        for p in pkts {
+            q.update(p.ts_secs(), p.len as u64);
+        }
+        q.quantile(0.5, t_q).unwrap() as f64
+    };
+    let (qa, qb) = (feed_quant(&packets), feed_quant(&sorted));
+    assert!((qa - qb).abs() <= 0.05 * 2048.0, "medians {qa} vs {qb}");
+}
+
+#[test]
+fn engine_with_slack_matches_sorted_run() {
+    let packets = jittered_trace();
+    let mut sorted = packets.clone();
+    sorted.sort_by_key(|p| p.ts);
+
+    let build = || {
+        Query::builder("ooo")
+            .group_by(|p| p.dst_host() % 20)
+            .bucket_secs(10)
+            // ±3 s jitter lets the watermark run up to 6 s ahead of a
+            // straggler; 8 s of slack covers it.
+            .slack_secs(8.0)
+            .aggregate(fwd_sum_factory(Monomial::quadratic(), |p| p.len as f64))
+            .build()
+    };
+    let mut e_ooo = Engine::new(build());
+    let rows_ooo = e_ooo.run(packets.iter().copied());
+    assert_eq!(e_ooo.stats().late_drops, 0, "slack must absorb all jitter");
+    let rows_sorted = Engine::new(build()).run(sorted.iter().copied());
+    assert_eq!(rows_ooo.len(), rows_sorted.len());
+    for (a, b) in rows_ooo.iter().zip(&rows_sorted) {
+        assert_eq!((a.bucket_start, a.key), (b.bucket_start, b.key));
+        let (x, y) = (a.value.as_float().unwrap(), b.value.as_float().unwrap());
+        assert!((x - y).abs() <= 1e-9 * x.abs().max(1.0));
+    }
+}
+
+#[test]
+fn engine_without_slack_counts_late_drops() {
+    let packets = jittered_trace();
+    let q = Query::builder("no_slack")
+        .bucket_secs(10)
+        .aggregate(count_factory())
+        .build();
+    let mut e = Engine::new(q);
+    for p in &packets {
+        e.process(p);
+    }
+    e.finish();
+    // With 3 s jitter and 10 s buckets, some arrivals land in closed
+    // buckets and must be counted as dropped, not silently lost.
+    assert!(e.stats().late_drops > 0);
+    assert_eq!(
+        e.stats().tuples_in,
+        packets.len() as u64,
+        "all tuples accounted for"
+    );
+}
+
+#[test]
+fn historical_queries_on_future_timestamps() {
+    // Section VI-B: if items carry timestamps beyond the query time, the
+    // query is "historical" and weights may exceed 1 — allowed and exact.
+    let g = Monomial::quadratic();
+    let mut s = DecayedSum::new(g, 0.0);
+    s.update(10.0, 2.0); // item in the "future" of the query below
+    s.update(4.0, 2.0);
+    let at_5 = s.query(5.0);
+    let expected = g.weight(0.0, 10.0, 5.0) * 2.0 + g.weight(0.0, 4.0, 5.0) * 2.0;
+    assert!((at_5 - expected).abs() < 1e-12);
+    assert!(g.weight(0.0, 10.0, 5.0) > 1.0);
+}
