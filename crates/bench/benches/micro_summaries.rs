@@ -1,10 +1,17 @@
-//! Criterion micro-benchmarks: per-update cost of every summary in
-//! fd-core, the primitive costs underlying the figure-level results.
+//! Micro-benchmarks: per-update cost of every summary in fd-core, the
+//! primitive costs underlying the figure-level results.
+//!
+//! Hand-rolled harness (no external benchmark framework): each summary is
+//! rebuilt and driven over the same deterministic 100k-tuple stream for a
+//! fixed number of rounds after a warm-up pass; the best round is reported
+//! as ns/update, matching how criterion's minimum-time estimate is read.
 //!
 //! Run: `cargo bench --bench micro_summaries`
 
-use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::hint::black_box;
+use std::time::Instant;
 
+use fd_bench::Table;
 use fd_core::aggregates::{DecayedCount, DecayedSum};
 use fd_core::backward::{ExponentialHistogram, PrefixBackwardHH, SlidingWindowHH};
 use fd_core::decay::{Exponential, Monomial, NoDecay};
@@ -14,6 +21,7 @@ use fd_core::quantiles::{QDigest, WeightedGK};
 use fd_core::sampling::{BiasedReservoir, PrioritySampler, ReservoirSampler, WeightedReservoir};
 
 const N: u64 = 100_000;
+const ROUNDS: usize = 5;
 
 /// Deterministic pseudo-stream: (timestamp, item, value).
 fn stream() -> Vec<(f64, u64, u64)> {
@@ -25,272 +33,261 @@ fn stream() -> Vec<(f64, u64, u64)> {
         .collect()
 }
 
-fn bench_scalar_aggregates(c: &mut Criterion) {
+/// Times `run` (setup via `mk`, drive via `run`) over `ROUNDS` rounds after
+/// one warm-up, returning the best observed ns/update.
+fn bench<S>(mk: impl Fn() -> S, run: impl Fn(&mut S, &[(f64, u64, u64)])) -> f64 {
     let data = stream();
-    let mut g = c.benchmark_group("scalar_aggregates");
-    g.throughput(Throughput::Elements(N));
-    g.bench_function("decayed_sum_poly", |b| {
-        b.iter_batched(
+    let mut s = mk();
+    run(&mut s, &data); // warm-up
+    let mut best = f64::INFINITY;
+    for _ in 0..ROUNDS {
+        let mut s = mk();
+        let start = Instant::now();
+        run(&mut s, &data);
+        let ns = start.elapsed().as_nanos() as f64 / N as f64;
+        best = best.min(ns);
+    }
+    best
+}
+
+fn main() {
+    let mut table = Table::new(
+        "Micro: per-update cost of each summary",
+        "summary",
+        &["ns/update"],
+    );
+    let mut add = |name: &str, ns: f64| {
+        println!("{name:<32} {ns:>8.1} ns/update");
+        table.row(name, vec![format!("{ns:.1}")]);
+    };
+
+    // ----- scalar aggregates ------------------------------------------------
+    add(
+        "decayed_sum_poly",
+        bench(
             || DecayedSum::new(Monomial::quadratic(), 0.0),
-            |mut s| {
-                for &(t, _, v) in &data {
+            |s, data| {
+                for &(t, _, v) in data {
                     s.update(t, v as f64);
                 }
-                black_box(s.query(100.0))
+                black_box(s.query(100.0));
             },
-            BatchSize::SmallInput,
-        )
-    });
-    g.bench_function("decayed_sum_exp", |b| {
-        b.iter_batched(
+        ),
+    );
+    add(
+        "decayed_sum_exp",
+        bench(
             || DecayedSum::new(Exponential::new(0.1), 0.0),
-            |mut s| {
-                for &(t, _, v) in &data {
+            |s, data| {
+                for &(t, _, v) in data {
                     s.update(t, v as f64);
                 }
-                black_box(s.query(100.0))
+                black_box(s.query(100.0));
             },
-            BatchSize::SmallInput,
-        )
-    });
-    g.bench_function("decayed_count_nodecay", |b| {
-        b.iter_batched(
+        ),
+    );
+    add(
+        "decayed_count_nodecay",
+        bench(
             || DecayedCount::new(NoDecay, 0.0),
-            |mut s| {
-                for &(t, _, _) in &data {
+            |s, data| {
+                for &(t, _, _) in data {
                     s.update(t);
                 }
-                black_box(s.query(100.0))
+                black_box(s.query(100.0));
             },
-            BatchSize::SmallInput,
-        )
-    });
-    g.finish();
-}
+        ),
+    );
 
-fn bench_heavy_hitters(c: &mut Criterion) {
-    let data = stream();
-    let mut g = c.benchmark_group("heavy_hitters");
-    g.throughput(Throughput::Elements(N));
-    g.bench_function("unary_space_saving", |b| {
-        b.iter_batched(
+    // ----- heavy hitters ----------------------------------------------------
+    add(
+        "unary_space_saving",
+        bench(
             || UnarySpaceSaving::with_epsilon(0.01),
-            |mut s| {
-                for &(_, item, _) in &data {
+            |s, data| {
+                for &(_, item, _) in data {
                     s.update(item);
                 }
-                black_box(s.len())
+                black_box(s.len());
             },
-            BatchSize::SmallInput,
-        )
-    });
-    g.bench_function("weighted_space_saving", |b| {
-        b.iter_batched(
+        ),
+    );
+    add(
+        "weighted_space_saving",
+        bench(
             || WeightedSpaceSaving::with_epsilon(0.01),
-            |mut s| {
-                for &(_, item, v) in &data {
+            |s, data| {
+                for &(_, item, v) in data {
                     s.update(item, v as f64);
                 }
-                black_box(s.len())
+                black_box(s.len());
             },
-            BatchSize::SmallInput,
-        )
-    });
-    g.bench_function("decayed_hh_exp", |b| {
-        b.iter_batched(
+        ),
+    );
+    add(
+        "decayed_hh_exp",
+        bench(
             || DecayedHeavyHitters::with_epsilon(Exponential::new(0.1), 0.0, 0.01),
-            |mut s| {
-                for &(t, item, _) in &data {
+            |s, data| {
+                for &(t, item, _) in data {
                     s.update(t, item);
                 }
-                black_box(s.decayed_count(100.0))
+                black_box(s.decayed_count(100.0));
             },
-            BatchSize::SmallInput,
-        )
-    });
-    g.finish();
-}
+        ),
+    );
 
-fn bench_backward_baselines(c: &mut Criterion) {
-    let data = stream();
-    let mut g = c.benchmark_group("backward_baselines");
-    g.throughput(Throughput::Elements(N));
-    g.bench_function("eh_count_eps0.01", |b| {
-        b.iter_batched(
+    // ----- backward-decay baselines -----------------------------------------
+    add(
+        "eh_count_eps0.01",
+        bench(
             || ExponentialHistogram::with_epsilon(0.01),
-            |mut s| {
-                for &(t, _, _) in &data {
+            |s, data| {
+                for &(t, _, _) in data {
                     s.insert(t);
                 }
-                black_box(s.bucket_count())
+                black_box(s.bucket_count());
             },
-            BatchSize::SmallInput,
-        )
-    });
-    g.bench_function("eh_sum_eps0.01", |b| {
-        b.iter_batched(
+        ),
+    );
+    add(
+        "eh_sum_eps0.01",
+        bench(
             || ExponentialHistogram::with_epsilon(0.01),
-            |mut s| {
-                for &(t, _, v) in &data {
+            |s, data| {
+                for &(t, _, v) in data {
                     s.insert_value(t, v);
                 }
-                black_box(s.bucket_count())
+                black_box(s.bucket_count());
             },
-            BatchSize::SmallInput,
-        )
-    });
-    g.bench_function("dyadic_window_hh", |b| {
-        b.iter_batched(
+        ),
+    );
+    add(
+        "dyadic_window_hh",
+        bench(
             || SlidingWindowHH::new(1.0, 8),
-            |mut s| {
-                for &(t, item, _) in &data {
+            |s, data| {
+                for &(t, item, _) in data {
                     s.update(t, item);
                 }
-                black_box(s.interval_count())
+                black_box(s.interval_count());
             },
-            BatchSize::SmallInput,
-        )
-    });
-    g.bench_function("prefix_backward_hh", |b| {
-        b.iter_batched(
+        ),
+    );
+    add(
+        "prefix_backward_hh",
+        bench(
             || PrefixBackwardHH::new(16, 0.05),
-            |mut s| {
-                for &(t, item, _) in &data {
+            |s, data| {
+                for &(t, item, _) in data {
                     s.update(t, item);
                 }
-                black_box(s.node_count())
+                black_box(s.node_count());
             },
-            BatchSize::SmallInput,
-        )
-    });
-    g.finish();
-}
+        ),
+    );
 
-fn bench_quantiles(c: &mut Criterion) {
-    let data = stream();
-    let mut g = c.benchmark_group("quantiles");
-    g.throughput(Throughput::Elements(N));
-    g.bench_function("qdigest_weighted", |b| {
-        b.iter_batched(
+    // ----- quantiles ---------------------------------------------------------
+    add(
+        "qdigest_weighted",
+        bench(
             || QDigest::with_epsilon(14, 0.01),
-            |mut s| {
-                for &(_, item, v) in &data {
+            |s, data| {
+                for &(_, item, v) in data {
                     s.update(item & 0x3FFF, v as f64);
                 }
-                black_box(s.quantile(0.5))
+                black_box(s.quantile(0.5));
             },
-            BatchSize::SmallInput,
-        )
-    });
-    g.bench_function("gk_weighted", |b| {
-        b.iter_batched(
+        ),
+    );
+    add(
+        "gk_weighted",
+        bench(
             || WeightedGK::new(0.01),
-            |mut s| {
-                for &(_, item, v) in &data {
+            |s, data| {
+                for &(_, item, v) in data {
                     s.update(item as f64, v as f64);
                 }
-                black_box(s.quantile(0.5))
+                black_box(s.quantile(0.5));
             },
-            BatchSize::SmallInput,
-        )
-    });
-    g.finish();
-}
+        ),
+    );
 
-fn bench_samplers(c: &mut Criterion) {
-    let data = stream();
-    let mut g = c.benchmark_group("samplers");
-    g.throughput(Throughput::Elements(N));
-    g.bench_function("reservoir_k1000", |b| {
-        b.iter_batched(
+    // ----- samplers ----------------------------------------------------------
+    add(
+        "reservoir_k1000",
+        bench(
             || ReservoirSampler::new(1000, 7),
-            |mut s| {
-                for &(_, item, _) in &data {
+            |s, data| {
+                for &(_, item, _) in data {
                     s.update(item);
                 }
-                black_box(s.sample().len())
+                black_box(s.sample().len());
             },
-            BatchSize::SmallInput,
-        )
-    });
-    g.bench_function("weighted_reservoir_exp_k1000", |b| {
-        b.iter_batched(
+        ),
+    );
+    add(
+        "weighted_reservoir_exp_k1000",
+        bench(
             || WeightedReservoir::new(Exponential::new(0.1), 0.0, 1000, 7),
-            |mut s| {
-                for &(t, item, _) in &data {
+            |s, data| {
+                for &(t, item, _) in data {
                     s.update(t, &item);
                 }
-                black_box(s.sample().len())
+                black_box(s.sample().len());
             },
-            BatchSize::SmallInput,
-        )
-    });
-    g.bench_function("priority_sampler_exp_k1000", |b| {
-        b.iter_batched(
+        ),
+    );
+    add(
+        "priority_sampler_exp_k1000",
+        bench(
             || PrioritySampler::new(Exponential::new(0.1), 0.0, 1000, 7),
-            |mut s| {
-                for &(t, item, _) in &data {
+            |s, data| {
+                for &(t, item, _) in data {
                     s.update(t, &item);
                 }
-                black_box(s.sample().len())
+                black_box(s.sample().len());
             },
-            BatchSize::SmallInput,
-        )
-    });
-    g.bench_function("biased_reservoir_lambda0.001", |b| {
-        b.iter_batched(
+        ),
+    );
+    add(
+        "biased_reservoir_lambda0.001",
+        bench(
             || BiasedReservoir::new(0.001, 7),
-            |mut s| {
-                for &(_, item, _) in &data {
+            |s, data| {
+                for &(_, item, _) in data {
                     s.update(item);
                 }
-                black_box(s.sample().len())
+                black_box(s.sample().len());
             },
-            BatchSize::SmallInput,
-        )
-    });
-    g.finish();
-}
+        ),
+    );
 
-fn bench_distinct(c: &mut Criterion) {
-    let data = stream();
-    let mut g = c.benchmark_group("distinct");
-    g.throughput(Throughput::Elements(N));
-    g.bench_function("exact_dominance", |b| {
-        b.iter_batched(
+    // ----- distinct / dominance ----------------------------------------------
+    add(
+        "exact_dominance",
+        bench(
             || ExactDominance::new(Monomial::quadratic(), 0.0),
-            |mut s| {
-                for &(t, item, _) in &data {
+            |s, data| {
+                for &(t, item, _) in data {
                     s.update(t, item);
                 }
-                black_box(s.query(100.0))
+                black_box(s.query(100.0));
             },
-            BatchSize::SmallInput,
-        )
-    });
-    g.bench_function("dominance_sketch_eps0.2", |b| {
-        b.iter_batched(
+        ),
+    );
+    add(
+        "dominance_sketch_eps0.2",
+        bench(
             || DominanceSketch::new(Monomial::quadratic(), 0.0, 0.2, 7),
-            |mut s| {
-                for &(t, item, _) in &data {
+            |s, data| {
+                for &(t, item, _) in data {
                     s.update(t, item);
                 }
-                black_box(s.query(100.0))
+                black_box(s.query(100.0));
             },
-            BatchSize::SmallInput,
-        )
-    });
-    g.finish();
-}
+        ),
+    );
 
-criterion_group!(
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_scalar_aggregates,
-        bench_heavy_hitters,
-        bench_backward_baselines,
-        bench_quantiles,
-        bench_samplers,
-        bench_distinct
-);
-criterion_main!(benches);
+    table.print();
+}

@@ -1,0 +1,163 @@
+//! Sharded-engine scaling on the Figure 2 workload: single-threaded vs
+//! N-shard throughput.
+//!
+//! Section VI-B of the paper: forward-decay summaries are mergeable, so
+//! "each site maintains a summary of its local stream" and combination is
+//! exact. The sharded engine turns that into core-level parallelism; this
+//! bench quantifies it on the paper's count-query workload (20 000 hosts,
+//! Zipf 1.1, 100k pkt/s): per competitor it measures
+//!
+//! - the single-threaded engine's per-tuple cost (the baseline),
+//! - the dispatch path's per-tuple cost (the serial fraction: admission +
+//!   routing, the piece that cannot be parallelised),
+//! - wall-clock N-shard throughput on this host, and
+//! - the modeled capacity `min(10⁹/dispatch, N·10⁹/worker)` — the
+//!   machine-independent speedup an (N+1)-core host realises, in the same
+//!   spirit as the load model every other figure here uses.
+//!
+//! Results land in `BENCH_shard.json` at the repo root.
+//!
+//! Run: `cargo bench --bench shard_scaling`
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+use fd_bench::{measure_dispatch_ns, measure_query, measure_sharded_query, Table};
+use fd_core::decay::{BackPolynomial, Monomial};
+use fd_engine::metrics::sharded_capacity_pps;
+use fd_engine::prelude::*;
+use fd_engine::udaf::FnFactory;
+use fd_gen::TraceConfig;
+
+const SHARDS: [usize; 3] = [2, 4, 8];
+
+fn trace() -> Vec<Packet> {
+    TraceConfig {
+        seed: 2,
+        duration_secs: 20.0,
+        rate_pps: 100_000.0,
+        n_hosts: 20_000,
+        zipf_skew: 1.1,
+        tcp_fraction: 1.0,
+        ..Default::default()
+    }
+    .generate()
+}
+
+/// The fig2 competitors that exercise the three cost regimes: LFTA-split
+/// built-in (dispatch-bound), single-level forward decay (balanced), and
+/// the backward-decay EH baseline (aggregation-bound).
+fn competitors() -> Vec<(&'static str, Arc<FnFactory>, bool)> {
+    vec![
+        ("no decay", count_factory(), true),
+        ("fwd poly", fwd_count_factory(Monomial::quadratic()), false),
+        (
+            "bwd EH",
+            eh_count_factory(0.1, DynBackward::from_decay(BackPolynomial::new(2.0))),
+            false,
+        ),
+    ]
+}
+
+fn query(factory: Arc<FnFactory>, two_level: bool) -> Query {
+    Query::builder("fig2")
+        .filter(|p| p.proto == Proto::Tcp)
+        .group_by(|p| p.dst_host())
+        .bucket_secs(60)
+        .aggregate(factory)
+        .two_level(two_level)
+        .lfta_slots(65_536)
+        .build()
+}
+
+fn fmt_tps(tps: f64) -> String {
+    format!("{:.2} Mt/s", tps / 1e6)
+}
+
+fn main() {
+    let packets = trace();
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "shard scaling on the fig2 workload: {} packets, {cores} host core(s)",
+        packets.len()
+    );
+
+    let shard_cols: Vec<String> = SHARDS.iter().map(|n| format!("{n} shards")).collect();
+    let mut wall_cols: Vec<&str> = vec!["single"];
+    wall_cols.extend(shard_cols.iter().map(String::as_str));
+    let mut table_wall = Table::new(
+        "Sharded engine — wall-clock throughput (this host)",
+        "query",
+        &wall_cols,
+    );
+    let mut model_cols: Vec<&str> = vec!["dispatch ns/t", "worker ns/t"];
+    model_cols.extend(shard_cols.iter().map(String::as_str));
+    model_cols.push("speedup @8");
+    let mut table_model = Table::new(
+        "Sharded engine — modeled capacity (machine-independent)",
+        "query",
+        &model_cols,
+    );
+
+    let mut json_series = String::new();
+    for (label, factory, two_level) in competitors() {
+        let q = query(factory, two_level);
+        let single = measure_query(&q, &packets);
+        let single_tps = 1e9 / single.ns_per_tuple;
+        let dispatch_ns = measure_dispatch_ns(&q, 8, &packets);
+        // The worker re-runs the whole per-tuple pipeline minus the
+        // selection; the single-threaded cost is its ceiling.
+        let worker_ns = single.ns_per_tuple;
+
+        let mut wall_cells = vec![fmt_tps(single_tps)];
+        let mut wall_json = format!("\"1\": {single_tps:.0}");
+        for n in SHARDS {
+            let m = measure_sharded_query(&q, n, &packets);
+            assert_eq!(
+                m.rows,
+                single.rows.len(),
+                "{label}: sharded row count diverged"
+            );
+            wall_cells.push(fmt_tps(m.tuples_per_sec));
+            let _ = write!(wall_json, ", \"{n}\": {:.0}", m.tuples_per_sec);
+        }
+        table_wall.row(label, wall_cells);
+
+        let mut model_cells = vec![format!("{dispatch_ns:.0}"), format!("{worker_ns:.0}")];
+        let mut model_json = format!("\"1\": {single_tps:.0}");
+        let mut capacity_at_8 = single_tps;
+        for n in SHARDS {
+            let cap = sharded_capacity_pps(dispatch_ns, worker_ns, n);
+            capacity_at_8 = cap;
+            model_cells.push(fmt_tps(cap));
+            let _ = write!(model_json, ", \"{n}\": {cap:.0}");
+        }
+        let speedup8 = capacity_at_8 / single_tps;
+        model_cells.push(format!("{speedup8:.1}x"));
+        table_model.row(label, model_cells);
+
+        let _ = writeln!(
+            json_series,
+            "    {{\"label\": \"{label}\", \"two_level\": {two_level}, \
+             \"single_ns_per_tuple\": {:.1}, \"dispatch_ns_per_tuple\": {dispatch_ns:.1}, \
+             \"wallclock_tuples_per_sec\": {{{wall_json}}}, \
+             \"modeled_tuples_per_sec\": {{{model_json}}}, \
+             \"modeled_speedup_at_8_shards\": {speedup8:.2}}},",
+            single.ns_per_tuple
+        );
+    }
+    table_wall.print();
+    table_model.print();
+
+    let json = format!(
+        "{{\n  \"bench\": \"shard_scaling\",\n  \
+         \"workload\": \"fig2 count: 20000 hosts, zipf 1.1, 100000 pkt/s x 20 s, TCP\",\n  \
+         \"host_cores\": {cores},\n  \
+         \"note\": \"wall-clock numbers are bounded by host_cores; modeled numbers apply the paper-style cost model min(1e9/dispatch_ns, n*1e9/worker_ns) to the measured per-tuple costs\",\n  \
+         \"series\": [\n{}  ]\n}}\n",
+        json_series.trim_end_matches(",\n").to_string() + "\n"
+    );
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_shard.json");
+    std::fs::write(out, &json).expect("write BENCH_shard.json");
+    println!("wrote {out}");
+}

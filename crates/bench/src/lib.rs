@@ -9,6 +9,7 @@
 use std::time::Instant;
 
 use fd_engine::engine::{Engine, EngineStats, Row};
+use fd_engine::shard::ShardedEngine;
 use fd_engine::tuple::Packet;
 use fd_engine::udaf::Query;
 
@@ -52,6 +53,90 @@ pub fn measure_query(query: &Query, packets: &[Packet]) -> RunMeasurement {
         space_per_group,
         rows,
     }
+}
+
+/// Outcome of one sharded run.
+#[derive(Debug)]
+pub struct ShardMeasurement {
+    /// End-to-end throughput, tuples/second: ingest of the whole trace
+    /// plus the final flush/merge (`finish`), wall clock.
+    pub tuples_per_sec: f64,
+    /// The same as mean nanoseconds per offered tuple.
+    pub ns_per_tuple: f64,
+    /// Combined engine counters.
+    pub stats: EngineStats,
+    /// Emitted row count (for correctness spot checks).
+    pub rows: usize,
+}
+
+/// Runs `query` over `packets` through an N-shard engine, timing ingest +
+/// final merge wall-clock. Note: on a host with fewer than `n_shards + 1`
+/// cores the workers timeslice with the dispatcher and the wall-clock gain
+/// is bounded by the core count — pair this with
+/// [`fd_engine::metrics::sharded_capacity_pps`] for the
+/// machine-independent view.
+pub fn measure_sharded_query(
+    query: &Query,
+    n_shards: usize,
+    packets: &[Packet],
+) -> ShardMeasurement {
+    // Warm-up pass, same shape as `measure_query`.
+    let warm = &packets[..packets.len().min(50_000)];
+    let mut w = ShardedEngine::new(query.clone(), n_shards);
+    for p in warm {
+        w.process(p);
+    }
+    w.finish();
+
+    let mut engine = ShardedEngine::new(query.clone(), n_shards);
+    let start = Instant::now();
+    for p in packets {
+        engine.process(p);
+    }
+    let rows = engine.finish().len();
+    let elapsed = start.elapsed().as_secs_f64();
+    ShardMeasurement {
+        tuples_per_sec: packets.len() as f64 / elapsed,
+        ns_per_tuple: elapsed * 1e9 / packets.len().max(1) as f64,
+        stats: engine.stats(),
+        rows,
+    }
+}
+
+/// Measures the per-tuple cost of the sharded engine's *dispatch path*
+/// alone — selection, bucket/watermark bookkeeping, group-key hash
+/// routing, staging buffer — with no workers attached. This is the serial
+/// fraction of the sharded design: the ingress thread saturates at
+/// `10⁹ / dispatch_ns` tuples/second no matter how many shards exist
+/// (see [`fd_engine::metrics::sharded_capacity_pps`]).
+pub fn measure_dispatch_ns(query: &Query, n_shards: usize, packets: &[Packet]) -> f64 {
+    assert!(n_shards > 0 && !packets.is_empty());
+    let mut staged: Vec<Vec<Packet>> = vec![Vec::new(); n_shards];
+    let mut watermark: u64 = 0;
+    let mut closed_below: u64 = 0;
+    let start = Instant::now();
+    for pkt in packets {
+        if let Some(f) = &query.filter {
+            if !f(pkt) {
+                continue;
+            }
+        }
+        let bucket = pkt.ts / query.bucket_micros;
+        if bucket < closed_below {
+            continue;
+        }
+        watermark = watermark.max(pkt.ts);
+        let key = (query.group_by)(pkt);
+        let shard = (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) % n_shards as u64) as usize;
+        staged[shard].push(*pkt);
+        if staged[shard].len() >= 1024 {
+            staged[shard].clear(); // stands in for the channel hand-off
+        }
+        closed_below =
+            closed_below.max(watermark.saturating_sub(query.slack_micros) / query.bucket_micros);
+    }
+    std::hint::black_box(&staged);
+    start.elapsed().as_nanos() as f64 / packets.len() as f64
 }
 
 /// Formats a byte count like the paper's log-scale space plots (B, KB, MB).

@@ -308,7 +308,7 @@ impl CliConfig {
         }
     }
 
-    fn query(&self) -> Query {
+    fn query(&self) -> Result<Query, String> {
         let mut b = Query::builder(format!("fdql-{:?}", self.agg))
             .bucket_secs(self.bucket_secs)
             .slack_secs(self.slack_secs)
@@ -322,12 +322,13 @@ impl CliConfig {
             GroupKey::DstKey => b.group_by(|p| p.dst_key()),
             GroupKey::SrcHost => b.group_by(|p| p.src_host()),
         };
-        b.build()
+        b.try_build().map_err(|e| e.to_string())
     }
 }
 
-/// Executes a parsed invocation and returns the rendered output.
-pub fn run(cfg: &CliConfig) -> String {
+/// Executes a parsed invocation and returns the rendered output, or an
+/// error message if the configuration does not form a valid query.
+pub fn try_run(cfg: &CliConfig) -> Result<String, String> {
     let trace = TraceConfig {
         seed: cfg.seed,
         duration_secs: cfg.duration_secs,
@@ -337,7 +338,7 @@ pub fn run(cfg: &CliConfig) -> String {
         burst: cfg.burst,
         ..Default::default()
     };
-    let mut engine = Engine::new(cfg.query());
+    let mut engine = Engine::new(cfg.query()?);
     let mut rows = engine.run(trace.iter());
     let stats = engine.stats();
     if cfg.limit > 0 && rows.len() > cfg.limit {
@@ -359,7 +360,16 @@ pub fn run(cfg: &CliConfig) -> String {
         stats.lfta_evictions,
         stats.late_drops
     );
-    out
+    Ok(out)
+}
+
+/// Executes a parsed invocation and returns the rendered output.
+///
+/// # Panics
+/// Panics if the configuration does not form a valid query; [`try_run`]
+/// is the fallible variant (the `fdql` binary uses it).
+pub fn run(cfg: &CliConfig) -> String {
+    try_run(cfg).unwrap_or_else(|e| panic!("{e}"))
 }
 
 #[cfg(test)]

@@ -5,10 +5,16 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match fd_cli::CliConfig::parse(args.iter().map(String::as_str)) {
-        Ok(cfg) => {
-            print!("{}", fd_cli::run(&cfg));
-            ExitCode::SUCCESS
-        }
+        Ok(cfg) => match fd_cli::try_run(&cfg) {
+            Ok(out) => {
+                print!("{out}");
+                ExitCode::SUCCESS
+            }
+            Err(msg) => {
+                eprintln!("{msg}");
+                ExitCode::FAILURE
+            }
+        },
         Err(msg) => {
             // `--help` also lands here, carrying the usage text.
             eprintln!("{msg}");

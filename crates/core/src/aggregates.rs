@@ -43,7 +43,8 @@ pub struct DecayedCount<G: ForwardDecay> {
 impl<G: ForwardDecay> DecayedCount<G> {
     /// Creates an empty decayed count with the given decay function and
     /// landmark.
-    pub fn new(g: G, landmark: Timestamp) -> Self {
+    pub fn new(g: G, landmark: impl Into<Timestamp>) -> Self {
+        let landmark = landmark.into();
         Self {
             g,
             renorm: Renormalizer::new(landmark),
@@ -55,7 +56,8 @@ impl<G: ForwardDecay> DecayedCount<G> {
 
     /// Ingests an item with timestamp `t_i ≥ L`.
     #[inline]
-    pub fn update(&mut self, t_i: Timestamp) {
+    pub fn update(&mut self, t_i: impl Into<Timestamp>) {
+        let t_i = t_i.into();
         if let Some(factor) = self.renorm.pre_update(&self.g, t_i) {
             self.acc *= factor;
         }
@@ -68,7 +70,8 @@ impl<G: ForwardDecay> DecayedCount<G> {
     /// largest timestamp observed, else some weights exceed 1 (Section VI-B
     /// permits this for "historical" queries).
     #[inline]
-    pub fn query(&self, t: Timestamp) -> f64 {
+    pub fn query(&self, t: impl Into<Timestamp>) -> f64 {
+        let t = t.into();
         if self.acc == 0.0 {
             return 0.0;
         }
@@ -137,7 +140,8 @@ pub struct DecayedSum<G: ForwardDecay> {
 
 impl<G: ForwardDecay> DecayedSum<G> {
     /// Creates an empty decayed sum.
-    pub fn new(g: G, landmark: Timestamp) -> Self {
+    pub fn new(g: G, landmark: impl Into<Timestamp>) -> Self {
+        let landmark = landmark.into();
         Self {
             g,
             renorm: Renormalizer::new(landmark),
@@ -149,7 +153,8 @@ impl<G: ForwardDecay> DecayedSum<G> {
 
     /// Ingests an item `(t_i, v_i)` with `t_i ≥ L`.
     #[inline]
-    pub fn update(&mut self, t_i: Timestamp, v: f64) {
+    pub fn update(&mut self, t_i: impl Into<Timestamp>, v: f64) {
+        let t_i = t_i.into();
         if let Some(factor) = self.renorm.pre_update(&self.g, t_i) {
             self.acc *= factor;
         }
@@ -160,7 +165,8 @@ impl<G: ForwardDecay> DecayedSum<G> {
 
     /// The decayed sum at query time `t`.
     #[inline]
-    pub fn query(&self, t: Timestamp) -> f64 {
+    pub fn query(&self, t: impl Into<Timestamp>) -> f64 {
+        let t = t.into();
         if self.n == 0 {
             return 0.0;
         }
@@ -216,7 +222,8 @@ pub struct DecayedAverage<G: ForwardDecay> {
 
 impl<G: ForwardDecay> DecayedAverage<G> {
     /// Creates an empty decayed average.
-    pub fn new(g: G, landmark: Timestamp) -> Self {
+    pub fn new(g: G, landmark: impl Into<Timestamp>) -> Self {
+        let landmark = landmark.into();
         Self {
             sum: DecayedSum::new(g.clone(), landmark),
             count: DecayedCount::new(g, landmark),
@@ -225,14 +232,16 @@ impl<G: ForwardDecay> DecayedAverage<G> {
 
     /// Ingests an item `(t_i, v_i)`.
     #[inline]
-    pub fn update(&mut self, t_i: Timestamp, v: f64) {
+    pub fn update(&mut self, t_i: impl Into<Timestamp>, v: f64) {
+        let t_i = t_i.into();
         self.sum.update(t_i, v);
         self.count.update(t_i);
     }
 
     /// The decayed average; `None` if no items (or all weights zero).
     #[inline]
-    pub fn query(&self, t: Timestamp) -> Option<f64> {
+    pub fn query(&self, t: impl Into<Timestamp>) -> Option<f64> {
+        let t = t.into();
         let c = self.count.query(t);
         if c == 0.0 {
             None
@@ -261,7 +270,8 @@ pub struct DecayedVariance<G: ForwardDecay> {
 
 impl<G: ForwardDecay> DecayedVariance<G> {
     /// Creates an empty decayed variance.
-    pub fn new(g: G, landmark: Timestamp) -> Self {
+    pub fn new(g: G, landmark: impl Into<Timestamp>) -> Self {
+        let landmark = landmark.into();
         Self {
             sum_sq: DecayedSum::new(g.clone(), landmark),
             sum: DecayedSum::new(g.clone(), landmark),
@@ -271,7 +281,8 @@ impl<G: ForwardDecay> DecayedVariance<G> {
 
     /// Ingests an item `(t_i, v_i)`.
     #[inline]
-    pub fn update(&mut self, t_i: Timestamp, v: f64) {
+    pub fn update(&mut self, t_i: impl Into<Timestamp>, v: f64) {
+        let t_i = t_i.into();
         self.sum_sq.update(t_i, v * v);
         self.sum.update(t_i, v);
         self.count.update(t_i);
@@ -279,7 +290,8 @@ impl<G: ForwardDecay> DecayedVariance<G> {
 
     /// The decayed variance; `None` if no items. Clamped at zero against
     /// floating-point cancellation.
-    pub fn query(&self, t: Timestamp) -> Option<f64> {
+    pub fn query(&self, t: impl Into<Timestamp>) -> Option<f64> {
+        let t = t.into();
         let c = self.count.query(t);
         if c == 0.0 {
             return None;
@@ -289,7 +301,8 @@ impl<G: ForwardDecay> DecayedVariance<G> {
     }
 
     /// The decayed mean, as a convenience.
-    pub fn mean(&self, t: Timestamp) -> Option<f64> {
+    pub fn mean(&self, t: impl Into<Timestamp>) -> Option<f64> {
+        let t = t.into();
         let c = self.count.query(t);
         if c == 0.0 {
             None
@@ -329,7 +342,8 @@ pub struct DecayedExtremum<G: ForwardDecay> {
 
 impl<G: ForwardDecay> DecayedExtremum<G> {
     /// Creates a decayed-minimum tracker.
-    pub fn min(g: G, landmark: Timestamp) -> Self {
+    pub fn min(g: G, landmark: impl Into<Timestamp>) -> Self {
+        let landmark = landmark.into();
         Self {
             g,
             renorm: Renormalizer::new(landmark),
@@ -339,7 +353,8 @@ impl<G: ForwardDecay> DecayedExtremum<G> {
     }
 
     /// Creates a decayed-maximum tracker.
-    pub fn max(g: G, landmark: Timestamp) -> Self {
+    pub fn max(g: G, landmark: impl Into<Timestamp>) -> Self {
+        let landmark = landmark.into();
         Self {
             g,
             renorm: Renormalizer::new(landmark),
@@ -350,7 +365,8 @@ impl<G: ForwardDecay> DecayedExtremum<G> {
 
     /// Ingests an item `(t_i, v_i)`.
     #[inline]
-    pub fn update(&mut self, t_i: Timestamp, v: f64) {
+    pub fn update(&mut self, t_i: impl Into<Timestamp>, v: f64) {
+        let t_i = t_i.into();
         if let Some(factor) = self.renorm.pre_update(&self.g, t_i) {
             if let Some((key, _, _)) = &mut self.best {
                 *key *= factor;
@@ -369,7 +385,8 @@ impl<G: ForwardDecay> DecayedExtremum<G> {
 
     /// The decayed extremal value at query time `t`, with the item
     /// `(t_i, v_i)` that achieves it. `None` if empty.
-    pub fn query(&self, t: Timestamp) -> Option<(f64, Timestamp, f64)> {
+    pub fn query(&self, t: impl Into<Timestamp>) -> Option<(f64, Timestamp, f64)> {
+        let t = t.into();
         let (key, t_i, v) = self.best?;
         let denom = self.g.g(t - self.renorm.landmark());
         if denom == 0.0 {
@@ -413,13 +430,137 @@ impl<G: ForwardDecay> Mergeable for DecayedExtremum<G> {
     }
 }
 
+// ----- unified Summary API ------------------------------------------------
+
+use crate::summary::Summary;
+
+impl<G: ForwardDecay> DecayedCount<G> {
+    /// The landmark `L` passed at construction.
+    pub fn landmark(&self) -> Timestamp {
+        self.renorm.original_landmark()
+    }
+}
+
+impl<G: ForwardDecay> Summary for DecayedCount<G> {
+    type Update = ();
+    type Output = f64;
+
+    fn landmark(&self) -> Timestamp {
+        self.landmark()
+    }
+
+    fn update_at(&mut self, t_i: Timestamp, _u: ()) {
+        self.update(t_i);
+    }
+
+    fn query_at(&self, t: Timestamp) -> f64 {
+        self.query(t)
+    }
+}
+
+impl<G: ForwardDecay> DecayedSum<G> {
+    /// The landmark `L` passed at construction.
+    pub fn landmark(&self) -> Timestamp {
+        self.renorm.original_landmark()
+    }
+}
+
+impl<G: ForwardDecay> Summary for DecayedSum<G> {
+    type Update = f64;
+    type Output = f64;
+
+    fn landmark(&self) -> Timestamp {
+        self.landmark()
+    }
+
+    fn update_at(&mut self, t_i: Timestamp, v: f64) {
+        self.update(t_i, v);
+    }
+
+    fn query_at(&self, t: Timestamp) -> f64 {
+        self.query(t)
+    }
+}
+
+impl<G: ForwardDecay> DecayedAverage<G> {
+    /// The landmark `L` passed at construction.
+    pub fn landmark(&self) -> Timestamp {
+        self.sum.landmark()
+    }
+}
+
+impl<G: ForwardDecay> Summary for DecayedAverage<G> {
+    type Update = f64;
+    type Output = Option<f64>;
+
+    fn landmark(&self) -> Timestamp {
+        self.landmark()
+    }
+
+    fn update_at(&mut self, t_i: Timestamp, v: f64) {
+        self.update(t_i, v);
+    }
+
+    fn query_at(&self, t: Timestamp) -> Option<f64> {
+        self.query(t)
+    }
+}
+
+impl<G: ForwardDecay> DecayedVariance<G> {
+    /// The landmark `L` passed at construction.
+    pub fn landmark(&self) -> Timestamp {
+        self.sum.landmark()
+    }
+}
+
+impl<G: ForwardDecay> Summary for DecayedVariance<G> {
+    type Update = f64;
+    type Output = Option<f64>;
+
+    fn landmark(&self) -> Timestamp {
+        self.landmark()
+    }
+
+    fn update_at(&mut self, t_i: Timestamp, v: f64) {
+        self.update(t_i, v);
+    }
+
+    fn query_at(&self, t: Timestamp) -> Option<f64> {
+        self.query(t)
+    }
+}
+
+impl<G: ForwardDecay> DecayedExtremum<G> {
+    /// The landmark `L` passed at construction.
+    pub fn landmark(&self) -> Timestamp {
+        self.renorm.original_landmark()
+    }
+}
+
+impl<G: ForwardDecay> Summary for DecayedExtremum<G> {
+    type Update = f64;
+    type Output = Option<(f64, Timestamp, f64)>;
+
+    fn landmark(&self) -> Timestamp {
+        self.landmark()
+    }
+
+    fn update_at(&mut self, t_i: Timestamp, v: f64) {
+        self.update(t_i, v);
+    }
+
+    fn query_at(&self, t: Timestamp) -> Option<(f64, Timestamp, f64)> {
+        self.query(t)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::decay::{Exponential, LandmarkWindow, Monomial, NoDecay};
 
     /// The stream of Examples 1–2 of the paper.
-    fn example_stream() -> [(Timestamp, f64); 5] {
+    fn example_stream() -> [(f64, f64); 5] {
         [
             (105.0, 4.0),
             (107.0, 8.0),
@@ -566,7 +707,8 @@ mod tests {
         mn.update(5.0, -2.0);
         mn.update(9.0, 1.0);
         let (val, t_i, v) = mn.query(10.0).unwrap();
-        assert_eq!((t_i, v), (5.0, -2.0));
+        assert_eq!(t_i, 5.0);
+        assert_eq!(v, -2.0);
         assert!((val - g.weight(0.0, 5.0, 10.0) * -2.0).abs() < 1e-12);
     }
 

@@ -93,13 +93,15 @@ impl ExponentialHistogram {
 
     /// Inserts one element (a count of 1) at time `t`.
     #[inline]
-    pub fn insert(&mut self, t: Timestamp) {
+    pub fn insert(&mut self, t: impl Into<Timestamp>) {
+        let t = t.into();
         self.insert_value(t, 1);
     }
 
     /// Inserts an element of value `v ≥ 1` at time `t` (the EH-for-sums
     /// variant).
-    pub fn insert_value(&mut self, t: Timestamp, v: u64) {
+    pub fn insert_value(&mut self, t: impl Into<Timestamp>, v: u64) {
+        let t = t.into();
         debug_assert!(v >= 1);
         self.total += v;
         let class = 63 - v.leading_zeros() as usize; // ⌊log₂ v⌋
@@ -176,7 +178,8 @@ impl ExponentialHistogram {
     /// Approximate count/sum of elements with timestamp in `(t − window,
     /// t]`: buckets fully inside count fully, the straddling bucket counts
     /// half. Relative error bounded by `≈ 1/(max_per_class − 2)`.
-    pub fn window_query(&self, window: f64, t: Timestamp) -> f64 {
+    pub fn window_query(&self, window: f64, t: impl Into<Timestamp>) -> f64 {
+        let t = t.into();
         let cutoff = t - window;
         let mut acc = 0.0;
         let mut straddler: Option<&EhBucket> = None;
@@ -206,12 +209,13 @@ impl ExponentialHistogram {
     /// function `f` supplied now, at query time. Each bucket is weighted by
     /// `f` at the midpoint of its time span; the within-bucket spread is
     /// what the EH's ε controls.
-    pub fn decayed_query<F: BackwardDecay>(&self, f: &F, t: Timestamp) -> f64 {
+    pub fn decayed_query<F: BackwardDecay>(&self, f: &F, t: impl Into<Timestamp>) -> f64 {
+        let t = t.into();
         let f0 = f.f(0.0);
         let mut acc = 0.0;
         for class in &self.classes {
             for b in class {
-                let mid = 0.5 * (b.newest + b.oldest);
+                let mid = Timestamp::from_micros((b.newest.as_micros() + b.oldest.as_micros()) / 2);
                 let age = (t - mid).max(0.0);
                 acc += b.size as f64 * f.f(age) / f0;
             }
@@ -225,7 +229,7 @@ impl ExponentialHistogram {
         for class in &self.classes {
             out.extend(class.iter().copied());
         }
-        out.sort_by(|a, b| b.newest.total_cmp(&a.newest));
+        out.sort_by_key(|n| std::cmp::Reverse(n.newest));
         out
     }
 
@@ -298,14 +302,14 @@ struct Level {
 
 impl Level {
     fn insert(&mut self, t: Timestamp, item: u64) {
-        let aligned = (t / self.span).floor() * self.span;
+        let aligned = (t.as_secs_f64() / self.span).floor() * self.span;
         let needs_seal = self.current.as_ref().is_some_and(|c| c.start != aligned);
         if needs_seal {
             self.sealed
                 .push(self.current.take().expect("checked above"));
         }
         let cur = self.current.get_or_insert_with(|| Interval {
-            start: aligned,
+            start: aligned.into(),
             counts: HashMap::new(),
             total: 0,
         });
@@ -367,7 +371,8 @@ impl SlidingWindowHH {
 
     /// Ingests an occurrence of `item` at time `t ≥ 0`. O(levels) hash-map
     /// updates.
-    pub fn update(&mut self, t: Timestamp, item: u64) {
+    pub fn update(&mut self, t: impl Into<Timestamp>, item: u64) {
+        let t = t.into();
         debug_assert!(t >= 0.0, "dyadic time decomposition needs t ≥ 0");
         self.items += 1;
         for level in &mut self.levels {
@@ -410,7 +415,8 @@ impl SlidingWindowHH {
     /// the finest level whose intervals tile the window (straddling
     /// intervals contribute proportionally — the source of the structure's
     /// approximation).
-    pub fn window_count(&self, item: u64, window: f64, t: Timestamp) -> f64 {
+    pub fn window_count(&self, item: u64, window: f64, t: impl Into<Timestamp>) -> f64 {
+        let t = t.into();
         let cutoff = t - window;
         let mut acc = 0.0;
         for iv in self.levels[0].intervals() {
@@ -436,8 +442,9 @@ impl SlidingWindowHH {
     pub fn decayed_counts<F: BackwardDecay>(
         &self,
         f: &F,
-        t: Timestamp,
+        t: impl Into<Timestamp>,
     ) -> (HashMap<u64, f64>, f64) {
+        let t = t.into();
         let f0 = f.f(0.0);
         let mut acc: HashMap<u64, f64> = HashMap::new();
         let mut total = 0.0;
@@ -463,9 +470,10 @@ impl SlidingWindowHH {
     pub fn heavy_hitters<F: BackwardDecay>(
         &self,
         f: &F,
-        t: Timestamp,
+        t: impl Into<Timestamp>,
         phi: f64,
     ) -> Vec<HeavyHitter> {
+        let t = t.into();
         let (counts, total) = self.decayed_counts(f, t);
         let threshold = phi * total;
         let mut out: Vec<HeavyHitter> = counts
@@ -520,7 +528,8 @@ impl DeterministicWave {
     }
 
     /// Inserts one element at time `t` (non-decreasing).
-    pub fn insert(&mut self, t: Timestamp) {
+    pub fn insert(&mut self, t: impl Into<Timestamp>) {
+        let t = t.into();
         let seq = self.n;
         self.n += 1;
         // Element seq belongs to levels 0 ..= trailing_zeros(seq).
@@ -549,7 +558,8 @@ impl DeterministicWave {
 
     /// Approximate count of elements with timestamp in `(t − window, t]`,
     /// within relative error ε.
-    pub fn window_query(&self, window: f64, t: Timestamp) -> f64 {
+    pub fn window_query(&self, window: f64, t: impl Into<Timestamp>) -> f64 {
+        let t = t.into();
         let cutoff = t - window;
         // Find the finest level whose oldest record is at or before the
         // cutoff (so the boundary is covered).
@@ -622,7 +632,8 @@ impl WaveSum {
     }
 
     /// Inserts a value `v ≥ 0` at time `t` (non-decreasing).
-    pub fn insert(&mut self, t: Timestamp, v: u64) {
+    pub fn insert(&mut self, t: impl Into<Timestamp>, v: u64) {
+        let t = t.into();
         let before = self.cum;
         self.cum += v;
         // Record a checkpoint at every level whose stride was crossed. If
@@ -650,7 +661,8 @@ impl WaveSum {
 
     /// Approximate sum of values with timestamp in `(t − window, t]`,
     /// within relative error ε.
-    pub fn window_query(&self, window: f64, t: Timestamp) -> f64 {
+    pub fn window_query(&self, window: f64, t: impl Into<Timestamp>) -> f64 {
+        let t = t.into();
         let cutoff = t - window;
         for level in &self.levels {
             let Some(&(_, oldest_ts)) = level.front() else {
@@ -734,7 +746,8 @@ impl PrefixBackwardHH {
 
     /// Ingests an occurrence of `item` at time `t`: one EH insertion per
     /// prefix level (`domain_bits + 1` insertions).
-    pub fn update(&mut self, t: Timestamp, item: u64) {
+    pub fn update(&mut self, t: impl Into<Timestamp>, item: u64) {
+        let t = t.into();
         self.items += 1;
         let masked = item & ((1u64 << self.domain_bits) - 1);
         let eps = self.epsilon;
@@ -781,7 +794,8 @@ impl PrefixBackwardHH {
     }
 
     /// The decayed total count `C` under `f` at time `t` (the root node).
-    pub fn decayed_total<F: BackwardDecay>(&self, f: &F, t: Timestamp) -> f64 {
+    pub fn decayed_total<F: BackwardDecay>(&self, f: &F, t: impl Into<Timestamp>) -> f64 {
+        let t = t.into();
         self.node_count_decayed(self.domain_bits, 0, f, t)
     }
 
@@ -790,9 +804,10 @@ impl PrefixBackwardHH {
     pub fn heavy_hitters<F: BackwardDecay>(
         &self,
         f: &F,
-        t: Timestamp,
+        t: impl Into<Timestamp>,
         phi: f64,
     ) -> Vec<HeavyHitter> {
+        let t = t.into();
         let total = self.decayed_total(f, t);
         let threshold = phi * total;
         if total <= 0.0 {
@@ -822,13 +837,90 @@ impl PrefixBackwardHH {
     }
 }
 
+impl crate::merge::Mergeable for SlidingWindowHH {
+    /// Distributed merge of two dyadic decompositions with identical pane
+    /// configuration: intervals covering the same `[start, start + span)`
+    /// range have their exact per-key counts added; disjoint intervals are
+    /// adopted as-is. Exactness is preserved — both sides hold exact counts
+    /// per interval, so the merged structure answers any window or decayed
+    /// query as if the concatenated stream had been ingested at one site.
+    fn merge_from(&mut self, other: &Self) {
+        assert_eq!(
+            self.pane_duration, other.pane_duration,
+            "pane durations must match"
+        );
+        assert_eq!(
+            self.levels.len(),
+            other.levels.len(),
+            "level counts must match"
+        );
+        for (mine, theirs) in self.levels.iter_mut().zip(&other.levels) {
+            // Index every interval (sealed and current) by start time.
+            // Out-of-order sealing can leave several intervals with the
+            // same start on either side — fold them all together.
+            let mut by_start: std::collections::HashMap<Timestamp, Interval> =
+                std::collections::HashMap::new();
+            let mut absorb = |iv: Interval| match by_start.entry(iv.start) {
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    let acc = e.get_mut();
+                    for (&k, &c) in &iv.counts {
+                        *acc.counts.entry(k).or_insert(0) += c;
+                    }
+                    acc.total += iv.total;
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(iv);
+                }
+            };
+            for iv in mine.sealed.drain(..).chain(mine.current.take()) {
+                absorb(iv);
+            }
+            for iv in theirs.intervals() {
+                absorb(iv.clone());
+            }
+            let mut merged: Vec<Interval> = by_start.into_values().collect();
+            merged.sort_by_key(|iv| iv.start);
+            // The newest interval becomes `current` so later in-order
+            // arrivals extend it instead of sealing a fresh one.
+            mine.current = merged.pop();
+            mine.sealed = merged;
+        }
+        self.items += other.items;
+    }
+}
+
+impl crate::merge::Mergeable for PrefixBackwardHH {
+    /// Distributed merge: per-prefix exponential histograms are merged
+    /// node-wise (missing nodes are adopted whole). Each node inherits the
+    /// EH merge guarantee — exact totals, window error up to twice the
+    /// single-site bound.
+    fn merge_from(&mut self, other: &Self) {
+        assert_eq!(
+            self.domain_bits, other.domain_bits,
+            "domain sizes must match"
+        );
+        assert_eq!(self.epsilon, other.epsilon, "precision must match");
+        for (key, eh) in &other.nodes {
+            match self.nodes.entry(*key) {
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    e.get_mut().merge_from(eh);
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(eh.clone());
+                }
+            }
+        }
+        self.items += other.items;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::decay::{BackExponential, BackPolynomial, BackSlidingWindow, BackwardDecay};
 
     /// A deterministic stream: one element per 0.1 s for `n` elements.
-    fn ts_stream(n: usize) -> Vec<Timestamp> {
+    fn ts_stream(n: usize) -> Vec<f64> {
         (0..n).map(|i| i as f64 * 0.1).collect()
     }
 

@@ -155,7 +155,15 @@ pub struct DecayedCmHeavyHitters<G: ForwardDecay> {
 impl<G: ForwardDecay> DecayedCmHeavyHitters<G> {
     /// Creates a tracker for φ-heavy-hitters with sketch error `ε` (choose
     /// `ε ≤ φ/2` for useful answers) and failure probability `δ`.
-    pub fn new(g: G, landmark: Timestamp, phi: f64, epsilon: f64, delta: f64, seed: u64) -> Self {
+    pub fn new(
+        g: G,
+        landmark: impl Into<Timestamp>,
+        phi: f64,
+        epsilon: f64,
+        delta: f64,
+        seed: u64,
+    ) -> Self {
+        let landmark = landmark.into();
         assert!(phi > 0.0 && phi < 1.0);
         let capacity = (8.0 / phi).ceil() as usize;
         Self {
@@ -169,7 +177,8 @@ impl<G: ForwardDecay> DecayedCmHeavyHitters<G> {
     }
 
     /// Ingests an occurrence of `item` at time `t_i ≥ L`.
-    pub fn update(&mut self, t_i: Timestamp, item: u64) {
+    pub fn update(&mut self, t_i: impl Into<Timestamp>, item: u64) {
+        let t_i = t_i.into();
         if let Some(factor) = self.renorm.pre_update(&self.g, t_i) {
             self.sketch.scale_all(factor);
             for est in self.candidates.values_mut() {
@@ -206,7 +215,8 @@ impl<G: ForwardDecay> DecayedCmHeavyHitters<G> {
     }
 
     /// The total decayed count `C` at query time `t`.
-    pub fn decayed_count(&self, t: Timestamp) -> f64 {
+    pub fn decayed_count(&self, t: impl Into<Timestamp>) -> f64 {
+        let t = t.into();
         let denom = self.g.g(t - self.renorm.landmark());
         if denom == 0.0 {
             0.0
@@ -217,7 +227,8 @@ impl<G: ForwardDecay> DecayedCmHeavyHitters<G> {
 
     /// The φ-heavy-hitters at query time `t` (the φ fixed at construction),
     /// heaviest first.
-    pub fn heavy_hitters(&self, t: Timestamp) -> Vec<HeavyHitter> {
+    pub fn heavy_hitters(&self, t: impl Into<Timestamp>) -> Vec<HeavyHitter> {
+        let t = t.into();
         let denom = self.g.g(t - self.renorm.landmark());
         if denom == 0.0 {
             return Vec::new();
@@ -239,7 +250,8 @@ impl<G: ForwardDecay> DecayedCmHeavyHitters<G> {
     }
 
     /// Estimated decayed count of `item` at time `t` (sketch upper bound).
-    pub fn estimate(&self, item: u64, t: Timestamp) -> f64 {
+    pub fn estimate(&self, item: u64, t: impl Into<Timestamp>) -> f64 {
+        let t = t.into();
         let denom = self.g.g(t - self.renorm.landmark());
         if denom == 0.0 {
             0.0
@@ -251,6 +263,41 @@ impl<G: ForwardDecay> DecayedCmHeavyHitters<G> {
     /// Approximate memory footprint in bytes.
     pub fn size_bytes(&self) -> usize {
         self.sketch.size_bytes() + self.candidates.capacity() * 24 + std::mem::size_of::<Self>()
+    }
+}
+
+impl<G: ForwardDecay> Mergeable for DecayedCmHeavyHitters<G> {
+    /// Distributed merge: sketches are aligned to a common effective
+    /// landmark (rescaling the side that renormalized less) and added;
+    /// candidate sets are unioned, re-estimated against the merged sketch
+    /// and pruned back to capacity.
+    fn merge_from(&mut self, other: &Self) {
+        assert_eq!(
+            self.renorm.original_landmark(),
+            other.renorm.original_landmark(),
+            "summaries must share a landmark"
+        );
+        assert_eq!(self.phi, other.phi, "phi must match");
+        if other.renorm.landmark() > self.renorm.landmark() {
+            if let Some(f) = self.renorm.rescale_to(&self.g, other.renorm.landmark()) {
+                self.sketch.scale_all(f);
+            }
+            self.sketch.merge_from(&other.sketch);
+        } else if other.renorm.landmark() < self.renorm.landmark() {
+            let mut o = other.sketch.clone();
+            o.scale_all(1.0 / self.g.g(self.renorm.landmark() - other.renorm.landmark()));
+            self.sketch.merge_from(&o);
+        } else {
+            self.sketch.merge_from(&other.sketch);
+        }
+        let sketch = &self.sketch;
+        for &item in other.candidates.keys() {
+            let est = sketch.query(item);
+            self.candidates.insert(item, est);
+        }
+        // prune() re-estimates every candidate against the merged sketch
+        // and enforces the capacity bound.
+        self.prune();
     }
 }
 

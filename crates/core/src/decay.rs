@@ -18,6 +18,7 @@
 //! [`BackExponential`] backward decay (Section III-A) — a property tested
 //! here and exploited by the samplers in [`crate::sampling`].
 
+use crate::error::Error;
 use crate::Timestamp;
 
 // ---------------------------------------------------------------------------
@@ -56,7 +57,13 @@ pub trait ForwardDecay: Clone + Send + Sync + 'static {
     /// arrived at `t_i`, evaluated at time `t ≥ t_i`, with landmark
     /// `L ≤ t_i`.
     #[inline]
-    fn weight(&self, landmark: Timestamp, t_i: Timestamp, t: Timestamp) -> f64 {
+    fn weight(
+        &self,
+        landmark: impl Into<Timestamp>,
+        t_i: impl Into<Timestamp>,
+        t: impl Into<Timestamp>,
+    ) -> f64 {
+        let (landmark, t_i, t) = (landmark.into(), t_i.into(), t.into());
         debug_assert!(t_i >= landmark, "item precedes landmark");
         let denom = self.g(t - landmark);
         if denom == 0.0 {
@@ -106,13 +113,19 @@ impl Monomial {
     /// Creates `g(n) = n^β`.
     ///
     /// # Panics
-    /// Panics if `beta` is not finite and positive.
+    /// Panics if `beta` is not finite and positive; see [`try_new`] for
+    /// the fallible variant.
+    ///
+    /// [`try_new`]: Monomial::try_new
     pub fn new(beta: f64) -> Self {
-        assert!(
-            beta.is_finite() && beta > 0.0,
-            "β must be positive, got {beta}"
-        );
-        Self { beta }
+        Self::try_new(beta).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Creates `g(n) = n^β`, rejecting a non-finite or non-positive `beta`.
+    pub fn try_new(beta: f64) -> Result<Self, Error> {
+        Ok(Self {
+            beta: crate::error::require_positive("beta", beta)?,
+        })
     }
 
     /// Quadratic decay `g(n) = n²`, the paper's running example.
@@ -161,20 +174,39 @@ impl Exponential {
     /// Creates `g(n) = exp(αn)`.
     ///
     /// # Panics
-    /// Panics if `alpha` is not finite and positive.
+    /// Panics if `alpha` is not finite and positive; see [`try_new`] for
+    /// the fallible variant.
+    ///
+    /// [`try_new`]: Exponential::try_new
     pub fn new(alpha: f64) -> Self {
-        assert!(
-            alpha.is_finite() && alpha > 0.0,
-            "α must be positive, got {alpha}"
-        );
-        Self { alpha }
+        Self::try_new(alpha).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Creates `g(n) = exp(αn)`, rejecting a non-finite or non-positive
+    /// `alpha`.
+    pub fn try_new(alpha: f64) -> Result<Self, Error> {
+        Ok(Self {
+            alpha: crate::error::require_positive("alpha", alpha)?,
+        })
     }
 
     /// Creates the exponential decay whose weight halves every `half_life`
     /// seconds.
+    ///
+    /// # Panics
+    /// Panics if `half_life` is not finite and positive; see
+    /// [`try_with_half_life`] for the fallible variant.
+    ///
+    /// [`try_with_half_life`]: Exponential::try_with_half_life
     pub fn with_half_life(half_life: f64) -> Self {
-        assert!(half_life.is_finite() && half_life > 0.0);
-        Self::new(std::f64::consts::LN_2 / half_life)
+        Self::try_with_half_life(half_life).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Creates the exponential decay whose weight halves every `half_life`
+    /// seconds, rejecting a non-finite or non-positive half-life.
+    pub fn try_with_half_life(half_life: f64) -> Result<Self, Error> {
+        let half_life = crate::error::require_positive("half_life", half_life)?;
+        Self::try_new(std::f64::consts::LN_2 / half_life)
     }
 
     /// The rate α.
@@ -230,18 +262,38 @@ impl PolySum {
     ///
     /// # Panics
     /// Panics if coefficients are empty, any is negative or non-finite, or
-    /// all are zero (g would not be positive).
+    /// all are zero (g would not be positive); see [`try_new`] for the
+    /// fallible variant.
+    ///
+    /// [`try_new`]: PolySum::try_new
     pub fn new(coeffs: Vec<f64>) -> Self {
-        assert!(!coeffs.is_empty(), "need at least one coefficient");
-        assert!(
-            coeffs.iter().all(|c| c.is_finite() && *c >= 0.0),
-            "coefficients must be non-negative and finite"
-        );
-        assert!(
-            coeffs.iter().any(|c| *c > 0.0),
-            "at least one coefficient must be positive"
-        );
-        Self { coeffs }
+        Self::try_new(coeffs).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Creates `g(n) = Σ_j coeffs[j] · n^j`, rejecting empty, negative,
+    /// non-finite or all-zero coefficients.
+    pub fn try_new(coeffs: Vec<f64>) -> Result<Self, Error> {
+        if coeffs.is_empty() {
+            return Err(Error::MissingComponent {
+                builder: "PolySum",
+                component: "coefficients",
+            });
+        }
+        if let Some(bad) = coeffs.iter().find(|c| !c.is_finite() || **c < 0.0) {
+            return Err(Error::InvalidParameter {
+                name: "coeffs",
+                value: *bad,
+                requirement: "non-negative and finite",
+            });
+        }
+        if !coeffs.iter().any(|c| *c > 0.0) {
+            return Err(Error::InvalidParameter {
+                name: "coeffs",
+                value: 0.0,
+                requirement: "positive for at least one coefficient",
+            });
+        }
+        Ok(Self { coeffs })
     }
 
     /// The coefficients γ_j, lowest degree first.
@@ -337,30 +389,15 @@ impl std::str::FromStr for AnyDecay {
         match kind {
             "none" => Ok(AnyDecay::None),
             "landmark" => Ok(AnyDecay::Landmark(LandmarkWindow)),
-            "poly" => {
-                let beta = num(arg)?;
-                if beta > 0.0 && beta.is_finite() {
-                    Ok(AnyDecay::Monomial(Monomial::new(beta)))
-                } else {
-                    Err(format!("poly exponent must be positive, got {beta}"))
-                }
-            }
-            "exp" => {
-                let alpha = num(arg)?;
-                if alpha > 0.0 && alpha.is_finite() {
-                    Ok(AnyDecay::Exponential(Exponential::new(alpha)))
-                } else {
-                    Err(format!("exp rate must be positive, got {alpha}"))
-                }
-            }
-            "halflife" => {
-                let hl = num(arg)?;
-                if hl > 0.0 && hl.is_finite() {
-                    Ok(AnyDecay::Exponential(Exponential::with_half_life(hl)))
-                } else {
-                    Err(format!("half-life must be positive, got {hl}"))
-                }
-            }
+            "poly" => Monomial::try_new(num(arg)?)
+                .map(AnyDecay::Monomial)
+                .map_err(|e| e.to_string()),
+            "exp" => Exponential::try_new(num(arg)?)
+                .map(AnyDecay::Exponential)
+                .map_err(|e| e.to_string()),
+            "halflife" => Exponential::try_with_half_life(num(arg)?)
+                .map(AnyDecay::Exponential)
+                .map_err(|e| e.to_string()),
             other => Err(format!(
                 "unknown decay '{other}' (none|landmark|poly:β|exp:α|halflife:s)"
             )),
@@ -380,7 +417,8 @@ pub trait BackwardDecay: Clone + Send + Sync + 'static {
 
     /// The decayed weight `w(i, t) = f(t − t_i) / f(0)`.
     #[inline]
-    fn weight(&self, t_i: Timestamp, t: Timestamp) -> f64 {
+    fn weight(&self, t_i: impl Into<Timestamp>, t: impl Into<Timestamp>) -> f64 {
+        let (t_i, t) = (t_i.into(), t.into());
         debug_assert!(t >= t_i, "query time precedes item");
         self.f(t - t_i) / self.f(0.0)
     }
@@ -539,10 +577,11 @@ impl BackwardDecay for SuperExponential {
 /// Intended for tests and for validating user-supplied decay functions.
 pub fn check_forward_axioms<G: ForwardDecay>(
     g: &G,
-    landmark: Timestamp,
-    horizon: Timestamp,
+    landmark: impl Into<Timestamp>,
+    horizon: impl Into<Timestamp>,
     steps: usize,
 ) -> Result<(), String> {
+    let (landmark, horizon) = (landmark.into(), horizon.into());
     assert!(horizon > landmark && steps >= 2);
     let dt = (horizon - landmark) / steps as f64;
     for i in 1..=steps {
@@ -783,9 +822,25 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "β must be positive")]
+    #[should_panic(expected = "invalid beta")]
     fn monomial_rejects_nonpositive_beta() {
         let _ = Monomial::new(0.0);
+    }
+
+    #[test]
+    fn try_constructors_report_instead_of_panicking() {
+        assert!(Monomial::try_new(2.0).is_ok());
+        assert!(Monomial::try_new(0.0).is_err());
+        assert!(Monomial::try_new(f64::NAN).is_err());
+        assert!(Exponential::try_new(-1.0).is_err());
+        assert!(Exponential::try_with_half_life(0.0).is_err());
+        assert!(Exponential::try_with_half_life(60.0).is_ok());
+        assert!(PolySum::try_new(vec![]).is_err());
+        assert!(PolySum::try_new(vec![0.0, 0.0]).is_err());
+        assert!(PolySum::try_new(vec![1.0, -1.0]).is_err());
+        assert!(PolySum::try_new(vec![0.0, 1.0]).is_ok());
+        let msg = Monomial::try_new(0.0).unwrap_err().to_string();
+        assert!(msg.contains("beta") && msg.contains("> 0"), "{msg}");
     }
 
     #[test]

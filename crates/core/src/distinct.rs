@@ -55,7 +55,8 @@ pub struct ExactDominance<G: ForwardDecay> {
 
 impl<G: ForwardDecay> ExactDominance<G> {
     /// Creates an empty summary.
-    pub fn new(g: G, landmark: Timestamp) -> Self {
+    pub fn new(g: G, landmark: impl Into<Timestamp>) -> Self {
+        let landmark = landmark.into();
         Self {
             g,
             landmark,
@@ -65,7 +66,8 @@ impl<G: ForwardDecay> ExactDominance<G> {
 
     /// Ingests an occurrence of `value` at `t_i ≥ L`.
     #[inline]
-    pub fn update(&mut self, t_i: Timestamp, value: u64) {
+    pub fn update(&mut self, t_i: impl Into<Timestamp>, value: u64) {
+        let t_i = t_i.into();
         let ln_w = self.g.ln_g(t_i - self.landmark);
         if ln_w == f64::NEG_INFINITY {
             return;
@@ -77,7 +79,8 @@ impl<G: ForwardDecay> ExactDominance<G> {
     }
 
     /// The decayed distinct count `D` at query time `t` (Definition 9).
-    pub fn query(&self, t: Timestamp) -> f64 {
+    pub fn query(&self, t: impl Into<Timestamp>) -> f64 {
+        let t = t.into();
         let mut ls = LogSum::new();
         for &ln_w in self.max_ln_w.values() {
             ls.add_ln(ln_w);
@@ -238,7 +241,8 @@ impl<G: ForwardDecay> DominanceSketch<G> {
     ///
     /// # Panics
     /// Panics unless `0 < ε ≤ 0.5`.
-    pub fn new(g: G, landmark: Timestamp, epsilon: f64, seed: u64) -> Self {
+    pub fn new(g: G, landmark: impl Into<Timestamp>, epsilon: f64, seed: u64) -> Self {
+        let landmark = landmark.into();
         assert!(epsilon > 0.0 && epsilon <= 0.5, "ε must be in (0, 0.5]");
         let k = (4.0 / (epsilon * epsilon)).ceil() as usize;
         Self::with_params(g, landmark, 1.0 + epsilon, k, seed)
@@ -248,7 +252,14 @@ impl<G: ForwardDecay> DominanceSketch<G> {
     ///
     /// # Panics
     /// Panics unless `base > 1` and `k ≥ 2`.
-    pub fn with_params(g: G, landmark: Timestamp, base: f64, k: usize, seed: u64) -> Self {
+    pub fn with_params(
+        g: G,
+        landmark: impl Into<Timestamp>,
+        base: f64,
+        k: usize,
+        seed: u64,
+    ) -> Self {
+        let landmark = landmark.into();
         assert!(base > 1.0 && base.is_finite());
         assert!(k >= 2);
         Self {
@@ -279,7 +290,8 @@ impl<G: ForwardDecay> DominanceSketch<G> {
 
     /// Ingests an occurrence of `value` at `t_i ≥ L`. Touches at most
     /// `O(window)` levels, each with a single threshold comparison.
-    pub fn update(&mut self, t_i: Timestamp, value: u64) {
+    pub fn update(&mut self, t_i: impl Into<Timestamp>, value: u64) {
+        let t_i = t_i.into();
         let ln_w = self.g.ln_g(t_i - self.landmark);
         if ln_w == f64::NEG_INFINITY {
             return;
@@ -311,7 +323,8 @@ impl<G: ForwardDecay> DominanceSketch<G> {
     }
 
     /// The estimated decayed distinct count `D` at query time `t`.
-    pub fn query(&self, t: Timestamp) -> f64 {
+    pub fn query(&self, t: impl Into<Timestamp>) -> f64 {
+        let t = t.into();
         if self.levels.is_empty() {
             return 0.0;
         }
@@ -382,6 +395,58 @@ impl<G: ForwardDecay> Mergeable for DominanceSketch<G> {
                 self.levels.remove(&j);
             }
         }
+    }
+}
+
+// ----- unified Summary API ------------------------------------------------
+
+use crate::summary::Summary;
+
+impl<G: ForwardDecay> ExactDominance<G> {
+    /// The landmark `L` passed at construction.
+    pub fn landmark(&self) -> Timestamp {
+        self.landmark
+    }
+}
+
+impl<G: ForwardDecay> Summary for ExactDominance<G> {
+    type Update = u64;
+    type Output = f64;
+
+    fn landmark(&self) -> Timestamp {
+        self.landmark
+    }
+
+    fn update_at(&mut self, t_i: Timestamp, value: u64) {
+        self.update(t_i, value);
+    }
+
+    fn query_at(&self, t: Timestamp) -> f64 {
+        self.query(t)
+    }
+}
+
+impl<G: ForwardDecay> DominanceSketch<G> {
+    /// The landmark `L` passed at construction.
+    pub fn landmark(&self) -> Timestamp {
+        self.landmark
+    }
+}
+
+impl<G: ForwardDecay> Summary for DominanceSketch<G> {
+    type Update = u64;
+    type Output = f64;
+
+    fn landmark(&self) -> Timestamp {
+        self.landmark
+    }
+
+    fn update_at(&mut self, t_i: Timestamp, value: u64) {
+        self.update(t_i, value);
+    }
+
+    fn query_at(&self, t: Timestamp) -> f64 {
+        self.query(t)
     }
 }
 

@@ -1,0 +1,64 @@
+//! The workspace error type behind every fallible (`try_`) constructor.
+//!
+//! Decay functions and builders validate their parameters: a monomial
+//! exponent must be positive, a half-life finite and positive, a query
+//! needs an aggregate. The original constructors panic on violation —
+//! right for tests and examples, wrong for anything that feeds on user
+//! input (the `fdql` CLI, config files). Each such constructor therefore
+//! has a `try_` twin returning `Result<_, Error>`, and the panicking
+//! version is a thin wrapper over it.
+
+use std::fmt;
+
+/// Why a `try_` constructor refused its arguments.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A numeric parameter was out of its valid range.
+    InvalidParameter {
+        /// Which parameter (e.g. `"beta"`, `"half_life"`).
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+        /// What the parameter must satisfy, human-readable.
+        requirement: &'static str,
+    },
+    /// A builder was finalized without a required component.
+    MissingComponent {
+        /// The builder (e.g. `"Query"`).
+        builder: &'static str,
+        /// The component that was never supplied (e.g. `"aggregate"`).
+        component: &'static str,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidParameter {
+                name,
+                value,
+                requirement,
+            } => write!(f, "invalid {name} = {value}: must be {requirement}"),
+            Error::MissingComponent { builder, component } => {
+                write!(f, "{builder} is missing its {component}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Checks one numeric parameter: finite and strictly positive — the
+/// requirement shared by every decay-family constructor.
+pub(crate) fn require_positive(name: &'static str, value: f64) -> Result<f64, Error> {
+    if value.is_finite() && value > 0.0 {
+        Ok(value)
+    } else {
+        Err(Error::InvalidParameter {
+            name,
+            value,
+            requirement: "finite and > 0",
+        })
+    }
+}

@@ -727,7 +727,8 @@ pub struct DecayedHeavyHitters<G: ForwardDecay> {
 impl<G: ForwardDecay> DecayedHeavyHitters<G> {
     /// Creates a decayed heavy-hitter summary with `capacity` counters
     /// (error `ε = 1/capacity` relative to the decayed count `C`).
-    pub fn new(g: G, landmark: Timestamp, capacity: usize) -> Self {
+    pub fn new(g: G, landmark: impl Into<Timestamp>, capacity: usize) -> Self {
+        let landmark = landmark.into();
         Self {
             g,
             renorm: Renormalizer::new(landmark),
@@ -736,7 +737,8 @@ impl<G: ForwardDecay> DecayedHeavyHitters<G> {
     }
 
     /// Creates a summary with error bound `ε`.
-    pub fn with_epsilon(g: G, landmark: Timestamp, epsilon: f64) -> Self {
+    pub fn with_epsilon(g: G, landmark: impl Into<Timestamp>, epsilon: f64) -> Self {
+        let landmark = landmark.into();
         Self {
             g,
             renorm: Renormalizer::new(landmark),
@@ -746,7 +748,8 @@ impl<G: ForwardDecay> DecayedHeavyHitters<G> {
 
     /// Ingests an occurrence of `item` at time `t_i ≥ L`.
     #[inline]
-    pub fn update(&mut self, t_i: Timestamp, item: u64) {
+    pub fn update(&mut self, t_i: impl Into<Timestamp>, item: u64) {
+        let t_i = t_i.into();
         if let Some(factor) = self.renorm.pre_update(&self.g, t_i) {
             self.inner.scale_all(factor);
         }
@@ -755,7 +758,8 @@ impl<G: ForwardDecay> DecayedHeavyHitters<G> {
     }
 
     /// The total decayed count `C` at query time `t`.
-    pub fn decayed_count(&self, t: Timestamp) -> f64 {
+    pub fn decayed_count(&self, t: impl Into<Timestamp>) -> f64 {
+        let t = t.into();
         let denom = self.g.g(t - self.renorm.landmark());
         if denom == 0.0 {
             0.0
@@ -766,7 +770,8 @@ impl<G: ForwardDecay> DecayedHeavyHitters<G> {
 
     /// The φ-heavy-hitters at query time `t`: all items whose decayed count
     /// is at least `φ·C`, with estimates reported as decayed counts.
-    pub fn heavy_hitters(&self, phi: f64, t: Timestamp) -> Vec<HeavyHitter> {
+    pub fn heavy_hitters(&self, phi: f64, t: impl Into<Timestamp>) -> Vec<HeavyHitter> {
+        let t = t.into();
         let denom = self.g.g(t - self.renorm.landmark());
         if denom == 0.0 {
             return Vec::new();
@@ -779,7 +784,8 @@ impl<G: ForwardDecay> DecayedHeavyHitters<G> {
     }
 
     /// The estimated decayed count of `item` at time `t`, with error bound.
-    pub fn estimate(&self, item: u64, t: Timestamp) -> Option<HhCounter> {
+    pub fn estimate(&self, item: u64, t: impl Into<Timestamp>) -> Option<HhCounter> {
+        let t = t.into();
         let denom = self.g.g(t - self.renorm.landmark());
         self.inner.estimate(item).map(|mut c| {
             c.count /= denom;
@@ -818,6 +824,38 @@ impl<G: ForwardDecay> Mergeable for DecayedHeavyHitters<G> {
         } else {
             self.inner.merge_from(&other.inner);
         }
+    }
+}
+
+// ----- unified Summary API ------------------------------------------------
+
+use crate::summary::Summary;
+
+impl<G: ForwardDecay> DecayedHeavyHitters<G> {
+    /// The landmark `L` passed at construction.
+    pub fn landmark(&self) -> Timestamp {
+        self.renorm.original_landmark()
+    }
+}
+
+/// Items in, total decayed mass out; the identities of the heavy hitters
+/// themselves come from the inherent [`heavy_hitters`] method.
+///
+/// [`heavy_hitters`]: DecayedHeavyHitters::heavy_hitters
+impl<G: ForwardDecay> Summary for DecayedHeavyHitters<G> {
+    type Update = u64;
+    type Output = f64;
+
+    fn landmark(&self) -> Timestamp {
+        self.landmark()
+    }
+
+    fn update_at(&mut self, t_i: Timestamp, item: u64) {
+        self.update(t_i, item);
+    }
+
+    fn query_at(&self, t: Timestamp) -> f64 {
+        self.decayed_count(t)
     }
 }
 

@@ -44,7 +44,13 @@
 //! - [`cm`] — a weighted Count-Min sketch as an alternative heavy-hitter
 //!   backend (compared against SpaceSaving in the ablation benches);
 //! - [`checkpoint`] — binary snapshot/restore for every summary (all derive
-//!   serde), via an in-repo bincode-style codec.
+//!   serde), via an in-repo bincode-style codec;
+//! - [`summary`] — the unified [`Summary`] trait (`update_at` / `query_at`
+//!   / `landmark`) implemented by every decayed aggregate, sketch and
+//!   sampler, so engine, checkpoint and merge layers can be generic;
+//! - [`error`] — the [`Error`] enum returned by the `try_` constructors
+//!   (`Monomial::try_new`, `Exponential::try_with_half_life`, …) for
+//!   callers that prefer reporting over panicking.
 //!
 //! ## Quick example
 //!
@@ -52,8 +58,9 @@
 //! use fd_core::decay::Monomial;
 //! use fd_core::aggregates::{DecayedCount, DecayedSum};
 //!
+//! # fn main() -> Result<(), fd_core::Error> {
 //! // Example 1 of the paper: landmark L = 100, g(n) = n², queried at t = 110.
-//! let g = Monomial::new(2.0);
+//! let g = Monomial::try_new(2.0)?;
 //! let landmark = 100.0;
 //! let stream = [(105.0, 4.0), (107.0, 8.0), (103.0, 3.0), (108.0, 6.0), (104.0, 4.0)];
 //!
@@ -65,12 +72,16 @@
 //! }
 //! assert!((count.query(110.0) - 1.63).abs() < 1e-9);
 //! assert!((sum.query(110.0) - 9.67).abs() < 1e-9);
+//! # Ok(())
+//! # }
 //! ```
 //!
 //! ## Timestamps
 //!
-//! All APIs take timestamps as `f64` seconds (any fixed epoch). The companion
-//! crate `fd-engine` converts from its integer microsecond packet clock.
+//! All APIs take `impl Into<`[`Timestamp`]`>`: either a [`Timestamp`]
+//! (integer microseconds since a fixed epoch, the workspace-wide clock
+//! shared with `fd-engine`'s packet tuples) or a plain `f64` in seconds,
+//! which converts at microsecond resolution.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -82,15 +93,19 @@ pub mod checkpoint;
 pub mod cm;
 pub mod decay;
 pub mod distinct;
+pub mod error;
 pub mod hash;
 pub mod heavy_hitters;
 pub mod merge;
 pub mod numerics;
 pub mod quantiles;
 pub mod sampling;
+pub mod summary;
 
 pub use decay::{BackwardDecay, ForwardDecay};
+pub use error::Error;
 pub use merge::Mergeable;
+pub use summary::Summary;
 
 /// One-stop imports for typical forward-decay use.
 ///
@@ -110,17 +125,169 @@ pub mod prelude {
         PolySum,
     };
     pub use crate::distinct::DominanceSketch;
+    pub use crate::error::Error;
     pub use crate::heavy_hitters::DecayedHeavyHitters;
     pub use crate::merge::Mergeable;
     pub use crate::quantiles::DecayedQuantiles;
     pub use crate::sampling::{exp_decay_sample, PrioritySampler, WeightedReservoir};
+    pub use crate::summary::Summary;
     pub use crate::Timestamp;
 }
 
-/// A timestamp, in seconds since an arbitrary fixed epoch.
+/// An instant on the stream clock: integer microseconds since an arbitrary
+/// fixed epoch.
 ///
-/// The paper is agnostic to time units; the whole crate follows suit. The
-/// only requirements are that timestamps are non-decreasing *on average*
-/// (out-of-order arrivals are explicitly supported) and that every item
-/// timestamp is at or after the landmark of the summary it feeds.
-pub type Timestamp = f64;
+/// The paper is agnostic to time units. This crate fixes *one* clock for the
+/// whole workspace: a 64-bit count of microseconds, the native resolution of
+/// packet traces, shared by the summaries here and by the `fd-engine` tuple
+/// format (which previously kept its own `u64` microsecond clock alongside
+/// fd-core's `f64` seconds). Being an integer type, `Timestamp` is totally
+/// ordered and hashable, so bucket indices and merge decisions are exact and
+/// identical across shards — no float-comparison edge cases.
+///
+/// All decay math still happens in `f64` seconds via [`as_secs_f64`]; every
+/// public API takes `impl Into<Timestamp>`, and `From<f64>` interprets a
+/// float as *seconds* (rounded to the nearest microsecond), so existing
+/// call sites written against the old `f64` alias compile unchanged:
+///
+/// ```
+/// use fd_core::Timestamp;
+///
+/// let t: Timestamp = 1.5.into();           // seconds → micros
+/// assert_eq!(t.as_micros(), 1_500_000);
+/// assert_eq!(t.as_secs_f64(), 1.5);
+/// assert_eq!(Timestamp::from_micros(250), Timestamp::from(0.00025));
+/// ```
+///
+/// The only semantic requirements on timestamps are unchanged: they must be
+/// non-decreasing *on average* (out-of-order arrivals are explicitly
+/// supported) and every item timestamp must be at or after the landmark of
+/// the summary it feeds.
+///
+/// [`as_secs_f64`]: Timestamp::as_secs_f64
+#[derive(
+    Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default, serde::Serialize, serde::Deserialize,
+)]
+pub struct Timestamp {
+    micros: i64,
+}
+
+impl Timestamp {
+    /// The epoch itself: `t = 0`.
+    pub const ZERO: Timestamp = Timestamp { micros: 0 };
+
+    /// A timestamp from raw microseconds since the epoch.
+    pub const fn from_micros(micros: i64) -> Self {
+        Self { micros }
+    }
+
+    /// Microseconds since the epoch.
+    pub const fn as_micros(self) -> i64 {
+        self.micros
+    }
+
+    /// A timestamp from seconds since the epoch, rounded to the nearest
+    /// microsecond.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        Self {
+            micros: (secs * 1e6).round() as i64,
+        }
+    }
+
+    /// Seconds since the epoch, the unit all decay math runs in.
+    pub fn as_secs_f64(self) -> f64 {
+        self.micros as f64 * 1e-6
+    }
+}
+
+impl From<f64> for Timestamp {
+    /// Interprets the float as *seconds* since the epoch.
+    fn from(secs: f64) -> Self {
+        Self::from_secs_f64(secs)
+    }
+}
+
+impl From<Timestamp> for f64 {
+    fn from(t: Timestamp) -> f64 {
+        t.as_secs_f64()
+    }
+}
+
+/// Timestamp difference in *seconds* — ages and window widths feed straight
+/// into the `f64` decay math.
+impl std::ops::Sub for Timestamp {
+    type Output = f64;
+
+    fn sub(self, rhs: Timestamp) -> f64 {
+        (self.micros - rhs.micros) as f64 * 1e-6
+    }
+}
+
+/// Age in seconds of a timestamp relative to a float clock reading —
+/// eases migration of call sites that still hold `f64` seconds.
+impl std::ops::Sub<Timestamp> for f64 {
+    type Output = f64;
+
+    fn sub(self, rhs: Timestamp) -> f64 {
+        self - rhs.as_secs_f64()
+    }
+}
+
+/// Shifts a timestamp by a duration in seconds.
+impl std::ops::Add<f64> for Timestamp {
+    type Output = Timestamp;
+
+    fn add(self, secs: f64) -> Timestamp {
+        Timestamp {
+            micros: self.micros + (secs * 1e6).round() as i64,
+        }
+    }
+}
+
+/// Shifts a timestamp back by a duration in seconds.
+impl std::ops::Sub<f64> for Timestamp {
+    type Output = Timestamp;
+
+    fn sub(self, secs: f64) -> Timestamp {
+        Timestamp {
+            micros: self.micros - (secs * 1e6).round() as i64,
+        }
+    }
+}
+
+/// Compares against a time in seconds (exact at microsecond resolution).
+impl PartialEq<f64> for Timestamp {
+    fn eq(&self, secs: &f64) -> bool {
+        *self == Timestamp::from_secs_f64(*secs)
+    }
+}
+
+impl PartialEq<Timestamp> for f64 {
+    fn eq(&self, t: &Timestamp) -> bool {
+        Timestamp::from_secs_f64(*self) == *t
+    }
+}
+
+impl PartialOrd<f64> for Timestamp {
+    fn partial_cmp(&self, secs: &f64) -> Option<std::cmp::Ordering> {
+        Some(self.micros.cmp(&Timestamp::from_secs_f64(*secs).micros))
+    }
+}
+
+impl PartialOrd<Timestamp> for f64 {
+    fn partial_cmp(&self, t: &Timestamp) -> Option<std::cmp::Ordering> {
+        Some(Timestamp::from_secs_f64(*self).micros.cmp(&t.micros))
+    }
+}
+
+impl std::fmt::Debug for Timestamp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}s", self.as_secs_f64())
+    }
+}
+
+impl std::fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.as_secs_f64())
+    }
+}

@@ -57,14 +57,15 @@ pub const RESCALE_THRESHOLD: f64 = 1e150;
 #[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct Renormalizer {
     /// The landmark all stored values are currently relative to.
-    landmark: f64,
+    landmark: Timestamp,
     /// The original landmark, preserved for reporting.
-    original: f64,
+    original: Timestamp,
 }
 
 impl Renormalizer {
     /// Creates a renormalizer with the given initial landmark.
-    pub fn new(landmark: Timestamp) -> Self {
+    pub fn new(landmark: impl Into<Timestamp>) -> Self {
+        let landmark = landmark.into();
         Self {
             landmark,
             original: landmark,
@@ -91,7 +92,8 @@ impl Renormalizer {
     /// quantity must be **multiplied by**. Returns `None` when no rescale is
     /// needed.
     #[inline]
-    pub fn pre_update<G: ForwardDecay>(&mut self, g: &G, t: Timestamp) -> Option<f64> {
+    pub fn pre_update<G: ForwardDecay>(&mut self, g: &G, t: impl Into<Timestamp>) -> Option<f64> {
+        let t = t.into();
         if !g.is_multiplicative() {
             return None;
         }
@@ -111,7 +113,12 @@ impl Renormalizer {
     /// Forces the effective landmark to `new_landmark` (which must not
     /// precede the current one) and returns the multiplicative rescale factor
     /// for stored values, or `None` for non-multiplicative decay functions.
-    pub fn rescale_to<G: ForwardDecay>(&mut self, g: &G, new_landmark: Timestamp) -> Option<f64> {
+    pub fn rescale_to<G: ForwardDecay>(
+        &mut self,
+        g: &G,
+        new_landmark: impl Into<Timestamp>,
+    ) -> Option<f64> {
+        let new_landmark = new_landmark.into();
         if !g.is_multiplicative() || new_landmark <= self.landmark {
             return None;
         }

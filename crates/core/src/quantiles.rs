@@ -469,7 +469,8 @@ pub struct DecayedQuantiles<G: ForwardDecay> {
 impl<G: ForwardDecay> DecayedQuantiles<G> {
     /// Creates a decayed quantile summary for values in `[0, 2^bits)` with
     /// rank error `ε` relative to the decayed count.
-    pub fn new(g: G, landmark: Timestamp, bits: u32, epsilon: f64) -> Self {
+    pub fn new(g: G, landmark: impl Into<Timestamp>, bits: u32, epsilon: f64) -> Self {
+        let landmark = landmark.into();
         Self {
             g,
             renorm: Renormalizer::new(landmark),
@@ -479,7 +480,8 @@ impl<G: ForwardDecay> DecayedQuantiles<G> {
 
     /// Ingests `(t_i, value)` with `t_i ≥ L`.
     #[inline]
-    pub fn update(&mut self, t_i: Timestamp, value: u64) {
+    pub fn update(&mut self, t_i: impl Into<Timestamp>, value: u64) {
+        let t_i = t_i.into();
         if let Some(factor) = self.renorm.pre_update(&self.g, t_i) {
             self.inner.scale_all(factor);
         }
@@ -490,12 +492,14 @@ impl<G: ForwardDecay> DecayedQuantiles<G> {
     /// The decayed φ-quantile at query time `t` (which only normalizes; the
     /// quantile itself is independent of `t` because the `g(t−L)` factor
     /// cancels between rank and count).
-    pub fn quantile(&self, phi: f64, _t: Timestamp) -> Option<u64> {
+    pub fn quantile(&self, phi: f64, _t: impl Into<Timestamp>) -> Option<u64> {
+        let _t = _t.into();
         self.inner.quantile(phi)
     }
 
     /// The decayed rank of `value` at query time `t` (Definition 8).
-    pub fn rank(&self, value: u64, t: Timestamp) -> f64 {
+    pub fn rank(&self, value: u64, t: impl Into<Timestamp>) -> f64 {
+        let t = t.into();
         let denom = self.g.g(t - self.renorm.landmark());
         if denom == 0.0 {
             0.0
@@ -505,7 +509,8 @@ impl<G: ForwardDecay> DecayedQuantiles<G> {
     }
 
     /// The total decayed count `C` at query time `t`.
-    pub fn decayed_count(&self, t: Timestamp) -> f64 {
+    pub fn decayed_count(&self, t: impl Into<Timestamp>) -> f64 {
+        let t = t.into();
         let denom = self.g.g(t - self.renorm.landmark());
         if denom == 0.0 {
             0.0
@@ -544,6 +549,39 @@ impl<G: ForwardDecay> Mergeable for DecayedQuantiles<G> {
         } else {
             self.inner.merge_from(&other.inner);
         }
+    }
+}
+
+// ----- unified Summary API ------------------------------------------------
+
+use crate::summary::Summary;
+
+impl<G: ForwardDecay> DecayedQuantiles<G> {
+    /// The landmark `L` passed at construction.
+    pub fn landmark(&self) -> Timestamp {
+        self.renorm.original_landmark()
+    }
+}
+
+/// Values in, total decayed mass out; ranks and quantiles come from the
+/// inherent [`quantile`] / [`rank`] methods.
+///
+/// [`quantile`]: DecayedQuantiles::quantile
+/// [`rank`]: DecayedQuantiles::rank
+impl<G: ForwardDecay> Summary for DecayedQuantiles<G> {
+    type Update = u64;
+    type Output = f64;
+
+    fn landmark(&self) -> Timestamp {
+        self.landmark()
+    }
+
+    fn update_at(&mut self, t_i: Timestamp, value: u64) {
+        self.update(t_i, value);
+    }
+
+    fn query_at(&self, t: Timestamp) -> f64 {
+        self.decayed_count(t)
     }
 }
 

@@ -237,7 +237,8 @@ impl<T: Clone, G: ForwardDecay> WithReplacementSampler<T, G> {
     ///
     /// # Panics
     /// Panics if `s == 0`.
-    pub fn new(g: G, landmark: Timestamp, s: usize, seed: u64) -> Self {
+    pub fn new(g: G, landmark: impl Into<Timestamp>, s: usize, seed: u64) -> Self {
+        let landmark = landmark.into();
         assert!(s > 0);
         Self {
             g,
@@ -258,7 +259,8 @@ impl<T: Clone, G: ForwardDecay> WithReplacementSampler<T, G> {
 
     /// Offers `(t_i, item)` to every chain. One comparison per chain per
     /// tuple; random draws only on replacements.
-    pub fn update(&mut self, t_i: Timestamp, item: &T) {
+    pub fn update(&mut self, t_i: impl Into<Timestamp>, item: &T) {
+        let t_i = t_i.into();
         let ln_w = self.g.ln_g(t_i - self.landmark);
         if ln_w == f64::NEG_INFINITY {
             return; // zero weight: can never be sampled
@@ -391,7 +393,8 @@ impl<T: Clone, G: ForwardDecay> WeightedReservoir<T, G> {
     ///
     /// # Panics
     /// Panics if `k == 0`.
-    pub fn new(g: G, landmark: Timestamp, k: usize, seed: u64) -> Self {
+    pub fn new(g: G, landmark: impl Into<Timestamp>, k: usize, seed: u64) -> Self {
+        let landmark = landmark.into();
         assert!(k > 0);
         Self {
             g,
@@ -406,7 +409,8 @@ impl<T: Clone, G: ForwardDecay> WeightedReservoir<T, G> {
     }
 
     /// Offers `(t_i, item)`. O(log k).
-    pub fn update(&mut self, t_i: Timestamp, item: &T) {
+    pub fn update(&mut self, t_i: impl Into<Timestamp>, item: &T) {
+        let t_i = t_i.into();
         self.n += 1;
         let ln_w = self.g.ln_g(t_i - self.landmark);
         if ln_w == f64::NEG_INFINITY {
@@ -488,10 +492,11 @@ impl<T: Clone, G: ForwardDecay> Mergeable for WeightedReservoir<T, G> {
 /// [`WeightedReservoir`] under the coinciding forward exponential decay.
 pub fn exp_decay_sample<T: Clone>(
     alpha: f64,
-    landmark: Timestamp,
+    landmark: impl Into<Timestamp>,
     k: usize,
     seed: u64,
 ) -> WeightedReservoir<T, Exponential> {
+    let landmark = landmark.into();
     WeightedReservoir::new(Exponential::new(alpha), landmark, k, seed)
 }
 
@@ -534,7 +539,8 @@ impl<T: Clone> JumpWeightedReservoir<T> {
     ///
     /// # Panics
     /// Panics if `k == 0`.
-    pub fn new(landmark: Timestamp, k: usize, seed: u64) -> Self {
+    pub fn new(landmark: impl Into<Timestamp>, k: usize, seed: u64) -> Self {
+        let landmark = landmark.into();
         assert!(k > 0);
         Self {
             k,
@@ -568,7 +574,8 @@ impl<T: Clone> JumpWeightedReservoir<T> {
 
     /// Offers `(t_i, item)` under forward decay `g`. O(1) amortized outside
     /// insertions.
-    pub fn update<G: ForwardDecay>(&mut self, g: &G, t_i: Timestamp, item: &T) {
+    pub fn update<G: ForwardDecay>(&mut self, g: &G, t_i: impl Into<Timestamp>, item: &T) {
+        let t_i = t_i.into();
         self.n += 1;
         if let Some(factor) = self.renorm.pre_update(g, t_i) {
             // Weights scale by `factor`; keys p = u^{1/w} become p^{1/factor}
@@ -670,7 +677,8 @@ impl<T: Clone, G: ForwardDecay> PrioritySampler<T, G> {
     ///
     /// # Panics
     /// Panics if `k == 0`.
-    pub fn new(g: G, landmark: Timestamp, k: usize, seed: u64) -> Self {
+    pub fn new(g: G, landmark: impl Into<Timestamp>, k: usize, seed: u64) -> Self {
+        let landmark = landmark.into();
         assert!(k > 0);
         Self {
             g,
@@ -685,7 +693,8 @@ impl<T: Clone, G: ForwardDecay> PrioritySampler<T, G> {
     }
 
     /// Offers `(t_i, item)`. O(log k).
-    pub fn update(&mut self, t_i: Timestamp, item: &T) {
+    pub fn update(&mut self, t_i: impl Into<Timestamp>, item: &T) {
+        let t_i = t_i.into();
         self.n += 1;
         let ln_w = self.g.ln_g(t_i - self.landmark);
         if ln_w == f64::NEG_INFINITY {
@@ -749,7 +758,8 @@ impl<T: Clone, G: ForwardDecay> PrioritySampler<T, G> {
     /// `t`: `E[estimate] = Σ_i g(t_i − L)/g(t − L)` (the decayed count).
     /// Per sampled item the estimator is `max(w_i, τ)` on decay-normalized
     /// weights.
-    pub fn estimate_decayed_count(&self, t: Timestamp) -> f64 {
+    pub fn estimate_decayed_count(&self, t: impl Into<Timestamp>) -> f64 {
+        let t = t.into();
         self.estimate_selection(t, |_| true)
     }
 
@@ -757,7 +767,8 @@ impl<T: Clone, G: ForwardDecay> PrioritySampler<T, G> {
     /// `pred` — the "unbiased estimator for any selection query" that
     /// priority sampling was designed for (Alon et al., cited in
     /// Section V-B). `E[estimate] = Σ_{i: pred(iᵢ)} g(t_i − L)/g(t − L)`.
-    pub fn estimate_selection(&self, t: Timestamp, pred: impl Fn(&T) -> bool) -> f64 {
+    pub fn estimate_selection(&self, t: impl Into<Timestamp>, pred: impl Fn(&T) -> bool) -> f64 {
+        let t = t.into();
         let ln_denom = self.g.ln_g(t - self.landmark);
         let mut all: Vec<(f64, f64, bool)> = self
             .entries
@@ -908,6 +919,126 @@ impl<T: Clone> BiasedReservoir<T> {
     /// freely chosen `k` of the forward-decay samplers.
     pub fn capacity(&self) -> usize {
         self.n_max
+    }
+}
+
+// ----- unified Summary API ------------------------------------------------
+
+use crate::summary::Summary;
+
+impl<T: Clone, G: ForwardDecay> WithReplacementSampler<T, G> {
+    /// The landmark `L` passed at construction.
+    pub fn landmark(&self) -> Timestamp {
+        self.landmark
+    }
+}
+
+/// Records in, the drawn sample (with replacement) out.
+impl<T: Clone, G: ForwardDecay> Summary for WithReplacementSampler<T, G> {
+    type Update = T;
+    type Output = Vec<T>;
+
+    fn landmark(&self) -> Timestamp {
+        self.landmark
+    }
+
+    fn update_at(&mut self, t_i: Timestamp, item: T) {
+        self.update(t_i, &item);
+    }
+
+    fn query_at(&self, _t: Timestamp) -> Vec<T> {
+        self.sample().into_iter().cloned().collect()
+    }
+}
+
+impl<T: Clone, G: ForwardDecay> WeightedReservoir<T, G> {
+    /// The landmark `L` passed at construction.
+    pub fn landmark(&self) -> Timestamp {
+        self.landmark
+    }
+}
+
+/// Records in, the reservoir sample (without replacement) out.
+impl<T: Clone, G: ForwardDecay> Summary for WeightedReservoir<T, G> {
+    type Update = T;
+    type Output = Vec<T>;
+
+    fn landmark(&self) -> Timestamp {
+        self.landmark
+    }
+
+    fn update_at(&mut self, t_i: Timestamp, item: T) {
+        self.update(t_i, &item);
+    }
+
+    fn query_at(&self, _t: Timestamp) -> Vec<T> {
+        self.sample().into_iter().map(|e| e.item.clone()).collect()
+    }
+}
+
+impl<T: Clone, G: ForwardDecay> PrioritySampler<T, G> {
+    /// The landmark `L` passed at construction.
+    pub fn landmark(&self) -> Timestamp {
+        self.landmark
+    }
+}
+
+/// Records in, the Horvitz–Thompson estimate of the decayed count out;
+/// the sample itself comes from the inherent [`sample`] method.
+///
+/// [`sample`]: PrioritySampler::sample
+impl<T: Clone, G: ForwardDecay> Summary for PrioritySampler<T, G> {
+    type Update = T;
+    type Output = f64;
+
+    fn landmark(&self) -> Timestamp {
+        self.landmark
+    }
+
+    fn update_at(&mut self, t_i: Timestamp, item: T) {
+        self.update(t_i, &item);
+    }
+
+    fn query_at(&self, t: Timestamp) -> f64 {
+        self.estimate_decayed_count(t)
+    }
+}
+
+impl<T: Clone> Mergeable for BiasedReservoir<T> {
+    /// Distribution-level merge: keeps each slot from the side whose
+    /// stream it represents with probability proportional to the two
+    /// streams' item counts — the same subsampling argument as
+    /// [`ReservoirSampler`]. The bias rate must match; the merged
+    /// reservoir approximates the biased sample of the interleaved
+    /// stream (exact only when both sides saw their items at the same
+    /// rate, as in a hash-partitioned shard split).
+    fn merge_from(&mut self, other: &Self) {
+        assert_eq!(self.lambda, other.lambda, "bias rates must match");
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            self.reservoir = other.reservoir.clone();
+            self.n = other.n;
+            return;
+        }
+        let p_other = other.n as f64 / (self.n + other.n) as f64;
+        let keep = self.reservoir.len().min(self.n_max);
+        for i in 0..keep {
+            if self.rng.gen_range(0.0..1.0) < p_other && !other.reservoir.is_empty() {
+                let j = self.rng.gen_range(0..other.reservoir.len());
+                self.reservoir[i] = other.reservoir[j].clone();
+            }
+        }
+        while self.reservoir.len() < self.n_max {
+            if self.rng.gen_range(0.0..1.0) < p_other && !other.reservoir.is_empty() {
+                let j = self.rng.gen_range(0..other.reservoir.len());
+                self.reservoir.push(other.reservoir[j].clone());
+            } else {
+                break;
+            }
+        }
+        self.n += other.n;
     }
 }
 

@@ -1,0 +1,86 @@
+//! The unified [`Summary`] trait: one ingestion/query shape for every
+//! forward-decay summary in this crate.
+//!
+//! Everything the paper builds — aggregates (Theorem 1), heavy hitters
+//! (Theorem 2), quantiles (Theorem 3), dominance norms (Theorem 4) and
+//! samplers (Theorems 5–6) — shares the same lifecycle: timestamped
+//! arrivals go in, and at query time the accumulated state is normalized
+//! by `g(t − L)` to produce a decayed answer. [`Summary`] captures that
+//! shape so engine, checkpoint and merge layers can be written once,
+//! generically, instead of once per summary type.
+//!
+//! What varies per summary is captured by two associated types:
+//!
+//! - [`Update`](Summary::Update) — the payload accompanying each
+//!   timestamp: `()` for a count, `f64` for a sum/average/variance,
+//!   `u64` for an item identifier, `T` for a sampled record;
+//! - [`Output`](Summary::Output) — the query-time answer: `f64` for the
+//!   scalar aggregates and sketch mass, `Option<f64>` where an empty
+//!   summary has no answer, `Vec<T>` for a drawn sample.
+//!
+//! The trait methods are named `update_at` / `query_at` (rather than
+//! shadowing the inherent `update` / `query` methods) so that summaries
+//! keep their richer inherent APIs — e.g. `heavy_hitters(phi, t)`,
+//! `quantile(phi, t)` — while generic code has one spelling:
+//!
+//! ```
+//! use fd_core::prelude::*;
+//! use fd_core::summary::Summary;
+//!
+//! /// Replays a stream into any summary and answers at `t` — works for
+//! /// counts, sums, sketches and samplers alike.
+//! fn replay<S: Summary>(
+//!     s: &mut S,
+//!     stream: impl IntoIterator<Item = (Timestamp, S::Update)>,
+//!     t: Timestamp,
+//! ) -> S::Output {
+//!     for (t_i, u) in stream {
+//!         s.update_at(t_i, u);
+//!     }
+//!     s.query_at(t)
+//! }
+//!
+//! let g = Monomial::quadratic();
+//! let mut sum = DecayedSum::new(g, 100.0);
+//! let mut count = DecayedCount::new(g, 100.0);
+//! let stream = [(105.0, 4.0), (107.0, 8.0), (103.0, 3.0)];
+//!
+//! let s = replay(&mut sum, stream.map(|(t, v)| (t.into(), v)), 110.0.into());
+//! let c = replay(&mut count, stream.map(|(t, _)| (t.into(), ())), 110.0.into());
+//! assert!(s > 0.0 && c > 0.0);
+//! ```
+
+use crate::Timestamp;
+
+/// A forward-decay stream summary: timestamped updates in, a
+/// `g(t − L)`-normalized answer out.
+///
+/// Implementors decay against a fixed landmark `L` ([`landmark`]); the
+/// per-item weight `g(t_i − L)` is fixed at arrival (the paper's central
+/// trick), so summaries with equal landmarks and decay functions are
+/// mergeable — most implementors also implement
+/// [`Mergeable`](crate::merge::Mergeable), which is what the sharded
+/// engine exploits to combine per-shard state.
+///
+/// [`landmark`]: Summary::landmark
+pub trait Summary {
+    /// Per-arrival payload fed alongside the timestamp.
+    type Update;
+
+    /// The answer produced at query time.
+    type Output;
+
+    /// The landmark `L` this summary decays against (as passed to the
+    /// constructor; internal renormalization is invisible here).
+    fn landmark(&self) -> Timestamp;
+
+    /// Feeds one timestamped arrival.
+    ///
+    /// Equivalent to the summary's inherent `update`; `t_i` must be at
+    /// or after [`landmark`](Summary::landmark).
+    fn update_at(&mut self, t_i: Timestamp, u: Self::Update);
+
+    /// Answers at query time `t ≥ t_i` for all fed items: the state
+    /// normalized by `g(t − L)`.
+    fn query_at(&self, t: Timestamp) -> Self::Output;
+}

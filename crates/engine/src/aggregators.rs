@@ -25,7 +25,10 @@
 //! Forward-decayed aggregators receive the **bucket start as landmark**,
 //! exactly like the paper's `time % 60` idiom; simple forward-decayed
 //! aggregates are *splittable* across the two-level architecture, UDAF-style
-//! summaries run at the high level only (as in the paper's setup).
+//! summaries run at the high level only (as in the paper's setup). Every
+//! aggregator supports [`Aggregator::merge_boxed`], so per-shard partial
+//! buckets combine losslessly (Section VI-B: frozen numerators make forward
+//! decay summaries mergeable).
 
 use std::any::Any;
 use std::sync::Arc;
@@ -45,7 +48,7 @@ use fd_core::sampling::{
 };
 use fd_core::Mergeable;
 
-use crate::tuple::{secs, Packet};
+use crate::tuple::{self, Packet};
 use crate::udaf::{AggValue, Aggregator, FnFactory, ItemValue};
 
 /// A value extractor: which numeric field of the tuple an aggregate sums.
@@ -167,7 +170,7 @@ macro_rules! fwd_scalar_agg {
         }
         impl<G: ForwardDecay> Aggregator for $agg<G> {
             fn update(&mut self, pkt: &Packet) {
-                self.inner.update(pkt.ts_secs());
+                self.inner.update(pkt.timestamp());
             }
             fn merge_boxed(&mut self, other: Box<dyn Aggregator>) {
                 let o = other
@@ -192,7 +195,7 @@ macro_rules! fwd_scalar_agg {
         pub fn $factory<G: ForwardDecay>(g: G) -> Arc<FnFactory> {
             FnFactory::new($name, true, move |bucket_start| {
                 Box::new($agg {
-                    inner: $inner::new(g.clone(), secs(bucket_start)),
+                    inner: $inner::new(g.clone(), tuple::timestamp(bucket_start)),
                 })
             })
         }
@@ -204,7 +207,7 @@ macro_rules! fwd_scalar_agg {
         }
         impl<G: ForwardDecay> Aggregator for $agg<G> {
             fn update(&mut self, pkt: &Packet) {
-                self.inner.update(pkt.ts_secs(), (self.val)(pkt));
+                self.inner.update(pkt.timestamp(), (self.val)(pkt));
             }
             fn merge_boxed(&mut self, other: Box<dyn Aggregator>) {
                 let o = other
@@ -231,7 +234,7 @@ macro_rules! fwd_scalar_agg {
             let val: ValFn = Arc::new(val);
             FnFactory::new($name, true, move |bucket_start| {
                 Box::new($agg {
-                    inner: $inner::new(g.clone(), secs(bucket_start)),
+                    inner: $inner::new(g.clone(), tuple::timestamp(bucket_start)),
                     val: val.clone(),
                 })
             })
@@ -255,7 +258,7 @@ struct FwdAvgAgg<G: ForwardDecay> {
 
 impl<G: ForwardDecay> Aggregator for FwdAvgAgg<G> {
     fn update(&mut self, pkt: &Packet) {
-        self.inner.update(pkt.ts_secs(), (self.val)(pkt));
+        self.inner.update(pkt.timestamp(), (self.val)(pkt));
     }
     fn merge_boxed(&mut self, other: Box<dyn Aggregator>) {
         let o = other
@@ -283,7 +286,7 @@ pub fn fwd_avg_factory<G: ForwardDecay>(
     let val: ValFn = Arc::new(val);
     FnFactory::new("fwd_avg", true, move |bucket_start| {
         Box::new(FwdAvgAgg {
-            inner: DecayedAverage::new(g.clone(), secs(bucket_start)),
+            inner: DecayedAverage::new(g.clone(), tuple::timestamp(bucket_start)),
             val: val.clone(),
         })
     })
@@ -296,7 +299,7 @@ struct FwdVarAgg<G: ForwardDecay> {
 
 impl<G: ForwardDecay> Aggregator for FwdVarAgg<G> {
     fn update(&mut self, pkt: &Packet) {
-        self.inner.update(pkt.ts_secs(), (self.val)(pkt));
+        self.inner.update(pkt.timestamp(), (self.val)(pkt));
     }
     fn merge_boxed(&mut self, other: Box<dyn Aggregator>) {
         let o = other
@@ -324,7 +327,7 @@ pub fn fwd_var_factory<G: ForwardDecay>(
     let val: ValFn = Arc::new(val);
     FnFactory::new("fwd_var", true, move |bucket_start| {
         Box::new(FwdVarAgg {
-            inner: DecayedVariance::new(g.clone(), secs(bucket_start)),
+            inner: DecayedVariance::new(g.clone(), tuple::timestamp(bucket_start)),
             val: val.clone(),
         })
     })
@@ -337,7 +340,7 @@ struct FwdExtAgg<G: ForwardDecay> {
 
 impl<G: ForwardDecay> Aggregator for FwdExtAgg<G> {
     fn update(&mut self, pkt: &Packet) {
-        self.inner.update(pkt.ts_secs(), (self.val)(pkt));
+        self.inner.update(pkt.timestamp(), (self.val)(pkt));
     }
     fn merge_boxed(&mut self, other: Box<dyn Aggregator>) {
         let o = other
@@ -365,7 +368,7 @@ pub fn fwd_max_factory<G: ForwardDecay>(
     let val: ValFn = Arc::new(val);
     FnFactory::new("fwd_max", true, move |bucket_start| {
         Box::new(FwdExtAgg {
-            inner: DecayedExtremum::max(g.clone(), secs(bucket_start)),
+            inner: DecayedExtremum::max(g.clone(), tuple::timestamp(bucket_start)),
             val: val.clone(),
         })
     })
@@ -379,7 +382,7 @@ pub fn fwd_min_factory<G: ForwardDecay>(
     let val: ValFn = Arc::new(val);
     FnFactory::new("fwd_min", true, move |bucket_start| {
         Box::new(FwdExtAgg {
-            inner: DecayedExtremum::min(g.clone(), secs(bucket_start)),
+            inner: DecayedExtremum::min(g.clone(), tuple::timestamp(bucket_start)),
             val: val.clone(),
         })
     })
@@ -402,15 +405,16 @@ struct EhAgg {
 impl Aggregator for EhAgg {
     fn update(&mut self, pkt: &Packet) {
         match &self.val {
-            None => self.inner.insert(pkt.ts_secs()),
-            Some(v) => self.inner.insert_value(pkt.ts_secs(), v(pkt).max(1)),
+            None => self.inner.insert(pkt.timestamp()),
+            Some(v) => self.inner.insert_value(pkt.timestamp(), v(pkt).max(1)),
         }
     }
-    fn merge_boxed(&mut self, _other: Box<dyn Aggregator>) {
-        unimplemented!(
-            "exponential histograms are not mergeable; the engine runs them \
-             at the high level only (splittable = false)"
-        );
+    fn merge_boxed(&mut self, other: Box<dyn Aggregator>) {
+        let o = other
+            .as_any_box()
+            .downcast::<Self>()
+            .expect("aggregator type mismatch");
+        self.inner.merge_from(&o.inner);
     }
     fn emit(&self, t: f64) -> AggValue {
         AggValue::Float(self.inner.decayed_query(&self.back, t))
@@ -517,7 +521,7 @@ struct FwdHhAgg<G: ForwardDecay> {
 
 impl<G: ForwardDecay> Aggregator for FwdHhAgg<G> {
     fn update(&mut self, pkt: &Packet) {
-        self.inner.update(pkt.ts_secs(), (self.item)(pkt));
+        self.inner.update(pkt.timestamp(), (self.item)(pkt));
     }
     fn merge_boxed(&mut self, other: Box<dyn Aggregator>) {
         let o = other
@@ -557,7 +561,11 @@ pub fn fwd_hh_factory<G: ForwardDecay>(
     let item: ItemFn = Arc::new(item);
     FnFactory::new("fwd_hh", false, move |bucket_start| {
         Box::new(FwdHhAgg {
-            inner: DecayedHeavyHitters::with_epsilon(g.clone(), secs(bucket_start), epsilon),
+            inner: DecayedHeavyHitters::with_epsilon(
+                g.clone(),
+                tuple::timestamp(bucket_start),
+                epsilon,
+            ),
             item: item.clone(),
             phi,
         })
@@ -573,10 +581,14 @@ struct SwHhAgg {
 
 impl Aggregator for SwHhAgg {
     fn update(&mut self, pkt: &Packet) {
-        self.inner.update(pkt.ts_secs(), (self.item)(pkt));
+        self.inner.update(pkt.timestamp(), (self.item)(pkt));
     }
-    fn merge_boxed(&mut self, _other: Box<dyn Aggregator>) {
-        unimplemented!("the dyadic sliding-window HH is not mergeable; high level only");
+    fn merge_boxed(&mut self, other: Box<dyn Aggregator>) {
+        let o = other
+            .as_any_box()
+            .downcast::<Self>()
+            .expect("aggregator type mismatch");
+        self.inner.merge_from(&o.inner);
     }
     fn emit(&self, t: f64) -> AggValue {
         AggValue::Items(
@@ -626,10 +638,14 @@ struct CmHhAgg<G: ForwardDecay> {
 
 impl<G: ForwardDecay> Aggregator for CmHhAgg<G> {
     fn update(&mut self, pkt: &Packet) {
-        self.inner.update(pkt.ts_secs(), (self.item)(pkt));
+        self.inner.update(pkt.timestamp(), (self.item)(pkt));
     }
-    fn merge_boxed(&mut self, _other: Box<dyn Aggregator>) {
-        unimplemented!("the CM heavy-hitter candidate set is not mergeable; high level only");
+    fn merge_boxed(&mut self, other: Box<dyn Aggregator>) {
+        let o = other
+            .as_any_box()
+            .downcast::<Self>()
+            .expect("aggregator type mismatch");
+        self.inner.merge_from(&o.inner);
     }
     fn emit(&self, t: f64) -> AggValue {
         AggValue::Items(
@@ -666,7 +682,7 @@ pub fn cm_hh_factory<G: ForwardDecay>(
         Box::new(CmHhAgg {
             inner: DecayedCmHeavyHitters::new(
                 g.clone(),
-                secs(bucket_start),
+                tuple::timestamp(bucket_start),
                 phi,
                 epsilon,
                 0.01,
@@ -686,10 +702,14 @@ struct PrefixHhAgg {
 
 impl Aggregator for PrefixHhAgg {
     fn update(&mut self, pkt: &Packet) {
-        self.inner.update(pkt.ts_secs(), (self.item)(pkt));
+        self.inner.update(pkt.timestamp(), (self.item)(pkt));
     }
-    fn merge_boxed(&mut self, _other: Box<dyn Aggregator>) {
-        unimplemented!("the prefix-hierarchy backward HH is not mergeable; high level only");
+    fn merge_boxed(&mut self, other: Box<dyn Aggregator>) {
+        let o = other
+            .as_any_box()
+            .downcast::<Self>()
+            .expect("aggregator type mismatch");
+        self.inner.merge_from(&o.inner);
     }
     fn emit(&self, t: f64) -> AggValue {
         AggValue::Items(
@@ -793,7 +813,7 @@ struct PriSampleAgg<G: ForwardDecay> {
 impl<G: ForwardDecay> Aggregator for PriSampleAgg<G> {
     fn update(&mut self, pkt: &Packet) {
         let key = (self.item)(pkt);
-        self.inner.update(pkt.ts_secs(), &key);
+        self.inner.update(pkt.timestamp(), &key);
     }
     fn merge_boxed(&mut self, other: Box<dyn Aggregator>) {
         let o = other
@@ -835,7 +855,7 @@ pub fn pri_sample_factory<G: ForwardDecay>(
         Box::new(PriSampleAgg {
             inner: PrioritySampler::new(
                 g.clone(),
-                secs(bucket_start),
+                tuple::timestamp(bucket_start),
                 k,
                 bucket_seed(seed, bucket_start),
             ),
@@ -852,7 +872,7 @@ struct WrsAgg<G: ForwardDecay> {
 impl<G: ForwardDecay> Aggregator for WrsAgg<G> {
     fn update(&mut self, pkt: &Packet) {
         let key = (self.item)(pkt);
-        self.inner.update(pkt.ts_secs(), &key);
+        self.inner.update(pkt.timestamp(), &key);
     }
     fn merge_boxed(&mut self, other: Box<dyn Aggregator>) {
         let o = other
@@ -894,7 +914,7 @@ pub fn wrs_factory<G: ForwardDecay>(
         Box::new(WrsAgg {
             inner: WeightedReservoir::new(
                 g.clone(),
-                secs(bucket_start),
+                tuple::timestamp(bucket_start),
                 k,
                 bucket_seed(seed, bucket_start),
             ),
@@ -911,7 +931,7 @@ struct WithReplacementAgg<G: ForwardDecay> {
 impl<G: ForwardDecay> Aggregator for WithReplacementAgg<G> {
     fn update(&mut self, pkt: &Packet) {
         let key = (self.item)(pkt);
-        self.inner.update(pkt.ts_secs(), &key);
+        self.inner.update(pkt.timestamp(), &key);
     }
     fn merge_boxed(&mut self, other: Box<dyn Aggregator>) {
         let o = other
@@ -950,7 +970,7 @@ pub fn with_replacement_factory<G: ForwardDecay>(
         Box::new(WithReplacementAgg {
             inner: WithReplacementSampler::new(
                 g.clone(),
-                secs(bucket_start),
+                tuple::timestamp(bucket_start),
                 s,
                 bucket_seed(seed, bucket_start),
             ),
@@ -968,8 +988,12 @@ impl Aggregator for BiasedReservoirAgg {
     fn update(&mut self, pkt: &Packet) {
         self.inner.update((self.item)(pkt));
     }
-    fn merge_boxed(&mut self, _other: Box<dyn Aggregator>) {
-        unimplemented!("Aggarwal's biased reservoir is not mergeable; high level only");
+    fn merge_boxed(&mut self, other: Box<dyn Aggregator>) {
+        let o = other
+            .as_any_box()
+            .downcast::<Self>()
+            .expect("aggregator type mismatch");
+        self.inner.merge_from(&o.inner);
     }
     fn emit(&self, _t: f64) -> AggValue {
         AggValue::Items(
@@ -1084,7 +1108,7 @@ struct FwdQuantileAgg<G: ForwardDecay> {
 
 impl<G: ForwardDecay> Aggregator for FwdQuantileAgg<G> {
     fn update(&mut self, pkt: &Packet) {
-        self.inner.update(pkt.ts_secs(), (self.val)(pkt));
+        self.inner.update(pkt.timestamp(), (self.val)(pkt));
     }
     fn merge_boxed(&mut self, other: Box<dyn Aggregator>) {
         let o = other
@@ -1127,7 +1151,7 @@ pub fn fwd_quantile_factory<G: ForwardDecay>(
     let val: ItemFn = Arc::new(val);
     FnFactory::new("fwd_quantiles", false, move |bucket_start| {
         Box::new(FwdQuantileAgg {
-            inner: DecayedQuantiles::new(g.clone(), secs(bucket_start), bits, epsilon),
+            inner: DecayedQuantiles::new(g.clone(), tuple::timestamp(bucket_start), bits, epsilon),
             val: val.clone(),
             phis: phis.clone(),
         })
@@ -1141,7 +1165,7 @@ struct DistinctAgg<G: ForwardDecay> {
 
 impl<G: ForwardDecay> Aggregator for DistinctAgg<G> {
     fn update(&mut self, pkt: &Packet) {
-        self.inner.update(pkt.ts_secs(), (self.item)(pkt));
+        self.inner.update(pkt.timestamp(), (self.item)(pkt));
     }
     fn merge_boxed(&mut self, other: Box<dyn Aggregator>) {
         let o = other
@@ -1173,7 +1197,7 @@ pub fn distinct_factory<G: ForwardDecay>(
     let item: ItemFn = Arc::new(item);
     FnFactory::new("fwd_distinct", false, move |bucket_start| {
         Box::new(DistinctAgg {
-            inner: DominanceSketch::new(g.clone(), secs(bucket_start), epsilon, seed),
+            inner: DominanceSketch::new(g.clone(), tuple::timestamp(bucket_start), epsilon, seed),
             item: item.clone(),
         })
     })
@@ -1408,12 +1432,35 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "not mergeable")]
-    fn eh_merge_panics_with_clear_message() {
+    fn eh_merge_combines_counts() {
         let back = DynBackward::from_fn(|_| 1.0);
-        let f = eh_count_factory(0.1, back);
+        let f = eh_count_factory(0.1, back.clone());
         let mut a = f.make(0);
-        let b = f.make(0);
+        let mut b = f.make(0);
+        let mut whole = f.make(0);
+        for i in 0..20 {
+            let p = pkt(i as f64 * 0.5, 1, 100);
+            if i % 2 == 0 {
+                a.update(&p);
+            } else {
+                b.update(&p);
+            }
+            whole.update(&p);
+        }
+        a.merge_boxed(b);
+        let (AggValue::Float(merged), AggValue::Float(expected)) = (a.emit(10.0), whole.emit(10.0))
+        else {
+            panic!("eh count emits floats");
+        };
+        // EH merge is approximate: same epsilon bound as a single histogram.
+        assert!((merged - expected).abs() <= 0.1 * expected + 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "aggregator type mismatch")]
+    fn merge_across_aggregator_types_panics() {
+        let mut a = count_factory().make(0);
+        let b = sum_factory(|p| p.len as f64).make(0);
         a.merge_boxed(b);
     }
 }

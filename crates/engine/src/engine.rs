@@ -65,6 +65,24 @@ pub struct EngineStats {
     pub buckets_closed: u64,
 }
 
+/// A closed (bucket, group) carrying its raw aggregation state instead of
+/// an emitted value — the unit of cross-shard combination.
+///
+/// [`crate::shard::ShardedEngine`] runs one [`Engine`] per shard in state
+/// mode (see [`Engine::keep_closed_state`]); when a shard closes a bucket
+/// it hands back `ClosedGroup`s, and the combiner folds same-`(bucket,
+/// key)` groups together with [`Aggregator::merge_boxed`] before emitting —
+/// exactly the merge the paper's Section VI-B shows forward-decay
+/// summaries support (frozen numerators make partial summaries mergeable).
+pub struct ClosedGroup {
+    /// Time-bucket id (`ts / bucket_micros`).
+    pub bucket: u64,
+    /// Group key.
+    pub key: u64,
+    /// The group's aggregation state at close time.
+    pub agg: Box<dyn Aggregator>,
+}
+
 /// A running instance of one continuous query.
 pub struct Engine {
     query: Query,
@@ -74,6 +92,8 @@ pub struct Engine {
     buckets: BTreeMap<u64, HashMap<u64, Box<dyn Aggregator>>>,
     /// Closed rows awaiting collection.
     out: Vec<Row>,
+    /// Closed raw state awaiting collection (state mode only).
+    closed_state: Option<Vec<ClosedGroup>>,
     watermark: Micros,
     /// Buckets at ids below this are closed.
     closed_below: u64,
@@ -91,10 +111,27 @@ impl Engine {
             split,
             buckets: BTreeMap::new(),
             out: Vec::new(),
+            closed_state: None,
             watermark: 0,
             closed_below: 0,
             stats: EngineStats::default(),
         }
+    }
+
+    /// Switches the engine to *state mode*: closed buckets retain their raw
+    /// [`Aggregator`] state (collect with [`Engine::drain_closed_state`] /
+    /// [`Engine::finish_state`]) instead of emitting [`Row`]s. Used by the
+    /// sharded engine, whose combiner must merge per-shard partial states
+    /// before evaluating them.
+    ///
+    /// # Panics
+    /// Panics if any bucket has already closed in row mode.
+    pub fn keep_closed_state(&mut self) {
+        assert!(
+            self.stats.buckets_closed == 0,
+            "keep_closed_state must be called before any bucket closes"
+        );
+        self.closed_state = Some(Vec::new());
     }
 
     /// Whether the two-level split is active for this query.
@@ -200,6 +237,16 @@ impl Engine {
         let Some(groups) = self.buckets.remove(&bucket) else {
             return;
         };
+        self.stats.buckets_closed += 1;
+        if let Some(state) = &mut self.closed_state {
+            let mut closed: Vec<ClosedGroup> = groups
+                .into_iter()
+                .map(|(key, agg)| ClosedGroup { bucket, key, agg })
+                .collect();
+            closed.sort_by_key(|c| c.key);
+            state.extend(closed);
+            return;
+        }
         let bucket_start = bucket * self.query.bucket_micros;
         let t_end = secs((bucket + 1) * self.query.bucket_micros);
         let mut rows: Vec<Row> = groups
@@ -212,7 +259,6 @@ impl Engine {
             .collect();
         rows.sort_by_key(|r| r.key);
         self.stats.rows_out += rows.len() as u64;
-        self.stats.buckets_closed += 1;
         self.out.extend(rows);
     }
 
@@ -236,9 +282,16 @@ impl Engine {
         std::mem::take(&mut self.out)
     }
 
-    /// Ends the stream: closes all open buckets and returns every pending
-    /// row.
-    pub fn finish(&mut self) -> Vec<Row> {
+    /// Collects the raw state of all buckets closed so far (state mode
+    /// only; empty in row mode).
+    pub fn drain_closed_state(&mut self) -> Vec<ClosedGroup> {
+        self.closed_state
+            .as_mut()
+            .map(std::mem::take)
+            .unwrap_or_default()
+    }
+
+    fn close_all(&mut self) {
         if let Some(lfta) = &mut self.lfta {
             for p in lfta.flush_all() {
                 Self::absorb_partial(&mut self.buckets, &self.query, p.bucket, p.key, p.agg);
@@ -248,7 +301,20 @@ impl Engine {
             self.close_bucket(b);
             self.closed_below = self.closed_below.max(b + 1);
         }
+    }
+
+    /// Ends the stream: closes all open buckets and returns every pending
+    /// row.
+    pub fn finish(&mut self) -> Vec<Row> {
+        self.close_all();
         self.drain_rows()
+    }
+
+    /// Ends the stream in state mode: closes all open buckets and returns
+    /// every pending [`ClosedGroup`].
+    pub fn finish_state(&mut self) -> Vec<ClosedGroup> {
+        self.close_all();
+        self.drain_closed_state()
     }
 
     /// Runs a whole stream through the query and returns all rows.

@@ -20,6 +20,9 @@
 //!   with collision eviction;
 //! - [`engine`] — the full pipeline: two-level or single-level execution,
 //!   bucket close on watermark, per-tuple cost accounting;
+//! - [`shard`] — the sharded parallel engine: N worker threads, each a
+//!   full LFTA+HFTA pipeline over a hash partition of the stream, with
+//!   closed buckets combined by merging (Section VI-B mergeability);
 //! - [`metrics`] — the CPU-load model translating measured per-tuple cost
 //!   into the load/drop curves the paper plots.
 //!
@@ -60,6 +63,7 @@ pub mod engine;
 pub mod lfta;
 pub mod metrics;
 pub mod report;
+pub mod shard;
 pub mod tuple;
 pub mod udaf;
 
@@ -67,9 +71,10 @@ pub mod udaf;
 pub mod prelude {
     pub use crate::aggregators::*;
     pub use crate::driver::{QuerySet, RateDriver, ReplayStats};
-    pub use crate::engine::{Engine, EngineStats, Row, StreamEvent};
-    pub use crate::metrics::{cpu_load_pct, drop_fraction, LoadPoint};
+    pub use crate::engine::{ClosedGroup, Engine, EngineStats, Row, StreamEvent};
+    pub use crate::metrics::{combine_shard_stats, cpu_load_pct, drop_fraction, LoadPoint};
     pub use crate::report::{rows_to_csv, rows_to_table};
+    pub use crate::shard::{ShardBy, ShardedEngine};
     pub use crate::tuple::{secs, Micros, Packet, Proto, MICROS_PER_SEC};
     pub use crate::udaf::{AggValue, Aggregator, AggregatorFactory, ItemValue, Query};
 }

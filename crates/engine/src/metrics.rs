@@ -48,6 +48,40 @@ impl LoadPoint {
     }
 }
 
+/// Modeled capacity (tuples/second) of the sharded pipeline: the ingress
+/// thread admits and routes at `10⁹/dispatch_ns`, and `n_shards` workers
+/// aggregate concurrently at `n·10⁹/worker_ns`; the slower of the two
+/// saturates first. Like [`cpu_load_pct`], this translates measured
+/// per-tuple costs into a machine-independent property: on an
+/// (n+1)-core machine the sharded engine's saturation rate moves out by
+/// `min(worker_ns/dispatch_ns, n)` relative to single-threaded.
+pub fn sharded_capacity_pps(dispatch_ns: f64, worker_ns: f64, n_shards: usize) -> f64 {
+    assert!(dispatch_ns > 0.0 && worker_ns > 0.0 && n_shards > 0);
+    (1e9 / dispatch_ns).min(n_shards as f64 * 1e9 / worker_ns)
+}
+
+/// Sums per-shard execution counters into one
+/// [`EngineStats`](crate::engine::EngineStats) — the view
+/// of a sharded run as if it were one engine. Admission counters
+/// (`tuples_in`, `filtered`, `late_drops`) add because each tuple is
+/// admitted on exactly one shard; `lfta_evictions` adds across the
+/// per-shard LFTAs. Note that `buckets_closed` adds *per-shard* closes: a
+/// time bucket spanning k shards counts k times here — the combiner's own
+/// count (see [`crate::shard::ShardedEngine::stats`]) reports distinct
+/// buckets.
+pub fn combine_shard_stats(shards: &[crate::engine::EngineStats]) -> crate::engine::EngineStats {
+    let mut total = crate::engine::EngineStats::default();
+    for s in shards {
+        total.tuples_in += s.tuples_in;
+        total.filtered += s.filtered;
+        total.late_drops += s.late_drops;
+        total.lfta_evictions += s.lfta_evictions;
+        total.rows_out += s.rows_out;
+        total.buckets_closed += s.buckets_closed;
+    }
+    total
+}
+
 /// Times a closure and reports nanoseconds per item for `items` processed.
 pub fn measure_ns_per_item(items: u64, f: impl FnOnce()) -> f64 {
     assert!(items > 0);
@@ -83,6 +117,40 @@ mod tests {
         let q = LoadPoint::from_cost(100_000.0, 2_500.0);
         assert_eq!(q.cpu_pct, 25.0);
         assert_eq!(q.drop_frac, 0.0);
+    }
+
+    #[test]
+    fn sharded_capacity_is_min_of_dispatch_and_workers() {
+        // Aggregation 8× the dispatch cost: workers limit until 8 shards.
+        assert_eq!(sharded_capacity_pps(100.0, 800.0, 1), 1.25e6);
+        assert_eq!(sharded_capacity_pps(100.0, 800.0, 4), 5e6);
+        // From 8 shards on, the ingress thread is the bottleneck.
+        assert_eq!(sharded_capacity_pps(100.0, 800.0, 8), 1e7);
+        assert_eq!(sharded_capacity_pps(100.0, 800.0, 16), 1e7);
+    }
+
+    #[test]
+    fn combine_shard_stats_sums_all_counters() {
+        use crate::engine::EngineStats;
+        let a = EngineStats {
+            tuples_in: 10,
+            filtered: 1,
+            late_drops: 2,
+            lfta_evictions: 3,
+            rows_out: 4,
+            buckets_closed: 5,
+        };
+        let b = EngineStats {
+            tuples_in: 20,
+            ..EngineStats::default()
+        };
+        let total = combine_shard_stats(&[a, b]);
+        assert_eq!(total.tuples_in, 30);
+        assert_eq!(total.filtered, 1);
+        assert_eq!(total.late_drops, 2);
+        assert_eq!(total.lfta_evictions, 3);
+        assert_eq!(total.rows_out, 4);
+        assert_eq!(total.buckets_closed, 5);
     }
 
     #[test]

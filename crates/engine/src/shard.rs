@@ -1,0 +1,526 @@
+//! Sharded parallel execution: one query, N worker threads.
+//!
+//! Forward decay makes stream summaries *mergeable* — the numerator
+//! `g(t_i − L)` of every weight is frozen at arrival, so two partial
+//! summaries over disjoint substreams with the same landmark combine into
+//! the summary of their union (Section VI-B of the paper: "distributed
+//! computation … each site maintains a summary of its local stream").
+//! [`ShardedEngine`] exploits exactly that: it hash-partitions the tuple
+//! stream across `n_shards` worker threads, each running a full
+//! single-threaded [`Engine`] (its own LFTA + HFTA) over its substream,
+//! and combines the per-shard closed buckets with
+//! [`Aggregator::merge_boxed`] at the end.
+//!
+//! ## Semantics
+//!
+//! The dispatcher (the caller's thread) replicates the single-threaded
+//! engine's admission logic *globally*: selection, the late-tuple check
+//! against closed buckets, and the watermark advance all happen before a
+//! tuple is routed, so a tuple is accepted or dropped by the sharded
+//! engine exactly when the single-threaded engine would accept or drop
+//! it. Worker watermarks are kept in sync by broadcasting the global
+//! watermark as a punctuation after every batch, which also makes bucket
+//! closing deterministic across runs.
+//!
+//! Workers run in *state mode* ([`Engine::keep_closed_state`]): a closed
+//! bucket yields raw [`ClosedGroup`] aggregation state rather than
+//! emitted rows. [`ShardedEngine::finish`] folds all shards' groups into
+//! one `BTreeMap` keyed by `(bucket, key)` — merging states that met the
+//! same group on different shards — and only then evaluates each group at
+//! its bucket end, producing rows in the same (bucket, key) order as the
+//! single-threaded engine.
+//!
+//! ## Routing
+//!
+//! [`ShardBy::Key`] (the default) sends every tuple of a group to the
+//! same shard, so group states never split and results are *identical*
+//! to the single-threaded engine for every aggregator — this is the mode
+//! the equivalence tests pin down. [`ShardBy::RoundRobin`] spreads each
+//! group across all shards and relies on the merge path; it matches the
+//! single-threaded engine exactly for the exactly-mergeable aggregates
+//! (counts, sums — Theorem 1 state is a pair of scalars that add), and
+//! within approximation bounds for the sketch/sampler summaries.
+
+use std::collections::btree_map::Entry;
+use std::collections::BTreeMap;
+use std::sync::mpsc::{sync_channel, SyncSender};
+use std::thread::JoinHandle;
+
+use crate::engine::{ClosedGroup, Engine, EngineStats, Row, StreamEvent};
+use crate::tuple::{secs, Micros, Packet};
+use crate::udaf::{Aggregator, Query};
+
+/// How the dispatcher assigns accepted tuples to shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShardBy {
+    /// Hash of the group key: each group lives wholly on one shard, so
+    /// sharded results are identical to the single-threaded engine for
+    /// every aggregator.
+    #[default]
+    Key,
+    /// Strict rotation: each group's state splits across all shards and
+    /// is re-assembled by merging — the paper's distributed-computation
+    /// scenario. Exact for additively-mergeable aggregates (count/sum),
+    /// approximate within summary guarantees otherwise.
+    RoundRobin,
+}
+
+/// Messages from the dispatcher to a worker.
+enum Msg {
+    Batch(Vec<Packet>),
+    Punctuate(Micros),
+}
+
+/// Per-shard channel depth (in batches) before the dispatcher blocks.
+const CHANNEL_DEPTH: usize = 8;
+/// Tuples buffered per shard before an automatic channel send.
+const FLUSH_THRESHOLD: usize = 1024;
+
+/// A parallel instance of one continuous query across N worker threads.
+///
+/// ```
+/// use fd_engine::prelude::*;
+/// use fd_core::decay::Monomial;
+///
+/// let query = Query::builder("decayed_traffic")
+///     .group_by(|p| p.dst_key())
+///     .bucket_secs(60)
+///     .aggregate(fwd_sum_factory(Monomial::quadratic(), |p| p.len as f64))
+///     .build();
+/// let mut sharded = ShardedEngine::new(query, 4);
+/// # let pkt = Packet { ts: 1_000_000, src_ip: 1, dst_ip: 2, src_port: 3,
+/// #                    dst_port: 80, len: 100, proto: Proto::Tcp };
+/// sharded.process_batch(&[StreamEvent::Data(pkt)]);
+/// let rows = sharded.finish();
+/// assert_eq!(rows.len(), 1);
+/// ```
+pub struct ShardedEngine {
+    query: Query,
+    routing: ShardBy,
+    senders: Vec<SyncSender<Msg>>,
+    workers: Vec<JoinHandle<(Vec<ClosedGroup>, EngineStats)>>,
+    /// Per-shard staging buffers, reused between sends.
+    pending: Vec<Vec<Packet>>,
+    rr: usize,
+    watermark: Micros,
+    closed_below: u64,
+    /// Dispatcher-side admission counters (tuples_in / filtered /
+    /// late_drops); worker-side counters are folded in at finish.
+    stats: EngineStats,
+    shard_stats: Vec<EngineStats>,
+    done: bool,
+}
+
+impl ShardedEngine {
+    /// Spawns `n_shards` workers for the query. Panics on zero shards;
+    /// see [`ShardedEngine::try_new`] for the reporting variant.
+    pub fn new(query: Query, n_shards: usize) -> Self {
+        Self::try_new(query, n_shards).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Spawns `n_shards` workers for the query, reporting instead of
+    /// panicking when `n_shards` is zero.
+    pub fn try_new(query: Query, n_shards: usize) -> Result<Self, fd_core::Error> {
+        if n_shards == 0 {
+            return Err(fd_core::Error::InvalidParameter {
+                name: "n_shards",
+                value: 0.0,
+                requirement: "at least one shard",
+            });
+        }
+        let mut senders = Vec::with_capacity(n_shards);
+        let mut workers = Vec::with_capacity(n_shards);
+        for i in 0..n_shards {
+            // The dispatcher has already applied the selection; don't pay
+            // for it again on the worker.
+            let mut worker_query = query.clone();
+            worker_query.filter = None;
+            let (tx, rx) = sync_channel::<Msg>(CHANNEL_DEPTH);
+            let handle = std::thread::Builder::new()
+                .name(format!("fd-shard-{i}"))
+                .spawn(move || {
+                    let mut engine = Engine::new(worker_query);
+                    engine.keep_closed_state();
+                    while let Ok(msg) = rx.recv() {
+                        match msg {
+                            Msg::Batch(pkts) => {
+                                for p in &pkts {
+                                    engine.process(p);
+                                }
+                            }
+                            Msg::Punctuate(ts) => engine.punctuate(ts),
+                        }
+                    }
+                    // Channel closed: end of stream.
+                    let state = engine.finish_state();
+                    (state, engine.stats())
+                })
+                .expect("spawn shard worker");
+            senders.push(tx);
+            workers.push(handle);
+        }
+        Ok(Self {
+            query,
+            routing: ShardBy::Key,
+            senders,
+            workers,
+            pending: vec![Vec::new(); n_shards],
+            rr: 0,
+            watermark: 0,
+            closed_below: 0,
+            stats: EngineStats::default(),
+            shard_stats: vec![EngineStats::default(); n_shards],
+            done: false,
+        })
+    }
+
+    /// Sets the routing policy (default [`ShardBy::Key`]). Must be called
+    /// before any tuple is processed.
+    pub fn routing(mut self, routing: ShardBy) -> Self {
+        assert_eq!(self.stats.tuples_in, 0, "set routing before processing");
+        self.routing = routing;
+        self
+    }
+
+    /// Number of worker shards.
+    pub fn n_shards(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// The query's display name.
+    pub fn query_name(&self) -> &str {
+        &self.query.name
+    }
+
+    fn route(&mut self, key: u64) -> usize {
+        match self.routing {
+            // Fibonacci hash: multiply by 2⁶⁴/φ and fold. Deterministic
+            // and well-mixed even for dense small keys.
+            ShardBy::Key => {
+                (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) % self.n_shards() as u64) as usize
+            }
+            ShardBy::RoundRobin => {
+                let s = self.rr;
+                self.rr = (self.rr + 1) % self.n_shards();
+                s
+            }
+        }
+    }
+
+    /// Offers one tuple: global admission (filter, late check, watermark),
+    /// then staging for the owning shard. Mirrors [`Engine::process`]
+    /// decision for decision.
+    pub fn process(&mut self, pkt: &Packet) {
+        debug_assert!(!self.done, "process after finish");
+        self.stats.tuples_in += 1;
+        if let Some(f) = &self.query.filter {
+            if !f(pkt) {
+                self.stats.filtered += 1;
+                return;
+            }
+        }
+        let bucket = pkt.ts / self.query.bucket_micros;
+        if bucket < self.closed_below {
+            self.stats.late_drops += 1;
+            return;
+        }
+        self.watermark = self.watermark.max(pkt.ts);
+        let key = (self.query.group_by)(pkt);
+        let shard = self.route(key);
+        self.pending[shard].push(*pkt);
+        if self.pending[shard].len() >= FLUSH_THRESHOLD {
+            let batch = std::mem::take(&mut self.pending[shard]);
+            self.send(shard, Msg::Batch(batch));
+        }
+        let target =
+            self.watermark.saturating_sub(self.query.slack_micros) / self.query.bucket_micros;
+        self.closed_below = self.closed_below.max(target);
+    }
+
+    /// Processes a punctuation: advances the global watermark and
+    /// broadcasts it, closing due buckets on every shard.
+    pub fn punctuate(&mut self, ts: Micros) {
+        self.watermark = self.watermark.max(ts);
+        let target =
+            self.watermark.saturating_sub(self.query.slack_micros) / self.query.bucket_micros;
+        self.closed_below = self.closed_below.max(target);
+        self.sync_watermark();
+    }
+
+    /// Offers a batch of stream elements, then broadcasts the advanced
+    /// watermark so every shard closes the same buckets — the per-batch
+    /// synchronisation point of the sharded pipeline.
+    pub fn process_batch(&mut self, events: &[StreamEvent]) {
+        for ev in events {
+            match ev {
+                StreamEvent::Data(pkt) => self.process(pkt),
+                StreamEvent::Punctuation(ts) => self.punctuate(*ts),
+            }
+        }
+        self.sync_watermark();
+    }
+
+    /// Flushes staged tuples and broadcasts the current global watermark
+    /// to all shards.
+    fn sync_watermark(&mut self) {
+        for shard in 0..self.n_shards() {
+            if !self.pending[shard].is_empty() {
+                let batch = std::mem::take(&mut self.pending[shard]);
+                self.send(shard, Msg::Batch(batch));
+            }
+        }
+        let w = self.watermark;
+        if w > 0 {
+            for shard in 0..self.n_shards() {
+                self.send(shard, Msg::Punctuate(w));
+            }
+        }
+    }
+
+    fn send(&mut self, shard: usize, msg: Msg) {
+        // A send fails only if the worker is gone — i.e. it panicked; the
+        // join in finish() will surface that panic, so just report here.
+        self.senders[shard]
+            .send(msg)
+            .unwrap_or_else(|_| panic!("shard {shard} worker has died"));
+    }
+
+    /// Ends the stream: flushes all shards, merges their closed buckets,
+    /// and returns every row in (bucket, key) order — the same order the
+    /// single-threaded engine emits. Subsequent calls return no rows.
+    pub fn finish(&mut self) -> Vec<Row> {
+        if self.done {
+            return Vec::new();
+        }
+        self.done = true;
+        for shard in 0..self.n_shards() {
+            if !self.pending[shard].is_empty() {
+                let batch = std::mem::take(&mut self.pending[shard]);
+                self.send(shard, Msg::Batch(batch));
+            }
+        }
+        self.senders.clear(); // closes every channel: workers drain and exit
+        let mut combined: BTreeMap<(u64, u64), Box<dyn Aggregator>> = BTreeMap::new();
+        for (shard, handle) in self.workers.drain(..).enumerate() {
+            let (closed, stats) = handle.join().unwrap_or_else(|e| {
+                std::panic::resume_unwind(e);
+            });
+            self.shard_stats[shard] = stats;
+            for cg in closed {
+                match combined.entry((cg.bucket, cg.key)) {
+                    Entry::Occupied(mut e) => e.get_mut().merge_boxed(cg.agg),
+                    Entry::Vacant(e) => {
+                        e.insert(cg.agg);
+                    }
+                }
+            }
+        }
+        let bucket_micros = self.query.bucket_micros;
+        let mut last_bucket = None;
+        let rows: Vec<Row> = combined
+            .into_iter()
+            .map(|((bucket, key), agg)| {
+                if last_bucket != Some(bucket) {
+                    last_bucket = Some(bucket);
+                    self.stats.buckets_closed += 1;
+                }
+                Row {
+                    bucket_start: bucket * bucket_micros,
+                    key,
+                    value: agg.emit(secs((bucket + 1) * bucket_micros)),
+                }
+            })
+            .collect();
+        self.stats.rows_out = rows.len() as u64;
+        rows
+    }
+
+    /// Runs a whole stream through the query and returns all rows.
+    pub fn run(&mut self, stream: impl IntoIterator<Item = Packet>) -> Vec<Row> {
+        for pkt in stream {
+            self.process(&pkt);
+        }
+        self.finish()
+    }
+
+    /// Combined execution counters: dispatcher admission counts plus the
+    /// shard-side LFTA evictions, and the combiner's row/bucket counts.
+    /// Shard-side numbers are folded in by [`ShardedEngine::finish`].
+    pub fn stats(&self) -> EngineStats {
+        let shards = crate::metrics::combine_shard_stats(&self.shard_stats);
+        EngineStats {
+            lfta_evictions: shards.lfta_evictions,
+            ..self.stats
+        }
+    }
+
+    /// Raw per-shard engine counters (populated by
+    /// [`ShardedEngine::finish`]).
+    pub fn per_shard_stats(&self) -> &[EngineStats] {
+        &self.shard_stats
+    }
+}
+
+impl Drop for ShardedEngine {
+    fn drop(&mut self) {
+        // Close channels and reap workers so an abandoned engine doesn't
+        // leak threads.
+        self.senders.clear();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregators::{count_factory, fwd_sum_factory};
+    use crate::tuple::{Proto, MICROS_PER_SEC};
+    use fd_core::decay::Monomial;
+
+    fn pkt(ts_s: f64, dst_ip: u32) -> Packet {
+        Packet {
+            ts: (ts_s * MICROS_PER_SEC as f64) as Micros,
+            src_ip: 1,
+            dst_ip,
+            src_port: 1000,
+            dst_port: 80,
+            len: 100,
+            proto: Proto::Tcp,
+        }
+    }
+
+    fn count_query() -> Query {
+        Query::builder("count")
+            .group_by(|p| p.dst_host())
+            .bucket_secs(60)
+            .aggregate(count_factory())
+            .two_level(true)
+            .lfta_slots(64)
+            .build()
+    }
+
+    #[test]
+    fn sharded_counts_match_single_threaded() {
+        let stream: Vec<Packet> = (0..10_000)
+            .map(|i| pkt(0.01 * i as f64, (i % 97) as u32))
+            .collect();
+        let single = Engine::new(count_query()).run(stream.clone());
+        let sharded = ShardedEngine::new(count_query(), 4).run(stream);
+        assert_eq!(single.len(), sharded.len());
+        for (a, b) in single.iter().zip(&sharded) {
+            assert_eq!((a.bucket_start, a.key), (b.bucket_start, b.key));
+            assert_eq!(a.value, b.value);
+        }
+    }
+
+    #[test]
+    fn round_robin_merges_split_groups_exactly() {
+        // Every group's state splits across all 4 shards; counts are
+        // additively mergeable so the merge path must reassemble them
+        // exactly.
+        let stream: Vec<Packet> = (0..8_000)
+            .map(|i| pkt(0.005 * i as f64, (i % 13) as u32))
+            .collect();
+        let single = Engine::new(count_query()).run(stream.clone());
+        let sharded = ShardedEngine::new(count_query(), 4)
+            .routing(ShardBy::RoundRobin)
+            .run(stream);
+        assert_eq!(single.len(), sharded.len());
+        for (a, b) in single.iter().zip(&sharded) {
+            assert_eq!((a.bucket_start, a.key), (b.bucket_start, b.key));
+            assert_eq!(a.value, b.value);
+        }
+    }
+
+    #[test]
+    fn forward_decayed_sum_shards_by_key() {
+        let q = || {
+            Query::builder("fwd")
+                .group_by(|p| p.dst_host())
+                .bucket_secs(60)
+                .aggregate(fwd_sum_factory(Monomial::quadratic(), |p| p.len as f64))
+                .two_level(false)
+                .build()
+        };
+        let stream: Vec<Packet> = (0..5_000)
+            .map(|i| pkt(0.03 * i as f64, (i % 31) as u32))
+            .collect();
+        let single = Engine::new(q()).run(stream.clone());
+        let sharded = ShardedEngine::new(q(), 4).run(stream);
+        assert_eq!(single.len(), sharded.len());
+        for (a, b) in single.iter().zip(&sharded) {
+            assert_eq!((a.bucket_start, a.key), (b.bucket_start, b.key));
+            assert_eq!(a.value, b.value, "key {}", a.key);
+        }
+    }
+
+    #[test]
+    fn late_tuples_drop_identically() {
+        let mut single = Engine::new(count_query());
+        let mut sharded = ShardedEngine::new(count_query(), 4);
+        let events = [
+            StreamEvent::Data(pkt(10.0, 1)),
+            StreamEvent::Punctuation(130 * MICROS_PER_SEC),
+            StreamEvent::Data(pkt(15.0, 1)), // late: bucket 0 closed
+            StreamEvent::Data(pkt(140.0, 2)),
+        ];
+        for ev in &events {
+            single.process_event(ev);
+        }
+        sharded.process_batch(&events);
+        let s_rows = single.finish();
+        let p_rows = sharded.finish();
+        assert_eq!(s_rows.len(), p_rows.len());
+        assert_eq!(single.stats().late_drops, 1);
+        assert_eq!(sharded.stats().late_drops, 1);
+    }
+
+    #[test]
+    fn stats_aggregate_across_shards() {
+        let q = Query::builder("stats")
+            .filter(|p| p.proto == Proto::Tcp)
+            .group_by(|p| p.dst_host())
+            .bucket_secs(60)
+            .aggregate(count_factory())
+            .build();
+        let mut e = ShardedEngine::new(q, 3);
+        for i in 0..300 {
+            e.process(&pkt(i as f64 * 0.1, (i % 7) as u32));
+        }
+        let rows = e.finish();
+        let stats = e.stats();
+        assert_eq!(stats.tuples_in, 300);
+        assert_eq!(stats.rows_out, rows.len() as u64);
+        assert!(stats.buckets_closed >= 1);
+        let per_shard = e.per_shard_stats();
+        assert_eq!(per_shard.len(), 3);
+        assert_eq!(
+            per_shard.iter().map(|s| s.tuples_in).sum::<u64>(),
+            300,
+            "every accepted tuple lands on exactly one shard"
+        );
+    }
+
+    #[test]
+    fn try_new_rejects_zero_shards() {
+        assert!(matches!(
+            ShardedEngine::try_new(count_query(), 0),
+            Err(fd_core::Error::InvalidParameter {
+                name: "n_shards",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn finish_is_idempotent_and_drop_reaps_workers() {
+        let mut e = ShardedEngine::new(count_query(), 2);
+        e.process(&pkt(1.0, 1));
+        assert_eq!(e.finish().len(), 1);
+        assert!(e.finish().is_empty());
+        let e2 = ShardedEngine::new(count_query(), 2);
+        drop(e2); // must not hang or leak
+    }
+}

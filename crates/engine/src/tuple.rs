@@ -1,19 +1,27 @@
 //! The stream tuple: a network packet record, mirroring the `TCP`/`UDP`
 //! stream schemas of the paper's GSQL queries.
 
+use fd_core::Timestamp;
 use serde::{Deserialize, Serialize};
 
-/// Engine timestamps: microseconds since an arbitrary epoch.
+/// Engine timestamps: microseconds since an arbitrary epoch — the same
+/// clock as [`fd_core::Timestamp`], kept unsigned in the tuple format.
 pub type Micros = u64;
 
 /// Microseconds per second.
 pub const MICROS_PER_SEC: u64 = 1_000_000;
 
+/// Converts an engine timestamp to the workspace [`Timestamp`] clock.
+#[inline]
+pub fn timestamp(t: Micros) -> Timestamp {
+    Timestamp::from_micros(t as i64)
+}
+
 /// Converts an engine timestamp to seconds (the unit fd-core decay
 /// functions operate in).
 #[inline]
 pub fn secs(t: Micros) -> f64 {
-    t as f64 / MICROS_PER_SEC as f64
+    timestamp(t).as_secs_f64()
 }
 
 /// Transport protocol of a packet.
@@ -64,6 +72,13 @@ impl Packet {
     #[inline]
     pub fn src_host(&self) -> u64 {
         self.src_ip as u64
+    }
+
+    /// Observation instant on the workspace clock — exact microseconds,
+    /// what fd-core summaries are fed.
+    #[inline]
+    pub fn timestamp(&self) -> Timestamp {
+        timestamp(self.ts)
     }
 
     /// Timestamp in seconds.

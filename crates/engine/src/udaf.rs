@@ -246,9 +246,8 @@ impl QueryBuilder {
     }
 
     /// Sets the time-bucket width in seconds (default 60, as in the
-    /// paper's queries).
+    /// paper's queries). A zero width is rejected at build time.
     pub fn bucket_secs(mut self, secs: u64) -> Self {
-        assert!(secs > 0, "bucket width must be positive");
         self.bucket_micros = secs * MICROS_PER_SEC;
         self
     }
@@ -272,9 +271,9 @@ impl QueryBuilder {
         self
     }
 
-    /// Sets the LFTA table size (default 4096 slots).
+    /// Sets the LFTA table size (default 4096 slots). Zero slots are
+    /// rejected at build time if two-level mode is on.
     pub fn lfta_slots(mut self, slots: usize) -> Self {
-        assert!(slots > 0);
         self.lfta_slots = slots;
         self
     }
@@ -284,16 +283,41 @@ impl QueryBuilder {
     /// # Panics
     /// Panics if no aggregate was supplied.
     pub fn build(self) -> Query {
-        Query {
+        self.try_build().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Finalizes the query, reporting what is missing or out of range
+    /// instead of panicking: a query needs an aggregate, a positive bucket
+    /// width, and (in two-level mode) at least one LFTA slot.
+    pub fn try_build(self) -> Result<Query, fd_core::Error> {
+        let aggregate = self.aggregate.ok_or(fd_core::Error::MissingComponent {
+            builder: "Query",
+            component: "aggregate",
+        })?;
+        if self.bucket_micros == 0 {
+            return Err(fd_core::Error::InvalidParameter {
+                name: "bucket_micros",
+                value: 0.0,
+                requirement: "at least one microsecond",
+            });
+        }
+        if self.two_level && self.lfta_slots == 0 {
+            return Err(fd_core::Error::InvalidParameter {
+                name: "lfta_slots",
+                value: 0.0,
+                requirement: "at least one slot in two-level mode",
+            });
+        }
+        Ok(Query {
             name: self.name,
             filter: self.filter,
             group_by: self.group_by.unwrap_or_else(|| Arc::new(|_| 0)),
             bucket_micros: self.bucket_micros,
             slack_micros: self.slack_micros,
-            aggregate: self.aggregate.expect("query needs an aggregate"),
+            aggregate,
             two_level: self.two_level,
             lfta_slots: self.lfta_slots,
-        }
+        })
     }
 }
 
@@ -367,9 +391,29 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "needs an aggregate")]
+    #[should_panic(expected = "missing its aggregate")]
     fn query_requires_aggregate() {
         let _ = Query::builder("q").build();
+    }
+
+    #[test]
+    fn try_build_reports_what_is_wrong() {
+        assert!(matches!(
+            Query::builder("q").try_build(),
+            Err(fd_core::Error::MissingComponent { .. })
+        ));
+        let f = crate::aggregators::count_factory();
+        assert!(Query::builder("q").aggregate(f.clone()).try_build().is_ok());
+        assert!(Query::builder("q")
+            .aggregate(f.clone())
+            .bucket_secs(0)
+            .try_build()
+            .is_err());
+        assert!(Query::builder("q")
+            .aggregate(f)
+            .lfta_slots(0)
+            .try_build()
+            .is_err());
     }
 
     #[test]

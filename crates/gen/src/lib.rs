@@ -356,7 +356,7 @@ impl TickerConfig {
                 ts_secs: clock,
                 symbol: s as u32,
                 price: prices[s],
-                size: 100 * rng.gen_range(1..=10),
+                size: 100 * rng.gen_range(1..=10u32),
             });
         }
         out

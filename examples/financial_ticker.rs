@@ -95,7 +95,7 @@ fn main() {
 
     println!("\nexponentially decayed trade sample for symbol 0 (most recent trades dominate):");
     let mut sample: Vec<_> = samples[0].sample().iter().map(|e| (e.t, e.item)).collect();
-    sample.sort_by(|a, b| a.0.total_cmp(&b.0));
+    sample.sort_by_key(|s| s.0);
     for (t, (price, size)) in sample.iter().rev().take(5) {
         println!("  t = {t:9.2} s  price {price:8.3}  size {size:5}");
     }

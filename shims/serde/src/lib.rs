@@ -1,0 +1,20 @@
+//! A minimal, dependency-free stand-in for the `serde` data-model traits
+//! used by this workspace: the `ser`/`de` trait hierarchy, container
+//! implementations for the std types the summaries store, and (behind the
+//! `derive` feature) `#[derive(Serialize, Deserialize)]` from the
+//! companion `serde_derive` shim.
+//!
+//! The workspace builds fully offline, so external crates are replaced by
+//! in-repo shims with the same module paths. The surface here is exactly
+//! what `fd_core::checkpoint` (the only serializer/deserializer in the
+//! tree) and the workspace's derives exercise — it is not a general serde
+//! replacement.
+
+pub mod de;
+pub mod ser;
+
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

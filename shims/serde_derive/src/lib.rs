@@ -1,0 +1,649 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! in-repo serde shim — no `syn`/`quote`, because the workspace builds
+//! fully offline with zero external crates.
+//!
+//! Supported input shapes (everything this workspace derives on):
+//! - structs with named fields, optionally generic (`struct S<T, G: B>`),
+//! - unit structs,
+//! - enums whose variants are unit, newtype, tuple, or struct-shaped,
+//!   optionally generic.
+//!
+//! `#[serde(...)]` attributes are **not** supported; generic parameters
+//! get a `Serialize` / `DeserializeOwned` bound added to their existing
+//! inline bounds, mirroring serde's default bound inference for the cases
+//! used here.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ---------------------------------------------------------------------------
+// Input model
+// ---------------------------------------------------------------------------
+
+enum ParamKind {
+    Lifetime,
+    Const,
+    Type,
+}
+
+struct Param {
+    /// Original declaration tokens, e.g. `G: ForwardDecay`.
+    decl: String,
+    /// Bare name, e.g. `G` (or `'a`, or the const's name).
+    name: String,
+    kind: ParamKind,
+}
+
+enum VariantShape {
+    Unit,
+    Newtype,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+enum Body {
+    /// Named-field struct with field names.
+    Struct(Vec<String>),
+    /// Unit struct (`struct S;`).
+    Unit,
+    /// Enum with (variant name, shape) in declaration order.
+    Enum(Vec<(String, VariantShape)>),
+}
+
+struct Parsed {
+    name: String,
+    params: Vec<Param>,
+    where_clause: String,
+    body: Body,
+}
+
+// ---------------------------------------------------------------------------
+// Token-level parsing
+// ---------------------------------------------------------------------------
+
+fn tokens_to_string(tokens: &[TokenTree]) -> String {
+    tokens
+        .iter()
+        .map(|t| t.to_string())
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Splits a token list on top-level commas, tracking `<...>` nesting so
+/// commas inside generic arguments don't split (nested `(..)`/`[..]`/`{..}`
+/// arrive as single `Group` tokens and need no tracking).
+fn split_top_level(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur: Vec<TokenTree> = Vec::new();
+    let mut angle_depth = 0i32;
+    let mut prev_was_dash = false;
+    for t in tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' if !prev_was_dash => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    out.push(std::mem::take(&mut cur));
+                    prev_was_dash = false;
+                    continue;
+                }
+                _ => {}
+            }
+            prev_was_dash = p.as_char() == '-';
+        } else {
+            prev_was_dash = false;
+        }
+        cur.push(t.clone());
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out.retain(|chunk| !chunk.is_empty());
+    out
+}
+
+/// Strips leading `#[...]` attributes and a `pub` / `pub(...)` visibility
+/// from a token list, returning the remainder.
+fn strip_attrs_and_vis(tokens: &[TokenTree]) -> &[TokenTree] {
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                // `#` is always followed by the bracketed attribute body.
+                i += 2;
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    &tokens[i..]
+}
+
+fn parse_params(tokens: &[TokenTree]) -> Vec<Param> {
+    split_top_level(tokens)
+        .into_iter()
+        .map(|chunk| {
+            let decl = tokens_to_string(&chunk);
+            match &chunk[0] {
+                TokenTree::Punct(p) if p.as_char() == '\'' => Param {
+                    name: format!("'{}", chunk[1]),
+                    decl,
+                    kind: ParamKind::Lifetime,
+                },
+                TokenTree::Ident(id) if id.to_string() == "const" => Param {
+                    name: chunk[1].to_string(),
+                    decl,
+                    kind: ParamKind::Const,
+                },
+                first => Param {
+                    name: first.to_string(),
+                    decl,
+                    kind: ParamKind::Type,
+                },
+            }
+        })
+        .collect()
+}
+
+/// Field names of a named-field body (the contents of a `{...}` group).
+fn parse_named_fields(tokens: &[TokenTree]) -> Vec<String> {
+    split_top_level(tokens)
+        .iter()
+        .map(|chunk| {
+            let rest = strip_attrs_and_vis(chunk);
+            match rest.first() {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => panic!("serde shim derive: expected field name, got {other:?}"),
+            }
+        })
+        .collect()
+}
+
+fn parse_enum_variants(tokens: &[TokenTree]) -> Vec<(String, VariantShape)> {
+    split_top_level(tokens)
+        .iter()
+        .map(|chunk| {
+            let rest = strip_attrs_and_vis(chunk);
+            let name = match rest.first() {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => panic!("serde shim derive: expected variant name, got {other:?}"),
+            };
+            let shape = match rest.get(1) {
+                None => VariantShape::Unit,
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    let fields: Vec<TokenTree> = g.stream().into_iter().collect();
+                    match split_top_level(&fields).len() {
+                        1 => VariantShape::Newtype,
+                        n => VariantShape::Tuple(n),
+                    }
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    let fields: Vec<TokenTree> = g.stream().into_iter().collect();
+                    VariantShape::Struct(parse_named_fields(&fields))
+                }
+                other => panic!("serde shim derive: unsupported variant shape {other:?}"),
+            };
+            (name, shape)
+        })
+        .collect()
+}
+
+fn parse(input: TokenStream) -> Parsed {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let rest = strip_attrs_and_vis(&tokens);
+    let mut i = 0;
+
+    let is_enum = match &rest[i] {
+        TokenTree::Ident(id) if id.to_string() == "struct" => false,
+        TokenTree::Ident(id) if id.to_string() == "enum" => true,
+        other => panic!("serde shim derive: expected struct or enum, got {other}"),
+    };
+    i += 1;
+
+    let name = rest[i].to_string();
+    i += 1;
+
+    // Generic parameter list, if present.
+    let mut params = Vec::new();
+    if matches!(&rest.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        i += 1;
+        let start = i;
+        let mut depth = 1;
+        while depth > 0 {
+            if let TokenTree::Punct(p) = &rest[i] {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        params = parse_params(&rest[start..i - 1]);
+    }
+
+    // Optional where clause, then the body.
+    let mut where_tokens = Vec::new();
+    let body = loop {
+        match &rest[i] {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                break if is_enum {
+                    Body::Enum(parse_enum_variants(&inner))
+                } else {
+                    Body::Struct(parse_named_fields(&inner))
+                };
+            }
+            TokenTree::Punct(p) if p.as_char() == ';' => {
+                assert!(
+                    !is_enum && where_tokens.is_empty(),
+                    "serde shim derive: tuple structs are not supported"
+                );
+                break Body::Unit;
+            }
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!("serde shim derive: tuple structs are not supported (write manual impls)")
+            }
+            t => {
+                where_tokens.push(t.clone());
+                i += 1;
+            }
+        }
+    };
+
+    Parsed {
+        name,
+        params,
+        where_clause: tokens_to_string(&where_tokens),
+        body,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+impl Parsed {
+    /// `<T, G>` (empty string when not generic).
+    fn ty_generics(&self) -> String {
+        if self.params.is_empty() {
+            String::new()
+        } else {
+            let names: Vec<&str> = self.params.iter().map(|p| p.name.as_str()).collect();
+            format!("<{}>", names.join(", "))
+        }
+    }
+
+    /// The original parameter declarations with `extra_bound` appended to
+    /// every *type* parameter, e.g. `T: serde::ser::Serialize, G:
+    /// ForwardDecay + serde::ser::Serialize`.
+    fn bounded_params(&self, extra_bound: &str) -> String {
+        self.params
+            .iter()
+            .map(|p| match p.kind {
+                ParamKind::Lifetime | ParamKind::Const => p.decl.clone(),
+                ParamKind::Type => {
+                    if p.decl.contains(':') {
+                        format!("{} + {extra_bound}", p.decl)
+                    } else {
+                        format!("{}: {extra_bound}", p.decl)
+                    }
+                }
+            })
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+
+    fn self_ty(&self) -> String {
+        format!("{}{}", self.name, self.ty_generics())
+    }
+
+    fn where_suffix(&self) -> String {
+        if self.where_clause.is_empty() {
+            String::new()
+        } else {
+            format!(" {}", self.where_clause)
+        }
+    }
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let p = parse(input);
+    let name = &p.name;
+    let self_ty = p.self_ty();
+    let impl_generics = p.bounded_params("serde::ser::Serialize");
+    let impl_header = if impl_generics.is_empty() {
+        format!(
+            "impl serde::ser::Serialize for {self_ty}{}",
+            p.where_suffix()
+        )
+    } else {
+        format!(
+            "impl<{impl_generics}> serde::ser::Serialize for {self_ty}{}",
+            p.where_suffix()
+        )
+    };
+
+    let body = match &p.body {
+        Body::Unit => format!("serde::ser::Serializer::serialize_unit_struct(__s, \"{name}\")"),
+        Body::Struct(fields) => {
+            let mut code = format!(
+                "let mut __st = serde::ser::Serializer::serialize_struct(__s, \"{name}\", {}usize)?;\n",
+                fields.len()
+            );
+            for f in fields {
+                code.push_str(&format!(
+                    "serde::ser::SerializeStruct::serialize_field(&mut __st, \"{f}\", &self.{f})?;\n"
+                ));
+            }
+            code.push_str("serde::ser::SerializeStruct::end(__st)");
+            code
+        }
+        Body::Enum(variants) => {
+            let mut arms = String::new();
+            for (idx, (vname, shape)) in variants.iter().enumerate() {
+                let arm = match shape {
+                    VariantShape::Unit => format!(
+                        "{name}::{vname} => serde::ser::Serializer::serialize_unit_variant(__s, \"{name}\", {idx}u32, \"{vname}\"),\n"
+                    ),
+                    VariantShape::Newtype => format!(
+                        "{name}::{vname}(__f0) => serde::ser::Serializer::serialize_newtype_variant(__s, \"{name}\", {idx}u32, \"{vname}\", __f0),\n"
+                    ),
+                    VariantShape::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let mut arm = format!(
+                            "{name}::{vname}({}) => {{\nlet mut __tv = serde::ser::Serializer::serialize_tuple_variant(__s, \"{name}\", {idx}u32, \"{vname}\", {n}usize)?;\n",
+                            binders.join(", ")
+                        );
+                        for b in &binders {
+                            arm.push_str(&format!(
+                                "serde::ser::SerializeTupleVariant::serialize_field(&mut __tv, {b})?;\n"
+                            ));
+                        }
+                        arm.push_str("serde::ser::SerializeTupleVariant::end(__tv)\n},\n");
+                        arm
+                    }
+                    VariantShape::Struct(fields) => {
+                        let mut arm = format!(
+                            "{name}::{vname} {{ {} }} => {{\nlet mut __sv = serde::ser::Serializer::serialize_struct_variant(__s, \"{name}\", {idx}u32, \"{vname}\", {}usize)?;\n",
+                            fields.join(", "),
+                            fields.len()
+                        );
+                        for f in fields {
+                            arm.push_str(&format!(
+                                "serde::ser::SerializeStructVariant::serialize_field(&mut __sv, \"{f}\", {f})?;\n"
+                            ));
+                        }
+                        arm.push_str("serde::ser::SerializeStructVariant::end(__sv)\n},\n");
+                        arm
+                    }
+                };
+                arms.push_str(&arm);
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+
+    let code = format!(
+        "#[automatically_derived]\n{impl_header} {{\n\
+         fn serialize<__S: serde::ser::Serializer>(&self, __s: __S) -> core::result::Result<__S::Ok, __S::Error> {{\n\
+         {body}\n\
+         }}\n\
+         }}"
+    );
+    code.parse()
+        .expect("serde shim derive: generated invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let p = parse(input);
+    let name = &p.name;
+    let self_ty = p.self_ty();
+    let ty_generics = p.ty_generics();
+    // `T, G,` — phantom payload over the bare parameters, so the visitor
+    // struct declaration needs none of the input type's bounds.
+    let params_tuple = p
+        .params
+        .iter()
+        .filter(|p| matches!(p.kind, ParamKind::Type))
+        .map(|p| format!("{},", p.name))
+        .collect::<String>();
+    let impl_generics = p.bounded_params("serde::de::DeserializeOwned");
+    let impl_header = if impl_generics.is_empty() {
+        format!(
+            "impl<'de> serde::de::Deserialize<'de> for {self_ty}{}",
+            p.where_suffix()
+        )
+    } else {
+        format!(
+            "impl<'de, {impl_generics}> serde::de::Deserialize<'de> for {self_ty}{}",
+            p.where_suffix()
+        )
+    };
+    // The visitor struct re-uses the type's generics via a fn-pointer
+    // phantom so it stays Send/'static-agnostic.
+    let (visitor_decl, visitor_ctor, visitor_ty) = if p.params.is_empty() {
+        (
+            "struct __Visitor;".to_string(),
+            "__Visitor".to_string(),
+            "__Visitor".to_string(),
+        )
+    } else {
+        (
+            format!(
+                "struct __Visitor{ty_generics}(core::marker::PhantomData<fn() -> ({params_tuple})>);"
+            ),
+            "__Visitor(core::marker::PhantomData)".to_string(),
+            format!("__Visitor{ty_generics}"),
+        )
+    };
+    let visitor_impl_generics = if impl_generics.is_empty() {
+        "'de".to_string()
+    } else {
+        format!("'de, {impl_generics}")
+    };
+
+    // `let __fN = next_element()? else missing-field error` chains.
+    let seq_lets = |fields: usize, what: &str| -> String {
+        (0..fields)
+            .map(|i| {
+                format!(
+                    "let __f{i} = match serde::de::SeqAccess::next_element(&mut __seq)? {{\n\
+                     Some(__v) => __v,\n\
+                     None => return Err(<__A::Error as serde::de::Error>::custom(\"{what}: too few elements\")),\n\
+                     }};\n"
+                )
+            })
+            .collect()
+    };
+
+    let (visit_body, drive) = match &p.body {
+        Body::Unit => (
+            format!(
+                "fn visit_unit<__E: serde::de::Error>(self) -> core::result::Result<Self::Value, __E> {{\n\
+                 core::result::Result::Ok({name})\n\
+                 }}"
+            ),
+            format!(
+                "serde::de::Deserializer::deserialize_unit_struct(__d, \"{name}\", {visitor_ctor})"
+            ),
+        ),
+        Body::Struct(fields) => {
+            let lets = seq_lets(fields.len(), &format!("struct {name}"));
+            let ctor_fields = fields
+                .iter()
+                .enumerate()
+                .map(|(i, f)| format!("{f}: __f{i}"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            let field_names = fields
+                .iter()
+                .map(|f| format!("\"{f}\""))
+                .collect::<Vec<_>>()
+                .join(", ");
+            (
+                format!(
+                    "fn visit_seq<__A: serde::de::SeqAccess<'de>>(self, mut __seq: __A) -> core::result::Result<Self::Value, __A::Error> {{\n\
+                     {lets}\
+                     core::result::Result::Ok({name} {{ {ctor_fields} }})\n\
+                     }}"
+                ),
+                format!(
+                    "serde::de::Deserializer::deserialize_struct(__d, \"{name}\", &[{field_names}], {visitor_ctor})"
+                ),
+            )
+        }
+        Body::Enum(variants) => {
+            let mut arms = String::new();
+            for (idx, (vname, shape)) in variants.iter().enumerate() {
+                let arm = match shape {
+                    VariantShape::Unit => format!(
+                        "{idx}u32 => {{\n\
+                         serde::de::VariantAccess::unit_variant(__variant)?;\n\
+                         core::result::Result::Ok({name}::{vname})\n\
+                         }},\n"
+                    ),
+                    VariantShape::Newtype => format!(
+                        "{idx}u32 => {{\n\
+                         let __v = serde::de::VariantAccess::newtype_variant(__variant)?;\n\
+                         core::result::Result::Ok({name}::{vname}(__v))\n\
+                         }},\n"
+                    ),
+                    VariantShape::Tuple(n) => {
+                        let lets = seq_lets(*n, &format!("variant {name}::{vname}"));
+                        let binders = (0..*n)
+                            .map(|i| format!("__f{i}"))
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        let inner_decl = if p.params.is_empty() {
+                            format!("struct __V{idx};")
+                        } else {
+                            format!(
+                                "struct __V{idx}{ty_generics}(core::marker::PhantomData<fn() -> ({params_tuple})>);"
+                            )
+                        };
+                        let inner_ctor = if p.params.is_empty() {
+                            format!("__V{idx}")
+                        } else {
+                            format!("__V{idx}(core::marker::PhantomData)")
+                        };
+                        let inner_ty = if p.params.is_empty() {
+                            format!("__V{idx}")
+                        } else {
+                            format!("__V{idx}{ty_generics}")
+                        };
+                        format!(
+                            "{idx}u32 => {{\n\
+                             {inner_decl}\n\
+                             impl<{visitor_impl_generics}> serde::de::Visitor<'de> for {inner_ty} {{\n\
+                             type Value = {self_ty};\n\
+                             fn expecting(&self, __f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {{\n\
+                             __f.write_str(\"variant {name}::{vname}\")\n\
+                             }}\n\
+                             fn visit_seq<__A: serde::de::SeqAccess<'de>>(self, mut __seq: __A) -> core::result::Result<Self::Value, __A::Error> {{\n\
+                             {lets}\
+                             core::result::Result::Ok({name}::{vname}({binders}))\n\
+                             }}\n\
+                             }}\n\
+                             serde::de::VariantAccess::tuple_variant(__variant, {n}usize, {inner_ctor})\n\
+                             }},\n"
+                        )
+                    }
+                    VariantShape::Struct(fields) => {
+                        let lets = seq_lets(fields.len(), &format!("variant {name}::{vname}"));
+                        let ctor_fields = fields
+                            .iter()
+                            .enumerate()
+                            .map(|(i, f)| format!("{f}: __f{i}"))
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        let field_names = fields
+                            .iter()
+                            .map(|f| format!("\"{f}\""))
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        let inner_decl = if p.params.is_empty() {
+                            format!("struct __V{idx};")
+                        } else {
+                            format!(
+                                "struct __V{idx}{ty_generics}(core::marker::PhantomData<fn() -> ({params_tuple})>);"
+                            )
+                        };
+                        let inner_ctor = if p.params.is_empty() {
+                            format!("__V{idx}")
+                        } else {
+                            format!("__V{idx}(core::marker::PhantomData)")
+                        };
+                        let inner_ty = if p.params.is_empty() {
+                            format!("__V{idx}")
+                        } else {
+                            format!("__V{idx}{ty_generics}")
+                        };
+                        format!(
+                            "{idx}u32 => {{\n\
+                             {inner_decl}\n\
+                             impl<{visitor_impl_generics}> serde::de::Visitor<'de> for {inner_ty} {{\n\
+                             type Value = {self_ty};\n\
+                             fn expecting(&self, __f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {{\n\
+                             __f.write_str(\"variant {name}::{vname}\")\n\
+                             }}\n\
+                             fn visit_seq<__A: serde::de::SeqAccess<'de>>(self, mut __seq: __A) -> core::result::Result<Self::Value, __A::Error> {{\n\
+                             {lets}\
+                             core::result::Result::Ok({name}::{vname} {{ {ctor_fields} }})\n\
+                             }}\n\
+                             }}\n\
+                             serde::de::VariantAccess::struct_variant(__variant, &[{field_names}], {inner_ctor})\n\
+                             }},\n"
+                        )
+                    }
+                };
+                arms.push_str(&arm);
+            }
+            let variant_names = variants
+                .iter()
+                .map(|(v, _)| format!("\"{v}\""))
+                .collect::<Vec<_>>()
+                .join(", ");
+            (
+                format!(
+                    "fn visit_enum<__A: serde::de::EnumAccess<'de>>(self, __data: __A) -> core::result::Result<Self::Value, __A::Error> {{\n\
+                     let (__idx, __variant): (u32, __A::Variant) = serde::de::EnumAccess::variant(__data)?;\n\
+                     match __idx {{\n\
+                     {arms}\
+                     _ => Err(<__A::Error as serde::de::Error>::custom(\"invalid variant index for {name}\")),\n\
+                     }}\n\
+                     }}"
+                ),
+                format!(
+                    "serde::de::Deserializer::deserialize_enum(__d, \"{name}\", &[{variant_names}], {visitor_ctor})"
+                ),
+            )
+        }
+    };
+
+    let code = format!(
+        "#[automatically_derived]\n{impl_header} {{\n\
+         fn deserialize<__D: serde::de::Deserializer<'de>>(__d: __D) -> core::result::Result<Self, __D::Error> {{\n\
+         {visitor_decl}\n\
+         impl<{visitor_impl_generics}> serde::de::Visitor<'de> for {visitor_ty} {{\n\
+         type Value = {self_ty};\n\
+         fn expecting(&self, __f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {{\n\
+         __f.write_str(\"{name}\")\n\
+         }}\n\
+         {visit_body}\n\
+         }}\n\
+         {drive}\n\
+         }}\n\
+         }}"
+    );
+    code.parse()
+        .expect("serde shim derive: generated invalid Deserialize impl")
+}
