@@ -138,6 +138,10 @@ pub struct CliConfig {
     pub slack_secs: f64,
     /// Optional flood: `start,end,fraction` toward one victim host.
     pub burst: Option<Burst>,
+    /// Worker shards for parallel execution (0 = single-threaded engine).
+    pub shards: usize,
+    /// Append a Prometheus text-format metrics snapshot to the output.
+    pub metrics: bool,
 }
 
 impl Default for CliConfig {
@@ -157,6 +161,8 @@ impl Default for CliConfig {
             ooo_jitter_secs: 0.0,
             slack_secs: 0.0,
             burst: None,
+            shards: 0,
+            metrics: false,
         }
     }
 }
@@ -184,6 +190,8 @@ OPTIONS (all optional):
     --ooo <secs>        out-of-order timestamp jitter half-width        [default: 0]
     --slack <secs>      engine watermark slack for late tuples          [default: 0]
     --burst <s,e,f>     flood fraction f toward one host in [s, e) secs
+    --shards <n>        parallel worker shards, 0 = single-threaded     [default: 0]
+    --metrics           append a Prometheus metrics snapshot (takes no value)
     --help              print this text
 ";
 
@@ -200,6 +208,11 @@ impl CliConfig {
             let flag = flag.as_ref();
             if flag == "--help" {
                 return Err(USAGE.to_string());
+            }
+            // The only valueless flag besides --help.
+            if flag == "--metrics" {
+                cfg.metrics = true;
+                continue;
             }
             let value = it
                 .next()
@@ -258,6 +271,7 @@ impl CliConfig {
                     }
                 }
                 "--limit" => cfg.limit = int(v)? as usize,
+                "--shards" => cfg.shards = int(v)? as usize,
                 "--ooo" => {
                     cfg.ooo_jitter_secs = num(v)?;
                     if cfg.ooo_jitter_secs < 0.0 {
@@ -338,9 +352,22 @@ pub fn try_run(cfg: &CliConfig) -> Result<String, String> {
         burst: cfg.burst,
         ..Default::default()
     };
-    let mut engine = Engine::new(cfg.query()?);
-    let mut rows = engine.run(trace.iter());
-    let stats = engine.stats();
+    // Single-threaded and sharded runs produce the same three artifacts:
+    // rows, final counters, and a metrics snapshot (the sharded one carries
+    // live per-shard series; the single-threaded one wraps the counters so
+    // `--metrics` output has one shape either way).
+    let (mut rows, stats, snapshot) = if cfg.shards > 0 {
+        let mut engine =
+            ShardedEngine::try_new(cfg.query()?, cfg.shards).map_err(|e| e.to_string())?;
+        let rows = engine.run(trace.iter());
+        (rows, engine.stats(), engine.telemetry().snapshot())
+    } else {
+        let mut engine = Engine::new(cfg.query()?);
+        let rows = engine.run(trace.iter());
+        let stats = engine.stats();
+        let snapshot = MetricsSnapshot::from_engine_stats(&stats, engine.watermark());
+        (rows, stats, snapshot)
+    };
     if cfg.limit > 0 && rows.len() > cfg.limit {
         rows.truncate(cfg.limit);
     }
@@ -360,6 +387,9 @@ pub fn try_run(cfg: &CliConfig) -> Result<String, String> {
         stats.lfta_evictions,
         stats.late_drops
     );
+    if cfg.metrics {
+        out.push_str(&snapshot.to_prometheus());
+    }
     Ok(out)
 }
 
@@ -525,6 +555,87 @@ mod tests {
         }
         assert!(CliConfig::parse(["--ooo", "-1"]).is_err());
         assert!(CliConfig::parse(["--slack", "-1"]).is_err());
+    }
+
+    #[test]
+    fn metrics_and_shards_flags_parse() {
+        let cfg = CliConfig::parse(["--metrics", "--shards", "4"]).unwrap();
+        assert!(cfg.metrics);
+        assert_eq!(cfg.shards, 4);
+        // --metrics takes no value: the next token is parsed as a flag.
+        assert!(CliConfig::parse(["--metrics", "true"]).is_err());
+        let cfg = CliConfig::parse(Vec::<String>::new()).unwrap();
+        assert!(!cfg.metrics);
+        assert_eq!(cfg.shards, 0);
+    }
+
+    /// Pulls `name value` (no labels) out of Prometheus text.
+    fn prom_value(out: &str, name: &str) -> u64 {
+        out.lines()
+            .find_map(|l| l.strip_prefix(&format!("{name} ")))
+            .unwrap_or_else(|| panic!("metric {name} missing from:\n{out}"))
+            .parse()
+            .unwrap()
+    }
+
+    #[test]
+    fn metrics_snapshot_agrees_with_stats_line() {
+        // Differential run: the same trace single-threaded and sharded,
+        // both with --metrics. The Prometheus counters must agree exactly
+        // with the engine's own stats line, and with each other.
+        fn args(shards: &'static str) -> [&'static str; 13] {
+            [
+                "--rate",
+                "20000",
+                "--duration",
+                "3",
+                "--hosts",
+                "100",
+                "--proto",
+                "tcp",
+                "--format",
+                "stats",
+                "--metrics",
+                "--shards",
+                shards,
+            ]
+        }
+        let single = run(&CliConfig::parse(args("0")).unwrap());
+        let sharded = run(&CliConfig::parse(args("3")).unwrap());
+        for out in [&single, &sharded] {
+            // "# tuples=N filtered=N rows=N ..." is the ground truth.
+            let stats_line = out.lines().find(|l| l.starts_with("# tuples=")).unwrap();
+            let field = |key: &str| -> u64 {
+                stats_line
+                    .split_whitespace()
+                    .find_map(|w| w.strip_prefix(&format!("{key}=")))
+                    .unwrap()
+                    .parse()
+                    .unwrap()
+            };
+            assert_eq!(prom_value(out, "fd_tuples_in"), field("tuples"));
+            assert_eq!(prom_value(out, "fd_filtered"), field("filtered"));
+            assert_eq!(prom_value(out, "fd_late_drops"), field("late_drops"));
+            assert_eq!(prom_value(out, "fd_rows_out"), field("rows"));
+            assert_eq!(prom_value(out, "fd_buckets_closed"), field("buckets"));
+            assert_eq!(prom_value(out, "fd_worker_panics"), 0);
+        }
+        for name in [
+            "fd_tuples_in",
+            "fd_filtered",
+            "fd_late_drops",
+            "fd_rows_out",
+        ] {
+            assert_eq!(
+                prom_value(&single, name),
+                prom_value(&sharded, name),
+                "single vs sharded disagree on {name}"
+            );
+        }
+        // Only the sharded run exposes per-shard series.
+        assert!(!single.contains("fd_shard_queue_depth"));
+        assert!(sharded.contains("fd_shard_queue_depth{shard=\"2\"}"));
+        assert!(sharded.contains("fd_worker_batch_ns{shard=\"0\",quantile=\"0.99\"}"));
     }
 
     #[test]

@@ -432,7 +432,7 @@ impl<G: ForwardDecay> Mergeable for DecayedExtremum<G> {
 
 // ----- unified Summary API ------------------------------------------------
 
-use crate::summary::Summary;
+use crate::summary::{Summary, SummaryStats};
 
 impl<G: ForwardDecay> DecayedCount<G> {
     /// The landmark `L` passed at construction.
@@ -455,6 +455,15 @@ impl<G: ForwardDecay> Summary for DecayedCount<G> {
 
     fn query_at(&self, t: Timestamp) -> f64 {
         self.query(t)
+    }
+
+    fn stats(&self) -> SummaryStats {
+        SummaryStats {
+            renormalizations: self.renorm.rescales(),
+            items: self.n,
+            accepted: self.n,
+            ..SummaryStats::default()
+        }
     }
 }
 
@@ -480,6 +489,15 @@ impl<G: ForwardDecay> Summary for DecayedSum<G> {
     fn query_at(&self, t: Timestamp) -> f64 {
         self.query(t)
     }
+
+    fn stats(&self) -> SummaryStats {
+        SummaryStats {
+            renormalizations: self.renorm.rescales(),
+            items: self.n,
+            accepted: self.n,
+            ..SummaryStats::default()
+        }
+    }
 }
 
 impl<G: ForwardDecay> DecayedAverage<G> {
@@ -503,6 +521,16 @@ impl<G: ForwardDecay> Summary for DecayedAverage<G> {
 
     fn query_at(&self, t: Timestamp) -> Option<f64> {
         self.query(t)
+    }
+
+    fn stats(&self) -> SummaryStats {
+        // Sum and count renormalize in lockstep; each is its own pass.
+        SummaryStats {
+            renormalizations: self.sum.renorm.rescales() + self.count.renorm.rescales(),
+            items: self.count.n,
+            accepted: self.count.n,
+            ..SummaryStats::default()
+        }
     }
 }
 
@@ -528,6 +556,17 @@ impl<G: ForwardDecay> Summary for DecayedVariance<G> {
     fn query_at(&self, t: Timestamp) -> Option<f64> {
         self.query(t)
     }
+
+    fn stats(&self) -> SummaryStats {
+        SummaryStats {
+            renormalizations: self.sum_sq.renorm.rescales()
+                + self.sum.renorm.rescales()
+                + self.count.renorm.rescales(),
+            items: self.count.n,
+            accepted: self.count.n,
+            ..SummaryStats::default()
+        }
+    }
 }
 
 impl<G: ForwardDecay> DecayedExtremum<G> {
@@ -551,6 +590,15 @@ impl<G: ForwardDecay> Summary for DecayedExtremum<G> {
 
     fn query_at(&self, t: Timestamp) -> Option<(f64, Timestamp, f64)> {
         self.query(t)
+    }
+
+    fn stats(&self) -> SummaryStats {
+        SummaryStats {
+            renormalizations: self.renorm.rescales(),
+            occupancy: u64::from(self.best.is_some()),
+            capacity: 1,
+            ..SummaryStats::default()
+        }
     }
 }
 

@@ -857,12 +857,50 @@ impl<G: ForwardDecay> Summary for DecayedHeavyHitters<G> {
     fn query_at(&self, t: Timestamp) -> f64 {
         self.decayed_count(t)
     }
+
+    fn stats(&self) -> crate::summary::SummaryStats {
+        crate::summary::SummaryStats {
+            renormalizations: self.renorm.rescales(),
+            occupancy: self.inner.len() as u64,
+            capacity: self.inner.capacity() as u64,
+            items: 0, // not tracked by SpaceSaving
+            accepted: 0,
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::decay::{Exponential, Monomial, NoDecay};
+
+    #[test]
+    fn stats_reports_occupancy_and_renormalizations() {
+        use crate::summary::Summary;
+        let g = Exponential::new(1.0);
+        let mut hh = DecayedHeavyHitters::new(g, 0.0, 8);
+        for i in 0..2000 {
+            hh.update(i as f64, (i % 20) as u64);
+        }
+        let s = hh.stats();
+        assert!(s.renormalizations >= 4, "renorms = {}", s.renormalizations);
+        assert_eq!(s.occupancy, 8);
+        assert_eq!(s.capacity, 8);
+        assert_eq!(s.occupancy_fraction(), Some(1.0));
+    }
+
+    #[test]
+    fn survives_idle_gap_past_exponential_overflow() {
+        // Regression for the 1/g(n) = 0.0 rescale factor: an idle gap past
+        // e^709 used to zero the sketch (and trip scale_all's
+        // debug_assert!(factor > 0.0) in debug builds).
+        let g = Exponential::new(1.0);
+        let mut hh = DecayedHeavyHitters::new(g, 0.0, 8);
+        hh.update(0.0, 1);
+        hh.update(720.0, 2);
+        let c = hh.decayed_count(720.0);
+        assert!(c.is_finite() && c >= 1.0, "decayed count = {c}");
+    }
 
     #[test]
     fn paper_example_3_decayed_counts_and_hh() {

@@ -105,7 +105,7 @@ pub mod summary;
 pub use decay::{BackwardDecay, ForwardDecay};
 pub use error::Error;
 pub use merge::Mergeable;
-pub use summary::Summary;
+pub use summary::{Summary, SummaryStats};
 
 /// One-stop imports for typical forward-decay use.
 ///
@@ -130,7 +130,7 @@ pub mod prelude {
     pub use crate::merge::Mergeable;
     pub use crate::quantiles::DecayedQuantiles;
     pub use crate::sampling::{exp_decay_sample, PrioritySampler, WeightedReservoir};
-    pub use crate::summary::Summary;
+    pub use crate::summary::{Summary, SummaryStats};
     pub use crate::Timestamp;
 }
 

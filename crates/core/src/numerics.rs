@@ -60,6 +60,8 @@ pub struct Renormalizer {
     landmark: Timestamp,
     /// The original landmark, preserved for reporting.
     original: Timestamp,
+    /// How many rescale events this renormalizer has requested.
+    rescales: u64,
 }
 
 impl Renormalizer {
@@ -69,6 +71,7 @@ impl Renormalizer {
         Self {
             landmark,
             original: landmark,
+            rescales: 0,
         }
     }
 
@@ -86,6 +89,15 @@ impl Renormalizer {
         self.original
     }
 
+    /// How many rescale events ([`pre_update`](Self::pre_update) or
+    /// [`rescale_to`](Self::rescale_to) returning `Some`) have occurred —
+    /// each one is a linear pass over the owning summary's state, so this is
+    /// the cost signal the telemetry layer surfaces.
+    #[inline]
+    pub fn rescales(&self) -> u64 {
+        self.rescales
+    }
+
     /// Call before ingesting an item with timestamp `t`. If the stored values
     /// need rescaling, advances the effective landmark to `t` and returns the
     /// factor `g(L − L′)⁻¹`-equivalent, i.e. the value every stored `g`-based
@@ -98,15 +110,18 @@ impl Renormalizer {
             return None;
         }
         let n = t - self.landmark;
-        if n <= 0.0 || g.g(n) < RESCALE_THRESHOLD {
+        if n <= 0.0 || g.ln_g(n) < RESCALE_THRESHOLD.ln() {
             return None;
         }
         // Rescale so the newest item has g-value g(0)… but for exponential g,
         // g(0) = 1 and g(t_i − L′) = g(t_i − L) · exp(−α (L′ − L)).
         // Multiplicative g means g(a + b) = g(a) · g(b), so the factor is
-        // 1 / g(L′ − L).
-        let factor = 1.0 / g.g(n);
+        // 1 / g(L′ − L) — computed in the log domain, because after a long
+        // idle gap g(n) itself overflows to +∞ and `1.0 / g(n)` would be
+        // exactly 0.0, destroying every stored quantity it multiplies.
+        let factor = (-g.ln_g(n)).exp();
         self.landmark = t;
+        self.rescales += 1;
         Some(factor)
     }
 
@@ -122,8 +137,10 @@ impl Renormalizer {
         if !g.is_multiplicative() || new_landmark <= self.landmark {
             return None;
         }
-        let factor = 1.0 / g.g(new_landmark - self.landmark);
+        // Log domain for the same overflow reason as in `pre_update`.
+        let factor = (-g.ln_g(new_landmark - self.landmark)).exp();
         self.landmark = new_landmark;
+        self.rescales += 1;
         Some(factor)
     }
 }
@@ -155,12 +172,19 @@ impl LogSum {
     }
 
     /// Adds a term given by its natural logarithm.
+    ///
+    /// A NaN term is ignored: the accumulator backs sampler weight totals,
+    /// and before this guard a single NaN (both branch comparisons false)
+    /// poisoned the running sum permanently. `+∞` saturates the sum instead
+    /// of producing `∞ − ∞ = NaN` in the rebalancing arithmetic.
     #[inline]
     pub fn add_ln(&mut self, ln_x: f64) {
-        if ln_x == f64::NEG_INFINITY {
+        if ln_x.is_nan() || ln_x == f64::NEG_INFINITY {
             return;
         }
-        if self.ln_total == f64::NEG_INFINITY {
+        if ln_x == f64::INFINITY || self.ln_total == f64::INFINITY {
+            self.ln_total = f64::INFINITY;
+        } else if self.ln_total == f64::NEG_INFINITY {
             self.ln_total = ln_x;
         } else if ln_x > self.ln_total {
             self.ln_total = ln_x + (self.ln_total - ln_x).exp().ln_1p();
@@ -295,6 +319,76 @@ mod tests {
         assert!((before * factor - after).abs() / after < 1e-12);
         assert_eq!(r.landmark(), 20.0);
         assert_eq!(r.original_landmark(), 10.0);
+    }
+
+    #[test]
+    fn renormalizer_survives_overflow_gap() {
+        // Regression: with α = 1 a 720 s idle gap gives g(720) = e^720 = +∞
+        // in f64, so the old `1.0 / g(n)` factor was exactly 0.0 and one
+        // rescale zeroed all stored state. The log-domain factor e^{-720}
+        // is subnormal but strictly positive.
+        let g = Exponential::new(1.0);
+        let mut r = Renormalizer::new(0.0);
+        let mut acc = g.g(0.0); // one item at t = 0
+        let f = r.pre_update(&g, 720.0).expect("gap must trigger a rescale");
+        assert!(f > 0.0, "rescale factor collapsed to 0.0");
+        assert_eq!(f, (-720.0f64).exp());
+        acc *= f;
+        assert!(acc > 0.0, "stored state was zeroed by the rescale");
+        acc += g.g(720.0 - r.landmark()); // second item, at t = 720
+                                          // Decayed count at t = 720 is e^{-720} + 1 ≈ 1: correct and non-zero.
+        let decayed = acc / g.g(720.0 - r.landmark());
+        assert!(decayed.is_finite() && decayed >= 1.0, "decayed = {decayed}");
+        assert_eq!(r.rescales(), 1);
+
+        // `rescale_to` across the same kind of gap must not zero either.
+        let mut r2 = Renormalizer::new(0.0);
+        let f2 = r2.rescale_to(&g, 800.0).unwrap();
+        assert!(f2 >= 0.0 && !f2.is_nan());
+        assert_eq!(f2, (-800.0f64).exp());
+        assert_eq!(r2.rescales(), 1);
+    }
+
+    #[test]
+    fn renormalizer_counts_rescales() {
+        let g = Exponential::new(1.0);
+        let mut r = Renormalizer::new(0.0);
+        assert_eq!(r.rescales(), 0);
+        for i in 0..=2000 {
+            r.pre_update(&g, i as f64);
+        }
+        assert!(r.rescales() >= 4, "rescales = {}", r.rescales());
+        let inert = Renormalizer::new(0.0);
+        assert_eq!(inert.rescales(), 0);
+    }
+
+    #[test]
+    fn logsum_ignores_nan_and_saturates_at_infinity() {
+        // NaN into an empty sum leaves it empty.
+        let mut ls = LogSum::new();
+        ls.add_ln(f64::NAN);
+        assert!(ls.is_empty());
+
+        // NaN into a non-empty sum leaves it unchanged (it used to poison
+        // the accumulator forever: both branch comparisons were false).
+        ls.add_ln(0.0); // add 1
+        ls.add_ln(f64::NAN);
+        assert_eq!(ls.ln(), 0.0);
+
+        // A subnormal-scale term (ln 5e-324 ≈ −744.4) is absorbed without
+        // disturbing the total.
+        ls.add_ln(-745.0);
+        assert!(ls.ln().is_finite() && ls.ln() >= 0.0);
+
+        // +∞ saturates rather than producing (∞ − ∞) = NaN…
+        ls.add_ln(f64::INFINITY);
+        assert_eq!(ls.ln(), f64::INFINITY);
+        ls.add_ln(f64::INFINITY); // …twice stays saturated, not NaN
+        assert_eq!(ls.ln(), f64::INFINITY);
+        ls.add_ln(0.0);
+        assert_eq!(ls.ln(), f64::INFINITY);
+        ls.add_ln(f64::NAN); // NaN still ignored at saturation
+        assert_eq!(ls.ln(), f64::INFINITY);
     }
 
     #[test]

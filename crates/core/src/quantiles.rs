@@ -79,6 +79,11 @@ impl QDigest {
         1u64 << self.bits
     }
 
+    /// The compression parameter `k` (live nodes stay below ≈ `3k`).
+    pub fn compression(&self) -> u64 {
+        self.k
+    }
+
     /// Total ingested weight.
     pub fn total_weight(&self) -> f64 {
         self.total
@@ -582,6 +587,17 @@ impl<G: ForwardDecay> Summary for DecayedQuantiles<G> {
 
     fn query_at(&self, t: Timestamp) -> f64 {
         self.decayed_count(t)
+    }
+
+    fn stats(&self) -> crate::summary::SummaryStats {
+        crate::summary::SummaryStats {
+            renormalizations: self.renorm.rescales(),
+            occupancy: self.inner.len() as u64,
+            // The digest property caps live nodes at ≈ 3k.
+            capacity: 3 * self.inner.compression(),
+            items: 0, // not tracked by the q-digest
+            accepted: 0,
+        }
     }
 }
 

@@ -386,6 +386,7 @@ pub struct WeightedReservoir<T, G: ForwardDecay> {
     free: Vec<u64>,
     rng: SmallRng,
     n: u64,
+    accepted: u64,
 }
 
 impl<T: Clone, G: ForwardDecay> WeightedReservoir<T, G> {
@@ -405,6 +406,7 @@ impl<T: Clone, G: ForwardDecay> WeightedReservoir<T, G> {
             free: Vec::new(),
             rng: SmallRng::seed_from_u64(seed),
             n: 0,
+            accepted: 0,
         }
     }
 
@@ -425,6 +427,7 @@ impl<T: Clone, G: ForwardDecay> WeightedReservoir<T, G> {
                 return;
             }
         }
+        self.accepted += 1;
         self.insert_entry(
             rank,
             SampleEntry {
@@ -669,6 +672,7 @@ pub struct PrioritySampler<T, G: ForwardDecay> {
     free: Vec<u64>,
     rng: SmallRng,
     n: u64,
+    accepted: u64,
 }
 
 impl<T: Clone, G: ForwardDecay> PrioritySampler<T, G> {
@@ -689,6 +693,7 @@ impl<T: Clone, G: ForwardDecay> PrioritySampler<T, G> {
             free: Vec::new(),
             rng: SmallRng::seed_from_u64(seed),
             n: 0,
+            accepted: 0,
         }
     }
 
@@ -708,6 +713,7 @@ impl<T: Clone, G: ForwardDecay> PrioritySampler<T, G> {
                 return;
             }
         }
+        self.accepted += 1;
         let slot = if let Some(s) = self.free.pop() {
             self.entries[s as usize] = Some((
                 SampleEntry {
@@ -924,7 +930,7 @@ impl<T: Clone> BiasedReservoir<T> {
 
 // ----- unified Summary API ------------------------------------------------
 
-use crate::summary::Summary;
+use crate::summary::{Summary, SummaryStats};
 
 impl<T: Clone, G: ForwardDecay> WithReplacementSampler<T, G> {
     /// The landmark `L` passed at construction.
@@ -948,6 +954,21 @@ impl<T: Clone, G: ForwardDecay> Summary for WithReplacementSampler<T, G> {
 
     fn query_at(&self, _t: Timestamp) -> Vec<T> {
         self.sample().into_iter().cloned().collect()
+    }
+
+    fn stats(&self) -> SummaryStats {
+        SummaryStats {
+            renormalizations: 0, // log-domain weights: never renormalizes
+            occupancy: if self.n > 0 {
+                self.capacity() as u64
+            } else {
+                0
+            },
+            capacity: self.capacity() as u64,
+            items: self.n,
+            // Each random draw replaces a chain's held item.
+            accepted: self.draws,
+        }
     }
 }
 
@@ -973,6 +994,16 @@ impl<T: Clone, G: ForwardDecay> Summary for WeightedReservoir<T, G> {
 
     fn query_at(&self, _t: Timestamp) -> Vec<T> {
         self.sample().into_iter().map(|e| e.item.clone()).collect()
+    }
+
+    fn stats(&self) -> SummaryStats {
+        SummaryStats {
+            renormalizations: 0,
+            occupancy: self.heap.len() as u64,
+            capacity: self.k as u64,
+            items: self.n,
+            accepted: self.accepted,
+        }
     }
 }
 
@@ -1001,6 +1032,17 @@ impl<T: Clone, G: ForwardDecay> Summary for PrioritySampler<T, G> {
 
     fn query_at(&self, t: Timestamp) -> f64 {
         self.estimate_decayed_count(t)
+    }
+
+    fn stats(&self) -> SummaryStats {
+        SummaryStats {
+            renormalizations: 0,
+            occupancy: self.heap.len() as u64,
+            // k + 1 kept internally: the extra entry is the threshold τ.
+            capacity: (self.k + 1) as u64,
+            items: self.n,
+            accepted: self.accepted,
+        }
     }
 }
 
@@ -1047,6 +1089,34 @@ mod tests {
     use super::*;
     use crate::decay::{Monomial, NoDecay};
     use std::collections::HashMap;
+
+    #[test]
+    fn stats_tracks_sampler_acceptance_rate() {
+        // Uniform weights: acceptances follow the coupon-collector curve
+        // k·H_n ≪ n, so the live acceptance rate collapses as the stream
+        // grows — the signal the telemetry layer surfaces.
+        let mut r = WeightedReservoir::new(NoDecay, 0.0, 10, 42);
+        for i in 0..10_000u64 {
+            r.update(i as f64 + 1.0, &i);
+        }
+        let s = Summary::stats(&r);
+        assert_eq!(s.items, 10_000);
+        assert_eq!(s.occupancy, 10);
+        assert_eq!(s.capacity, 10);
+        assert!(s.accepted >= 10);
+        let rate = s.acceptance_rate().unwrap();
+        assert!(rate < 0.1, "acceptance rate {rate} should collapse");
+        assert_eq!(s.occupancy_fraction(), Some(1.0));
+
+        let mut p = PrioritySampler::new(NoDecay, 0.0, 10, 7);
+        for i in 0..10_000u64 {
+            p.update(i as f64 + 1.0, &i);
+        }
+        let ps = Summary::stats(&p);
+        assert_eq!(ps.items, 10_000);
+        assert_eq!(ps.occupancy, 11); // k + 1 with the threshold entry
+        assert!(ps.acceptance_rate().unwrap() < 0.1);
+    }
 
     #[test]
     fn reservoir_uniformity() {

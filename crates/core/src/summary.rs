@@ -52,6 +52,44 @@
 
 use crate::Timestamp;
 
+/// Occupancy and activity counters for a summary, surfaced through
+/// [`Summary::stats`] — the fd-core half of the engine's telemetry layer.
+///
+/// Every field is a plain monotone counter or gauge sampled at call time;
+/// reading them never perturbs the summary. Fields that make no sense for a
+/// given summary are left at zero (e.g. `capacity` for the exact O(1)
+/// aggregates).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct SummaryStats {
+    /// Landmark renormalization events so far (each is a linear pass over
+    /// the summary's state; see [`crate::numerics::Renormalizer`]).
+    pub renormalizations: u64,
+    /// Live entries held right now: SpaceSaving counters in use, q-digest
+    /// nodes, sample slots filled. Zero for constant-space aggregates.
+    pub occupancy: u64,
+    /// Hard bound on `occupancy`, when one exists; zero means unbounded (or
+    /// not applicable).
+    pub capacity: u64,
+    /// Items offered to the summary.
+    pub items: u64,
+    /// Items that changed the retained state. Equal to `items` for
+    /// deterministic summaries; for the samplers this counts accepted draws,
+    /// so `accepted / items` is the live acceptance rate.
+    pub accepted: u64,
+}
+
+impl SummaryStats {
+    /// `accepted / items`, or `None` before any item arrives.
+    pub fn acceptance_rate(&self) -> Option<f64> {
+        (self.items > 0).then(|| self.accepted as f64 / self.items as f64)
+    }
+
+    /// `occupancy / capacity`, or `None` when the summary is unbounded.
+    pub fn occupancy_fraction(&self) -> Option<f64> {
+        (self.capacity > 0).then(|| self.occupancy as f64 / self.capacity as f64)
+    }
+}
+
 /// A forward-decay stream summary: timestamped updates in, a
 /// `g(t − L)`-normalized answer out.
 ///
@@ -83,4 +121,12 @@ pub trait Summary {
     /// Answers at query time `t ≥ t_i` for all fed items: the state
     /// normalized by `g(t − L)`.
     fn query_at(&self, t: Timestamp) -> Self::Output;
+
+    /// Instrumentation counters for this summary ([`SummaryStats`]).
+    ///
+    /// The default returns all zeros; summaries with observable internals
+    /// (sketches, samplers, renormalizing aggregates) override it.
+    fn stats(&self) -> SummaryStats {
+        SummaryStats::default()
+    }
 }

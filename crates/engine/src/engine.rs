@@ -334,6 +334,17 @@ impl Engine {
         s
     }
 
+    /// Occupied LFTA slots right now; `None` in single-level mode. O(slots)
+    /// — the shard workers sample it once per punctuation for telemetry.
+    pub fn lfta_occupancy(&self) -> Option<usize> {
+        self.lfta.as_ref().map(Lfta::occupancy)
+    }
+
+    /// The current watermark (largest timestamp or punctuation seen), µs.
+    pub fn watermark(&self) -> Micros {
+        self.watermark
+    }
+
     /// Current memory footprint of all live aggregation state.
     pub fn space_bytes(&self) -> usize {
         let high: usize = self

@@ -24,7 +24,11 @@
 //!   full LFTA+HFTA pipeline over a hash partition of the stream, with
 //!   closed buckets combined by merging (Section VI-B mergeability);
 //! - [`metrics`] — the CPU-load model translating measured per-tuple cost
-//!   into the load/drop curves the paper plots.
+//!   into the load/drop curves the paper plots;
+//! - [`telemetry`] — live lock-free observability for the sharded engine:
+//!   an `Arc`-shared atomic registry (queue depth, watermark lag, admission
+//!   counters), per-batch latency histograms with p50/p95/p99, and
+//!   Prometheus/JSON snapshot export.
 //!
 //! The paper's example query
 //!
@@ -64,6 +68,7 @@ pub mod lfta;
 pub mod metrics;
 pub mod report;
 pub mod shard;
+pub mod telemetry;
 pub mod tuple;
 pub mod udaf;
 
@@ -75,6 +80,7 @@ pub mod prelude {
     pub use crate::metrics::{combine_shard_stats, cpu_load_pct, drop_fraction, LoadPoint};
     pub use crate::report::{rows_to_csv, rows_to_table};
     pub use crate::shard::{ShardBy, ShardedEngine};
+    pub use crate::telemetry::{EngineTelemetry, MetricsSnapshot, Reporter};
     pub use crate::tuple::{secs, Micros, Packet, Proto, MICROS_PER_SEC};
     pub use crate::udaf::{AggValue, Aggregator, AggregatorFactory, ItemValue, Query};
 }

@@ -43,10 +43,14 @@
 
 use std::collections::btree_map::Entry;
 use std::collections::BTreeMap;
+use std::sync::atomic::Ordering::Relaxed;
 use std::sync::mpsc::{sync_channel, SyncSender};
+use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 use crate::engine::{ClosedGroup, Engine, EngineStats, Row, StreamEvent};
+use crate::telemetry::EngineTelemetry;
 use crate::tuple::{secs, Micros, Packet};
 use crate::udaf::{Aggregator, Query};
 
@@ -65,9 +69,10 @@ pub enum ShardBy {
     RoundRobin,
 }
 
-/// Messages from the dispatcher to a worker.
+/// Messages from the dispatcher to a worker. Batches carry their send
+/// instant so the worker can report dispatch-to-apply latency.
 enum Msg {
-    Batch(Vec<Packet>),
+    Batch(Vec<Packet>, Instant),
     Punctuate(Micros),
 }
 
@@ -108,6 +113,11 @@ pub struct ShardedEngine {
     /// late_drops); worker-side counters are folded in at finish.
     stats: EngineStats,
     shard_stats: Vec<EngineStats>,
+    /// Shared live-metrics registry (also held by every worker).
+    telemetry: Arc<EngineTelemetry>,
+    /// Cached `telemetry.enabled()` so the per-tuple hot path tests a
+    /// plain bool instead of an atomic.
+    live: bool,
     done: bool,
 }
 
@@ -128,6 +138,7 @@ impl ShardedEngine {
                 requirement: "at least one shard",
             });
         }
+        let telemetry = Arc::new(EngineTelemetry::new(n_shards));
         let mut senders = Vec::with_capacity(n_shards);
         let mut workers = Vec::with_capacity(n_shards);
         for i in 0..n_shards {
@@ -136,20 +147,45 @@ impl ShardedEngine {
             let mut worker_query = query.clone();
             worker_query.filter = None;
             let (tx, rx) = sync_channel::<Msg>(CHANNEL_DEPTH);
+            let registry = Arc::clone(&telemetry);
             let handle = std::thread::Builder::new()
                 .name(format!("fd-shard-{i}"))
                 .spawn(move || {
                     let mut engine = Engine::new(worker_query);
                     engine.keep_closed_state();
+                    let tel = &registry.shards()[i];
                     while let Ok(msg) = rx.recv() {
+                        let live = registry.enabled();
                         match msg {
-                            Msg::Batch(pkts) => {
-                                for p in &pkts {
-                                    engine.process(p);
+                            Msg::Batch(pkts, sent_at) => {
+                                if live {
+                                    let t0 = Instant::now();
+                                    for p in &pkts {
+                                        engine.process(p);
+                                    }
+                                    tel.batch_ns.record(t0.elapsed().as_nanos() as u64);
+                                    tel.dispatch_lag_ns
+                                        .record(sent_at.elapsed().as_nanos() as u64);
+                                    tel.tuples_processed.fetch_add(pkts.len() as u64, Relaxed);
+                                } else {
+                                    for p in &pkts {
+                                        engine.process(p);
+                                    }
                                 }
                             }
-                            Msg::Punctuate(ts) => engine.punctuate(ts),
+                            Msg::Punctuate(ts) => {
+                                engine.punctuate(ts);
+                                if live {
+                                    tel.applied_watermark.store(ts, Relaxed);
+                                    tel.lfta_evictions
+                                        .store(engine.stats().lfta_evictions, Relaxed);
+                                    if let Some(occ) = engine.lfta_occupancy() {
+                                        tel.lfta_occupancy.store(occ as u64, Relaxed);
+                                    }
+                                }
+                            }
                         }
+                        tel.queue_depth.fetch_sub(1, Relaxed);
                     }
                     // Channel closed: end of stream.
                     let state = engine.finish_state();
@@ -170,6 +206,8 @@ impl ShardedEngine {
             closed_below: 0,
             stats: EngineStats::default(),
             shard_stats: vec![EngineStats::default(); n_shards],
+            telemetry,
+            live: true,
             done: false,
         })
     }
@@ -180,6 +218,24 @@ impl ShardedEngine {
         assert_eq!(self.stats.tuples_in, 0, "set routing before processing");
         self.routing = routing;
         self
+    }
+
+    /// Turns hot-path telemetry mirroring on or off (default on; the
+    /// overhead is a few relaxed stores per tuple — see the
+    /// `telemetry_overhead` bench). End-of-run counters are recorded
+    /// either way. Must be called before any tuple is processed.
+    pub fn live_telemetry(mut self, on: bool) -> Self {
+        assert_eq!(self.stats.tuples_in, 0, "set telemetry before processing");
+        self.live = on;
+        self.telemetry.set_enabled(on);
+        self
+    }
+
+    /// The shared live-metrics registry. Clone the `Arc` to watch the run
+    /// from another thread; it stays readable (with the final counts)
+    /// after `finish()` and after the engine is dropped.
+    pub fn telemetry(&self) -> &Arc<EngineTelemetry> {
+        &self.telemetry
     }
 
     /// Number of worker shards.
@@ -194,10 +250,14 @@ impl ShardedEngine {
 
     fn route(&mut self, key: u64) -> usize {
         match self.routing {
-            // Fibonacci hash: multiply by 2⁶⁴/φ and fold. Deterministic
-            // and well-mixed even for dense small keys.
+            // Fibonacci hash: multiply by 2⁶⁴/φ, then map to a shard by
+            // folding the HIGH bits (multiply-shift). `h % n` would read
+            // the low bits, which stay skewed for power-of-two-strided
+            // keys; the high bits are well mixed for dense and strided
+            // keys alike (pinned by `key_routing_spreads_within_bound`).
             ShardBy::Key => {
-                (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) % self.n_shards() as u64) as usize
+                let h = key.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                ((u128::from(h) * self.n_shards() as u128) >> 64) as usize
             }
             ShardBy::RoundRobin => {
                 let s = self.rr;
@@ -213,24 +273,44 @@ impl ShardedEngine {
     pub fn process(&mut self, pkt: &Packet) {
         debug_assert!(!self.done, "process after finish");
         self.stats.tuples_in += 1;
+        // Admission counters have a single writer (this thread), so the
+        // live mirror is a relaxed store of the local count — no RMW.
+        if self.live {
+            self.telemetry
+                .tuples_in
+                .store(self.stats.tuples_in, Relaxed);
+        }
         if let Some(f) = &self.query.filter {
             if !f(pkt) {
                 self.stats.filtered += 1;
+                if self.live {
+                    self.telemetry.filtered.store(self.stats.filtered, Relaxed);
+                }
                 return;
             }
         }
         let bucket = pkt.ts / self.query.bucket_micros;
         if bucket < self.closed_below {
             self.stats.late_drops += 1;
+            if self.live {
+                self.telemetry
+                    .late_drops
+                    .store(self.stats.late_drops, Relaxed);
+            }
             return;
         }
         self.watermark = self.watermark.max(pkt.ts);
+        if self.live {
+            self.telemetry
+                .dispatcher_watermark
+                .store(self.watermark, Relaxed);
+        }
         let key = (self.query.group_by)(pkt);
         let shard = self.route(key);
         self.pending[shard].push(*pkt);
         if self.pending[shard].len() >= FLUSH_THRESHOLD {
             let batch = std::mem::take(&mut self.pending[shard]);
-            self.send(shard, Msg::Batch(batch));
+            self.send(shard, Msg::Batch(batch, Instant::now()));
         }
         let target =
             self.watermark.saturating_sub(self.query.slack_micros) / self.query.bucket_micros;
@@ -241,6 +321,11 @@ impl ShardedEngine {
     /// broadcasts it, closing due buckets on every shard.
     pub fn punctuate(&mut self, ts: Micros) {
         self.watermark = self.watermark.max(ts);
+        if self.live {
+            self.telemetry
+                .dispatcher_watermark
+                .store(self.watermark, Relaxed);
+        }
         let target =
             self.watermark.saturating_sub(self.query.slack_micros) / self.query.bucket_micros;
         self.closed_below = self.closed_below.max(target);
@@ -266,7 +351,7 @@ impl ShardedEngine {
         for shard in 0..self.n_shards() {
             if !self.pending[shard].is_empty() {
                 let batch = std::mem::take(&mut self.pending[shard]);
-                self.send(shard, Msg::Batch(batch));
+                self.send(shard, Msg::Batch(batch, Instant::now()));
             }
         }
         let w = self.watermark;
@@ -278,6 +363,20 @@ impl ShardedEngine {
     }
 
     fn send(&mut self, shard: usize, msg: Msg) {
+        // Queue depth is the one genuinely two-writer gauge (incremented
+        // here, decremented by the worker), so it is a per-message RMW —
+        // unconditional, to keep both sides consistent however the
+        // enabled flag is toggled.
+        let tel = &self.telemetry.shards()[shard];
+        match &msg {
+            Msg::Batch(..) => {
+                tel.batches_sent.fetch_add(1, Relaxed);
+            }
+            Msg::Punctuate(_) => {
+                tel.punctuations_sent.fetch_add(1, Relaxed);
+            }
+        }
+        tel.queue_depth.fetch_add(1, Relaxed);
         // A send fails only if the worker is gone — i.e. it panicked; the
         // join in finish() will surface that panic, so just report here.
         self.senders[shard]
@@ -293,16 +392,16 @@ impl ShardedEngine {
             return Vec::new();
         }
         self.done = true;
-        for shard in 0..self.n_shards() {
-            if !self.pending[shard].is_empty() {
-                let batch = std::mem::take(&mut self.pending[shard]);
-                self.send(shard, Msg::Batch(batch));
-            }
-        }
+        // Flush staged batches and broadcast the final watermark, so every
+        // worker's applied-watermark gauge catches up to the dispatcher
+        // (post-run watermark lag reads 0, not the un-broadcast remainder).
+        self.sync_watermark();
         self.senders.clear(); // closes every channel: workers drain and exit
         let mut combined: BTreeMap<(u64, u64), Box<dyn Aggregator>> = BTreeMap::new();
         for (shard, handle) in self.workers.drain(..).enumerate() {
             let (closed, stats) = handle.join().unwrap_or_else(|e| {
+                self.telemetry.worker_panics.fetch_add(1, Relaxed);
+                eprintln!("fd-shard-{shard}: worker panicked: {}", panic_message(&e));
                 std::panic::resume_unwind(e);
             });
             self.shard_stats[shard] = stats;
@@ -332,6 +431,23 @@ impl ShardedEngine {
             })
             .collect();
         self.stats.rows_out = rows.len() as u64;
+        // Record the final counters unconditionally (even with live
+        // telemetry off) so a post-run snapshot always agrees exactly
+        // with `stats()`.
+        self.telemetry
+            .tuples_in
+            .store(self.stats.tuples_in, Relaxed);
+        self.telemetry.filtered.store(self.stats.filtered, Relaxed);
+        self.telemetry
+            .late_drops
+            .store(self.stats.late_drops, Relaxed);
+        self.telemetry
+            .dispatcher_watermark
+            .store(self.watermark, Relaxed);
+        self.telemetry.rows_out.store(self.stats.rows_out, Relaxed);
+        self.telemetry
+            .buckets_closed
+            .store(self.stats.buckets_closed, Relaxed);
         rows
     }
 
@@ -364,11 +480,31 @@ impl ShardedEngine {
 impl Drop for ShardedEngine {
     fn drop(&mut self) {
         // Close channels and reap workers so an abandoned engine doesn't
-        // leak threads.
+        // leak threads. A worker panic must not be swallowed silently: we
+        // can't propagate it from drop (we may already be unwinding), so
+        // count it in the telemetry registry and log the payload.
         self.senders.clear();
-        for handle in self.workers.drain(..) {
-            let _ = handle.join();
+        for (shard, handle) in self.workers.drain(..).enumerate() {
+            if let Err(payload) = handle.join() {
+                self.telemetry.worker_panics.fetch_add(1, Relaxed);
+                eprintln!(
+                    "fd-shard-{shard}: worker panicked: {}",
+                    panic_message(&payload)
+                );
+            }
         }
+    }
+}
+
+/// Best-effort extraction of a panic payload's message (panics carry
+/// `&'static str` or `String` in practice).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "<non-string panic payload>"
     }
 }
 
@@ -522,5 +658,118 @@ mod tests {
         assert!(e.finish().is_empty());
         let e2 = ShardedEngine::new(count_query(), 2);
         drop(e2); // must not hang or leak
+    }
+
+    #[test]
+    fn key_routing_spreads_within_bound() {
+        // Dense sequential keys AND power-of-two-strided keys must both
+        // land within ±20% of a uniform share on every shard — the
+        // strided case is exactly what a low-bits `h % n` fold fails.
+        const KEYS: u64 = 100_000;
+        for n_shards in [2usize, 3, 4, 8] {
+            for (label, stride_shift) in [("dense", 0u32), ("strided", 12u32)] {
+                let mut e = ShardedEngine::new(count_query(), n_shards);
+                let mut counts = vec![0u64; n_shards];
+                for key in 0..KEYS {
+                    counts[e.route(key << stride_shift)] += 1;
+                }
+                let uniform = KEYS as f64 / n_shards as f64;
+                for (shard, &c) in counts.iter().enumerate() {
+                    let dev = (c as f64 - uniform).abs() / uniform;
+                    assert!(
+                        dev <= 0.20,
+                        "{label} keys, {n_shards} shards: shard {shard} got {c} \
+                         (uniform {uniform:.0}, deviation {:.1}%)",
+                        dev * 100.0
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dropped_engine_records_worker_panic() {
+        use crate::udaf::{AggValue, Aggregator, FnFactory};
+        use std::any::Any;
+
+        // An aggregator that panics when it meets the sentinel tuple.
+        struct Tripwire;
+        impl Aggregator for Tripwire {
+            fn update(&mut self, pkt: &Packet) {
+                assert!(pkt.len != 0xDEAD, "tripwire: poisoned tuple");
+            }
+            fn merge_boxed(&mut self, _other: Box<dyn Aggregator>) {}
+            fn emit(&self, _t: f64) -> AggValue {
+                AggValue::Float(0.0)
+            }
+            fn size_bytes(&self) -> usize {
+                0
+            }
+            fn as_any_box(self: Box<Self>) -> Box<dyn Any> {
+                self
+            }
+        }
+
+        let q = Query::builder("tripwire")
+            .group_by(|_| 0) // one group: everything routes to one shard
+            .bucket_secs(60)
+            .aggregate(FnFactory::new("tripwire", true, |_| Box::new(Tripwire)))
+            .two_level(false)
+            .build();
+        let mut e = ShardedEngine::new(q, 2);
+        // Exactly FLUSH_THRESHOLD tuples so process() itself flushes the
+        // batch to the worker (no explicit punctuation: the worker dies,
+        // and a later punctuation broadcast would trip the dispatcher).
+        for i in 0..FLUSH_THRESHOLD {
+            let mut p = pkt(0.001 * i as f64, 1);
+            if i == 7 {
+                p.len = 0xDEAD;
+            }
+            e.process(&p);
+        }
+        let tel = Arc::clone(e.telemetry());
+        drop(e); // Drop must reap the dead worker and record the panic
+        assert_eq!(tel.worker_panics.load(Relaxed), 1);
+    }
+
+    #[test]
+    fn telemetry_final_counters_match_stats() {
+        let q = Query::builder("tel")
+            .filter(|p| p.proto == Proto::Tcp)
+            .group_by(|p| p.dst_host())
+            .bucket_secs(60)
+            .aggregate(count_factory())
+            .build();
+        let mut e = ShardedEngine::new(q, 3);
+        let mut events = Vec::new();
+        for i in 0..500 {
+            let mut p = pkt(i as f64 * 0.5, (i % 11) as u32);
+            if i % 50 == 0 {
+                p.proto = Proto::Udp; // filtered out
+            }
+            events.push(StreamEvent::Data(p));
+        }
+        events.push(StreamEvent::Punctuation(400 * MICROS_PER_SEC));
+        events.push(StreamEvent::Data(pkt(10.0, 1))); // late: dropped
+        e.process_batch(&events);
+        let rows = e.finish();
+        let stats = e.stats();
+        let snap = e.telemetry().snapshot();
+        assert_eq!(snap.tuples_in, stats.tuples_in);
+        assert_eq!(snap.filtered, stats.filtered);
+        assert_eq!(snap.late_drops, stats.late_drops);
+        assert_eq!(snap.rows_out, rows.len() as u64);
+        assert_eq!(snap.buckets_closed, stats.buckets_closed);
+        assert!(stats.late_drops >= 1);
+        assert_eq!(snap.worker_panics, 0);
+        // Every queue drained, every shard caught up to the dispatcher.
+        for shard in &snap.shards {
+            assert_eq!(shard.queue_depth, 0);
+            assert_eq!(shard.watermark_lag_us, 0);
+        }
+        assert_eq!(
+            snap.shards.iter().map(|s| s.tuples_processed).sum::<u64>(),
+            stats.tuples_in - stats.filtered - stats.late_drops
+        );
     }
 }

@@ -1,0 +1,628 @@
+//! Live, lock-free observability for the sharded engine.
+//!
+//! PR 1's [`EngineStats`](crate::engine::EngineStats) is six plain counters
+//! populated only at `finish()` — useless for watching a running pipeline.
+//! This module is the always-on counterpart: an [`EngineTelemetry`] registry
+//! shared (via `Arc`) between the dispatcher, the N shard workers and the
+//! combiner, updated with relaxed atomics on the hot path and readable from
+//! any thread at any time.
+//!
+//! Three cost rules keep the instrumentation nearly free:
+//!
+//! 1. **Single-writer counters are `store`s, not `fetch_add`s.** Every
+//!    admission counter has exactly one writer (the dispatcher) which
+//!    already keeps the count in a local `EngineStats`; mirroring it is one
+//!    relaxed store of a register, with no read-modify-write bus traffic.
+//!    The same holds per shard for the worker-side gauges.
+//! 2. **Read-modify-write only where two threads genuinely race** — the
+//!    queue-depth gauge (incremented by the dispatcher, decremented by the
+//!    worker) — and then only once per *batch*, not per tuple.
+//! 3. **Histograms record per batch.** With the engine's 1024-tuple flush
+//!    threshold that is three orders of magnitude fewer atomic ops than
+//!    per-tuple timing.
+//!
+//! Snapshots ([`EngineTelemetry::snapshot`]) are `Relaxed` reads: cheap,
+//! wait-free, and (like any multi-word sample of live counters) not a
+//! single atomic cut of the whole registry — fine for monitoring, which is
+//! what this is for. After `finish()` the counters are quiescent and agree
+//! exactly with [`EngineStats`](crate::engine::EngineStats).
+//!
+//! [`MetricsSnapshot`] serializes to Prometheus text format
+//! ([`MetricsSnapshot::to_prometheus`]) and JSON
+//! ([`MetricsSnapshot::to_json`]); [`Reporter`] drives a background thread
+//! that emits a snapshot every fixed interval.
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Number of power-of-two buckets in a [`LogHistogram`]: bucket 0 holds the
+/// value 0, bucket `i ≥ 1` holds values in `[2^(i−1), 2^i)`, and the last
+/// bucket absorbs everything above `2^62`.
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// A lock-free histogram with power-of-two buckets, for latency-style
+/// `u64` samples (nanoseconds, microseconds — any unit).
+///
+/// `record` is one relaxed `fetch_add` on the owning bucket; quantile
+/// estimates come from a cumulative scan of a [`snapshot`], reporting the
+/// (exclusive) upper bound of the bucket containing the target rank — an
+/// estimate within 2× of the true sample value, which is the right
+/// resolution for dashboards and regression gates.
+///
+/// [`snapshot`]: LogHistogram::snapshot
+#[derive(Debug)]
+pub struct LogHistogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// The bucket index for a value: 0 for 0, else `floor(log2(v)) + 1`,
+    /// clamped to the last bucket.
+    #[inline]
+    fn bucket_of(v: u64) -> usize {
+        (64 - v.leading_zeros() as usize).min(HISTOGRAM_BUCKETS - 1)
+    }
+
+    /// Records one sample. Wait-free; one relaxed `fetch_add`.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[Self::bucket_of(v)].fetch_add(1, Relaxed);
+    }
+
+    /// A point-in-time copy of the bucket counts with precomputed
+    /// p50/p95/p99 estimates.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut counts = [0u64; HISTOGRAM_BUCKETS];
+        for (c, b) in counts.iter_mut().zip(&self.buckets) {
+            *c = b.load(Relaxed);
+        }
+        HistogramSnapshot::from_counts(counts)
+    }
+}
+
+/// A point-in-time view of a [`LogHistogram`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Total number of recorded samples.
+    pub count: u64,
+    /// Upper-bound estimate of the 50th percentile (0 when empty).
+    pub p50: u64,
+    /// Upper-bound estimate of the 95th percentile (0 when empty).
+    pub p95: u64,
+    /// Upper-bound estimate of the 99th percentile (0 when empty).
+    pub p99: u64,
+}
+
+impl HistogramSnapshot {
+    fn from_counts(counts: [u64; HISTOGRAM_BUCKETS]) -> Self {
+        let count: u64 = counts.iter().sum();
+        let quantile = |q: f64| -> u64 {
+            if count == 0 {
+                return 0;
+            }
+            // Rank of the q-th percentile sample, 1-based.
+            let target = ((count as f64 * q).ceil() as u64).clamp(1, count);
+            let mut seen = 0u64;
+            for (i, &c) in counts.iter().enumerate() {
+                seen += c;
+                if seen >= target {
+                    // Exclusive upper bound of bucket i: 2^i (bucket 0 → 0).
+                    return if i == 0 { 0 } else { 1u64 << i.min(63) };
+                }
+            }
+            u64::MAX
+        };
+        Self {
+            count,
+            p50: quantile(0.50),
+            p95: quantile(0.95),
+            p99: quantile(0.99),
+        }
+    }
+}
+
+/// Live counters and gauges for one shard worker and its channel.
+///
+/// Writer discipline: `queue_depth` is the only two-writer field
+/// (dispatcher increments, worker decrements — both per message);
+/// `batches_sent` / `punctuations_sent` are dispatcher-only,
+/// everything else is worker-only.
+#[derive(Debug, Default)]
+pub struct ShardTelemetry {
+    /// Messages (batches + punctuations) currently queued to this shard.
+    pub queue_depth: AtomicU64,
+    /// Batches the dispatcher has sent to this shard.
+    pub batches_sent: AtomicU64,
+    /// Punctuations the dispatcher has sent to this shard.
+    pub punctuations_sent: AtomicU64,
+    /// Tuples the worker has applied to its engine.
+    pub tuples_processed: AtomicU64,
+    /// The highest watermark (µs) the worker has applied. The difference
+    /// from [`EngineTelemetry::dispatcher_watermark`] is this shard's
+    /// watermark lag.
+    pub applied_watermark: AtomicU64,
+    /// The worker engine's LFTA evictions so far.
+    pub lfta_evictions: AtomicU64,
+    /// The worker engine's current LFTA slot occupancy.
+    pub lfta_occupancy: AtomicU64,
+    /// Per-batch worker processing time, nanoseconds.
+    pub batch_ns: LogHistogram,
+    /// Dispatch-to-apply latency per batch (send to fully processed),
+    /// nanoseconds: queueing delay plus processing time.
+    pub dispatch_lag_ns: LogHistogram,
+}
+
+/// The shared metrics registry of a sharded engine run.
+///
+/// One instance lives behind an `Arc` held by the dispatcher
+/// ([`ShardedEngine`](crate::shard::ShardedEngine)), every worker thread,
+/// and anyone who grabbed
+/// [`ShardedEngine::telemetry`](crate::shard::ShardedEngine::telemetry) —
+/// which stays readable (and keeps the final counters) after the engine is
+/// finished or dropped.
+#[derive(Debug)]
+pub struct EngineTelemetry {
+    /// Tuples offered to the dispatcher (mirror of `EngineStats::tuples_in`).
+    pub tuples_in: AtomicU64,
+    /// Tuples rejected by the selection filter.
+    pub filtered: AtomicU64,
+    /// Tuples dropped for arriving after their bucket closed.
+    pub late_drops: AtomicU64,
+    /// The dispatcher's global watermark, µs.
+    pub dispatcher_watermark: AtomicU64,
+    /// Worker threads that terminated by panicking (see
+    /// `Drop for ShardedEngine`).
+    pub worker_panics: AtomicU64,
+    /// Result rows emitted by the combiner (set at `finish()`).
+    pub rows_out: AtomicU64,
+    /// Distinct time buckets closed by the combiner (set at `finish()`).
+    pub buckets_closed: AtomicU64,
+    enabled: AtomicBool,
+    shards: Vec<ShardTelemetry>,
+}
+
+impl EngineTelemetry {
+    /// A zeroed registry for `n_shards` shards, with live updates enabled.
+    pub fn new(n_shards: usize) -> Self {
+        Self {
+            tuples_in: AtomicU64::new(0),
+            filtered: AtomicU64::new(0),
+            late_drops: AtomicU64::new(0),
+            dispatcher_watermark: AtomicU64::new(0),
+            worker_panics: AtomicU64::new(0),
+            rows_out: AtomicU64::new(0),
+            buckets_closed: AtomicU64::new(0),
+            enabled: AtomicBool::new(true),
+            shards: (0..n_shards).map(|_| ShardTelemetry::default()).collect(),
+        }
+    }
+
+    /// Whether hot-path mirroring is on (see
+    /// [`ShardedEngine::live_telemetry`](crate::shard::ShardedEngine::live_telemetry)).
+    /// End-of-run counters are recorded either way.
+    pub fn enabled(&self) -> bool {
+        self.enabled.load(Relaxed)
+    }
+
+    /// Turns hot-path mirroring on or off (the per-tuple admission mirrors
+    /// and the per-batch worker gauges/histograms).
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Relaxed);
+    }
+
+    /// Per-shard registries, indexed like the engine's shards.
+    pub fn shards(&self) -> &[ShardTelemetry] {
+        &self.shards
+    }
+
+    /// A relaxed point-in-time sample of every counter, gauge and
+    /// histogram. Callable from any thread, mid-stream or after the run.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let dispatcher_watermark_us = self.dispatcher_watermark.load(Relaxed);
+        MetricsSnapshot {
+            tuples_in: self.tuples_in.load(Relaxed),
+            filtered: self.filtered.load(Relaxed),
+            late_drops: self.late_drops.load(Relaxed),
+            dispatcher_watermark_us,
+            worker_panics: self.worker_panics.load(Relaxed),
+            rows_out: self.rows_out.load(Relaxed),
+            buckets_closed: self.buckets_closed.load(Relaxed),
+            shards: self
+                .shards
+                .iter()
+                .map(|s| {
+                    let applied = s.applied_watermark.load(Relaxed);
+                    ShardSnapshot {
+                        queue_depth: s.queue_depth.load(Relaxed),
+                        batches_sent: s.batches_sent.load(Relaxed),
+                        punctuations_sent: s.punctuations_sent.load(Relaxed),
+                        tuples_processed: s.tuples_processed.load(Relaxed),
+                        applied_watermark_us: applied,
+                        watermark_lag_us: dispatcher_watermark_us.saturating_sub(applied),
+                        lfta_evictions: s.lfta_evictions.load(Relaxed),
+                        lfta_occupancy: s.lfta_occupancy.load(Relaxed),
+                        batch_ns: s.batch_ns.snapshot(),
+                        dispatch_lag_ns: s.dispatch_lag_ns.snapshot(),
+                    }
+                })
+                .collect(),
+        }
+    }
+}
+
+/// One shard's slice of a [`MetricsSnapshot`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSnapshot {
+    /// Messages queued to the shard at sample time.
+    pub queue_depth: u64,
+    /// Batches sent to the shard so far.
+    pub batches_sent: u64,
+    /// Punctuations sent to the shard so far.
+    pub punctuations_sent: u64,
+    /// Tuples the worker has applied.
+    pub tuples_processed: u64,
+    /// Watermark the worker has applied, µs.
+    pub applied_watermark_us: u64,
+    /// `dispatcher_watermark − applied_watermark`, µs.
+    pub watermark_lag_us: u64,
+    /// LFTA evictions on this shard.
+    pub lfta_evictions: u64,
+    /// Current LFTA slot occupancy on this shard.
+    pub lfta_occupancy: u64,
+    /// Per-batch processing-time histogram.
+    pub batch_ns: HistogramSnapshot,
+    /// Dispatch-to-apply latency histogram.
+    pub dispatch_lag_ns: HistogramSnapshot,
+}
+
+/// A point-in-time sample of a whole engine's telemetry: plain data,
+/// detached from the atomics, serializable to Prometheus text format and
+/// JSON.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Tuples offered to the dispatcher.
+    pub tuples_in: u64,
+    /// Tuples rejected by the selection filter.
+    pub filtered: u64,
+    /// Late tuples dropped at admission.
+    pub late_drops: u64,
+    /// Dispatcher watermark, µs.
+    pub dispatcher_watermark_us: u64,
+    /// Worker threads that have panicked.
+    pub worker_panics: u64,
+    /// Rows emitted (0 until `finish()`).
+    pub rows_out: u64,
+    /// Distinct buckets closed (0 until `finish()`).
+    pub buckets_closed: u64,
+    /// Per-shard samples; empty for a single-threaded run.
+    pub shards: Vec<ShardSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Wraps a single-threaded engine's final counters in snapshot form,
+    /// so `--metrics` output has one shape regardless of `--shards`.
+    pub fn from_engine_stats(stats: &crate::engine::EngineStats, watermark_us: u64) -> Self {
+        Self {
+            tuples_in: stats.tuples_in,
+            filtered: stats.filtered,
+            late_drops: stats.late_drops,
+            dispatcher_watermark_us: watermark_us,
+            worker_panics: 0,
+            rows_out: stats.rows_out,
+            buckets_closed: stats.buckets_closed,
+            shards: Vec::new(),
+        }
+    }
+
+    /// Prometheus text exposition format. Metric names are prefixed `fd_`;
+    /// per-shard series carry a `shard="i"` label and histogram quantiles a
+    /// `quantile` label, e.g.:
+    ///
+    /// ```text
+    /// # TYPE fd_tuples_in counter
+    /// fd_tuples_in 100000
+    /// # TYPE fd_shard_queue_depth gauge
+    /// fd_shard_queue_depth{shard="0"} 2
+    /// fd_worker_batch_ns{shard="0",quantile="0.5"} 1048576
+    /// ```
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut scalar = |name: &str, kind: &str, v: u64| {
+            let _ = writeln!(out, "# TYPE {name} {kind}");
+            let _ = writeln!(out, "{name} {v}");
+        };
+        scalar("fd_tuples_in", "counter", self.tuples_in);
+        scalar("fd_filtered", "counter", self.filtered);
+        scalar("fd_late_drops", "counter", self.late_drops);
+        scalar("fd_rows_out", "counter", self.rows_out);
+        scalar("fd_buckets_closed", "counter", self.buckets_closed);
+        scalar("fd_worker_panics", "counter", self.worker_panics);
+        scalar(
+            "fd_dispatcher_watermark_us",
+            "gauge",
+            self.dispatcher_watermark_us,
+        );
+        if self.shards.is_empty() {
+            return out;
+        }
+        let mut per_shard = |name: &str, kind: &str, get: &dyn Fn(&ShardSnapshot) -> u64| {
+            let _ = writeln!(out, "# TYPE {name} {kind}");
+            for (i, s) in self.shards.iter().enumerate() {
+                let _ = writeln!(out, "{name}{{shard=\"{i}\"}} {}", get(s));
+            }
+        };
+        per_shard("fd_shard_queue_depth", "gauge", &|s| s.queue_depth);
+        per_shard("fd_shard_batches_sent", "counter", &|s| s.batches_sent);
+        per_shard("fd_shard_punctuations_sent", "counter", &|s| {
+            s.punctuations_sent
+        });
+        per_shard("fd_shard_tuples_processed", "counter", &|s| {
+            s.tuples_processed
+        });
+        per_shard("fd_shard_applied_watermark_us", "gauge", &|s| {
+            s.applied_watermark_us
+        });
+        per_shard("fd_shard_watermark_lag_us", "gauge", &|s| {
+            s.watermark_lag_us
+        });
+        per_shard("fd_shard_lfta_evictions", "counter", &|s| s.lfta_evictions);
+        per_shard("fd_shard_lfta_occupancy", "gauge", &|s| s.lfta_occupancy);
+        let mut histogram = |name: &str, get: &dyn Fn(&ShardSnapshot) -> HistogramSnapshot| {
+            let _ = writeln!(out, "# TYPE {name} summary");
+            for (i, s) in self.shards.iter().enumerate() {
+                let h = get(s);
+                for (q, v) in [(0.5, h.p50), (0.95, h.p95), (0.99, h.p99)] {
+                    let _ = writeln!(out, "{name}{{shard=\"{i}\",quantile=\"{q}\"}} {v}");
+                }
+                let _ = writeln!(out, "{name}_count{{shard=\"{i}\"}} {}", h.count);
+            }
+        };
+        histogram("fd_worker_batch_ns", &|s| s.batch_ns);
+        histogram("fd_dispatch_lag_ns", &|s| s.dispatch_lag_ns);
+        out
+    }
+
+    /// JSON object form, hand-rolled (the workspace builds offline and has
+    /// no JSON dependency): all-numeric fields, shards as an array.
+    pub fn to_json(&self) -> String {
+        fn histogram(h: &HistogramSnapshot) -> String {
+            format!(
+                "{{\"count\":{},\"p50\":{},\"p95\":{},\"p99\":{}}}",
+                h.count, h.p50, h.p95, h.p99
+            )
+        }
+        let shards: Vec<String> = self
+            .shards
+            .iter()
+            .map(|s| {
+                format!(
+                    concat!(
+                        "{{\"queue_depth\":{},\"batches_sent\":{},",
+                        "\"punctuations_sent\":{},\"tuples_processed\":{},",
+                        "\"applied_watermark_us\":{},\"watermark_lag_us\":{},",
+                        "\"lfta_evictions\":{},\"lfta_occupancy\":{},",
+                        "\"batch_ns\":{},\"dispatch_lag_ns\":{}}}"
+                    ),
+                    s.queue_depth,
+                    s.batches_sent,
+                    s.punctuations_sent,
+                    s.tuples_processed,
+                    s.applied_watermark_us,
+                    s.watermark_lag_us,
+                    s.lfta_evictions,
+                    s.lfta_occupancy,
+                    histogram(&s.batch_ns),
+                    histogram(&s.dispatch_lag_ns),
+                )
+            })
+            .collect();
+        format!(
+            concat!(
+                "{{\"tuples_in\":{},\"filtered\":{},\"late_drops\":{},",
+                "\"dispatcher_watermark_us\":{},\"worker_panics\":{},",
+                "\"rows_out\":{},\"buckets_closed\":{},\"shards\":[{}]}}"
+            ),
+            self.tuples_in,
+            self.filtered,
+            self.late_drops,
+            self.dispatcher_watermark_us,
+            self.worker_panics,
+            self.rows_out,
+            self.buckets_closed,
+            shards.join(",")
+        )
+    }
+}
+
+/// A background thread that emits a [`MetricsSnapshot`] to a sink at a
+/// fixed interval — e.g. appending Prometheus text to a file, or printing
+/// watermark lag to stderr while a long run is in flight.
+///
+/// Stops (and joins its thread) on [`stop`](Reporter::stop) or drop.
+pub struct Reporter {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Reporter {
+    /// Spawns a reporter that calls `sink` with a fresh snapshot every
+    /// `interval` until stopped. The first snapshot is emitted after one
+    /// full interval.
+    pub fn spawn(
+        telemetry: Arc<EngineTelemetry>,
+        interval: Duration,
+        mut sink: impl FnMut(MetricsSnapshot) + Send + 'static,
+    ) -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("fd-metrics-reporter".to_owned())
+            .spawn(move || {
+                // Wake every few ms so stop() latency stays low even for
+                // long reporting intervals.
+                let tick = interval
+                    .min(Duration::from_millis(20))
+                    .max(Duration::from_millis(1));
+                let mut elapsed = Duration::ZERO;
+                while !stop2.load(Relaxed) {
+                    std::thread::sleep(tick);
+                    elapsed += tick;
+                    if elapsed >= interval {
+                        elapsed = Duration::ZERO;
+                        sink(telemetry.snapshot());
+                    }
+                }
+            })
+            .expect("spawn metrics reporter");
+        Self {
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    /// Signals the thread to exit and joins it. Idempotent.
+    pub fn stop(&mut self) {
+        self.stop.store(true, Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Reporter {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_are_powers_of_two() {
+        assert_eq!(LogHistogram::bucket_of(0), 0);
+        assert_eq!(LogHistogram::bucket_of(1), 1);
+        assert_eq!(LogHistogram::bucket_of(2), 2);
+        assert_eq!(LogHistogram::bucket_of(3), 2);
+        assert_eq!(LogHistogram::bucket_of(4), 3);
+        assert_eq!(LogHistogram::bucket_of(1023), 10);
+        assert_eq!(LogHistogram::bucket_of(1024), 11);
+        assert_eq!(LogHistogram::bucket_of(u64::MAX), HISTOGRAM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn histogram_quantiles_bound_the_sample() {
+        let h = LogHistogram::new();
+        // 90 fast samples (~1 µs), 10 slow (~1 ms).
+        for _ in 0..90 {
+            h.record(1_000);
+        }
+        for _ in 0..10 {
+            h.record(1_000_000);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 100);
+        // p50 in the 1 µs bucket: upper bound 2^10 = 1024.
+        assert_eq!(s.p50, 1024);
+        assert!(s.p50 >= 1_000 && s.p50 < 2_000);
+        // p95 and p99 land in the 1 ms bucket: upper bound 2^20.
+        assert!(s.p95 >= 1_000_000 && s.p95 < 2_000_000);
+        assert_eq!(s.p95, s.p99);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let s = LogHistogram::new().snapshot();
+        assert_eq!(
+            s,
+            HistogramSnapshot {
+                count: 0,
+                p50: 0,
+                p95: 0,
+                p99: 0
+            }
+        );
+    }
+
+    #[test]
+    fn snapshot_reads_live_values() {
+        let t = EngineTelemetry::new(2);
+        t.tuples_in.store(100, Relaxed);
+        t.dispatcher_watermark.store(5_000_000, Relaxed);
+        t.shards()[1].applied_watermark.store(3_000_000, Relaxed);
+        t.shards()[0].queue_depth.store(4, Relaxed);
+        let s = t.snapshot();
+        assert_eq!(s.tuples_in, 100);
+        assert_eq!(s.shards[0].queue_depth, 4);
+        assert_eq!(s.shards[1].watermark_lag_us, 2_000_000);
+        // Shard 0 never applied a watermark: lag is the full dispatcher
+        // watermark.
+        assert_eq!(s.shards[0].watermark_lag_us, 5_000_000);
+    }
+
+    #[test]
+    fn prometheus_format_has_typed_series() {
+        let t = EngineTelemetry::new(1);
+        t.tuples_in.store(42, Relaxed);
+        t.shards()[0].batch_ns.record(1_000);
+        let text = t.snapshot().to_prometheus();
+        assert!(text.contains("# TYPE fd_tuples_in counter"));
+        assert!(text.contains("fd_tuples_in 42"));
+        assert!(text.contains("# TYPE fd_shard_queue_depth gauge"));
+        assert!(text.contains("fd_shard_queue_depth{shard=\"0\"} 0"));
+        assert!(text.contains("fd_worker_batch_ns{shard=\"0\",quantile=\"0.5\"} 1024"));
+        assert!(text.contains("fd_worker_batch_ns_count{shard=\"0\"} 1"));
+    }
+
+    #[test]
+    fn json_is_well_formed_and_complete() {
+        let t = EngineTelemetry::new(2);
+        t.late_drops.store(7, Relaxed);
+        let json = t.snapshot().to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"late_drops\":7"));
+        assert!(json.matches("\"queue_depth\"").count() == 2);
+        // Balanced braces/brackets — the cheap well-formedness check
+        // available without a JSON parser in the offline workspace.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn reporter_emits_and_stops() {
+        use std::sync::Mutex;
+        let t = Arc::new(EngineTelemetry::new(1));
+        t.tuples_in.store(9, Relaxed);
+        let seen: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+        let seen2 = Arc::clone(&seen);
+        let mut rep = Reporter::spawn(Arc::clone(&t), Duration::from_millis(5), move |s| {
+            seen2.lock().unwrap().push(s.tuples_in);
+        });
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while seen.lock().unwrap().is_empty() && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        rep.stop();
+        let emitted = seen.lock().unwrap().clone();
+        assert!(!emitted.is_empty(), "reporter never fired");
+        assert!(emitted.iter().all(|&v| v == 9));
+        rep.stop(); // idempotent
+    }
+}

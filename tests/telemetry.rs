@@ -1,0 +1,221 @@
+//! Live-telemetry integration tests: the whole point of the registry is
+//! that it is readable *while the pipeline runs* — from the dispatching
+//! thread between batches, and from an unrelated observer thread — and
+//! that once the run is over its counters agree exactly with the
+//! engine's own [`EngineStats`].
+
+use std::sync::atomic::Ordering::Relaxed;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use forward_decay::core::decay::Exponential;
+use forward_decay::engine::prelude::*;
+use forward_decay::gen::TraceConfig;
+
+fn decayed_query() -> Query {
+    Query::builder("telemetry")
+        .group_by(|p| p.dst_host())
+        .bucket_secs(60)
+        .aggregate(fwd_sum_factory(Exponential::new(0.05), |p| p.len as f64))
+        .lfta_slots(1024)
+        .build()
+}
+
+#[test]
+fn gauges_are_readable_mid_stream_before_finish() {
+    let trace = TraceConfig {
+        seed: 11,
+        duration_secs: 120.0,
+        rate_pps: 10_000.0,
+        n_hosts: 500,
+        ..Default::default()
+    };
+    let mut e = ShardedEngine::new(decayed_query(), 4);
+    let tel = Arc::clone(e.telemetry());
+    let mut mid_snapshots = 0usize;
+    for (i, p) in trace.iter().enumerate() {
+        e.process(&p);
+        if i == 300_000 {
+            // Force a punctuation broadcast so the workers have applied a
+            // watermark, then sample while the stream is still open.
+            e.punctuate(p.ts);
+            let s = tel.snapshot();
+            mid_snapshots += 1;
+            assert_eq!(s.tuples_in, 300_001, "admission mirror lags");
+            assert!(s.dispatcher_watermark_us >= p.ts);
+            assert_eq!(s.rows_out, 0, "no rows before finish()");
+            assert!(
+                s.shards.iter().map(|sh| sh.batches_sent).sum::<u64>() > 0,
+                "batches should have been dispatched by now"
+            );
+            for (i, sh) in s.shards.iter().enumerate() {
+                // Queue depth is sampled live: bounded by the channel, and
+                // consistent (inc/dec are unconditional on both sides).
+                assert!(sh.queue_depth <= 16, "shard {i} depth {}", sh.queue_depth);
+                // Each worker has applied the broadcast watermark or is
+                // at most one punctuation behind the dispatcher.
+                assert!(
+                    sh.watermark_lag_us <= s.dispatcher_watermark_us,
+                    "shard {i} lag {} vs dispatcher {}",
+                    sh.watermark_lag_us,
+                    s.dispatcher_watermark_us
+                );
+            }
+        }
+    }
+    assert_eq!(mid_snapshots, 1);
+    let rows = e.finish();
+    assert!(!rows.is_empty());
+    // After finish: quiescent and exact.
+    let s = tel.snapshot();
+    let stats = e.stats();
+    assert_eq!(s.tuples_in, stats.tuples_in);
+    assert_eq!(s.rows_out, stats.rows_out);
+    for sh in &s.shards {
+        assert_eq!(sh.queue_depth, 0);
+        assert_eq!(sh.watermark_lag_us, 0);
+    }
+}
+
+#[test]
+fn observer_thread_watches_a_live_run_via_reporter() {
+    // A Reporter on another thread samples the registry while the
+    // dispatcher floods tuples; every sample it takes must be internally
+    // sane, and the series of tuples_in samples must be non-decreasing.
+    let trace = TraceConfig {
+        seed: 12,
+        duration_secs: 180.0,
+        rate_pps: 20_000.0,
+        n_hosts: 1_000,
+        ..Default::default()
+    };
+    let mut e = ShardedEngine::new(decayed_query(), 3);
+    let seen: Arc<Mutex<Vec<MetricsSnapshot>>> = Arc::new(Mutex::new(Vec::new()));
+    let sink = Arc::clone(&seen);
+    let mut reporter = Reporter::spawn(
+        Arc::clone(e.telemetry()),
+        Duration::from_millis(2),
+        move |s| sink.lock().unwrap().push(s),
+    );
+    let rows = e.run(trace.iter());
+    reporter.stop();
+    assert!(!rows.is_empty());
+    let samples = seen.lock().unwrap();
+    assert!(
+        samples.len() >= 2,
+        "reporter sampled only {} times",
+        samples.len()
+    );
+    let mut prev = 0u64;
+    for s in samples.iter() {
+        assert!(s.tuples_in >= prev, "tuples_in went backwards");
+        prev = s.tuples_in;
+        assert!(s.filtered + s.late_drops <= s.tuples_in);
+        assert_eq!(s.worker_panics, 0);
+    }
+    // At least one mid-run sample caught the stream in flight.
+    assert!(
+        samples.iter().any(|s| s.tuples_in > 0 && s.rows_out == 0),
+        "no sample observed the run before finish()"
+    );
+}
+
+#[test]
+fn disabled_telemetry_still_records_final_counters() {
+    let trace = TraceConfig {
+        seed: 13,
+        duration_secs: 60.0,
+        rate_pps: 5_000.0,
+        n_hosts: 200,
+        ..Default::default()
+    };
+    let mut e = ShardedEngine::new(decayed_query(), 2).live_telemetry(false);
+    let rows = e.run(trace.iter());
+    let stats = e.stats();
+    let s = e.telemetry().snapshot();
+    // Hot-path mirrors were off, but finish() stores the end-of-run
+    // counters unconditionally.
+    assert_eq!(s.tuples_in, stats.tuples_in);
+    assert_eq!(s.late_drops, stats.late_drops);
+    assert_eq!(s.rows_out, rows.len() as u64);
+    assert_eq!(s.buckets_closed, stats.buckets_closed);
+    // ...while the per-batch histograms stayed silent.
+    for sh in &s.shards {
+        assert_eq!(sh.batch_ns.count, 0);
+        assert_eq!(sh.tuples_processed, 0);
+    }
+}
+
+#[test]
+fn serialized_snapshots_carry_the_exact_counters() {
+    let trace = TraceConfig {
+        seed: 14,
+        duration_secs: 90.0,
+        rate_pps: 10_000.0,
+        n_hosts: 300,
+        ..Default::default()
+    };
+    let mut e = ShardedEngine::new(decayed_query(), 2);
+    e.run(trace.iter());
+    let stats = e.stats();
+    let s = e.telemetry().snapshot();
+    let prom = s.to_prometheus();
+    assert!(prom.contains(&format!("fd_tuples_in {}", stats.tuples_in)));
+    assert!(prom.contains(&format!("fd_rows_out {}", stats.rows_out)));
+    assert!(prom.contains("fd_shard_tuples_processed{shard=\"1\"}"));
+    let json = s.to_json();
+    assert!(json.contains(&format!("\"tuples_in\":{}", stats.tuples_in)));
+    assert!(json.contains(&format!("\"rows_out\":{}", stats.rows_out)));
+    assert_eq!(json.matches('{').count(), json.matches('}').count());
+}
+
+/// Soak: several million tuples through a fully instrumented sharded
+/// pipeline (CI re-runs this with `-C debug-assertions` to arm the
+/// numeric guards). The registry must stay consistent throughout:
+/// conservation of tuples, bounded queues, no panics.
+#[test]
+fn telemetry_soak_conserves_tuples_under_load() {
+    let trace = TraceConfig {
+        seed: 15,
+        duration_secs: 240.0,
+        rate_pps: 15_000.0,
+        n_hosts: 2_000,
+        ooo_jitter_secs: 0.25,
+        ..Default::default()
+    };
+    let q = Query::builder("soak")
+        .filter(|p| p.proto == Proto::Tcp)
+        .group_by(|p| p.dst_host())
+        .bucket_secs(60)
+        .slack_secs(1.0)
+        .aggregate(fwd_sum_factory(Exponential::new(0.5), |p| p.len as f64))
+        .lfta_slots(2048)
+        .build();
+    let mut e = ShardedEngine::new(q, 4);
+    let tel = Arc::clone(e.telemetry());
+    for (i, p) in trace.iter().enumerate() {
+        e.process(&p);
+        if i % 400_000 == 0 {
+            let s = tel.snapshot();
+            assert!(s.filtered + s.late_drops <= s.tuples_in);
+            for sh in &s.shards {
+                assert!(sh.queue_depth <= 16);
+            }
+        }
+    }
+    let rows = e.finish();
+    let stats = e.stats();
+    assert!(stats.tuples_in > 3_000_000, "soak too short");
+    assert!(!rows.is_empty());
+    let s = tel.snapshot();
+    assert_eq!(s.worker_panics, 0);
+    assert_eq!(
+        s.shards.iter().map(|sh| sh.tuples_processed).sum::<u64>(),
+        stats.tuples_in - stats.filtered - stats.late_drops,
+        "tuples lost or duplicated between dispatcher and workers"
+    );
+    let batches: u64 = s.shards.iter().map(|sh| sh.batches_sent).sum();
+    let batch_samples: u64 = s.shards.iter().map(|sh| sh.batch_ns.count).sum();
+    assert_eq!(batches, batch_samples, "every batch must be timed");
+    assert_eq!(tel.worker_panics.load(Relaxed), 0);
+}
