@@ -22,7 +22,7 @@
 
 use std::sync::Arc;
 
-use fd_bench::{measure_query, Table};
+use fd_bench::{measure_query, quick, quick_scaled, Table};
 use fd_core::decay::Exponential;
 use fd_engine::prelude::*;
 use fd_engine::udaf::FnFactory;
@@ -33,7 +33,7 @@ const DURATION_SECS: f64 = 15.0;
 fn trace_at(rate_pps: f64) -> Vec<Packet> {
     TraceConfig {
         seed: 3,
-        duration_secs: DURATION_SECS,
+        duration_secs: quick_scaled(DURATION_SECS, 1.5),
         rate_pps,
         n_hosts: 10_000,
         tcp_fraction: 1.0,
@@ -121,6 +121,11 @@ fn main() {
         table_b.row(format!("{k}"), cells);
     }
     table_b.print();
+
+    if quick() {
+        println!("\nfig3: FD_QUICK set, skipping the timing shape assertions");
+        return;
+    }
 
     // Shape assertions — the paper's findings.
     // (1) "The CPU load is comparable for all algorithms": within 4× of

@@ -18,7 +18,7 @@
 
 use std::sync::Arc;
 
-use fd_bench::{fmt_bytes, measure_query, Table};
+use fd_bench::{fmt_bytes, measure_query, quick, quick_scaled, Table};
 use fd_core::decay::{BackExponential, Exponential, Monomial};
 use fd_engine::prelude::*;
 use fd_engine::udaf::FnFactory;
@@ -30,7 +30,7 @@ const PHI: f64 = 0.02;
 fn trace(proto: Proto, rate_pps: f64) -> Vec<Packet> {
     TraceConfig {
         seed: 4,
-        duration_secs: DURATION_SECS,
+        duration_secs: quick_scaled(DURATION_SECS, 1.5),
         rate_pps,
         n_hosts: 20_000,
         zipf_skew: 1.1,
@@ -117,6 +117,9 @@ fn sweep(
 }
 
 fn check_shape(proto: &str, costs: &[Vec<f64>], spaces: &[Vec<f64>]) {
+    if quick() {
+        return;
+    }
     // CPU of the forward methods is robust to ε.
     for s in 1..=2 {
         let (c_coarse, c_fine) = (costs[0][s], costs[3][s]);
@@ -187,6 +190,10 @@ fn main() {
         "Figure 4(d) — space per group vs ε, UDP (log scale in the paper)",
     );
     check_shape("UDP", &udp_costs, &udp_spaces);
+    if quick() {
+        println!("\nfig4: FD_QUICK set, skipped the shape assertions");
+        return;
+    }
     // "the behavior of the algorithm is virtually unchanged despite the
     // different characteristics of UDP data".
     for s in 0..4 {

@@ -19,7 +19,7 @@
 
 use std::sync::Arc;
 
-use fd_bench::{measure_query, Table};
+use fd_bench::{measure_query, quick, quick_scaled, Table};
 use fd_core::decay::{BackExponential, Exponential, Monomial};
 use fd_engine::prelude::*;
 use fd_engine::udaf::FnFactory;
@@ -32,7 +32,7 @@ const PHI: f64 = 0.02;
 fn trace_at(rate_pps: f64) -> Vec<Packet> {
     TraceConfig {
         seed: 5,
-        duration_secs: DURATION_SECS,
+        duration_secs: quick_scaled(DURATION_SECS, 1.5),
         rate_pps,
         n_hosts: 20_000,
         zipf_skew: 1.1,
@@ -108,6 +108,11 @@ fn main() {
         table.row(format!("{}k", rate as u64 / 1000), cells);
     }
     table.print();
+
+    if quick() {
+        println!("\nfig5: FD_QUICK set, skipping the timing shape assertions");
+        return;
+    }
 
     // Shape assertions — the paper's findings.
     let (unary, fwd_exp, fwd_poly, sw) = (

@@ -11,7 +11,7 @@
 use std::hint::black_box;
 use std::time::Instant;
 
-use fd_bench::Table;
+use fd_bench::{quick, Table};
 use fd_core::aggregates::{DecayedCount, DecayedSum};
 use fd_core::backward::{ExponentialHistogram, PrefixBackwardHH, SlidingWindowHH};
 use fd_core::decay::{Exponential, Monomial, NoDecay};
@@ -20,12 +20,25 @@ use fd_core::heavy_hitters::{DecayedHeavyHitters, UnarySpaceSaving, WeightedSpac
 use fd_core::quantiles::{QDigest, WeightedGK};
 use fd_core::sampling::{BiasedReservoir, PrioritySampler, ReservoirSampler, WeightedReservoir};
 
-const N: u64 = 100_000;
-const ROUNDS: usize = 5;
+fn n() -> u64 {
+    if quick() {
+        20_000
+    } else {
+        100_000
+    }
+}
+
+fn rounds() -> usize {
+    if quick() {
+        2
+    } else {
+        5
+    }
+}
 
 /// Deterministic pseudo-stream: (timestamp, item, value).
 fn stream() -> Vec<(f64, u64, u64)> {
-    (0..N)
+    (0..n())
         .map(|i| {
             let h = i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
             (i as f64 * 1e-3, h % 10_000, 40 + h % 1460)
@@ -33,18 +46,18 @@ fn stream() -> Vec<(f64, u64, u64)> {
         .collect()
 }
 
-/// Times `run` (setup via `mk`, drive via `run`) over `ROUNDS` rounds after
+/// Times `run` (setup via `mk`, drive via `run`) over a few rounds after
 /// one warm-up, returning the best observed ns/update.
 fn bench<S>(mk: impl Fn() -> S, run: impl Fn(&mut S, &[(f64, u64, u64)])) -> f64 {
     let data = stream();
     let mut s = mk();
     run(&mut s, &data); // warm-up
     let mut best = f64::INFINITY;
-    for _ in 0..ROUNDS {
+    for _ in 0..rounds() {
         let mut s = mk();
         let start = Instant::now();
         run(&mut s, &data);
-        let ns = start.elapsed().as_nanos() as f64 / N as f64;
+        let ns = start.elapsed().as_nanos() as f64 / data.len() as f64;
         best = best.min(ns);
     }
     best

@@ -22,7 +22,9 @@
 use std::fmt::Write as _;
 use std::sync::Arc;
 
-use fd_bench::{measure_dispatch_ns, measure_query, measure_sharded_query, Table};
+use fd_bench::{
+    measure_dispatch_ns, measure_query, measure_sharded_query, quick, quick_scaled, Table,
+};
 use fd_core::decay::{BackPolynomial, Monomial};
 use fd_engine::metrics::sharded_capacity_pps;
 use fd_engine::prelude::*;
@@ -34,7 +36,7 @@ const SHARDS: [usize; 3] = [2, 4, 8];
 fn trace() -> Vec<Packet> {
     TraceConfig {
         seed: 2,
-        duration_secs: 20.0,
+        duration_secs: quick_scaled(20.0, 1.0),
         rate_pps: 100_000.0,
         n_hosts: 20_000,
         zipf_skew: 1.1,
@@ -77,9 +79,20 @@ fn fmt_tps(tps: f64) -> String {
 fn main() {
     let packets = trace();
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    // Wall-clock scaling needs one core per worker plus one for the
+    // dispatcher; with fewer, those numbers measure oversubscription, not
+    // the engine — the flag below marks them so readers (and CI boxes)
+    // don't mistake core starvation for a scaling regression.
+    let wallclock_core_bound = cores < SHARDS[SHARDS.len() - 1] + 1;
     println!(
-        "shard scaling on the fig2 workload: {} packets, {cores} host core(s)",
-        packets.len()
+        "shard scaling on the fig2 workload: {} packets, {cores} host core(s){}{}",
+        packets.len(),
+        if wallclock_core_bound {
+            " [wall-clock core-bound]"
+        } else {
+            ""
+        },
+        if quick() { " [FD_QUICK]" } else { "" }
     );
 
     let shard_cols: Vec<String> = SHARDS.iter().map(|n| format!("{n} shards")).collect();
@@ -149,11 +162,17 @@ fn main() {
     table_wall.print();
     table_model.print();
 
+    if quick() {
+        println!("FD_QUICK set: skipping the JSON write");
+        return;
+    }
+
     let json = format!(
         "{{\n  \"bench\": \"shard_scaling\",\n  \
          \"workload\": \"fig2 count: 20000 hosts, zipf 1.1, 100000 pkt/s x 20 s, TCP\",\n  \
          \"host_cores\": {cores},\n  \
-         \"note\": \"wall-clock numbers are bounded by host_cores; modeled numbers apply the paper-style cost model min(1e9/dispatch_ns, n*1e9/worker_ns) to the measured per-tuple costs\",\n  \
+         \"wallclock_core_bound\": {wallclock_core_bound},\n  \
+         \"note\": \"wall-clock numbers are bounded by host_cores (core-bound when host_cores < shards + 1 dispatcher); modeled numbers apply the paper-style cost model min(1e9/dispatch_ns, n*1e9/worker_ns) to the measured per-tuple costs\",\n  \
          \"series\": [\n{}  ]\n}}\n",
         json_series.trim_end_matches(",\n").to_string() + "\n"
     );

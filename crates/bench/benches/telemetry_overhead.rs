@@ -14,17 +14,25 @@
 
 use std::time::Instant;
 
+use fd_bench::{quick, quick_scaled};
 use fd_engine::prelude::*;
 use fd_gen::TraceConfig;
 
 const SHARDS: usize = 4;
-const ROUNDS: usize = 7;
 const DEFAULT_TOLERANCE_PCT: f64 = 5.0;
+
+fn rounds() -> usize {
+    if quick() {
+        2
+    } else {
+        7
+    }
+}
 
 fn trace() -> Vec<Packet> {
     TraceConfig {
         seed: 2,
-        duration_secs: 10.0,
+        duration_secs: quick_scaled(10.0, 1.0),
         rate_pps: 100_000.0,
         n_hosts: 20_000,
         zipf_skew: 1.1,
@@ -64,10 +72,12 @@ fn main() {
         .ok()
         .and_then(|v| v.parse::<f64>().ok())
         .unwrap_or(DEFAULT_TOLERANCE_PCT);
+    let rounds = rounds();
     println!(
-        "telemetry overhead: {} packets, {SHARDS} shards, best of {ROUNDS}, \
-         tolerance {tolerance_pct}%",
-        packets.len()
+        "telemetry overhead: {} packets, {SHARDS} shards, best of {rounds}, \
+         tolerance {tolerance_pct}%{}",
+        packets.len(),
+        if quick() { " [FD_QUICK]" } else { "" }
     );
 
     // Warm-up (page cache, allocator, thread pool churn).
@@ -77,7 +87,7 @@ fn main() {
     // both equally; best-of-N is the noise floor of each.
     let mut best_off = f64::INFINITY;
     let mut best_on = f64::INFINITY;
-    for round in 0..ROUNDS {
+    for round in 0..rounds {
         let off = run_once(&packets, false);
         let on = run_once(&packets, true);
         best_off = best_off.min(off);
@@ -90,10 +100,15 @@ fn main() {
          => overhead {overhead_pct:+.2}%"
     );
 
+    if quick() {
+        println!("FD_QUICK set: skipping the JSON write and the tolerance gate");
+        return;
+    }
+
     let json = format!(
         "{{\n  \"bench\": \"telemetry_overhead\",\n  \
          \"workload\": \"fig2 count: 20000 hosts, zipf 1.1, 100000 pkt/s x 10 s, TCP, {SHARDS} shards\",\n  \
-         \"rounds\": {ROUNDS},\n  \
+         \"rounds\": {rounds},\n  \
          \"uninstrumented_ns_per_tuple\": {best_off:.2},\n  \
          \"instrumented_ns_per_tuple\": {best_on:.2},\n  \
          \"overhead_pct\": {overhead_pct:.2},\n  \

@@ -10,8 +10,27 @@ use std::time::Instant;
 
 use fd_engine::engine::{Engine, EngineStats, Row};
 use fd_engine::shard::ShardedEngine;
+use fd_engine::spsc::BatchPool;
 use fd_engine::tuple::Packet;
 use fd_engine::udaf::Query;
+
+/// True when `FD_QUICK` is set in the environment: benches shrink their
+/// workloads to a smoke-test budget, skip their strict assertions (the
+/// tiny runs are too noisy to gate on), and leave the committed
+/// `BENCH_*.json` files untouched. Used by the CI bench-smoke job.
+pub fn quick() -> bool {
+    std::env::var_os("FD_QUICK").is_some_and(|v| !v.is_empty() && v != "0")
+}
+
+/// Scales a full-run workload knob down for `FD_QUICK` smoke runs:
+/// returns `full` normally, `full * 0.05` (at least `floor`) under quick.
+pub fn quick_scaled(full: f64, floor: f64) -> f64 {
+    if quick() {
+        (full * 0.05).max(floor)
+    } else {
+        full
+    }
+}
 
 /// Outcome of running one query over one trace.
 #[derive(Debug)]
@@ -103,13 +122,25 @@ pub fn measure_sharded_query(
     }
 }
 
-/// Measures the per-tuple cost of the sharded engine's *dispatch path*
-/// alone — selection, bucket/watermark bookkeeping, group-key hash
-/// routing, staging buffer — with no workers attached. This is the serial
-/// fraction of the sharded design: the ingress thread saturates at
-/// `10⁹ / dispatch_ns` tuples/second no matter how many shards exist
-/// (see [`fd_engine::metrics::sharded_capacity_pps`]).
-pub fn measure_dispatch_ns(query: &Query, n_shards: usize, packets: &[Packet]) -> f64 {
+/// Batch size the dispatch simulations flush at — the engine's
+/// [`fd_engine::shard::DEFAULT_BATCH_SIZE`].
+const DISPATCH_BATCH: usize = fd_engine::shard::DEFAULT_BATCH_SIZE;
+
+/// The engine's shard routing: Fibonacci hash, high-bits multiply-shift
+/// fold (matches `ShardedEngine`; a low-bits `h % n` fold would misstate
+/// the cost *and* the spread for strided keys).
+#[inline]
+fn route_shard(key: u64, n_shards: usize) -> usize {
+    let h = key.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    ((u128::from(h) * n_shards as u128) >> 64) as usize
+}
+
+/// Measures the per-tuple cost of the *legacy scalar* dispatch path —
+/// per-tuple admission with two divisions (bucket id, closed-bucket
+/// target), then a `mem::take` hand-off that leaves an empty `Vec` to
+/// regrow, exactly as the pre-batching dispatcher did. Workers are not
+/// attached: this isolates the serial ingress fraction.
+pub fn measure_dispatch_scalar_ns(query: &Query, n_shards: usize, packets: &[Packet]) -> f64 {
     assert!(n_shards > 0 && !packets.is_empty());
     let mut staged: Vec<Vec<Packet>> = vec![Vec::new(); n_shards];
     let mut watermark: u64 = 0;
@@ -127,13 +158,60 @@ pub fn measure_dispatch_ns(query: &Query, n_shards: usize, packets: &[Packet]) -
         }
         watermark = watermark.max(pkt.ts);
         let key = (query.group_by)(pkt);
-        let shard = (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) % n_shards as u64) as usize;
+        let shard = route_shard(key, n_shards);
         staged[shard].push(*pkt);
-        if staged[shard].len() >= 1024 {
-            staged[shard].clear(); // stands in for the channel hand-off
+        if staged[shard].len() >= DISPATCH_BATCH {
+            // The legacy hand-off: ship the Vec, regrow a fresh one.
+            let batch = std::mem::take(&mut staged[shard]);
+            drop(std::hint::black_box(batch));
         }
         closed_below =
             closed_below.max(watermark.saturating_sub(query.slack_micros) / query.bucket_micros);
+    }
+    std::hint::black_box(&staged);
+    start.elapsed().as_nanos() as f64 / packets.len() as f64
+}
+
+/// Measures the per-tuple cost of the *batched columnar* dispatch path —
+/// the sharded engine's current ingress: one fused pass per batch doing
+/// admission with the closed boundary held in timestamp space (no
+/// per-tuple divisions) plus route-and-scatter into per-shard buffers,
+/// with pool-recycled hand-offs (zero steady-state allocation). Workers
+/// are not attached: this isolates the serial ingress fraction,
+/// comparable head-to-head with [`measure_dispatch_scalar_ns`].
+pub fn measure_dispatch_ns(query: &Query, n_shards: usize, packets: &[Packet]) -> f64 {
+    assert!(n_shards > 0 && !packets.is_empty());
+    let pool: BatchPool<Packet> = BatchPool::new(n_shards + 2);
+    let mut staged: Vec<Vec<Packet>> = (0..n_shards).map(|_| pool.take(DISPATCH_BATCH)).collect();
+    let mut watermark: u64 = 0;
+    let bm = query.bucket_micros;
+    let slack = query.slack_micros;
+    let mut closed_low: u64 = 0;
+    let start = Instant::now();
+    for chunk in packets.chunks(DISPATCH_BATCH) {
+        for pkt in chunk {
+            if let Some(f) = &query.filter {
+                if !f(pkt) {
+                    continue;
+                }
+            }
+            if pkt.ts < closed_low {
+                continue;
+            }
+            watermark = watermark.max(pkt.ts);
+            let horizon = watermark.saturating_sub(slack);
+            if horizon >= closed_low.saturating_add(bm) {
+                closed_low = (horizon / bm) * bm;
+            }
+            let key = (query.group_by)(pkt);
+            let shard = route_shard(key, n_shards);
+            staged[shard].push(*pkt);
+            if staged[shard].len() >= DISPATCH_BATCH {
+                // The recycled hand-off: the "worker" returns the buffer.
+                let batch = std::mem::replace(&mut staged[shard], pool.take(DISPATCH_BATCH));
+                pool.put(std::hint::black_box(batch));
+            }
+        }
     }
     std::hint::black_box(&staged);
     start.elapsed().as_nanos() as f64 / packets.len() as f64

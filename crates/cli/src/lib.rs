@@ -140,6 +140,8 @@ pub struct CliConfig {
     pub burst: Option<Burst>,
     /// Worker shards for parallel execution (0 = single-threaded engine).
     pub shards: usize,
+    /// Dispatcher batch size for sharded runs (0 = engine default).
+    pub batch: usize,
     /// Append a Prometheus text-format metrics snapshot to the output.
     pub metrics: bool,
 }
@@ -162,6 +164,7 @@ impl Default for CliConfig {
             slack_secs: 0.0,
             burst: None,
             shards: 0,
+            batch: 0,
             metrics: false,
         }
     }
@@ -191,6 +194,7 @@ OPTIONS (all optional):
     --slack <secs>      engine watermark slack for late tuples          [default: 0]
     --burst <s,e,f>     flood fraction f toward one host in [s, e) secs
     --shards <n>        parallel worker shards, 0 = single-threaded     [default: 0]
+    --batch <n>         dispatcher batch size (sharded runs), 0 = default [default: 0]
     --metrics           append a Prometheus metrics snapshot (takes no value)
     --help              print this text
 ";
@@ -272,6 +276,7 @@ impl CliConfig {
                 }
                 "--limit" => cfg.limit = int(v)? as usize,
                 "--shards" => cfg.shards = int(v)? as usize,
+                "--batch" => cfg.batch = int(v)? as usize,
                 "--ooo" => {
                     cfg.ooo_jitter_secs = num(v)?;
                     if cfg.ooo_jitter_secs < 0.0 {
@@ -359,6 +364,9 @@ pub fn try_run(cfg: &CliConfig) -> Result<String, String> {
     let (mut rows, stats, snapshot) = if cfg.shards > 0 {
         let mut engine =
             ShardedEngine::try_new(cfg.query()?, cfg.shards).map_err(|e| e.to_string())?;
+        if cfg.batch > 0 {
+            engine = engine.batch_size(cfg.batch);
+        }
         let rows = engine.run(trace.iter());
         (rows, engine.stats(), engine.telemetry().snapshot())
     } else {
@@ -559,9 +567,10 @@ mod tests {
 
     #[test]
     fn metrics_and_shards_flags_parse() {
-        let cfg = CliConfig::parse(["--metrics", "--shards", "4"]).unwrap();
+        let cfg = CliConfig::parse(["--metrics", "--shards", "4", "--batch", "512"]).unwrap();
         assert!(cfg.metrics);
         assert_eq!(cfg.shards, 4);
+        assert_eq!(cfg.batch, 512);
         // --metrics takes no value: the next token is parsed as a flag.
         assert!(CliConfig::parse(["--metrics", "true"]).is_err());
         let cfg = CliConfig::parse(Vec::<String>::new()).unwrap();
@@ -636,6 +645,31 @@ mod tests {
         assert!(!single.contains("fd_shard_queue_depth"));
         assert!(sharded.contains("fd_shard_queue_depth{shard=\"2\"}"));
         assert!(sharded.contains("fd_worker_batch_ns{shard=\"0\",quantile=\"0.99\"}"));
+    }
+
+    #[test]
+    fn sharded_run_honors_batch_flag() {
+        fn args(batch: &'static str) -> [&'static str; 12] {
+            [
+                "--rate",
+                "10000",
+                "--duration",
+                "2",
+                "--hosts",
+                "50",
+                "--shards",
+                "2",
+                "--batch",
+                batch,
+                "--format",
+                "csv",
+            ]
+        }
+        // Same trace, different batch sizes: identical rows either way.
+        let small = run(&CliConfig::parse(args("32")).unwrap());
+        let large = run(&CliConfig::parse(args("4096")).unwrap());
+        assert_eq!(small, large, "batch size must not change results");
+        assert!(CliConfig::parse(["--batch", "x"]).is_err());
     }
 
     #[test]

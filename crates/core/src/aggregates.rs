@@ -13,6 +13,7 @@
 //! renormalization ([`crate::numerics::Renormalizer`]).
 
 use crate::decay::ForwardDecay;
+use crate::kernel::WeightKernel;
 use crate::merge::Mergeable;
 use crate::numerics::Renormalizer;
 use crate::Timestamp;
@@ -64,6 +65,69 @@ impl<G: ForwardDecay> DecayedCount<G> {
         self.acc += self.g.g(t_i - self.renorm.landmark());
         self.n += 1;
         self.max_t = self.max_t.max(t_i);
+    }
+
+    /// Ingests a batch of timestamps in one call.
+    ///
+    /// Computes the same count as per-item [`update`](Self::update) calls,
+    /// but hoists the renormalization check out of the inner loop (one
+    /// [`Renormalizer::pre_update`] against the batch maximum instead of
+    /// one per item) and evaluates weights through a [`WeightKernel`]
+    /// (per-tick memoization) or striped partial sums. The memo is used
+    /// only when the family prefers it *and* the batch's ticks actually
+    /// repeat ([`crate::kernel::batch_ticks_repeat`] samples the batch);
+    /// otherwise the striped loop wins. Results agree with the scalar path
+    /// up to `f64`
+    /// rounding: the identical weights are summed, possibly reassociated,
+    /// and exponential decay may renormalize once (to the batch maximum)
+    /// where the scalar path renormalizes stepwise.
+    ///
+    /// Multiplicative families find the batch maximum up front (the
+    /// renormalization check must see it before any weight is computed,
+    /// since a rescale moves the landmark); for everything else the
+    /// landmark cannot move mid-batch, so the maximum rides along in the
+    /// weight pass and the slice is swept exactly once.
+    pub fn update_batch(&mut self, ts: &[Timestamp]) {
+        if ts.is_empty() {
+            return;
+        }
+        let max_t = if self.g.is_multiplicative() {
+            let &max_t = ts.iter().max().expect("batch is non-empty");
+            if let Some(factor) = self.renorm.pre_update(&self.g, max_t) {
+                self.acc *= factor;
+            }
+            let l = self.renorm.landmark();
+            if self.g.prefers_tick_cache() && crate::kernel::batch_ticks_repeat(ts) {
+                let mut k = WeightKernel::new(self.g.clone());
+                let mut acc = 0.0;
+                for &t in ts {
+                    acc += k.g(t - l);
+                }
+                self.acc += acc;
+            } else {
+                self.acc += self.g.g_sum_batch(ts, l).0;
+            }
+            max_t
+        } else {
+            let l = self.renorm.landmark();
+            if self.g.prefers_tick_cache() && crate::kernel::batch_ticks_repeat(ts) {
+                let mut k = WeightKernel::new(self.g.clone());
+                let mut acc = 0.0;
+                let mut max_us = i64::MIN;
+                for &t in ts {
+                    acc += k.g(t - l);
+                    max_us = max_us.max(t.as_micros());
+                }
+                self.acc += acc;
+                Timestamp::from_micros(max_us)
+            } else {
+                let (sum, max_t) = self.g.g_sum_batch(ts, l);
+                self.acc += sum;
+                max_t
+            }
+        };
+        self.n += ts.len() as u64;
+        self.max_t = self.max_t.max(max_t);
     }
 
     /// The decayed count at query time `t`. `t` should be at least the
@@ -161,6 +225,60 @@ impl<G: ForwardDecay> DecayedSum<G> {
         self.acc += self.g.g(t_i - self.renorm.landmark()) * v;
         self.n += 1;
         self.max_t = self.max_t.max(t_i);
+    }
+
+    /// Ingests a columnar batch: `ts[i]` pairs with `vals[i]`.
+    ///
+    /// The batched counterpart of per-item [`update`](Self::update) calls,
+    /// with the renormalization check hoisted to one
+    /// [`Renormalizer::pre_update`] per batch and the weight loop run
+    /// through a [`WeightKernel`] or striped partial sums (see
+    /// [`DecayedCount::update_batch`] for the rounding caveats).
+    ///
+    /// # Panics
+    /// Panics if the slices' lengths differ.
+    pub fn update_batch(&mut self, ts: &[Timestamp], vals: &[f64]) {
+        assert_eq!(ts.len(), vals.len(), "columnar batch slices must align");
+        if ts.is_empty() {
+            return;
+        }
+        let max_t = if self.g.is_multiplicative() {
+            let &max_t = ts.iter().max().expect("batch is non-empty");
+            if let Some(factor) = self.renorm.pre_update(&self.g, max_t) {
+                self.acc *= factor;
+            }
+            let l = self.renorm.landmark();
+            if self.g.prefers_tick_cache() && crate::kernel::batch_ticks_repeat(ts) {
+                let mut k = WeightKernel::new(self.g.clone());
+                let mut acc = 0.0;
+                for (&t, &v) in ts.iter().zip(vals) {
+                    acc += k.g(t - l) * v;
+                }
+                self.acc += acc;
+            } else {
+                self.acc += self.g.g_dot_batch(ts, vals, l).0;
+            }
+            max_t
+        } else {
+            let l = self.renorm.landmark();
+            if self.g.prefers_tick_cache() && crate::kernel::batch_ticks_repeat(ts) {
+                let mut k = WeightKernel::new(self.g.clone());
+                let mut acc = 0.0;
+                let mut max_us = i64::MIN;
+                for (&t, &v) in ts.iter().zip(vals) {
+                    acc += k.g(t - l) * v;
+                    max_us = max_us.max(t.as_micros());
+                }
+                self.acc += acc;
+                Timestamp::from_micros(max_us)
+            } else {
+                let (sum, max_t) = self.g.g_dot_batch(ts, vals, l);
+                self.acc += sum;
+                max_t
+            }
+        };
+        self.n += ts.len() as u64;
+        self.max_t = self.max_t.max(max_t);
     }
 
     /// The decayed sum at query time `t`.
@@ -453,6 +571,11 @@ impl<G: ForwardDecay> Summary for DecayedCount<G> {
         self.update(t_i);
     }
 
+    fn update_batch_at(&mut self, ts: &[Timestamp], us: &[()]) {
+        assert_eq!(ts.len(), us.len(), "columnar batch slices must align");
+        self.update_batch(ts);
+    }
+
     fn query_at(&self, t: Timestamp) -> f64 {
         self.query(t)
     }
@@ -484,6 +607,10 @@ impl<G: ForwardDecay> Summary for DecayedSum<G> {
 
     fn update_at(&mut self, t_i: Timestamp, v: f64) {
         self.update(t_i, v);
+    }
+
+    fn update_batch_at(&mut self, ts: &[Timestamp], vs: &[f64]) {
+        self.update_batch(ts, vs);
     }
 
     fn query_at(&self, t: Timestamp) -> f64 {

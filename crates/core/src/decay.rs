@@ -53,6 +53,39 @@ pub trait ForwardDecay: Clone + Send + Sync + 'static {
         false
     }
 
+    /// True when evaluating `g`/`ln_g` costs a transcendental (`powf`,
+    /// `exp`, `ln`) and a per-tick memo is therefore worth its compare —
+    /// the hint consumed by [`crate::kernel::WeightKernel`]. Families whose
+    /// evaluation is a couple of arithmetic ops return false so the kernel
+    /// degenerates to a direct call.
+    #[inline]
+    fn prefers_tick_cache(&self) -> bool {
+        true
+    }
+
+    /// `Σ g(tᵢ − l)` over a non-empty batch of timestamps, plus the batch's
+    /// maximum timestamp, in one striped pass
+    /// ([`striped_sum`](crate::kernel::striped_sum)).
+    ///
+    /// Families whose `g` branches on a runtime parameter override this to
+    /// unswitch that branch *outside* the loop (one closure per parameter
+    /// regime), leaving an invariant-free inner loop the compiler can
+    /// pipeline and vectorize — the default keeps the branch in the loop
+    /// body. The weights summed are exactly the scalar [`g`](Self::g)
+    /// values; only the summation order differs (normal `f64` rounding).
+    #[inline]
+    fn g_sum_batch(&self, ts: &[Timestamp], l: Timestamp) -> (f64, Timestamp) {
+        crate::kernel::striped_sum(ts, |t| self.g(t - l))
+    }
+
+    /// `Σ g(tᵢ − l) · vals[i]` over a non-empty batch, plus the batch's
+    /// maximum timestamp — the dot-product counterpart of
+    /// [`g_sum_batch`](Self::g_sum_batch), with the same override contract.
+    #[inline]
+    fn g_dot_batch(&self, ts: &[Timestamp], vals: &[f64], l: Timestamp) -> (f64, Timestamp) {
+        crate::kernel::striped_dot(ts, vals, |t| self.g(t - l))
+    }
+
     /// The decayed weight `w(i, t) = g(t_i − L) / g(t − L)` of an item that
     /// arrived at `t_i`, evaluated at time `t ≥ t_i`, with landmark
     /// `L ≤ t_i`.
@@ -95,6 +128,10 @@ impl ForwardDecay for NoDecay {
     #[inline]
     fn is_multiplicative(&self) -> bool {
         true // g(a+b) = 1 = g(a)·g(b); renormalization is a harmless no-op.
+    }
+    #[inline]
+    fn prefers_tick_cache(&self) -> bool {
+        false // g is the constant 1.
     }
 }
 
@@ -142,9 +179,12 @@ impl Monomial {
 impl ForwardDecay for Monomial {
     #[inline]
     fn g(&self, n: f64) -> f64 {
-        if n <= 0.0 {
-            0.0
-        } else if self.beta == 2.0 {
+        // Zero clamp as a select (not `max`, which would swallow NaN), so
+        // the quadratic fast path is a two-op straight line the batched
+        // loops can pipeline; `powf` of a clamped 0 is 0 for every valid β,
+        // matching the old guard.
+        let n = if n <= 0.0 { 0.0 } else { n };
+        if self.beta == 2.0 {
             n * n // fast path for the common quadratic case
         } else {
             n.powf(self.beta)
@@ -157,6 +197,50 @@ impl ForwardDecay for Monomial {
             f64::NEG_INFINITY
         } else {
             self.beta * n.ln()
+        }
+    }
+
+    #[inline]
+    fn prefers_tick_cache(&self) -> bool {
+        // The quadratic fast path is two arithmetic ops; every other β
+        // pays a `powf` per evaluation.
+        self.beta != 2.0
+    }
+
+    fn g_sum_batch(&self, ts: &[Timestamp], l: Timestamp) -> (f64, Timestamp) {
+        // Unswitch the β check outside the loop: the quadratic closure is
+        // a branch-free two-op body the compiler pipelines across lanes,
+        // which the generic default (β compare per item) defeats.
+        if self.beta == 2.0 {
+            crate::kernel::striped_sum(ts, |t| {
+                let n = t - l;
+                let n = if n <= 0.0 { 0.0 } else { n };
+                n * n
+            })
+        } else {
+            let beta = self.beta;
+            crate::kernel::striped_sum(ts, |t| {
+                let n = t - l;
+                let n = if n <= 0.0 { 0.0 } else { n };
+                n.powf(beta)
+            })
+        }
+    }
+
+    fn g_dot_batch(&self, ts: &[Timestamp], vals: &[f64], l: Timestamp) -> (f64, Timestamp) {
+        if self.beta == 2.0 {
+            crate::kernel::striped_dot(ts, vals, |t| {
+                let n = t - l;
+                let n = if n <= 0.0 { 0.0 } else { n };
+                n * n
+            })
+        } else {
+            let beta = self.beta;
+            crate::kernel::striped_dot(ts, vals, |t| {
+                let n = t - l;
+                let n = if n <= 0.0 { 0.0 } else { n };
+                n.powf(beta)
+            })
         }
     }
 }
@@ -247,6 +331,11 @@ impl ForwardDecay for LandmarkWindow {
             0.0
         }
     }
+
+    #[inline]
+    fn prefers_tick_cache(&self) -> bool {
+        false // g is a step function: one compare.
+    }
 }
 
 /// General polynomial forward decay: `g(n) = Σ_j γ_j n^j` with non-negative
@@ -309,6 +398,13 @@ impl ForwardDecay for PolySum {
         // Horner evaluation.
         self.coeffs.iter().rev().fold(0.0, |acc, &c| acc * n + c)
     }
+
+    #[inline]
+    fn prefers_tick_cache(&self) -> bool {
+        // Horner is one fused multiply-add per coefficient: cheaper than a
+        // memo compare for short polynomials, costlier past a few terms.
+        self.coeffs.len() > 4
+    }
 }
 
 /// A forward decay function chosen at runtime (from configuration, a query
@@ -367,6 +463,39 @@ impl ForwardDecay for AnyDecay {
             AnyDecay::None => NoDecay.is_multiplicative(),
             AnyDecay::Exponential(e) => e.is_multiplicative(),
             _ => false,
+        }
+    }
+
+    #[inline]
+    fn prefers_tick_cache(&self) -> bool {
+        match self {
+            AnyDecay::None => NoDecay.prefers_tick_cache(),
+            AnyDecay::Monomial(m) => m.prefers_tick_cache(),
+            AnyDecay::Exponential(e) => e.prefers_tick_cache(),
+            AnyDecay::Landmark(l) => l.prefers_tick_cache(),
+            AnyDecay::Poly(p) => p.prefers_tick_cache(),
+        }
+    }
+
+    fn g_sum_batch(&self, ts: &[Timestamp], l: Timestamp) -> (f64, Timestamp) {
+        // Delegate so each family's own override (notably Monomial's
+        // unswitched loops) still kicks in behind the enum.
+        match self {
+            AnyDecay::None => NoDecay.g_sum_batch(ts, l),
+            AnyDecay::Monomial(m) => m.g_sum_batch(ts, l),
+            AnyDecay::Exponential(e) => e.g_sum_batch(ts, l),
+            AnyDecay::Landmark(lw) => lw.g_sum_batch(ts, l),
+            AnyDecay::Poly(p) => p.g_sum_batch(ts, l),
+        }
+    }
+
+    fn g_dot_batch(&self, ts: &[Timestamp], vals: &[f64], l: Timestamp) -> (f64, Timestamp) {
+        match self {
+            AnyDecay::None => NoDecay.g_dot_batch(ts, vals, l),
+            AnyDecay::Monomial(m) => m.g_dot_batch(ts, vals, l),
+            AnyDecay::Exponential(e) => e.g_dot_batch(ts, vals, l),
+            AnyDecay::Landmark(lw) => lw.g_dot_batch(ts, vals, l),
+            AnyDecay::Poly(p) => p.g_dot_batch(ts, vals, l),
         }
     }
 }

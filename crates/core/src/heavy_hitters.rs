@@ -757,6 +757,34 @@ impl<G: ForwardDecay> DecayedHeavyHitters<G> {
             .update(item, self.g.g(t_i - self.renorm.landmark()));
     }
 
+    /// Ingests a columnar batch: `ts[i]` pairs with `items[i]`.
+    ///
+    /// Hoists the renormalization check to a single
+    /// [`pre_update`](crate::numerics::Renormalizer::pre_update) against
+    /// the batch maximum and evaluates weights through a
+    /// [`WeightKernel`](crate::kernel::WeightKernel), so duplicated clock
+    /// ticks cost a compare instead of a `powf`/`exp`. SpaceSaving
+    /// updates are applied in slice order; see
+    /// [`DecayedCount::update_batch`](crate::aggregates::DecayedCount::update_batch)
+    /// for the renormalization rounding caveats.
+    ///
+    /// # Panics
+    /// Panics if the slices' lengths differ.
+    pub fn update_batch(&mut self, ts: &[Timestamp], items: &[u64]) {
+        assert_eq!(ts.len(), items.len(), "columnar batch slices must align");
+        let Some(&max_t) = ts.iter().max() else {
+            return;
+        };
+        if let Some(factor) = self.renorm.pre_update(&self.g, max_t) {
+            self.inner.scale_all(factor);
+        }
+        let l = self.renorm.landmark();
+        let mut k = crate::kernel::WeightKernel::new(self.g.clone());
+        for (&t_i, &item) in ts.iter().zip(items) {
+            self.inner.update(item, k.g(t_i - l));
+        }
+    }
+
     /// The total decayed count `C` at query time `t`.
     pub fn decayed_count(&self, t: impl Into<Timestamp>) -> f64 {
         let t = t.into();

@@ -39,6 +39,9 @@
 //!   pane-structured sliding-window heavy-hitter summary;
 //! - [`numerics`] — landmark renormalization and log-domain accumulation,
 //!   handling the overflow issues of exponential `g` (Section VI-A);
+//! - [`kernel`] — batched `g`/`ln_g` evaluation with per-tick memoization
+//!   ([`kernel::WeightKernel`]), the scalar building block behind the
+//!   `update_batch` fast paths on the summaries;
 //! - [`merge`] — the [`merge::Mergeable`] trait: every summary in this crate
 //!   can be merged across distributed sites or shards (Section VI-B);
 //! - [`cm`] — a weighted Count-Min sketch as an alternative heavy-hitter
@@ -96,6 +99,7 @@ pub mod distinct;
 pub mod error;
 pub mod hash;
 pub mod heavy_hitters;
+pub mod kernel;
 pub mod merge;
 pub mod numerics;
 pub mod quantiles;
@@ -127,6 +131,7 @@ pub mod prelude {
     pub use crate::distinct::DominanceSketch;
     pub use crate::error::Error;
     pub use crate::heavy_hitters::DecayedHeavyHitters;
+    pub use crate::kernel::WeightKernel;
     pub use crate::merge::Mergeable;
     pub use crate::quantiles::DecayedQuantiles;
     pub use crate::sampling::{exp_decay_sample, PrioritySampler, WeightedReservoir};

@@ -494,6 +494,33 @@ impl<G: ForwardDecay> DecayedQuantiles<G> {
             .update(value, self.g.g(t_i - self.renorm.landmark()));
     }
 
+    /// Ingests a columnar batch: `ts[i]` pairs with `values[i]`.
+    ///
+    /// Hoists the renormalization check to a single
+    /// [`pre_update`](crate::numerics::Renormalizer::pre_update) against
+    /// the batch maximum and evaluates weights through a
+    /// [`WeightKernel`](crate::kernel::WeightKernel); q-digest updates are
+    /// applied in slice order. See
+    /// [`DecayedCount::update_batch`](crate::aggregates::DecayedCount::update_batch)
+    /// for the renormalization rounding caveats.
+    ///
+    /// # Panics
+    /// Panics if the slices' lengths differ.
+    pub fn update_batch(&mut self, ts: &[Timestamp], values: &[u64]) {
+        assert_eq!(ts.len(), values.len(), "columnar batch slices must align");
+        let Some(&max_t) = ts.iter().max() else {
+            return;
+        };
+        if let Some(factor) = self.renorm.pre_update(&self.g, max_t) {
+            self.inner.scale_all(factor);
+        }
+        let l = self.renorm.landmark();
+        let mut k = crate::kernel::WeightKernel::new(self.g.clone());
+        for (&t_i, &value) in ts.iter().zip(values) {
+            self.inner.update(value, k.g(t_i - l));
+        }
+    }
+
     /// The decayed φ-quantile at query time `t` (which only normalizes; the
     /// quantile itself is independent of `t` because the `g(t−L)` factor
     /// cancels between rank and count).

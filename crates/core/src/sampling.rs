@@ -413,8 +413,33 @@ impl<T: Clone, G: ForwardDecay> WeightedReservoir<T, G> {
     /// Offers `(t_i, item)`. O(log k).
     pub fn update(&mut self, t_i: impl Into<Timestamp>, item: &T) {
         let t_i = t_i.into();
-        self.n += 1;
         let ln_w = self.g.ln_g(t_i - self.landmark);
+        self.offer(t_i, item, ln_w);
+    }
+
+    /// Offers a columnar batch: `ts[i]` pairs with `items[i]`.
+    ///
+    /// Identical in distribution *and* in realized draws to per-item
+    /// [`update`](Self::update) calls (the RNG consumption is the same);
+    /// the only difference is that `ln_g` runs through a
+    /// [`WeightKernel`](crate::kernel::WeightKernel), so duplicated clock
+    /// ticks skip the transcendental.
+    ///
+    /// # Panics
+    /// Panics if the slices' lengths differ.
+    pub fn update_batch(&mut self, ts: &[Timestamp], items: &[T]) {
+        assert_eq!(ts.len(), items.len(), "columnar batch slices must align");
+        let mut k = crate::kernel::WeightKernel::new(self.g.clone());
+        for (&t_i, item) in ts.iter().zip(items) {
+            let ln_w = k.ln_g(t_i - self.landmark);
+            self.offer(t_i, item, ln_w);
+        }
+    }
+
+    /// The shared tail of [`update`](Self::update) /
+    /// [`update_batch`](Self::update_batch), after `ln_w` is known.
+    fn offer(&mut self, t_i: Timestamp, item: &T, ln_w: f64) {
+        self.n += 1;
         if ln_w == f64::NEG_INFINITY {
             return;
         }
@@ -700,8 +725,32 @@ impl<T: Clone, G: ForwardDecay> PrioritySampler<T, G> {
     /// Offers `(t_i, item)`. O(log k).
     pub fn update(&mut self, t_i: impl Into<Timestamp>, item: &T) {
         let t_i = t_i.into();
-        self.n += 1;
         let ln_w = self.g.ln_g(t_i - self.landmark);
+        self.offer(t_i, item, ln_w);
+    }
+
+    /// Offers a columnar batch: `ts[i]` pairs with `items[i]`.
+    ///
+    /// Identical in realized draws to per-item [`update`](Self::update)
+    /// calls; `ln_g` runs through a
+    /// [`WeightKernel`](crate::kernel::WeightKernel) so duplicated clock
+    /// ticks skip the transcendental.
+    ///
+    /// # Panics
+    /// Panics if the slices' lengths differ.
+    pub fn update_batch(&mut self, ts: &[Timestamp], items: &[T]) {
+        assert_eq!(ts.len(), items.len(), "columnar batch slices must align");
+        let mut k = crate::kernel::WeightKernel::new(self.g.clone());
+        for (&t_i, item) in ts.iter().zip(items) {
+            let ln_w = k.ln_g(t_i - self.landmark);
+            self.offer(t_i, item, ln_w);
+        }
+    }
+
+    /// The shared tail of [`update`](Self::update) /
+    /// [`update_batch`](Self::update_batch), after `ln_w` is known.
+    fn offer(&mut self, t_i: Timestamp, item: &T, ln_w: f64) {
+        self.n += 1;
         if ln_w == f64::NEG_INFINITY {
             return;
         }

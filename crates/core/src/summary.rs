@@ -118,6 +118,27 @@ pub trait Summary {
     /// or after [`landmark`](Summary::landmark).
     fn update_at(&mut self, t_i: Timestamp, u: Self::Update);
 
+    /// Feeds a columnar batch of arrivals: `ts[i]` pairs with `us[i]`.
+    ///
+    /// The default loops over [`update_at`](Summary::update_at).
+    /// Summaries with a batched fast path — hoisted renormalization
+    /// checks, per-tick weight memoization via
+    /// [`WeightKernel`](crate::kernel::WeightKernel) — override it; see
+    /// the inherent `update_batch` methods on the aggregates, heavy
+    /// hitters, quantiles and samplers.
+    ///
+    /// # Panics
+    /// Panics if the slices' lengths differ.
+    fn update_batch_at(&mut self, ts: &[Timestamp], us: &[Self::Update])
+    where
+        Self::Update: Clone,
+    {
+        assert_eq!(ts.len(), us.len(), "columnar batch slices must align");
+        for (&t_i, u) in ts.iter().zip(us) {
+            self.update_at(t_i, u.clone());
+        }
+    }
+
     /// Answers at query time `t ≥ t_i` for all fed items: the state
     /// normalized by `g(t − L)`.
     fn query_at(&self, t: Timestamp) -> Self::Output;

@@ -924,6 +924,224 @@ fn cm_hh_merge_equals_concat() {
     });
 }
 
+// ----- Batched weight kernel and columnar update paths ------------------
+
+/// Asserts the memoizing kernel agrees with direct scalar evaluation for
+/// every age in `ages` — to 1e-12 relative where finite, bit-for-bit where
+/// not (`±inf` overflow past [`RESCALE_THRESHOLD`], `-inf` from `ln_g(0)`).
+fn assert_kernel_matches<G: ForwardDecay>(g: &G, ages: &[f64]) {
+    use fd_core::kernel::WeightKernel;
+    let mut k = WeightKernel::new(g.clone());
+    for &n in ages {
+        for (got, want, which) in [(k.g(n), g.g(n), "g"), (k.ln_g(n), g.ln_g(n), "ln_g")] {
+            if want.is_finite() {
+                assert!(
+                    (got - want).abs() <= 1e-12 * want.abs().max(1.0),
+                    "{which}({n}): kernel {got} vs scalar {want}"
+                );
+            } else {
+                assert_eq!(
+                    got.to_bits(),
+                    want.to_bits(),
+                    "{which}({n}): kernel {got} vs scalar {want}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn weight_kernel_matches_scalar_all_families() {
+    use fd_core::decay::AnyDecay;
+    use fd_core::numerics::RESCALE_THRESHOLD;
+    cases(41, |rng| {
+        // Ages with heavy duplication (repeated ticks exercise the memo),
+        // zero/negative ages (ln_g = -inf branches), and ages straddling the
+        // overflow boundary where g saturates to +inf but ln_g stays finite.
+        let ln_thresh = RESCALE_THRESHOLD.ln();
+        let mut ages = Vec::new();
+        for _ in 0..rng.gen_range(5..40) {
+            let n = rng.gen_range(-10.0..1e4);
+            let dups = rng.gen_range(1..6);
+            ages.extend(std::iter::repeat_n(n, dups));
+        }
+        ages.extend([0.0, -1.0, 1e100, 1e300]);
+
+        let beta = rng.gen_range(0.1..6.0);
+        let alpha = rng.gen_range(0.01..2.0);
+        // Ages just below/at/above the rescale boundary for this alpha.
+        for f in [0.5, 0.999, 1.0, 1.001, 4.0] {
+            ages.push(f * ln_thresh / alpha);
+        }
+
+        assert_kernel_matches(&NoDecay, &ages);
+        assert_kernel_matches(&Monomial::new(beta), &ages);
+        assert_kernel_matches(&Monomial::quadratic(), &ages);
+        assert_kernel_matches(&Exponential::new(alpha), &ages);
+        assert_kernel_matches(&LandmarkWindow, &ages);
+        assert_kernel_matches(&PolySum::new(vec![1.0, 0.5, 0.25, 0.1, 0.05]), &ages);
+        let any: AnyDecay = format!("exp:{alpha}").parse().unwrap();
+        assert_kernel_matches(&any, &ages);
+    });
+}
+
+#[test]
+fn batched_count_sum_match_scalar() {
+    cases(42, |rng| {
+        let items = random_stream(rng, 0.0, 100.0, 200);
+        let ts: Vec<Timestamp> = items.iter().map(|&(t, _)| t.into()).collect();
+        let vs: Vec<f64> = items.iter().map(|&(_, v)| v).collect();
+        let beta = rng.gen_range(0.2..4.0);
+        let g = Monomial::new(beta);
+
+        let mut sc = DecayedCount::new(g, 0.0);
+        let mut bc = DecayedCount::new(g, 0.0);
+        let mut ss = DecayedSum::new(g, 0.0);
+        let mut bs = DecayedSum::new(g, 0.0);
+        for &(t, v) in &items {
+            sc.update(t);
+            ss.update(t, v);
+        }
+        bc.update_batch(&ts);
+        bs.update_batch(&ts, &vs);
+
+        let t_q = 120.0;
+        let (a, b) = (sc.query(t_q), bc.query(t_q));
+        assert!((a - b).abs() <= 1e-9 * a.abs().max(1.0), "count {a} vs {b}");
+        let (a, b) = (ss.query(t_q), bs.query(t_q));
+        assert!((a - b).abs() <= 1e-9 * a.abs().max(1.0), "sum {a} vs {b}");
+    });
+}
+
+#[test]
+fn batched_count_matches_scalar_across_rescale_boundary() {
+    use fd_core::summary::Summary;
+    cases(43, |rng| {
+        // Exponential decay with timestamps far enough out that ln g(n)
+        // crosses ln(RESCALE_THRESHOLD): the scalar path renormalizes
+        // stepwise, the batch path renormalizes once to the batch max.
+        // Both must agree on the (scale-free) decayed answer.
+        let alpha = rng.gen_range(0.5..2.0);
+        let span = 2.5 * fd_core::numerics::RESCALE_THRESHOLD.ln() / alpha;
+        let mut ts: Vec<Timestamp> = (0..rng.gen_range(10..120))
+            .map(|_| Timestamp::from(rng.gen_range(0.001..1.0) * span))
+            .collect();
+        ts.sort_unstable();
+        let g = Exponential::new(alpha);
+        let mut scalar = DecayedCount::new(g, 0.0);
+        let mut batched = DecayedCount::new(g, 0.0);
+        for &t in &ts {
+            scalar.update(t);
+        }
+        batched.update_batch(&ts);
+        assert!(
+            scalar.stats().renormalizations > 0,
+            "test must actually cross the rescale boundary"
+        );
+        let t_q = Timestamp::from(span * 1.01);
+        let (a, b) = (scalar.query(t_q), batched.query(t_q));
+        assert!(
+            (a - b).abs() <= 1e-9 * a.abs().max(1.0),
+            "alpha={alpha}: scalar {a} vs batched {b}"
+        );
+    });
+}
+
+#[test]
+fn batched_hh_quantiles_match_scalar_bitwise() {
+    use fd_core::heavy_hitters::DecayedHeavyHitters;
+    use fd_core::quantiles::DecayedQuantiles;
+    cases(44, |rng| {
+        let n = rng.gen_range(10..300);
+        let ts: Vec<Timestamp> = {
+            let mut v: Vec<Timestamp> = (0..n)
+                .map(|_| Timestamp::from(rng.gen_range(0.001..80.0)))
+                .collect();
+            v.sort_unstable();
+            v
+        };
+        let items: Vec<u64> = (0..n).map(|_| rng.gen_range(0u64..40)).collect();
+        let beta = rng.gen_range(0.2..4.0);
+        let g = Monomial::new(beta);
+
+        // Monomial never renormalizes and the kernel memo returns exact
+        // values, so the batched paths replay the identical update sequence:
+        // SpaceSaving state must match bit-for-bit. The q-digest holds its
+        // nodes in a HashMap whose iteration order differs per instance, so
+        // its rank sums reassociate — those get a 1e-12 relative bound.
+        let mut s_hh = DecayedHeavyHitters::new(g, 0.0, 12);
+        let mut b_hh = DecayedHeavyHitters::new(g, 0.0, 12);
+        let mut s_q = DecayedQuantiles::new(g, 0.0, 6, 0.1);
+        let mut b_q = DecayedQuantiles::new(g, 0.0, 6, 0.1);
+        for (&t, &item) in ts.iter().zip(&items) {
+            s_hh.update(t, item);
+            s_q.update(t, item);
+        }
+        b_hh.update_batch(&ts, &items);
+        b_q.update_batch(&ts, &items);
+
+        let t_q = 90.0;
+        assert_eq!(
+            s_hh.decayed_count(t_q).to_bits(),
+            b_hh.decayed_count(t_q).to_bits()
+        );
+        for item in 0..40u64 {
+            let (a, b) = (s_hh.estimate(item, t_q), b_hh.estimate(item, t_q));
+            assert_eq!(
+                a.map(|c| c.count.to_bits()),
+                b.map(|c| c.count.to_bits()),
+                "item {item}"
+            );
+        }
+        for probe in [0u64, 7, 20, 39] {
+            let (a, b) = (s_q.rank(probe, t_q), b_q.rank(probe, t_q));
+            assert!(
+                (a - b).abs() <= 1e-12 * a.abs().max(1.0),
+                "probe {probe}: {a} vs {b}"
+            );
+        }
+    });
+}
+
+#[test]
+fn batched_samplers_match_scalar_draws() {
+    cases(45, |rng| {
+        let n = rng.gen_range(1..200);
+        let ts: Vec<Timestamp> = (0..n)
+            .map(|_| Timestamp::from(rng.gen_range(0.001..100.0)))
+            .collect();
+        let ids: Vec<u64> = (0..n as u64).collect();
+        let k = rng.gen_range(1usize..16);
+        let seed = rng.gen::<u64>();
+        let g = Monomial::new(rng.gen_range(0.2..3.0));
+
+        // The batched path consumes the RNG in the same order with the same
+        // weights, so the realized sample must be identical.
+        let mut s_wr = WeightedReservoir::new(g, 0.0, k, seed);
+        let mut b_wr = WeightedReservoir::new(g, 0.0, k, seed);
+        let mut s_ps = PrioritySampler::new(g, 0.0, k, seed);
+        let mut b_ps = PrioritySampler::new(g, 0.0, k, seed);
+        for (&t, &id) in ts.iter().zip(&ids) {
+            s_wr.update(t, &id);
+            s_ps.update(t, &id);
+        }
+        b_wr.update_batch(&ts, &ids);
+        b_ps.update_batch(&ts, &ids);
+
+        let key = |sample: Vec<&fd_core::sampling::SampleEntry<u64>>| {
+            let mut v: Vec<u64> = sample.iter().map(|e| e.item).collect();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(key(s_wr.sample()), key(b_wr.sample()));
+        let t_q = 120.0;
+        assert_eq!(
+            s_ps.estimate_decayed_count(t_q).to_bits(),
+            b_ps.estimate_decayed_count(t_q).to_bits()
+        );
+    });
+}
+
 #[test]
 fn biased_reservoir_merge_invariants() {
     use fd_core::sampling::BiasedReservoir;

@@ -23,6 +23,9 @@
 //! - [`shard`] — the sharded parallel engine: N worker threads, each a
 //!   full LFTA+HFTA pipeline over a hash partition of the stream, with
 //!   closed buckets combined by merging (Section VI-B mergeability);
+//! - [`spsc`] — the dispatcher's plumbing: bounded single-producer
+//!   rings and a batch-recycling pool, so steady-state dispatch ships
+//!   batches to workers without allocating;
 //! - [`metrics`] — the CPU-load model translating measured per-tuple cost
 //!   into the load/drop curves the paper plots;
 //! - [`telemetry`] — live lock-free observability for the sharded engine:
@@ -68,6 +71,7 @@ pub mod lfta;
 pub mod metrics;
 pub mod report;
 pub mod shard;
+pub mod spsc;
 pub mod telemetry;
 pub mod tuple;
 pub mod udaf;

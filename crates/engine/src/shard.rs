@@ -44,12 +44,12 @@
 use std::collections::btree_map::Entry;
 use std::collections::BTreeMap;
 use std::sync::atomic::Ordering::Relaxed;
-use std::sync::mpsc::{sync_channel, SyncSender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
 
 use crate::engine::{ClosedGroup, Engine, EngineStats, Row, StreamEvent};
+use crate::spsc::{ring, BatchPool, RingSender};
 use crate::telemetry::EngineTelemetry;
 use crate::tuple::{secs, Micros, Packet};
 use crate::udaf::{Aggregator, Query};
@@ -76,10 +76,11 @@ enum Msg {
     Punctuate(Micros),
 }
 
-/// Per-shard channel depth (in batches) before the dispatcher blocks.
+/// Per-shard ring depth (in batches) before the dispatcher blocks.
 const CHANNEL_DEPTH: usize = 8;
-/// Tuples buffered per shard before an automatic channel send.
-const FLUSH_THRESHOLD: usize = 1024;
+/// Default tuples buffered per shard before an automatic ring send;
+/// override with [`ShardedEngine::batch_size`] (CLI: `--batch`).
+pub const DEFAULT_BATCH_SIZE: usize = 1024;
 
 /// A parallel instance of one continuous query across N worker threads.
 ///
@@ -102,10 +103,17 @@ const FLUSH_THRESHOLD: usize = 1024;
 pub struct ShardedEngine {
     query: Query,
     routing: ShardBy,
-    senders: Vec<SyncSender<Msg>>,
+    senders: Vec<RingSender<Msg>>,
     workers: Vec<JoinHandle<(Vec<ClosedGroup>, EngineStats)>>,
-    /// Per-shard staging buffers, reused between sends.
+    /// Per-shard staging buffers; swapped against [`Self::pool`] buffers
+    /// on flush, so steady-state dispatch never allocates.
     pending: Vec<Vec<Packet>>,
+    /// Recycled batch buffers, returned by workers after draining.
+    pool: BatchPool<Packet>,
+    /// Tuples staged per shard before an automatic flush.
+    batch_size: usize,
+    /// Scratch for segmenting [`StreamEvent`] runs, reused across calls.
+    run_buf: Vec<Packet>,
     rr: usize,
     watermark: Micros,
     closed_below: u64,
@@ -139,6 +147,9 @@ impl ShardedEngine {
             });
         }
         let telemetry = Arc::new(EngineTelemetry::new(n_shards));
+        // Bound the free list at one ring's worth of batches per shard
+        // plus the staging buffers, so a burst can't pin unbounded memory.
+        let pool = BatchPool::new(n_shards * (CHANNEL_DEPTH + 1));
         let mut senders = Vec::with_capacity(n_shards);
         let mut workers = Vec::with_capacity(n_shards);
         for i in 0..n_shards {
@@ -146,15 +157,16 @@ impl ShardedEngine {
             // for it again on the worker.
             let mut worker_query = query.clone();
             worker_query.filter = None;
-            let (tx, rx) = sync_channel::<Msg>(CHANNEL_DEPTH);
+            let (tx, rx) = ring::<Msg>(CHANNEL_DEPTH);
             let registry = Arc::clone(&telemetry);
+            let recycle = pool.clone();
             let handle = std::thread::Builder::new()
                 .name(format!("fd-shard-{i}"))
                 .spawn(move || {
                     let mut engine = Engine::new(worker_query);
                     engine.keep_closed_state();
                     let tel = &registry.shards()[i];
-                    while let Ok(msg) = rx.recv() {
+                    while let Some(msg) = rx.recv() {
                         let live = registry.enabled();
                         match msg {
                             Msg::Batch(pkts, sent_at) => {
@@ -172,6 +184,8 @@ impl ShardedEngine {
                                         engine.process(p);
                                     }
                                 }
+                                // Hand the drained buffer back for reuse.
+                                recycle.put(pkts);
                             }
                             Msg::Punctuate(ts) => {
                                 engine.punctuate(ts);
@@ -201,6 +215,9 @@ impl ShardedEngine {
             senders,
             workers,
             pending: vec![Vec::new(); n_shards],
+            pool,
+            batch_size: DEFAULT_BATCH_SIZE,
+            run_buf: Vec::new(),
             rr: 0,
             watermark: 0,
             closed_below: 0,
@@ -218,6 +235,25 @@ impl ShardedEngine {
         assert_eq!(self.stats.tuples_in, 0, "set routing before processing");
         self.routing = routing;
         self
+    }
+
+    /// Sets the flush threshold: tuples staged per shard before a batch
+    /// ships to the worker (default [`DEFAULT_BATCH_SIZE`]). Larger
+    /// batches amortize ring and wakeup costs; smaller ones cut
+    /// dispatch-to-apply latency. Must be called before any tuple is
+    /// processed; panics on zero.
+    pub fn batch_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "batch size must be positive");
+        assert_eq!(self.stats.tuples_in, 0, "set batch size before processing");
+        self.batch_size = n;
+        self
+    }
+
+    /// The batch-recycling pool shared with the workers — its
+    /// [`reuses`](BatchPool::reuses) / [`allocs`](BatchPool::allocs)
+    /// counters quantify the zero-allocation steady state.
+    pub fn batch_pool(&self) -> &BatchPool<Packet> {
+        &self.pool
     }
 
     /// Turns hot-path telemetry mirroring on or off (default on; the
@@ -308,13 +344,85 @@ impl ShardedEngine {
         let key = (self.query.group_by)(pkt);
         let shard = self.route(key);
         self.pending[shard].push(*pkt);
-        if self.pending[shard].len() >= FLUSH_THRESHOLD {
-            let batch = std::mem::take(&mut self.pending[shard]);
-            self.send(shard, Msg::Batch(batch, Instant::now()));
+        if self.pending[shard].len() >= self.batch_size {
+            self.flush_shard(shard);
         }
         let target =
             self.watermark.saturating_sub(self.query.slack_micros) / self.query.bucket_micros;
         self.closed_below = self.closed_below.max(target);
+    }
+
+    /// Ships a shard's staged tuples, swapping in a recycled buffer from
+    /// the pool so the staging slot is ready without allocating.
+    fn flush_shard(&mut self, shard: usize) {
+        let batch = std::mem::replace(&mut self.pending[shard], self.pool.take(self.batch_size));
+        self.send(shard, Msg::Batch(batch, Instant::now()));
+    }
+
+    /// Offers a batch of tuples through the columnar fast path: one fused
+    /// pass doing admission (filter, late check, watermark advance) and
+    /// route-and-scatter into the per-shard staging buffers.
+    ///
+    /// Admission is decision-for-decision identical to calling
+    /// [`process`](Self::process) per tuple — the late check compares
+    /// timestamps against the closed boundary held in timestamp space
+    /// (`closed_below · bucket_micros`), which removes both per-tuple
+    /// divisions: `ts / bm < closed_below  ⇔  ts < closed_below · bm`
+    /// exactly, for non-negative integers, and the boundary division
+    /// reruns only when the watermark gains a whole bucket. Stats and
+    /// telemetry mirrors are stored once per batch instead of once per
+    /// tuple.
+    pub fn process_packets(&mut self, pkts: &[Packet]) {
+        debug_assert!(!self.done, "process after finish");
+        if pkts.is_empty() {
+            return;
+        }
+        let bm = self.query.bucket_micros;
+        let slack = self.query.slack_micros;
+        let mut wm = self.watermark;
+        // The boundary moves only when the watermark gains a whole bucket,
+        // so the division to recompute it runs per bucket, not per tuple.
+        let mut closed_low = self.closed_below.saturating_mul(bm);
+        let mut filtered = 0u64;
+        let mut late = 0u64;
+        for pkt in pkts {
+            if let Some(f) = self.query.filter.as_ref() {
+                if !f(pkt) {
+                    filtered += 1;
+                    continue;
+                }
+            }
+            if pkt.ts < closed_low {
+                late += 1;
+                continue;
+            }
+            wm = wm.max(pkt.ts);
+            let horizon = wm.saturating_sub(slack);
+            if horizon >= closed_low.saturating_add(bm) {
+                closed_low = (horizon / bm) * bm;
+            }
+            let key = (self.query.group_by)(pkt);
+            let shard = self.route(key);
+            self.pending[shard].push(*pkt);
+            if self.pending[shard].len() >= self.batch_size {
+                self.flush_shard(shard);
+            }
+        }
+        self.stats.tuples_in += pkts.len() as u64;
+        self.stats.filtered += filtered;
+        self.stats.late_drops += late;
+        self.watermark = wm;
+        self.closed_below = closed_low / bm;
+        if self.live {
+            self.telemetry
+                .tuples_in
+                .store(self.stats.tuples_in, Relaxed);
+            self.telemetry.filtered.store(self.stats.filtered, Relaxed);
+            self.telemetry
+                .late_drops
+                .store(self.stats.late_drops, Relaxed);
+            self.telemetry.dispatcher_watermark.store(wm, Relaxed);
+        }
     }
 
     /// Processes a punctuation: advances the global watermark and
@@ -335,13 +443,26 @@ impl ShardedEngine {
     /// Offers a batch of stream elements, then broadcasts the advanced
     /// watermark so every shard closes the same buckets — the per-batch
     /// synchronisation point of the sharded pipeline.
+    ///
+    /// Runs of consecutive [`StreamEvent::Data`] go through the columnar
+    /// [`process_packets`](Self::process_packets) fast path; punctuations
+    /// act as barriers between runs, exactly as in per-event processing.
     pub fn process_batch(&mut self, events: &[StreamEvent]) {
+        let mut run = std::mem::take(&mut self.run_buf);
+        run.clear();
         for ev in events {
             match ev {
-                StreamEvent::Data(pkt) => self.process(pkt),
-                StreamEvent::Punctuation(ts) => self.punctuate(*ts),
+                StreamEvent::Data(pkt) => run.push(*pkt),
+                StreamEvent::Punctuation(ts) => {
+                    self.process_packets(&run);
+                    run.clear();
+                    self.punctuate(*ts);
+                }
             }
         }
+        self.process_packets(&run);
+        run.clear();
+        self.run_buf = run;
         self.sync_watermark();
     }
 
@@ -350,8 +471,7 @@ impl ShardedEngine {
     fn sync_watermark(&mut self) {
         for shard in 0..self.n_shards() {
             if !self.pending[shard].is_empty() {
-                let batch = std::mem::take(&mut self.pending[shard]);
-                self.send(shard, Msg::Batch(batch, Instant::now()));
+                self.flush_shard(shard);
             }
         }
         let w = self.watermark;
@@ -452,10 +572,17 @@ impl ShardedEngine {
     }
 
     /// Runs a whole stream through the query and returns all rows.
+    /// Chunks the stream through the columnar fast path.
     pub fn run(&mut self, stream: impl IntoIterator<Item = Packet>) -> Vec<Row> {
+        let mut buf = Vec::with_capacity(self.batch_size);
         for pkt in stream {
-            self.process(&pkt);
+            buf.push(pkt);
+            if buf.len() == self.batch_size {
+                self.process_packets(&buf);
+                buf.clear();
+            }
         }
+        self.process_packets(&buf);
         self.finish()
     }
 
@@ -717,10 +844,11 @@ mod tests {
             .two_level(false)
             .build();
         let mut e = ShardedEngine::new(q, 2);
-        // Exactly FLUSH_THRESHOLD tuples so process() itself flushes the
-        // batch to the worker (no explicit punctuation: the worker dies,
-        // and a later punctuation broadcast would trip the dispatcher).
-        for i in 0..FLUSH_THRESHOLD {
+        // Exactly one batch's worth of tuples so process() itself flushes
+        // the batch to the worker (no explicit punctuation: the worker
+        // dies, and a later punctuation broadcast would trip the
+        // dispatcher).
+        for i in 0..DEFAULT_BATCH_SIZE {
             let mut p = pkt(0.001 * i as f64, 1);
             if i == 7 {
                 p.len = 0xDEAD;
@@ -730,6 +858,99 @@ mod tests {
         let tel = Arc::clone(e.telemetry());
         drop(e); // Drop must reap the dead worker and record the panic
         assert_eq!(tel.worker_panics.load(Relaxed), 1);
+    }
+
+    #[test]
+    fn batched_admission_matches_scalar_exactly() {
+        // The columnar process_packets path must accept, filter and drop
+        // exactly the tuples the per-tuple path does — including streams
+        // where the closed boundary advances mid-batch and late tuples
+        // interleave with fresh ones.
+        let q = || {
+            Query::builder("diff")
+                .filter(|p| p.dst_port == 80)
+                .group_by(|p| p.dst_host())
+                .bucket_secs(60)
+                .slack_secs(30.0)
+                .aggregate(count_factory())
+                .build()
+        };
+        let mut stream = Vec::new();
+        for i in 0..20_000u64 {
+            let mut p = pkt(i as f64 * 0.05, (i % 41) as u32);
+            if i % 17 == 0 {
+                p.dst_port = 443; // filtered
+            }
+            if i % 97 == 0 {
+                p.ts = p.ts.saturating_sub(200 * MICROS_PER_SEC); // late
+            }
+            stream.push(p);
+        }
+        let mut scalar = ShardedEngine::new(q(), 3);
+        for p in &stream {
+            scalar.process(p);
+        }
+        let s_rows = scalar.finish();
+        let mut batched = ShardedEngine::new(q(), 3).batch_size(256);
+        let b_rows = batched.run(stream);
+        let (ss, bs) = (scalar.stats(), batched.stats());
+        assert_eq!(ss.tuples_in, bs.tuples_in);
+        assert_eq!(ss.filtered, bs.filtered);
+        assert_eq!(ss.late_drops, bs.late_drops);
+        assert_eq!(s_rows.len(), b_rows.len());
+        for (a, b) in s_rows.iter().zip(&b_rows) {
+            assert_eq!((a.bucket_start, a.key), (b.bucket_start, b.key));
+            assert_eq!(a.value, b.value, "key {}", a.key);
+        }
+    }
+
+    #[test]
+    fn pooled_batches_recycle_and_count_like_fresh_ones() {
+        // Satellite check: batches_sent must count recycled-pool sends
+        // identically to fresh sends. Route everything to one shard,
+        // ship enough batches that the depth-8 ring forces the worker to
+        // drain (returning buffers to the pool) while the dispatcher is
+        // still flushing.
+        const BATCH: usize = 64;
+        const N_BATCHES: u64 = 40;
+        let q = Query::builder("pool")
+            .group_by(|_| 0)
+            .bucket_secs(60)
+            .aggregate(count_factory())
+            .two_level(false)
+            .build();
+        let mut e = ShardedEngine::new(q, 1).batch_size(BATCH);
+        let stream: Vec<Packet> = (0..N_BATCHES * BATCH as u64)
+            .map(|i| pkt(0.001 * i as f64, 1))
+            .collect();
+        e.run(stream);
+        let snap = e.telemetry().snapshot();
+        let sent: u64 = snap.shards.iter().map(|s| s.batches_sent).sum();
+        assert_eq!(
+            sent, N_BATCHES,
+            "every batch counted once, recycled or fresh"
+        );
+        let pool = e.batch_pool();
+        assert!(
+            pool.reuses() > 0,
+            "steady state must recycle buffers (allocs {}, reuses {})",
+            pool.allocs(),
+            pool.reuses()
+        );
+        assert!(
+            pool.allocs() < N_BATCHES,
+            "most sends must reuse pooled buffers, not allocate"
+        );
+    }
+
+    #[test]
+    fn batch_size_builder_rejects_zero_and_late_calls() {
+        let e = ShardedEngine::new(count_query(), 2).batch_size(16);
+        drop(e);
+        let r = std::panic::catch_unwind(|| {
+            let _ = ShardedEngine::new(count_query(), 2).batch_size(0);
+        });
+        assert!(r.is_err(), "zero batch size must panic");
     }
 
     #[test]

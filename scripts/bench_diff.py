@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Compare a fresh bench JSON against the committed baseline.
+
+Usage: bench_diff.py COMMITTED.json FRESH.json [--tolerance-pct N]
+
+Walks both documents in parallel and compares every numeric field whose
+name ends in `ns_per_tuple` (lower is better). Exits non-zero if any such
+field regressed by more than the tolerance (default 10%). Series are
+matched by their `label` field where present, so reordering or appending
+series does not produce false diffs; a series present in the baseline but
+missing from the fresh run is an error (a silently dropped measurement is
+a regression too).
+
+Improvements and new fields are reported but never fail the run. Stdlib
+only — no third-party dependencies.
+"""
+
+import argparse
+import json
+import sys
+
+GATED_SUFFIX = "ns_per_tuple"
+
+
+def walk(node, path=""):
+    """Yields (path, value) for every leaf; dict-valued list entries with a
+    `label` key are addressed by label instead of index."""
+    if isinstance(node, dict):
+        for key, value in sorted(node.items()):
+            yield from walk(value, f"{path}.{key}" if path else key)
+    elif isinstance(node, list):
+        for i, value in enumerate(node):
+            if isinstance(value, dict) and "label" in value:
+                yield from walk(value, f"{path}[{value['label']}]")
+            else:
+                yield from walk(value, f"{path}[{i}]")
+    else:
+        yield path, node
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("committed", help="baseline JSON (the committed copy)")
+    ap.add_argument("fresh", help="freshly generated JSON")
+    ap.add_argument(
+        "--tolerance-pct",
+        type=float,
+        default=10.0,
+        help="maximum allowed ns/tuple regression (default: 10)",
+    )
+    args = ap.parse_args()
+
+    with open(args.committed) as f:
+        baseline = dict(walk(json.load(f)))
+    with open(args.fresh) as f:
+        fresh = dict(walk(json.load(f)))
+
+    failures = []
+    compared = 0
+    for path, base_val in baseline.items():
+        if not path.endswith(GATED_SUFFIX):
+            continue
+        if not isinstance(base_val, (int, float)):
+            continue
+        if path not in fresh:
+            failures.append(f"{path}: present in baseline but missing from fresh run")
+            continue
+        new_val = fresh[path]
+        if not isinstance(new_val, (int, float)):
+            failures.append(f"{path}: baseline is numeric, fresh run has {new_val!r}")
+            continue
+        compared += 1
+        if base_val <= 0:
+            continue  # degenerate baseline; nothing meaningful to gate
+        delta_pct = (new_val / base_val - 1.0) * 100.0
+        marker = " "
+        if delta_pct > args.tolerance_pct:
+            failures.append(
+                f"{path}: {base_val:g} -> {new_val:g} ns/t ({delta_pct:+.1f}%)"
+            )
+            marker = "!"
+        print(f"{marker} {path}: {base_val:g} -> {new_val:g} ({delta_pct:+.1f}%)")
+
+    for path in fresh:
+        if path.endswith(GATED_SUFFIX) and path not in baseline:
+            print(f"+ {path}: new series ({fresh[path]!r}), not gated")
+
+    if compared == 0:
+        print("error: no ns_per_tuple fields found in the baseline", file=sys.stderr)
+        return 2
+    if failures:
+        print(
+            f"\nFAIL: {len(failures)} regression(s) beyond "
+            f"{args.tolerance_pct:g}% tolerance:",
+            file=sys.stderr,
+        )
+        for f_ in failures:
+            print(f"  {f_}", file=sys.stderr)
+        return 1
+    print(f"\nOK: {compared} ns/tuple field(s) within {args.tolerance_pct:g}% tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
