@@ -55,7 +55,9 @@ fn query() -> Query {
 
 /// One full ingest + finish, returning mean ns per offered tuple.
 fn run_once(packets: &[Packet], live: bool) -> f64 {
-    let mut e = ShardedEngine::new(query(), SHARDS).live_telemetry(live);
+    let mut e = ShardedEngine::try_new(query(), SHARDS)
+        .expect("spawn shards")
+        .live_telemetry(live);
     let start = Instant::now();
     for p in packets {
         e.process(p);

@@ -101,13 +101,13 @@ pub fn measure_sharded_query(
 ) -> ShardMeasurement {
     // Warm-up pass, same shape as `measure_query`.
     let warm = &packets[..packets.len().min(50_000)];
-    let mut w = ShardedEngine::new(query.clone(), n_shards);
+    let mut w = ShardedEngine::try_new(query.clone(), n_shards).expect("spawn shards");
     for p in warm {
         w.process(p);
     }
     w.finish();
 
-    let mut engine = ShardedEngine::new(query.clone(), n_shards);
+    let mut engine = ShardedEngine::try_new(query.clone(), n_shards).expect("spawn shards");
     let start = Instant::now();
     for p in packets {
         engine.process(p);
@@ -214,6 +214,137 @@ pub fn measure_dispatch_ns(query: &Query, n_shards: usize, packets: &[Packet]) -
         }
     }
     std::hint::black_box(&staged);
+    start.elapsed().as_nanos() as f64 / packets.len() as f64
+}
+
+/// Measures the batched dispatch path with the supervision layer's
+/// whole per-batch bookkeeping run inline, worker-free — the same
+/// serial-ingress methodology as [`measure_dispatch_ns`], so the two are
+/// comparable head-to-head. Per flushed batch this performs an `Arc`
+/// wrap, a clone retained in the per-shard replay backlog, a trim pass
+/// releasing batches the latest checkpoint covers, and — the part no
+/// instruction count shows — the buffer *rotation*: a retained batch
+/// cannot recycle until a checkpoint covers it, so the staging buffers
+/// cycle through a `checkpoint_every`-deep window instead of ping-ponging
+/// hot. In the real engine the trim and reclaim run on worker threads
+/// (the dispatcher only appends), so this single-threaded number is a
+/// conservative ceiling on the dispatcher's share of the cost.
+/// `checkpoint_every == 0` runs the identical loop with supervision off
+/// (the baseline), and checkpoint sequence advance mimics the worker:
+/// after `checkpoint_every` applied tuples, staggered per shard exactly
+/// as the engine staggers.
+pub fn measure_dispatch_supervised_ns(
+    query: &Query,
+    n_shards: usize,
+    packets: &[Packet],
+    checkpoint_every: u64,
+) -> f64 {
+    use std::collections::VecDeque;
+    use std::sync::Arc;
+
+    assert!(n_shards > 0 && !packets.is_empty());
+    struct Seat {
+        backlog: VecDeque<(u64, Arc<Vec<Packet>>)>,
+        next_seq: u64,
+        /// Tuples the simulated worker has applied since its last
+        /// checkpoint (pre-offset for the engine's first-interval stagger).
+        applied: u64,
+        /// Sequence number of the latest simulated checkpoint.
+        ckpt: u64,
+    }
+    // Pool sized as the engine sizes it: staging plus one checkpoint
+    // window of retained batches per shard; prewarmed off the clock, as
+    // the engine prewarms at spawn.
+    let window = match checkpoint_every {
+        0 => 0,
+        every => ((every / DISPATCH_BATCH as u64) + 2).min(512) as usize,
+    };
+    let bound = n_shards * (1 + window) + 2;
+    let pool: BatchPool<Packet> = BatchPool::new(bound);
+    let blank = Packet {
+        ts: 0,
+        src_ip: 0,
+        dst_ip: 0,
+        src_port: 0,
+        dst_port: 0,
+        len: 0,
+        proto: fd_engine::tuple::Proto::Tcp,
+    };
+    pool.prewarm(bound.min(512), DISPATCH_BATCH, blank);
+    let mut seats: Vec<Seat> = (0..n_shards)
+        .map(|s| Seat {
+            backlog: VecDeque::new(),
+            next_seq: 0,
+            applied: s as u64 * checkpoint_every / n_shards as u64,
+            ckpt: 0,
+        })
+        .collect();
+    let mut staged: Vec<Vec<Packet>> = (0..n_shards).map(|_| pool.take(DISPATCH_BATCH)).collect();
+    let mut watermark: u64 = 0;
+    let bm = query.bucket_micros;
+    let slack = query.slack_micros;
+    let mut closed_low: u64 = 0;
+    let start = Instant::now();
+    for chunk in packets.chunks(DISPATCH_BATCH) {
+        for pkt in chunk {
+            if let Some(f) = &query.filter {
+                if !f(pkt) {
+                    continue;
+                }
+            }
+            if pkt.ts < closed_low {
+                continue;
+            }
+            watermark = watermark.max(pkt.ts);
+            let horizon = watermark.saturating_sub(slack);
+            if horizon >= closed_low.saturating_add(bm) {
+                closed_low = (horizon / bm) * bm;
+            }
+            let key = (query.group_by)(pkt);
+            let shard = route_shard(key, n_shards);
+            staged[shard].push(*pkt);
+            if staged[shard].len() >= DISPATCH_BATCH {
+                let batch = std::mem::replace(&mut staged[shard], pool.take(DISPATCH_BATCH));
+                // Both configurations Arc-wrap the batch — `Msg::Batch`
+                // always ships an `Arc`, supervised or not — so the wrap
+                // stays out of the measured delta.
+                let sent = Arc::new(std::hint::black_box(batch));
+                if checkpoint_every == 0 {
+                    // Unsupervised hand-off: the "worker" is the sole
+                    // owner and returns the drained buffer.
+                    if let Ok(buf) = Arc::try_unwrap(sent) {
+                        pool.put(buf);
+                    }
+                    continue;
+                }
+                let seat = &mut seats[shard];
+                seat.next_seq += 1;
+                let seq = seat.next_seq;
+                // Retain before sending (the failed send itself must be
+                // replayable), then trim what the checkpoint covers —
+                // the engine splits these between dispatcher (append)
+                // and worker (trim); here both run inline.
+                seat.backlog.push_back((seq, Arc::clone(&sent)));
+                while seat.backlog.front().is_some_and(|(q, _)| *q <= seat.ckpt) {
+                    let (_, pkts) = seat.backlog.pop_front().expect("non-empty front");
+                    if let Ok(buf) = Arc::try_unwrap(pkts) {
+                        pool.put(buf);
+                    }
+                }
+                // The "worker": applies the batch (dropping its reference)
+                // and checkpoints at message boundaries.
+                let applied_len = sent.len() as u64;
+                drop(std::hint::black_box(sent));
+                seat.applied += applied_len;
+                if seat.applied >= checkpoint_every {
+                    seat.ckpt = seq;
+                    seat.applied = 0;
+                }
+            }
+        }
+    }
+    std::hint::black_box(&staged);
+    std::hint::black_box(&seats);
     start.elapsed().as_nanos() as f64 / packets.len() as f64
 }
 

@@ -142,6 +142,12 @@ pub struct CliConfig {
     pub shards: usize,
     /// Dispatcher batch size for sharded runs (0 = engine default).
     pub batch: usize,
+    /// Checkpoint interval in tuples for sharded runs (`None` = engine
+    /// default; `Some(0)` disables supervision entirely).
+    pub checkpoint_every: Option<u64>,
+    /// Restart budget per shard before graceful degradation (`None` =
+    /// engine default).
+    pub max_restarts: Option<u32>,
     /// Append a Prometheus text-format metrics snapshot to the output.
     pub metrics: bool,
 }
@@ -165,6 +171,8 @@ impl Default for CliConfig {
             burst: None,
             shards: 0,
             batch: 0,
+            checkpoint_every: None,
+            max_restarts: None,
             metrics: false,
         }
     }
@@ -195,6 +203,9 @@ OPTIONS (all optional):
     --burst <s,e,f>     flood fraction f toward one host in [s, e) secs
     --shards <n>        parallel worker shards, 0 = single-threaded     [default: 0]
     --batch <n>         dispatcher batch size (sharded runs), 0 = default [default: 0]
+    --checkpoint-every <n>  worker checkpoint interval in tuples (sharded
+                        runs); 0 disables supervision   [default: 32768]
+    --max-restarts <n>  restarts per shard before degradation [default: 3]
     --metrics           append a Prometheus metrics snapshot (takes no value)
     --help              print this text
 ";
@@ -277,6 +288,14 @@ impl CliConfig {
                 "--limit" => cfg.limit = int(v)? as usize,
                 "--shards" => cfg.shards = int(v)? as usize,
                 "--batch" => cfg.batch = int(v)? as usize,
+                "--checkpoint-every" => cfg.checkpoint_every = Some(int(v)?),
+                "--max-restarts" => {
+                    let n = int(v)?;
+                    if n > u64::from(u32::MAX) {
+                        return Err(format!("--max-restarts {n} is out of range"));
+                    }
+                    cfg.max_restarts = Some(n as u32);
+                }
                 "--ooo" => {
                     cfg.ooo_jitter_secs = num(v)?;
                     if cfg.ooo_jitter_secs < 0.0 {
@@ -365,7 +384,15 @@ pub fn try_run(cfg: &CliConfig) -> Result<String, String> {
         let mut engine =
             ShardedEngine::try_new(cfg.query()?, cfg.shards).map_err(|e| e.to_string())?;
         if cfg.batch > 0 {
-            engine = engine.batch_size(cfg.batch);
+            engine = engine
+                .try_batch_size(cfg.batch)
+                .map_err(|e| e.to_string())?;
+        }
+        if let Some(every) = cfg.checkpoint_every {
+            engine = engine.checkpoint_every(every);
+        }
+        if let Some(n) = cfg.max_restarts {
+            engine = engine.max_restarts(n);
         }
         let rows = engine.run(trace.iter());
         (rows, engine.stats(), engine.telemetry().snapshot())
@@ -576,6 +603,42 @@ mod tests {
         let cfg = CliConfig::parse(Vec::<String>::new()).unwrap();
         assert!(!cfg.metrics);
         assert_eq!(cfg.shards, 0);
+    }
+
+    #[test]
+    fn supervision_flags_parse_and_run() {
+        let cfg = CliConfig::parse(["--checkpoint-every", "4096", "--max-restarts", "5"]).unwrap();
+        assert_eq!(cfg.checkpoint_every, Some(4096));
+        assert_eq!(cfg.max_restarts, Some(5));
+        let cfg = CliConfig::parse(Vec::<String>::new()).unwrap();
+        assert_eq!(cfg.checkpoint_every, None);
+        assert_eq!(cfg.max_restarts, None);
+        assert!(CliConfig::parse(["--max-restarts", "9999999999999"]).is_err());
+        assert!(CliConfig::parse(["--checkpoint-every", "x"]).is_err());
+
+        // Same trace supervised and unsupervised: identical rows.
+        fn args(every: &'static str) -> [&'static str; 12] {
+            [
+                "--rate",
+                "10000",
+                "--duration",
+                "2",
+                "--hosts",
+                "50",
+                "--shards",
+                "2",
+                "--checkpoint-every",
+                every,
+                "--format",
+                "csv",
+            ]
+        }
+        let supervised = run(&CliConfig::parse(args("1024")).unwrap());
+        let unsupervised = run(&CliConfig::parse(args("0")).unwrap());
+        assert_eq!(
+            supervised, unsupervised,
+            "checkpointing must not change results"
+        );
     }
 
     /// Pulls `name value` (no labels) out of Prometheus text.

@@ -576,6 +576,10 @@ impl<G: ForwardDecay> Summary for DecayedCount<G> {
         self.update_batch(ts);
     }
 
+    fn update_batch_counts(&mut self, ts: &[Timestamp]) {
+        self.update_batch(ts);
+    }
+
     fn query_at(&self, t: Timestamp) -> f64 {
         self.query(t)
     }

@@ -33,9 +33,71 @@ use serde::ser::{self, Serialize};
 
 /// Serializes a value into the checkpoint wire format.
 pub fn to_bytes<T: Serialize>(value: &T) -> Result<Vec<u8>, CodecError> {
-    let mut ser = BinSerializer { out: Vec::new() };
-    value.serialize(&mut ser)?;
-    Ok(ser.out)
+    let mut out = Vec::new();
+    to_bytes_into(value, &mut out)?;
+    Ok(out)
+}
+
+/// Serializes a value into the checkpoint wire format, appending to an
+/// existing buffer. Hot checkpoint paths (one aggregator state per live
+/// group, tens of thousands per snapshot) use this to avoid the
+/// per-value allocation of [`to_bytes`].
+pub fn to_bytes_into<T: Serialize>(value: &T, out: &mut Vec<u8>) -> Result<(), CodecError> {
+    let mut ser = BinSerializer {
+        out: std::mem::take(out),
+    };
+    let result = value.serialize(&mut ser);
+    *out = ser.out;
+    result
+}
+
+/// Appends a little-endian `u64` — the framing primitive for the
+/// hand-packed bulk sections of an engine checkpoint (read back with
+/// [`Reader`]).
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Sequential reader over hand-packed checkpoint sections.
+///
+/// The serde codec in this module is convenient for small, irregular
+/// structures, but its element-at-a-time walk makes serializing tens of
+/// thousands of tiny aggregator states cost milliseconds — too slow for
+/// checkpoints taken on a live worker's critical path. Bulk sections are
+/// therefore packed flat with [`put_u64`] framing and read back here.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    /// Starts reading at the beginning of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf }
+    }
+
+    /// Reads one little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, CodecError> {
+        let bytes = self.bytes(8)?;
+        Ok(u64::from_le_bytes(bytes.try_into().expect("8 bytes")))
+    }
+
+    /// Reads the next `n` raw bytes.
+    pub fn bytes(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if n > self.buf.len() {
+            return Err(CodecError::msg(format!(
+                "truncated: need {n} bytes, have {}",
+                self.buf.len()
+            )));
+        }
+        let (head, tail) = self.buf.split_at(n);
+        self.buf = tail;
+        Ok(head)
+    }
+
+    /// Whether every byte has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
 }
 
 /// Restores a value from [`to_bytes`] output. Fails on truncated or
@@ -58,6 +120,15 @@ pub fn from_bytes<T: DeserializeOwned>(bytes: &[u8]) -> Result<T, CodecError> {
 pub struct CodecError(String);
 
 impl CodecError {
+    /// Creates a codec error with the given message.
+    ///
+    /// Layers that extend the wire format beyond fd-core's summaries — the
+    /// engine's aggregator and whole-engine checkpoints — use this to report
+    /// their own failures in the same error type.
+    pub fn new(m: impl Into<String>) -> Self {
+        Self(m.into())
+    }
+
     fn msg(m: impl Into<String>) -> Self {
         Self(m.into())
     }

@@ -30,7 +30,14 @@ use crate::Timestamp;
 /// Implementations must guarantee that `g` is positive and monotone
 /// non-decreasing on `n ≥ 0` (checked for all in-crate implementations by
 /// [`check_forward_axioms`]).
-pub trait ForwardDecay: Clone + Send + Sync + 'static {
+///
+/// Decay functions are part of every summary's checkpointable state, so
+/// implementors must be serializable through
+/// [`crate::checkpoint`] — in practice a `#[derive(serde::Serialize,
+/// serde::Deserialize)]` on the (small, parameter-only) struct.
+pub trait ForwardDecay:
+    Clone + Send + Sync + serde::Serialize + serde::de::DeserializeOwned + 'static
+{
     /// Evaluates `g(n)` for `n ≥ 0` (seconds since the landmark).
     fn g(&self, n: f64) -> f64;
 

@@ -30,6 +30,12 @@ pub enum Error {
         /// The component that was never supplied (e.g. `"aggregate"`).
         component: &'static str,
     },
+    /// A parallel worker died and supervision was disabled, so its state
+    /// (and any tuples routed to it) cannot be recovered.
+    WorkerLost {
+        /// Index of the shard whose worker is gone.
+        shard: usize,
+    },
 }
 
 impl fmt::Display for Error {
@@ -42,6 +48,9 @@ impl fmt::Display for Error {
             } => write!(f, "invalid {name} = {value}: must be {requirement}"),
             Error::MissingComponent { builder, component } => {
                 write!(f, "{builder} is missing its {component}")
+            }
+            Error::WorkerLost { shard } => {
+                write!(f, "shard {shard} worker has died (supervision disabled)")
             }
         }
     }

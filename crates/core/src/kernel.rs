@@ -15,7 +15,9 @@
 //!    `n = t_i − L`. A one-entry tick cache turns every repeat into a
 //!    compare and a load.
 //! 2. **Batches share the renormalization decision.** Whether an update
-//!    must rescale the summary first ([`Renormalizer::pre_update`]) depends
+//!    must rescale the summary first
+//!    ([`Renormalizer::pre_update`](crate::numerics::Renormalizer::pre_update))
+//!    depends
 //!    only on the decay family and the largest age in flight — so a batch
 //!    can hoist that check out of the inner loop entirely (see the
 //!    `update_batch` methods on the summaries) and leave a bare
@@ -181,7 +183,7 @@ const TICK_PROBE: usize = 64;
 
 /// Decides whether a batch's ticks repeat often enough for the per-tick
 /// memo to pay for itself, by sampling adjacent equality over the first
-/// [`TICK_PROBE`] timestamps. Streams arrive (near) time-ordered, so items
+/// `TICK_PROBE` (64) timestamps. Streams arrive (near) time-ordered, so items
 /// sharing a tick sit next to each other and adjacent equality estimates
 /// the one-entry cache's hit rate directly. Returns `true` when at least a
 /// quarter of the sampled pairs repeat — below that, the memo's
@@ -197,7 +199,7 @@ pub fn batch_ticks_repeat(ts: &[Timestamp]) -> bool {
     repeats * 4 >= probe.len() - 1
 }
 
-/// `Σ f(ts[i])` with [`LANES`] independent partial sums, so consecutive
+/// `Σ f(ts[i])` with `LANES` (4) independent partial sums, so consecutive
 /// adds pipeline instead of serializing on one accumulator's latency. The
 /// reassociation changes results by at most normal `f64` rounding. The
 /// batch maximum rides along in the same pass — measurably cheaper than a

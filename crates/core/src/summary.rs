@@ -139,6 +139,24 @@ pub trait Summary {
         }
     }
 
+    /// Feeds a columnar batch of timestamp-only arrivals — the fast path
+    /// for summaries whose [`Update`](Summary::Update) is the zero-sized
+    /// `()` (counts), sparing callers the parallel slice of units that
+    /// [`update_batch_at`](Summary::update_batch_at) would demand (and the
+    /// `Clone` bound it drags in).
+    ///
+    /// The default loops over [`update_at`](Summary::update_at); counts
+    /// with a batched kernel (e.g. `DecayedCount::update_batch`) override
+    /// it to keep the hoisted-renormalization / weight-memo path.
+    fn update_batch_counts(&mut self, ts: &[Timestamp])
+    where
+        Self: Summary<Update = ()>,
+    {
+        for &t_i in ts {
+            self.update_at(t_i, ());
+        }
+    }
+
     /// Answers at query time `t ≥ t_i` for all fed items: the state
     /// normalized by `g(t − L)`.
     fn query_at(&self, t: Timestamp) -> Self::Output;

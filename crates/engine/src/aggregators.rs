@@ -86,6 +86,26 @@ fn bucket_seed(base: u64, bucket_start: u64) -> u64 {
     mix64(base ^ bucket_start)
 }
 
+/// Implements [`Aggregator::checkpoint`] / [`Aggregator::restore`] by
+/// serializing the adapter's `inner` fd-core summary through
+/// [`fd_core::checkpoint`]. Closures and query-time parameters (value
+/// extractors, φ, decay) are not captured — the factory recreates them and
+/// `restore` refills only the summary state.
+macro_rules! inner_checkpoint {
+    () => {
+        fn checkpoint(&self) -> Option<Vec<u8>> {
+            fd_core::checkpoint::to_bytes(&self.inner).ok()
+        }
+        fn checkpoint_into(&self, out: &mut Vec<u8>) -> Option<()> {
+            fd_core::checkpoint::to_bytes_into(&self.inner, out).ok()
+        }
+        fn restore(&mut self, bytes: &[u8]) -> Result<(), fd_core::checkpoint::CodecError> {
+            self.inner = fd_core::checkpoint::from_bytes(bytes)?;
+            Ok(())
+        }
+    };
+}
+
 // ---------------------------------------------------------------------------
 // Undecayed built-ins
 // ---------------------------------------------------------------------------
@@ -112,6 +132,16 @@ impl Aggregator for CountAgg {
     }
     fn as_any_box(self: Box<Self>) -> Box<dyn Any> {
         self
+    }
+    fn checkpoint(&self) -> Option<Vec<u8>> {
+        fd_core::checkpoint::to_bytes(&self.0).ok()
+    }
+    fn checkpoint_into(&self, out: &mut Vec<u8>) -> Option<()> {
+        fd_core::checkpoint::to_bytes_into(&self.0, out).ok()
+    }
+    fn restore(&mut self, bytes: &[u8]) -> Result<(), fd_core::checkpoint::CodecError> {
+        self.0 = fd_core::checkpoint::from_bytes(bytes)?;
+        Ok(())
     }
 }
 
@@ -145,6 +175,16 @@ impl Aggregator for SumAgg {
     fn as_any_box(self: Box<Self>) -> Box<dyn Any> {
         self
     }
+    fn checkpoint(&self) -> Option<Vec<u8>> {
+        fd_core::checkpoint::to_bytes(&self.sum).ok()
+    }
+    fn checkpoint_into(&self, out: &mut Vec<u8>) -> Option<()> {
+        fd_core::checkpoint::to_bytes_into(&self.sum, out).ok()
+    }
+    fn restore(&mut self, bytes: &[u8]) -> Result<(), fd_core::checkpoint::CodecError> {
+        self.sum = fd_core::checkpoint::from_bytes(bytes)?;
+        Ok(())
+    }
 }
 
 /// Undecayed `sum(expr)` over a tuple field.
@@ -169,6 +209,7 @@ macro_rules! fwd_scalar_agg {
             inner: $inner<G>,
         }
         impl<G: ForwardDecay> Aggregator for $agg<G> {
+            inner_checkpoint!();
             fn update(&mut self, pkt: &Packet) {
                 self.inner.update(pkt.timestamp());
             }
@@ -206,6 +247,7 @@ macro_rules! fwd_scalar_agg {
             val: ValFn,
         }
         impl<G: ForwardDecay> Aggregator for $agg<G> {
+            inner_checkpoint!();
             fn update(&mut self, pkt: &Packet) {
                 self.inner.update(pkt.timestamp(), (self.val)(pkt));
             }
@@ -257,6 +299,7 @@ struct FwdAvgAgg<G: ForwardDecay> {
 }
 
 impl<G: ForwardDecay> Aggregator for FwdAvgAgg<G> {
+    inner_checkpoint!();
     fn update(&mut self, pkt: &Packet) {
         self.inner.update(pkt.timestamp(), (self.val)(pkt));
     }
@@ -298,6 +341,7 @@ struct FwdVarAgg<G: ForwardDecay> {
 }
 
 impl<G: ForwardDecay> Aggregator for FwdVarAgg<G> {
+    inner_checkpoint!();
     fn update(&mut self, pkt: &Packet) {
         self.inner.update(pkt.timestamp(), (self.val)(pkt));
     }
@@ -339,6 +383,7 @@ struct FwdExtAgg<G: ForwardDecay> {
 }
 
 impl<G: ForwardDecay> Aggregator for FwdExtAgg<G> {
+    inner_checkpoint!();
     fn update(&mut self, pkt: &Packet) {
         self.inner.update(pkt.timestamp(), (self.val)(pkt));
     }
@@ -403,6 +448,7 @@ struct EhAgg {
 }
 
 impl Aggregator for EhAgg {
+    inner_checkpoint!();
     fn update(&mut self, pkt: &Packet) {
         match &self.val {
             None => self.inner.insert(pkt.timestamp()),
@@ -466,6 +512,7 @@ struct UnaryHhAgg {
 }
 
 impl Aggregator for UnaryHhAgg {
+    inner_checkpoint!();
     fn update(&mut self, pkt: &Packet) {
         self.inner.update((self.item)(pkt));
     }
@@ -520,6 +567,7 @@ struct FwdHhAgg<G: ForwardDecay> {
 }
 
 impl<G: ForwardDecay> Aggregator for FwdHhAgg<G> {
+    inner_checkpoint!();
     fn update(&mut self, pkt: &Packet) {
         self.inner.update(pkt.timestamp(), (self.item)(pkt));
     }
@@ -580,6 +628,7 @@ struct SwHhAgg {
 }
 
 impl Aggregator for SwHhAgg {
+    inner_checkpoint!();
     fn update(&mut self, pkt: &Packet) {
         self.inner.update(pkt.timestamp(), (self.item)(pkt));
     }
@@ -637,6 +686,7 @@ struct CmHhAgg<G: ForwardDecay> {
 }
 
 impl<G: ForwardDecay> Aggregator for CmHhAgg<G> {
+    inner_checkpoint!();
     fn update(&mut self, pkt: &Packet) {
         self.inner.update(pkt.timestamp(), (self.item)(pkt));
     }
@@ -701,6 +751,7 @@ struct PrefixHhAgg {
 }
 
 impl Aggregator for PrefixHhAgg {
+    inner_checkpoint!();
     fn update(&mut self, pkt: &Packet) {
         self.inner.update(pkt.timestamp(), (self.item)(pkt));
     }
@@ -1061,6 +1112,36 @@ impl Aggregator for MultiAgg {
     fn as_any_box(self: Box<Self>) -> Box<dyn Any> {
         self
     }
+    fn checkpoint(&self) -> Option<Vec<u8>> {
+        let parts: Option<Vec<Vec<u8>>> = self.parts.iter().map(|p| p.checkpoint()).collect();
+        fd_core::checkpoint::to_bytes(&parts?).ok()
+    }
+    fn checkpoint_into(&self, out: &mut Vec<u8>) -> Option<()> {
+        // Same wire shape as `checkpoint` (a length-prefixed seq of
+        // length-prefixed part states), written without the intermediate
+        // `Vec<Vec<u8>>`.
+        fd_core::checkpoint::put_u64(out, self.parts.len() as u64);
+        for part in &self.parts {
+            let len_pos = out.len();
+            fd_core::checkpoint::put_u64(out, 0);
+            part.checkpoint_into(out)?;
+            let len = (out.len() - len_pos - 8) as u64;
+            out[len_pos..len_pos + 8].copy_from_slice(&len.to_le_bytes());
+        }
+        Some(())
+    }
+    fn restore(&mut self, bytes: &[u8]) -> Result<(), fd_core::checkpoint::CodecError> {
+        let parts: Vec<Vec<u8>> = fd_core::checkpoint::from_bytes(bytes)?;
+        if parts.len() != self.parts.len() {
+            return Err(fd_core::checkpoint::CodecError::new(
+                "aggregate arity mismatch",
+            ));
+        }
+        for (mine, snap) in self.parts.iter_mut().zip(&parts) {
+            mine.restore(snap)?;
+        }
+        Ok(())
+    }
 }
 
 /// Composes several aggregates over the same groups — GSQL's
@@ -1107,6 +1188,7 @@ struct FwdQuantileAgg<G: ForwardDecay> {
 }
 
 impl<G: ForwardDecay> Aggregator for FwdQuantileAgg<G> {
+    inner_checkpoint!();
     fn update(&mut self, pkt: &Packet) {
         self.inner.update(pkt.timestamp(), (self.val)(pkt));
     }
@@ -1164,6 +1246,7 @@ struct DistinctAgg<G: ForwardDecay> {
 }
 
 impl<G: ForwardDecay> Aggregator for DistinctAgg<G> {
+    inner_checkpoint!();
     fn update(&mut self, pkt: &Packet) {
         self.inner.update(pkt.timestamp(), (self.item)(pkt));
     }

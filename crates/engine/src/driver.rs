@@ -12,6 +12,7 @@
 use std::time::Instant;
 
 use crate::engine::{Engine, EngineStats, Row, StreamEvent};
+use crate::processor::StreamProcessor;
 use crate::shard::ShardedEngine;
 use crate::tuple::{Micros, Packet};
 use crate::udaf::Query;
@@ -149,25 +150,48 @@ impl RateDriver {
         }
     }
 
-    /// Replays `packets` through `engine` at the offered rate.
-    pub fn replay(&self, engine: &mut Engine, packets: &[Packet]) -> ReplayStats {
+    /// Replays `packets` through any [`StreamProcessor`] at the offered
+    /// rate.
+    ///
+    /// For the single-threaded [`Engine`] the service time per batch is the
+    /// full aggregation cost. For a [`ShardedEngine`] it is the
+    /// *dispatcher's* time — admission plus routing — because the workers
+    /// aggregate concurrently on other cores. That is exactly what the
+    /// sharded architecture buys: the ingress thread only has to keep up
+    /// with admission, so the saturation rate (and the drop onset) moves
+    /// out by roughly the per-tuple aggregation cost over the per-tuple
+    /// dispatch cost.
+    ///
+    /// # Errors
+    /// Propagates the first processing error (e.g.
+    /// [`fd_core::Error::WorkerLost`] from an unsupervised sharded engine).
+    pub fn try_replay<P: StreamProcessor>(
+        &self,
+        engine: &mut P,
+        packets: &[Packet],
+    ) -> Result<ReplayStats, fd_core::Error> {
         self.replay_with(packets, |p| engine.process(p))
+    }
+
+    /// Panicking convenience over [`RateDriver::try_replay`].
+    pub fn replay<P: StreamProcessor>(&self, engine: &mut P, packets: &[Packet]) -> ReplayStats {
+        self.try_replay(engine, packets)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Replays `packets` through a sharded engine at the offered rate.
     ///
-    /// Same virtual-clock model as [`RateDriver::replay`], but the service
-    /// time per batch is the *dispatcher's* time — admission plus routing —
-    /// because the workers aggregate concurrently on other cores. This is
-    /// exactly what the sharded architecture buys: the ingress thread only
-    /// has to keep up with admission, so the saturation rate (and the drop
-    /// onset) moves out by roughly the per-tuple aggregation cost over the
-    /// per-tuple dispatch cost.
+    /// Kept for source compatibility; identical to calling
+    /// [`RateDriver::replay`] with the sharded engine.
     pub fn replay_sharded(&self, engine: &mut ShardedEngine, packets: &[Packet]) -> ReplayStats {
-        self.replay_with(packets, |p| engine.process(p))
+        self.replay(engine, packets)
     }
 
-    fn replay_with(&self, packets: &[Packet], mut process: impl FnMut(&Packet)) -> ReplayStats {
+    fn replay_with(
+        &self,
+        packets: &[Packet],
+        mut process: impl FnMut(&Packet) -> Result<(), fd_core::Error>,
+    ) -> Result<ReplayStats, fd_core::Error> {
         let mut processed = 0u64;
         let mut dropped = 0u64;
         let mut free_at = 0.0f64; // virtual clock: when the engine is next idle
@@ -190,7 +214,7 @@ impl RateDriver {
             }
             let t0 = Instant::now();
             for p in &packets[i..end] {
-                process(p);
+                process(p)?;
             }
             let service = t0.elapsed().as_secs_f64();
             // The engine starts serving when the batch has arrived and the
@@ -202,13 +226,13 @@ impl RateDriver {
         }
         let offered = packets.len() as u64;
         let stream_secs = offered as f64 / self.rate_pps;
-        ReplayStats {
+        Ok(ReplayStats {
             offered,
             processed,
             dropped,
             busy_secs,
             cpu_load_pct: (busy_secs / stream_secs * 100.0).min(100.0),
-        }
+        })
     }
 }
 

@@ -20,7 +20,7 @@ use crate::udaf::{AggValue, Aggregator, Query};
 
 /// One output row of a continuous query: a closed (bucket, group) with its
 /// aggregate value.
-#[derive(Debug)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct Row {
     /// Start of the time bucket (microseconds).
     pub bucket_start: Micros,
@@ -48,7 +48,7 @@ pub enum StreamEvent {
 }
 
 /// Execution counters.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct EngineStats {
     /// Tuples offered to the engine.
     pub tuples_in: u64,
@@ -98,6 +98,10 @@ pub struct Engine {
     /// Buckets at ids below this are closed.
     closed_below: u64,
     stats: EngineStats,
+    /// Size of the last [`Engine::checkpoint`] blob, used to pre-size the
+    /// next one (supervised workers checkpoint on their critical path, so
+    /// growth reallocations are worth avoiding).
+    last_ckpt_bytes: std::cell::Cell<usize>,
 }
 
 impl Engine {
@@ -115,6 +119,7 @@ impl Engine {
             watermark: 0,
             closed_below: 0,
             stats: EngineStats::default(),
+            last_ckpt_bytes: std::cell::Cell::new(64 * 1024),
         }
     }
 
@@ -370,6 +375,196 @@ impl Engine {
         }
         Some(groups.iter().sum::<usize>() as f64 / groups.len() as f64)
     }
+
+    /// Serializes the engine's complete execution state — watermark, close
+    /// frontier, counters, every open high-level group, the LFTA slots *in
+    /// place*, any pending closed state or rows — into one byte buffer.
+    ///
+    /// The snapshot is deterministic (group keys are sorted) and restoring
+    /// it with [`Engine::restore`] resumes the run so that the remaining
+    /// stream produces **byte-identical** output: LFTA slots go back to the
+    /// exact positions they held, so future fold/evict/flush order — and
+    /// with it every floating-point combination order — is unchanged.
+    ///
+    /// # Errors
+    /// Fails with a `CodecError` if the query's aggregator does not support
+    /// checkpointing (the samplers decline — their reservoirs carry no serde
+    /// support) or if encoding fails.
+    pub fn checkpoint(&self) -> Result<Vec<u8>, fd_core::checkpoint::CodecError> {
+        let mut blob = Vec::with_capacity(self.last_ckpt_bytes.get() + 16 * 1024);
+        self.checkpoint_into(&mut blob)?;
+        Ok(blob)
+    }
+
+    /// [`checkpoint`](Engine::checkpoint) into a caller-supplied buffer,
+    /// clearing it first. Periodic checkpointing recycles the previous
+    /// snapshot's buffer through here (see `CheckpointSlot::store`), so
+    /// the steady state rewrites the same half-megabyte instead of paying
+    /// an allocate/fault/free cycle per checkpoint.
+    pub fn checkpoint_into(
+        &self,
+        out: &mut Vec<u8>,
+    ) -> Result<(), fd_core::checkpoint::CodecError> {
+        use fd_core::checkpoint::{put_u64, to_bytes_into, CodecError};
+        let unsupported = || {
+            CodecError::new(format!(
+                "aggregate '{}' does not support checkpointing",
+                self.query.aggregate.name()
+            ))
+        };
+        // Layout: `flat blob | serde header | header_len`. The bulky,
+        // regular state — one tiny aggregator checkpoint per live group,
+        // tens of thousands per snapshot — is hand-packed into the blob:
+        // the serde codec's element-at-a-time walk (and one `Vec` per
+        // group) made checkpoints cost milliseconds, which put supervised
+        // workers on the pipeline's critical path. The header trails the
+        // blob so the result is one buffer, never recopied.
+        let mut blob = std::mem::take(out);
+        blob.clear();
+        put_u64(&mut blob, self.buckets.len() as u64);
+        for (&bucket, groups) in &self.buckets {
+            put_u64(&mut blob, bucket);
+            put_u64(&mut blob, groups.len() as u64);
+            let mut entries: Vec<(&u64, &Box<dyn Aggregator>)> = groups.iter().collect();
+            entries.sort_unstable_by_key(|&(&key, _)| key);
+            for (&key, agg) in entries {
+                put_u64(&mut blob, key);
+                crate::udaf::write_agg(&mut blob, agg.as_ref()).ok_or_else(unsupported)?;
+            }
+        }
+        if let Some(l) = &self.lfta {
+            l.snapshot_into(&mut blob).ok_or_else(unsupported)?;
+        }
+        let closed_src: &[ClosedGroup] = self.closed_state.as_deref().unwrap_or(&[]);
+        put_u64(&mut blob, closed_src.len() as u64);
+        for g in closed_src {
+            put_u64(&mut blob, g.bucket);
+            put_u64(&mut blob, g.key);
+            crate::udaf::write_agg(&mut blob, g.agg.as_ref()).ok_or_else(unsupported)?;
+        }
+        self.last_ckpt_bytes.set(blob.len());
+        let header_start = blob.len();
+        to_bytes_into(
+            &EngineHeader {
+                watermark: self.watermark,
+                closed_below: self.closed_below,
+                stats: self.stats,
+                state_mode: self.closed_state.is_some(),
+                lfta: self
+                    .lfta
+                    .as_ref()
+                    .map(|l| (l.n_slots() as u64, l.evictions(), l.updates())),
+                rows: self.out.clone(),
+            },
+            &mut blob,
+        )?;
+        let header_len = (blob.len() - header_start) as u64;
+        put_u64(&mut blob, header_len);
+        *out = blob;
+        Ok(())
+    }
+
+    /// Rebuilds an engine from a [`checkpoint`](Engine::checkpoint) taken on
+    /// an engine running the *same* `query` (same aggregate, bucketing and
+    /// split configuration — the caller is responsible for passing the
+    /// original query; mismatches surface as decode or shape errors).
+    ///
+    /// # Errors
+    /// Fails if the bytes don't decode, or if the snapshot's two-level
+    /// shape contradicts the query's.
+    pub fn restore(query: Query, bytes: &[u8]) -> Result<Self, fd_core::checkpoint::CodecError> {
+        use fd_core::checkpoint::{CodecError, Reader};
+        if bytes.len() < 8 {
+            return Err(CodecError::new("checkpoint shorter than its length tail"));
+        }
+        let (body, tail) = bytes.split_at(bytes.len() - 8);
+        let header_len = u64::from_le_bytes(tail.try_into().expect("8 bytes")) as usize;
+        if header_len > body.len() {
+            return Err(CodecError::new("checkpoint header overruns the buffer"));
+        }
+        let (blob, header_bytes) = body.split_at(body.len() - header_len);
+        let header: EngineHeader = fd_core::checkpoint::from_bytes(header_bytes)?;
+        let mut r = Reader::new(blob);
+        let mut e = Engine::new(query);
+        let factory = std::sync::Arc::clone(&e.query.aggregate);
+        let bucket_micros = e.query.bucket_micros;
+        let n_buckets = r.u64()?;
+        for _ in 0..n_buckets {
+            let bucket = r.u64()?;
+            let n_groups = r.u64()?;
+            let bucket_start = bucket * bucket_micros;
+            let map = e.buckets.entry(bucket).or_default();
+            for _ in 0..n_groups {
+                let key = r.u64()?;
+                let len = r.u64()? as usize;
+                let mut agg = factory.make(bucket_start);
+                agg.restore(r.bytes(len)?)?;
+                map.insert(key, agg);
+            }
+        }
+        match (header.lfta, e.lfta.is_some()) {
+            (Some((n_slots, evictions, updates)), true) => {
+                e.lfta = Some(Lfta::restore_from(
+                    &mut r,
+                    n_slots,
+                    evictions,
+                    updates,
+                    factory.as_ref(),
+                    bucket_micros,
+                )?);
+            }
+            (None, false) => {}
+            (Some(_), false) => {
+                return Err(CodecError::new(
+                    "snapshot has an LFTA but the query is single-level",
+                ));
+            }
+            (None, true) => {
+                return Err(CodecError::new(
+                    "query is two-level but the snapshot has no LFTA",
+                ));
+            }
+        }
+        let n_closed = r.u64()?;
+        if header.state_mode {
+            let mut state = Vec::with_capacity(n_closed as usize);
+            for _ in 0..n_closed {
+                let bucket = r.u64()?;
+                let key = r.u64()?;
+                let len = r.u64()? as usize;
+                let mut agg = factory.make(bucket * bucket_micros);
+                agg.restore(r.bytes(len)?)?;
+                state.push(ClosedGroup { bucket, key, agg });
+            }
+            e.closed_state = Some(state);
+        } else if n_closed != 0 {
+            return Err(CodecError::new("closed state in a row-mode snapshot"));
+        }
+        if !r.is_empty() {
+            return Err(CodecError::new("trailing bytes after checkpoint blob"));
+        }
+        e.watermark = header.watermark;
+        e.closed_below = header.closed_below;
+        e.stats = header.stats;
+        e.out = header.rows;
+        Ok(e)
+    }
+}
+
+/// The serde-encoded head of an [`Engine`] checkpoint: everything small
+/// and irregular. The per-group bulk (HFTA buckets, LFTA slots, closed
+/// state) is hand-packed into a flat blob after it — see
+/// [`Engine::checkpoint`] for the layout and the why.
+#[derive(serde::Serialize, serde::Deserialize)]
+struct EngineHeader {
+    watermark: Micros,
+    closed_below: u64,
+    stats: EngineStats,
+    state_mode: bool,
+    /// `(n_slots, evictions, updates)` when the query is two-level.
+    lfta: Option<(u64, u64, u64)>,
+    /// Pending rows (row mode).
+    rows: Vec<Row>,
 }
 
 #[cfg(test)]

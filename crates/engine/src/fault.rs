@@ -1,0 +1,167 @@
+//! Deterministic fault injection for the sharded engine.
+//!
+//! Recovery code that is only exercised by real crashes is recovery code
+//! that never runs in CI. This module gives tests (and the `fault-matrix`
+//! CI job) a way to schedule precise failures inside shard workers:
+//!
+//! * [`FaultKind::PanicAtTuple`] — the worker panics the instant its
+//!   engine's cumulative tuple count reaches N. The fault disarms *before*
+//!   panicking, so the respawned worker replays past the same point — a
+//!   transient crash, the bread-and-butter supervision case.
+//! * [`FaultKind::PoisonedBatch`] — same trigger, but the fault never
+//!   disarms: every incarnation of the worker dies at the same tuple.
+//!   Models a poison-pill input and drives the supervisor's bounded-restart
+//!   degradation path.
+//! * [`FaultKind::SlowShard`] — the worker sleeps for the given duration
+//!   before each batch. No crash; exists to make backpressure and queue
+//!   telemetry observable under a deterministically slow consumer.
+//!
+//! Because the trigger position is the *engine's* tuple counter — which is
+//! checkpointed and restored — "panic at tuple N" means the same logical
+//! tuple across restarts, independent of batching or replay.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+/// What to inject, and when.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Panic when the shard engine's cumulative tuple count reaches N
+    /// (1-based: `PanicAtTuple(100)` fires on the 100th tuple). Transient:
+    /// disarms before firing, so the replay succeeds.
+    PanicAtTuple(u64),
+    /// Like [`FaultKind::PanicAtTuple`], but permanent: every respawned
+    /// worker hits it again, exhausting the restart budget.
+    PoisonedBatch(u64),
+    /// Sleep this long before processing each batch.
+    SlowShard(Duration),
+}
+
+/// A fault bound to one shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Index of the shard whose worker misbehaves.
+    pub shard: usize,
+    /// The fault to inject there.
+    pub kind: FaultKind,
+}
+
+impl FaultPlan {
+    /// Parses the compact spec used by the CLI and the CI fault matrix:
+    ///
+    /// * `panic:SHARD:N` — transient panic at tuple N on shard SHARD
+    /// * `poison:SHARD:N` — permanent panic at tuple N on shard SHARD
+    /// * `slow:SHARD:MS` — sleep MS milliseconds per batch on shard SHARD
+    ///
+    /// Returns `None` on any malformed spec.
+    pub fn parse(spec: &str) -> Option<Self> {
+        let mut parts = spec.split(':');
+        let kind = parts.next()?;
+        let shard: usize = parts.next()?.parse().ok()?;
+        let n: u64 = parts.next()?.parse().ok()?;
+        if parts.next().is_some() {
+            return None;
+        }
+        let kind = match kind {
+            "panic" => FaultKind::PanicAtTuple(n),
+            "poison" => FaultKind::PoisonedBatch(n),
+            "slow" => FaultKind::SlowShard(Duration::from_millis(n)),
+            _ => return None,
+        };
+        Some(Self { shard, kind })
+    }
+}
+
+/// Reads a seed for randomized fault placement from the `FD_FAULT`
+/// environment variable (decimal u64). `None` when unset or malformed —
+/// callers fall back to a fixed default seed.
+pub fn env_seed() -> Option<u64> {
+    std::env::var("FD_FAULT").ok()?.trim().parse().ok()
+}
+
+/// The live fault shared between the dispatcher and every incarnation of a
+/// shard worker. `armed` survives worker restarts (it lives in an `Arc`),
+/// which is exactly how a transient fault fires once and a permanent one
+/// fires forever.
+#[derive(Debug)]
+pub struct FaultState {
+    /// The scheduled fault.
+    pub plan: FaultPlan,
+    armed: AtomicBool,
+}
+
+impl FaultState {
+    /// Arms the plan.
+    pub fn new(plan: FaultPlan) -> Self {
+        Self {
+            plan,
+            armed: AtomicBool::new(true),
+        }
+    }
+
+    /// Whether the fault is still live.
+    pub fn armed(&self) -> bool {
+        self.armed.load(Ordering::Relaxed)
+    }
+
+    /// Disarms the fault (transient faults call this just before firing).
+    pub fn disarm(&self) {
+        self.armed.store(false, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_all_kinds() {
+        assert_eq!(
+            FaultPlan::parse("panic:2:1000"),
+            Some(FaultPlan {
+                shard: 2,
+                kind: FaultKind::PanicAtTuple(1000)
+            })
+        );
+        assert_eq!(
+            FaultPlan::parse("poison:0:5"),
+            Some(FaultPlan {
+                shard: 0,
+                kind: FaultKind::PoisonedBatch(5)
+            })
+        );
+        assert_eq!(
+            FaultPlan::parse("slow:1:250"),
+            Some(FaultPlan {
+                shard: 1,
+                kind: FaultKind::SlowShard(Duration::from_millis(250))
+            })
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_specs() {
+        for bad in [
+            "",
+            "panic",
+            "panic:1",
+            "panic:1:2:3",
+            "explode:0:1",
+            "panic:x:1",
+            "panic:0:y",
+        ] {
+            assert_eq!(FaultPlan::parse(bad), None, "spec {bad:?}");
+        }
+    }
+
+    #[test]
+    fn transient_disarm() {
+        let f = FaultState::new(FaultPlan {
+            shard: 0,
+            kind: FaultKind::PanicAtTuple(1),
+        });
+        assert!(f.armed());
+        f.disarm();
+        assert!(!f.armed());
+    }
+}

@@ -154,6 +154,78 @@ impl Lfta {
             .sum::<usize>()
             + self.slots.capacity() * std::mem::size_of::<Option<Slot>>()
     }
+
+    /// Total slot count (resident or not) — recorded in checkpoints so
+    /// restore can rebuild the exact same table geometry.
+    pub(crate) fn n_slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Serializes the table into an engine-checkpoint blob: a resident
+    /// count, then every resident slot *in place* (index, key, bucket,
+    /// length-prefixed aggregator state). Slots are deliberately **not**
+    /// flushed first — restoring them into the same positions preserves
+    /// the exact future fold/evict/flush order, which is what makes
+    /// recovery byte-identical. The activity counters and slot count
+    /// travel in the checkpoint header, not here.
+    ///
+    /// Returns `None` if any resident aggregator declines
+    /// [`Aggregator::checkpoint`].
+    pub(crate) fn snapshot_into(&self, out: &mut Vec<u8>) -> Option<()> {
+        use fd_core::checkpoint::put_u64;
+        // Count residents while writing them (patching the count in after)
+        // rather than paying a second full-table scan up front.
+        let count_pos = out.len();
+        put_u64(out, 0);
+        let mut resident = 0u64;
+        for (idx, slot) in self.slots.iter().enumerate() {
+            if let Some(s) = slot {
+                resident += 1;
+                put_u64(out, idx as u64);
+                put_u64(out, s.key);
+                put_u64(out, s.bucket);
+                crate::udaf::write_agg(out, s.agg.as_ref())?;
+            }
+        }
+        out[count_pos..count_pos + 8].copy_from_slice(&resident.to_le_bytes());
+        Some(())
+    }
+
+    /// Rebuilds a table from a [`snapshot_into`](Self::snapshot_into)
+    /// section: fresh aggregators from `factory`, refilled via
+    /// [`Aggregator::restore`] into the recorded slot positions. The
+    /// counters come from the checkpoint header.
+    pub(crate) fn restore_from(
+        r: &mut fd_core::checkpoint::Reader<'_>,
+        n_slots: u64,
+        evictions: u64,
+        updates: u64,
+        factory: &dyn AggregatorFactory,
+        bucket_micros: Micros,
+    ) -> Result<Self, fd_core::checkpoint::CodecError> {
+        use fd_core::checkpoint::CodecError;
+        if n_slots == 0 {
+            return Err(CodecError::new("LFTA snapshot with zero slots"));
+        }
+        let mut lfta = Lfta::new(n_slots as usize);
+        lfta.evictions = evictions;
+        lfta.updates = updates;
+        let resident = r.u64()?;
+        for _ in 0..resident {
+            let idx = r.u64()? as usize;
+            let key = r.u64()?;
+            let bucket = r.u64()?;
+            let len = r.u64()? as usize;
+            let bytes = r.bytes(len)?;
+            if idx >= lfta.slots.len() {
+                return Err(CodecError::new(format!("LFTA slot {idx} out of range")));
+            }
+            let mut agg = factory.make(bucket * bucket_micros);
+            agg.restore(bytes)?;
+            lfta.slots[idx] = Some(Slot { key, bucket, agg });
+        }
+        Ok(lfta)
+    }
 }
 
 #[cfg(test)]

@@ -31,7 +31,16 @@
 //! - [`telemetry`] — live lock-free observability for the sharded engine:
 //!   an `Arc`-shared atomic registry (queue depth, watermark lag, admission
 //!   counters), per-batch latency histograms with p50/p95/p99, and
-//!   Prometheus/JSON snapshot export.
+//!   Prometheus/JSON snapshot export;
+//! - [`processor`] — the [`processor::StreamProcessor`] trait: the one
+//!   process/punctuate/finish surface implemented by both executors, so
+//!   drivers and tools are generic over single-threaded vs sharded runs;
+//! - [`supervisor`] — checkpoint slots and restart policy for
+//!   fault-tolerant shard workers: each worker periodically serializes its
+//!   full engine state (exact, thanks to Section VI-B mergeable summaries)
+//!   and the dispatcher replays the short tail after a crash;
+//! - [`fault`] — deterministic fault injection (`FD_FAULT=panic:SHARD:N`)
+//!   used by the recovery test-suite and the fault-matrix CI job.
 //!
 //! The paper's example query
 //!
@@ -67,11 +76,14 @@
 pub mod aggregators;
 pub mod driver;
 pub mod engine;
+pub mod fault;
 pub mod lfta;
 pub mod metrics;
+pub mod processor;
 pub mod report;
 pub mod shard;
 pub mod spsc;
+pub mod supervisor;
 pub mod telemetry;
 pub mod tuple;
 pub mod udaf;
@@ -81,9 +93,12 @@ pub mod prelude {
     pub use crate::aggregators::*;
     pub use crate::driver::{QuerySet, RateDriver, ReplayStats};
     pub use crate::engine::{ClosedGroup, Engine, EngineStats, Row, StreamEvent};
+    pub use crate::fault::{FaultKind, FaultPlan};
     pub use crate::metrics::{combine_shard_stats, cpu_load_pct, drop_fraction, LoadPoint};
+    pub use crate::processor::StreamProcessor;
     pub use crate::report::{rows_to_csv, rows_to_table};
     pub use crate::shard::{ShardBy, ShardedEngine};
+    pub use crate::supervisor::{DEFAULT_CHECKPOINT_EVERY, DEFAULT_MAX_RESTARTS};
     pub use crate::telemetry::{EngineTelemetry, MetricsSnapshot, Reporter};
     pub use crate::tuple::{secs, Micros, Packet, Proto, MICROS_PER_SEC};
     pub use crate::udaf::{AggValue, Aggregator, AggregatorFactory, ItemValue, Query};

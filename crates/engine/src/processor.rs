@@ -1,0 +1,189 @@
+//! One unified surface for running a query, whatever executes it.
+//!
+//! [`Engine`] (single-threaded) and [`ShardedEngine`] (N supervised
+//! workers) grew the same vocabulary — process, punctuate, finish, stats —
+//! with slightly different spellings and failure modes. [`StreamProcessor`]
+//! is the common trait: drivers, benches and tools write against it once
+//! and run on either executor. Methods that can genuinely fail on one
+//! implementation (a dead unsupervised worker) are fallible for both; the
+//! single-threaded engine simply never errs.
+//!
+//! Both types keep their inherent methods unchanged, so existing call
+//! sites compile as before — the trait is purely additive, for generic
+//! code like [`RateDriver::try_replay`](crate::driver::RateDriver::try_replay).
+
+use crate::engine::{Engine, EngineStats, Row, StreamEvent};
+use crate::shard::ShardedEngine;
+use crate::telemetry::MetricsSnapshot;
+use crate::tuple::{Micros, Packet};
+
+/// A running query execution that consumes a timestamped stream and
+/// produces bucketed rows: the one API over the single-threaded
+/// [`Engine`] and the supervised [`ShardedEngine`].
+pub trait StreamProcessor {
+    /// Offers one tuple.
+    ///
+    /// # Errors
+    /// [`fd_core::Error::WorkerLost`] if the executor has lost a worker it
+    /// cannot recover (sharded engine with supervision disabled).
+    fn process(&mut self, pkt: &Packet) -> Result<(), fd_core::Error>;
+
+    /// Offers a batch of tuples through the executor's fastest path.
+    ///
+    /// # Errors
+    /// As [`StreamProcessor::process`].
+    fn process_packets(&mut self, pkts: &[Packet]) -> Result<(), fd_core::Error> {
+        for p in pkts {
+            self.process(p)?;
+        }
+        Ok(())
+    }
+
+    /// Advances the watermark without data, closing due buckets.
+    ///
+    /// # Errors
+    /// As [`StreamProcessor::process`].
+    fn punctuate(&mut self, wm: Micros) -> Result<(), fd_core::Error>;
+
+    /// Offers one stream element (data or punctuation).
+    ///
+    /// # Errors
+    /// As [`StreamProcessor::process`].
+    fn process_event(&mut self, ev: &StreamEvent) -> Result<(), fd_core::Error> {
+        match ev {
+            StreamEvent::Data(pkt) => self.process(pkt),
+            StreamEvent::Punctuation(ts) => self.punctuate(*ts),
+        }
+    }
+
+    /// Ends the stream: closes all open buckets and returns every pending
+    /// row. Idempotent where the executor supports it.
+    fn finish(&mut self) -> Vec<Row>;
+
+    /// Execution counters so far (shard-side counters of a sharded run
+    /// are complete only after [`finish`](StreamProcessor::finish)).
+    fn stats(&self) -> EngineStats;
+
+    /// A point-in-time telemetry sample in the unified snapshot shape.
+    /// The single-threaded engine synthesizes one from its counters; the
+    /// sharded engine samples its live registry.
+    fn telemetry_snapshot(&self) -> MetricsSnapshot;
+}
+
+impl StreamProcessor for Engine {
+    fn process(&mut self, pkt: &Packet) -> Result<(), fd_core::Error> {
+        Engine::process(self, pkt);
+        Ok(())
+    }
+
+    fn punctuate(&mut self, wm: Micros) -> Result<(), fd_core::Error> {
+        Engine::punctuate(self, wm);
+        Ok(())
+    }
+
+    fn finish(&mut self) -> Vec<Row> {
+        Engine::finish(self)
+    }
+
+    fn stats(&self) -> EngineStats {
+        Engine::stats(self)
+    }
+
+    fn telemetry_snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot::from_engine_stats(&Engine::stats(self), self.watermark())
+    }
+}
+
+impl StreamProcessor for ShardedEngine {
+    fn process(&mut self, pkt: &Packet) -> Result<(), fd_core::Error> {
+        self.try_process(pkt)
+    }
+
+    fn process_packets(&mut self, pkts: &[Packet]) -> Result<(), fd_core::Error> {
+        self.try_process_packets(pkts)
+    }
+
+    fn punctuate(&mut self, wm: Micros) -> Result<(), fd_core::Error> {
+        self.try_punctuate(wm)
+    }
+
+    fn finish(&mut self) -> Vec<Row> {
+        ShardedEngine::finish(self)
+    }
+
+    fn stats(&self) -> EngineStats {
+        ShardedEngine::stats(self)
+    }
+
+    fn telemetry_snapshot(&self) -> MetricsSnapshot {
+        self.telemetry().snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregators::count_factory;
+    use crate::tuple::{Proto, MICROS_PER_SEC};
+    use crate::udaf::Query;
+
+    fn pkt(ts_s: f64, dst_ip: u32) -> Packet {
+        Packet {
+            ts: (ts_s * MICROS_PER_SEC as f64) as Micros,
+            src_ip: 1,
+            dst_ip,
+            src_port: 1000,
+            dst_port: 80,
+            len: 100,
+            proto: Proto::Tcp,
+        }
+    }
+
+    fn query() -> Query {
+        Query::builder("count")
+            .group_by(|p| p.dst_host())
+            .bucket_secs(60)
+            .aggregate(count_factory())
+            .build()
+    }
+
+    /// Generic driver code: compiles once, runs on both executors.
+    fn drive<P: StreamProcessor>(p: &mut P) -> Vec<Row> {
+        for i in 0..5_000u64 {
+            StreamProcessor::process(p, &pkt(0.05 * i as f64, (i % 17) as u32)).expect("process");
+        }
+        StreamProcessor::punctuate(p, 500 * MICROS_PER_SEC).expect("punctuate");
+        StreamProcessor::finish(p)
+    }
+
+    #[test]
+    fn both_executors_agree_through_the_trait() {
+        let mut single = Engine::new(query());
+        let mut parallel = ShardedEngine::try_new(query(), 3).expect("spawn");
+        let a = drive(&mut single);
+        let b = drive(&mut parallel);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!((x.bucket_start, x.key), (y.bucket_start, y.key));
+            assert_eq!(x.value, y.value);
+        }
+        assert_eq!(
+            StreamProcessor::stats(&single).tuples_in,
+            StreamProcessor::stats(&parallel).tuples_in
+        );
+    }
+
+    #[test]
+    fn telemetry_snapshot_has_one_shape() {
+        let mut single = Engine::new(query());
+        let mut parallel = ShardedEngine::try_new(query(), 2).expect("spawn");
+        drive(&mut single);
+        drive(&mut parallel);
+        let s = single.telemetry_snapshot();
+        let p = parallel.telemetry_snapshot();
+        assert_eq!(s.tuples_in, p.tuples_in);
+        assert_eq!(s.rows_out, p.rows_out);
+        assert!(s.shards.is_empty(), "single-threaded: no shard slices");
+        assert_eq!(p.shards.len(), 2);
+    }
+}

@@ -40,18 +40,49 @@
 //! single-threaded engine exactly for the exactly-mergeable aggregates
 //! (counts, sums — Theorem 1 state is a pair of scalars that add), and
 //! within approximation bounds for the sketch/sampler summaries.
+//!
+//! ## Supervision and recovery
+//!
+//! Each worker periodically serializes its whole engine into a shared
+//! [`CheckpointSlot`] ([`Engine::checkpoint`] — forward decay's frozen
+//! numerators make the snapshot plain data, exact to the bit). The
+//! dispatcher retains the short tail of messages since the last
+//! checkpoint. When a send fails (the worker panicked), the supervisor
+//! respawns the worker from the checkpoint with exponential backoff and
+//! replays the tail, after which the run continues **byte-identically**:
+//! the restored LFTA slots sit in their exact old positions, so every
+//! future fold/evict/flush — and every floating-point combination order —
+//! is unchanged. A shard that exhausts its restart budget (a poison-pill
+//! input, say) is *degraded*: later tuples routed to it are counted
+//! dropped, and its last checkpoint is still salvaged into the final
+//! result at [`ShardedEngine::finish`]. Every recovery action is
+//! observable in [`EngineTelemetry`]: `restarts`, `checkpoints`,
+//! `replayed_batches` / `replayed_tuples`, `degraded_shards`,
+//! `dropped_degraded`.
+//!
+//! Supervision is on by default
+//! ([`DEFAULT_CHECKPOINT_EVERY`](crate::supervisor::DEFAULT_CHECKPOINT_EVERY)
+//! tuples between checkpoints); [`ShardedEngine::checkpoint_every`] tunes
+//! the interval, and `0` disables the whole layer — no checkpoints, no
+//! backlog, and a dead worker is a hard error again
+//! ([`fd_core::Error::WorkerLost`]), the pre-supervision behavior.
+//! Queries whose aggregators cannot serialize (the samplers) flag their
+//! slot unsupported on the first attempt and likewise fall back to
+//! fail-hard-on-death, degrading instead of erroring.
 
 use std::collections::btree_map::Entry;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::Ordering::Relaxed;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
 use crate::engine::{ClosedGroup, Engine, EngineStats, Row, StreamEvent};
-use crate::spsc::{ring, BatchPool, RingSender};
+use crate::fault::{FaultKind, FaultState};
+use crate::spsc::{ring, BatchPool, RingReceiver, RingSender};
+use crate::supervisor::{backoff, CheckpointSlot, SupervisorConfig, DEFAULT_MAX_RESTARTS};
 use crate::telemetry::EngineTelemetry;
-use crate::tuple::{secs, Micros, Packet};
+use crate::tuple::{secs, Micros, Packet, Proto};
 use crate::udaf::{Aggregator, Query};
 
 /// How the dispatcher assigns accepted tuples to shards.
@@ -69,18 +100,259 @@ pub enum ShardBy {
     RoundRobin,
 }
 
-/// Messages from the dispatcher to a worker. Batches carry their send
-/// instant so the worker can report dispatch-to-apply latency.
+/// Messages from the dispatcher to a worker, sequence-numbered per shard
+/// (1-based; a [`CheckpointSlot`] stores the seq it covers, `0` meaning
+/// "none yet"). Batches travel behind an `Arc` so the supervision backlog
+/// retains them without copying packets; in unsupervised mode the worker
+/// holds the only reference and recycles the buffer exactly as before.
+/// Batches also carry their send instant so the worker can report
+/// dispatch-to-apply latency.
+#[derive(Clone)]
 enum Msg {
-    Batch(Vec<Packet>, Instant),
-    Punctuate(Micros),
+    Batch {
+        seq: u64,
+        pkts: Arc<Vec<Packet>>,
+        sent: Instant,
+    },
+    Punctuate {
+        seq: u64,
+        wm: Micros,
+    },
 }
 
-/// Per-shard ring depth (in batches) before the dispatcher blocks.
-const CHANNEL_DEPTH: usize = 8;
+impl Msg {
+    fn seq(&self) -> u64 {
+        match self {
+            Msg::Batch { seq, .. } | Msg::Punctuate { seq, .. } => *seq,
+        }
+    }
+}
+
+/// Supervision state for one shard.
+struct Seat {
+    /// Messages since the last checkpoint, retained for replay. Stays
+    /// empty in unsupervised mode and once a slot reports unsupported.
+    ///
+    /// Shared with the live worker: the dispatcher pushes a clone of each
+    /// message before sending it (one short lock on the hot path), and the
+    /// worker — not the dispatcher — trims covered entries right after
+    /// each checkpoint it publishes, recycling their batch buffers. That
+    /// keeps the reclaim scan, the `Arc` teardown and the pool pushes off
+    /// the dispatch path, on a thread that overlaps it whenever a spare
+    /// core exists. The deque itself outlives the worker (it hangs off
+    /// the seat), so replay after a crash reads it exactly as before.
+    backlog: Arc<Mutex<VecDeque<Msg>>>,
+    /// Next sequence number to assign.
+    next_seq: u64,
+    /// The worker's checkpoint slot (shared across its incarnations).
+    slot: Arc<CheckpointSlot>,
+    /// Restarts consumed so far, cumulative for the run.
+    restarts: u32,
+    degraded: bool,
+    /// Defensive stash for a worker that exited *cleanly* while being
+    /// reaped — not expected (a worker only exits when its channel
+    /// closes), but its state must not be silently dropped if it happens.
+    early_exit: Option<(Vec<ClosedGroup>, EngineStats)>,
+}
+
+impl Seat {
+    fn new() -> Self {
+        Self {
+            backlog: Arc::new(Mutex::new(VecDeque::new())),
+            next_seq: 1,
+            slot: Arc::new(CheckpointSlot::default()),
+            restarts: 0,
+            degraded: false,
+            early_exit: None,
+        }
+    }
+}
+
+/// Per-shard ring depth (in batches) before the dispatcher blocks. Deep
+/// enough that a worker pausing to serialize a checkpoint (~1 ms on the
+/// fig2 workload) drains queued batches afterwards instead of stalling
+/// the dispatcher.
+const CHANNEL_DEPTH: usize = 32;
 /// Default tuples buffered per shard before an automatic ring send;
 /// override with [`ShardedEngine::batch_size`] (CLI: `--batch`).
 pub const DEFAULT_BATCH_SIZE: usize = 1024;
+
+/// Applies one batch to the shard engine, firing any armed panic fault at
+/// its exact tuple position. The position is the engine's cumulative
+/// accepted-tuple count (`tuples_in`), which is checkpointed — so "tuple
+/// N" names the same logical tuple across restarts and replays, however
+/// the stream was batched.
+fn apply_batch(engine: &mut Engine, pkts: &[Packet], fault: Option<&FaultState>, shard: usize) {
+    let trigger = fault.and_then(|f| match f.plan.kind {
+        FaultKind::PanicAtTuple(n) => Some((f, n, true)),
+        FaultKind::PoisonedBatch(n) => Some((f, n, false)),
+        FaultKind::SlowShard(_) => None,
+    });
+    match trigger {
+        None => {
+            for p in pkts {
+                engine.process(p);
+            }
+        }
+        Some((f, n, transient)) => {
+            for p in pkts {
+                if engine.stats().tuples_in + 1 >= n {
+                    // A transient fault disarms *before* panicking, so the
+                    // respawned worker replays past this point.
+                    if transient {
+                        f.disarm();
+                    }
+                    panic!("injected fault: shard {shard} worker dies at tuple {n}");
+                }
+                engine.process(p);
+            }
+        }
+    }
+}
+
+/// A shard worker's join handle: the worker returns its closed groups and
+/// end-of-run stats when the channel drains.
+type WorkerHandle = JoinHandle<(Vec<ClosedGroup>, EngineStats)>;
+
+/// Spawns one shard worker around a ready engine (fresh at start-up,
+/// checkpoint-restored on respawn).
+#[allow(clippy::too_many_arguments)]
+fn spawn_worker(
+    shard: usize,
+    mut engine: Engine,
+    rx: RingReceiver<Msg>,
+    registry: Arc<EngineTelemetry>,
+    recycle: BatchPool<Packet>,
+    config: Arc<SupervisorConfig>,
+    slot: Arc<CheckpointSlot>,
+    backlog: Arc<Mutex<VecDeque<Msg>>>,
+    fault: Arc<Mutex<Option<Arc<FaultState>>>>,
+) -> WorkerHandle {
+    std::thread::Builder::new()
+        .name(format!("fd-shard-{shard}"))
+        .spawn(move || {
+            let tel = &registry.shards()[shard];
+            let n_shards = registry.shards().len().max(1);
+            // Tuple-equivalents applied since the last checkpoint
+            // (punctuations count 1, so an idle shard's backlog stays
+            // bounded too).
+            let mut since_ckpt = 0u64;
+            // Shard-by-key balances load well enough that without an
+            // offset every worker hits its checkpoint threshold in the
+            // same instant and all shards stall together — which stalls
+            // the dispatcher. Staggering the *first* interval spreads the
+            // serialization pauses across the whole window.
+            let mut staggered = false;
+            // The snapshot buffer displaced from the slot by each store,
+            // recycled into the next serialization so steady-state
+            // checkpointing stops allocating.
+            let mut spare: Vec<u8> = Vec::new();
+            while let Some(msg) = rx.recv() {
+                let live = registry.enabled();
+                let active_fault = fault
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .clone()
+                    .filter(|f| f.plan.shard == shard && f.armed());
+                let seq = msg.seq();
+                match msg {
+                    Msg::Batch { pkts, sent, .. } => {
+                        if let Some(FaultKind::SlowShard(d)) =
+                            active_fault.as_ref().map(|f| f.plan.kind)
+                        {
+                            std::thread::sleep(d);
+                        }
+                        if live {
+                            let t0 = Instant::now();
+                            apply_batch(&mut engine, &pkts, active_fault.as_deref(), shard);
+                            tel.batch_ns.record(t0.elapsed().as_nanos() as u64);
+                            tel.dispatch_lag_ns.record(sent.elapsed().as_nanos() as u64);
+                            tel.tuples_processed.fetch_add(pkts.len() as u64, Relaxed);
+                        } else {
+                            apply_batch(&mut engine, &pkts, active_fault.as_deref(), shard);
+                        }
+                        since_ckpt += pkts.len() as u64;
+                        // Sole owner ⇒ unsupervised mode: hand the drained
+                        // buffer back for reuse, exactly as before. Under
+                        // supervision the backlog clone wins and the
+                        // buffer is reclaimed by the post-checkpoint trim
+                        // below.
+                        if let Ok(buf) = Arc::try_unwrap(pkts) {
+                            recycle.put(buf);
+                        }
+                    }
+                    Msg::Punctuate { wm, .. } => {
+                        engine.punctuate(wm);
+                        if live {
+                            tel.applied_watermark.store(wm, Relaxed);
+                            tel.lfta_evictions
+                                .store(engine.stats().lfta_evictions, Relaxed);
+                            if let Some(occ) = engine.lfta_occupancy() {
+                                tel.lfta_occupancy.store(occ as u64, Relaxed);
+                            }
+                        }
+                        since_ckpt += 1;
+                    }
+                }
+                // Checkpoint at message boundaries: the snapshot then means
+                // exactly "everything up to seq applied", which is what
+                // backlog trimming and replay key on. The buffer handed
+                // back above happens-before the seq store, so a trimmed
+                // batch is never still referenced by the worker.
+                let every = config.checkpoint_every.load(Relaxed);
+                if !staggered && every > 0 {
+                    since_ckpt += shard as u64 * every / n_shards as u64;
+                    staggered = true;
+                }
+                if every > 0 && since_ckpt >= every && !slot.unsupported() {
+                    let ckpt_start = crate::telemetry::thread_cpu_ns();
+                    let mut blob = std::mem::take(&mut spare);
+                    match engine.checkpoint_into(&mut blob) {
+                        Ok(()) => {
+                            spare = slot.store(seq, blob).unwrap_or_default();
+                            registry.checkpoints.fetch_add(1, Relaxed);
+                            let spent =
+                                crate::telemetry::thread_cpu_ns().saturating_sub(ckpt_start);
+                            registry.checkpoint_ns.fetch_add(spent, Relaxed);
+                            since_ckpt = 0;
+                            // Trim the replay backlog: everything up to
+                            // `seq` is inside the snapshot just published.
+                            // Running this here — not on the dispatcher —
+                            // keeps the reclaim scan, the `Arc` teardown
+                            // and the pool pushes off the dispatch path.
+                            // Buffers are handed back outside the lock so
+                            // the dispatcher's concurrent push never waits
+                            // on the pool mutex.
+                            let mut covered = Vec::new();
+                            {
+                                let mut log =
+                                    backlog.lock().unwrap_or_else(PoisonError::into_inner);
+                                while log.front().is_some_and(|m| m.seq() <= seq) {
+                                    if let Some(Msg::Batch { pkts, .. }) = log.pop_front() {
+                                        covered.push(pkts);
+                                    }
+                                }
+                            }
+                            for pkts in covered {
+                                if let Ok(buf) = Arc::try_unwrap(pkts) {
+                                    recycle.put(buf);
+                                }
+                            }
+                        }
+                        // Failure is permanent (the aggregate can't
+                        // serialize): flag it so the dispatcher stops
+                        // retaining backlog and degrades on death.
+                        Err(_) => slot.mark_unsupported(),
+                    }
+                }
+                tel.queue_depth.fetch_sub(1, Relaxed);
+            }
+            // Channel closed: end of stream.
+            let state = engine.finish_state();
+            (state, engine.stats())
+        })
+        .expect("spawn shard worker")
+}
 
 /// A parallel instance of one continuous query across N worker threads.
 ///
@@ -93,7 +365,7 @@ pub const DEFAULT_BATCH_SIZE: usize = 1024;
 ///     .bucket_secs(60)
 ///     .aggregate(fwd_sum_factory(Monomial::quadratic(), |p| p.len as f64))
 ///     .build();
-/// let mut sharded = ShardedEngine::new(query, 4);
+/// let mut sharded = ShardedEngine::try_new(query, 4).expect("spawn shards");
 /// # let pkt = Packet { ts: 1_000_000, src_ip: 1, dst_ip: 2, src_port: 3,
 /// #                    dst_port: 80, len: 100, proto: Proto::Tcp };
 /// sharded.process_batch(&[StreamEvent::Data(pkt)]);
@@ -102,13 +374,20 @@ pub const DEFAULT_BATCH_SIZE: usize = 1024;
 /// ```
 pub struct ShardedEngine {
     query: Query,
+    /// The per-worker copy of the query (selection stripped — the
+    /// dispatcher has already applied it); also used to rebuild worker
+    /// engines from checkpoints.
+    worker_query: Query,
     routing: ShardBy,
-    senders: Vec<RingSender<Msg>>,
-    workers: Vec<JoinHandle<(Vec<ClosedGroup>, EngineStats)>>,
+    /// `None` = worker gone (degraded, or channel closed at finish).
+    senders: Vec<Option<RingSender<Msg>>>,
+    workers: Vec<Option<WorkerHandle>>,
+    seats: Vec<Seat>,
     /// Per-shard staging buffers; swapped against [`Self::pool`] buffers
     /// on flush, so steady-state dispatch never allocates.
     pending: Vec<Vec<Packet>>,
-    /// Recycled batch buffers, returned by workers after draining.
+    /// Recycled batch buffers, returned by workers: directly after apply
+    /// (unsupervised) or by the post-checkpoint backlog trim (supervised).
     pool: BatchPool<Packet>,
     /// Tuples staged per shard before an automatic flush.
     batch_size: usize,
@@ -123,6 +402,12 @@ pub struct ShardedEngine {
     shard_stats: Vec<EngineStats>,
     /// Shared live-metrics registry (also held by every worker).
     telemetry: Arc<EngineTelemetry>,
+    /// Supervision tunables shared with the running workers.
+    config: Arc<SupervisorConfig>,
+    /// Per-shard restart budget before degradation.
+    max_restarts: u32,
+    /// Injected fault, if any (shared with every worker incarnation).
+    fault: Arc<Mutex<Option<Arc<FaultState>>>>,
     /// Cached `telemetry.enabled()` so the per-tuple hot path tests a
     /// plain bool instead of an atomic.
     live: bool,
@@ -132,6 +417,7 @@ pub struct ShardedEngine {
 impl ShardedEngine {
     /// Spawns `n_shards` workers for the query. Panics on zero shards;
     /// see [`ShardedEngine::try_new`] for the reporting variant.
+    #[deprecated(since = "0.6.0", note = "use `try_new` and handle the error")]
     pub fn new(query: Query, n_shards: usize) -> Self {
         Self::try_new(query, n_shards).unwrap_or_else(|e| panic!("{e}"))
     }
@@ -147,73 +433,41 @@ impl ShardedEngine {
             });
         }
         let telemetry = Arc::new(EngineTelemetry::new(n_shards));
-        // Bound the free list at one ring's worth of batches per shard
-        // plus the staging buffers, so a burst can't pin unbounded memory.
-        let pool = BatchPool::new(n_shards * (CHANNEL_DEPTH + 1));
+        let pool = BatchPool::new(0); // bound set below, once config exists
+        let config = Arc::new(SupervisorConfig::default());
+        let fault: Arc<Mutex<Option<Arc<FaultState>>>> = Arc::new(Mutex::new(None));
+        // The dispatcher has already applied the selection; don't pay for
+        // it again on the worker.
+        let mut worker_query = query.clone();
+        worker_query.filter = None;
+        let seats: Vec<Seat> = (0..n_shards).map(|_| Seat::new()).collect();
         let mut senders = Vec::with_capacity(n_shards);
         let mut workers = Vec::with_capacity(n_shards);
-        for i in 0..n_shards {
-            // The dispatcher has already applied the selection; don't pay
-            // for it again on the worker.
-            let mut worker_query = query.clone();
-            worker_query.filter = None;
+        for (i, seat) in seats.iter().enumerate() {
+            let mut engine = Engine::new(worker_query.clone());
+            engine.keep_closed_state();
             let (tx, rx) = ring::<Msg>(CHANNEL_DEPTH);
-            let registry = Arc::clone(&telemetry);
-            let recycle = pool.clone();
-            let handle = std::thread::Builder::new()
-                .name(format!("fd-shard-{i}"))
-                .spawn(move || {
-                    let mut engine = Engine::new(worker_query);
-                    engine.keep_closed_state();
-                    let tel = &registry.shards()[i];
-                    while let Some(msg) = rx.recv() {
-                        let live = registry.enabled();
-                        match msg {
-                            Msg::Batch(pkts, sent_at) => {
-                                if live {
-                                    let t0 = Instant::now();
-                                    for p in &pkts {
-                                        engine.process(p);
-                                    }
-                                    tel.batch_ns.record(t0.elapsed().as_nanos() as u64);
-                                    tel.dispatch_lag_ns
-                                        .record(sent_at.elapsed().as_nanos() as u64);
-                                    tel.tuples_processed.fetch_add(pkts.len() as u64, Relaxed);
-                                } else {
-                                    for p in &pkts {
-                                        engine.process(p);
-                                    }
-                                }
-                                // Hand the drained buffer back for reuse.
-                                recycle.put(pkts);
-                            }
-                            Msg::Punctuate(ts) => {
-                                engine.punctuate(ts);
-                                if live {
-                                    tel.applied_watermark.store(ts, Relaxed);
-                                    tel.lfta_evictions
-                                        .store(engine.stats().lfta_evictions, Relaxed);
-                                    if let Some(occ) = engine.lfta_occupancy() {
-                                        tel.lfta_occupancy.store(occ as u64, Relaxed);
-                                    }
-                                }
-                            }
-                        }
-                        tel.queue_depth.fetch_sub(1, Relaxed);
-                    }
-                    // Channel closed: end of stream.
-                    let state = engine.finish_state();
-                    (state, engine.stats())
-                })
-                .expect("spawn shard worker");
-            senders.push(tx);
-            workers.push(handle);
+            let handle = spawn_worker(
+                i,
+                engine,
+                rx,
+                Arc::clone(&telemetry),
+                pool.clone(),
+                Arc::clone(&config),
+                Arc::clone(&seat.slot),
+                Arc::clone(&seat.backlog),
+                Arc::clone(&fault),
+            );
+            senders.push(Some(tx));
+            workers.push(Some(handle));
         }
-        Ok(Self {
+        let engine = Self {
             query,
+            worker_query,
             routing: ShardBy::Key,
             senders,
             workers,
+            seats,
             pending: vec![Vec::new(); n_shards],
             pool,
             batch_size: DEFAULT_BATCH_SIZE,
@@ -224,9 +478,45 @@ impl ShardedEngine {
             stats: EngineStats::default(),
             shard_stats: vec![EngineStats::default(); n_shards],
             telemetry,
+            config,
+            max_restarts: DEFAULT_MAX_RESTARTS,
+            fault,
             live: true,
             done: false,
-        })
+        };
+        engine.retune_pool();
+        Ok(engine)
+    }
+
+    /// Bounds the batch-buffer free list to the engine's actual working
+    /// set: ring + staging buffers per shard, plus — when supervising —
+    /// one checkpoint window of backlog per shard. Backlogged batches are
+    /// alive until their trim, so a pool bound below the window would
+    /// drop every trimmed buffer and force a cold allocation per batch;
+    /// sized to the window, steady state recycles the same warm buffers.
+    fn retune_pool(&self) {
+        let window = match self.config.checkpoint_every.load(Relaxed) {
+            0 => 0,
+            every => ((every / self.batch_size as u64) + 2).min(512) as usize,
+        };
+        let bound = self.n_shards() * (CHANNEL_DEPTH + 1 + window);
+        self.pool.set_max_pooled(bound);
+        // Fault the working set in now, off the dispatch path. First use of
+        // a cold batch buffer otherwise charges the dispatcher a page fault
+        // per 4 KB of batch, and supervision's backlog roughly doubles how
+        // many buffers circulate — the faults alone would eat the <3%
+        // dispatch budget. Capped so pathological checkpoint intervals
+        // cannot turn spawn into a 100 MB memset.
+        let blank = Packet {
+            ts: 0,
+            src_ip: 0,
+            dst_ip: 0,
+            src_port: 0,
+            dst_port: 0,
+            len: 0,
+            proto: Proto::Tcp,
+        };
+        self.pool.prewarm(bound.min(512), self.batch_size, blank);
     }
 
     /// Sets the routing policy (default [`ShardBy::Key`]). Must be called
@@ -241,11 +531,71 @@ impl ShardedEngine {
     /// ships to the worker (default [`DEFAULT_BATCH_SIZE`]). Larger
     /// batches amortize ring and wakeup costs; smaller ones cut
     /// dispatch-to-apply latency. Must be called before any tuple is
-    /// processed; panics on zero.
-    pub fn batch_size(mut self, n: usize) -> Self {
-        assert!(n > 0, "batch size must be positive");
+    /// processed; panics on zero — see [`ShardedEngine::try_batch_size`]
+    /// for the reporting variant.
+    pub fn batch_size(self, n: usize) -> Self {
+        self.try_batch_size(n).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Sets the flush threshold, reporting instead of panicking on zero.
+    pub fn try_batch_size(mut self, n: usize) -> Result<Self, fd_core::Error> {
+        if n == 0 {
+            return Err(fd_core::Error::InvalidParameter {
+                name: "batch_size",
+                value: 0.0,
+                requirement: "at least one tuple per batch",
+            });
+        }
         assert_eq!(self.stats.tuples_in, 0, "set batch size before processing");
         self.batch_size = n;
+        self.retune_pool();
+        Ok(self)
+    }
+
+    /// Sets how many tuples a worker applies between engine checkpoints
+    /// (default
+    /// [`DEFAULT_CHECKPOINT_EVERY`](crate::supervisor::DEFAULT_CHECKPOINT_EVERY)).
+    /// Smaller intervals shorten the replay tail at the price of more
+    /// serialization; `0` disables supervision entirely — no checkpoints,
+    /// no backlog, and a dead worker is once again a hard error. Must be
+    /// called before any tuple is processed.
+    pub fn checkpoint_every(self, tuples: u64) -> Self {
+        assert_eq!(
+            self.stats.tuples_in, 0,
+            "set checkpoint interval before processing"
+        );
+        self.config.checkpoint_every.store(tuples, Relaxed);
+        self.retune_pool();
+        self
+    }
+
+    /// Sets the per-shard restart budget (default
+    /// [`DEFAULT_MAX_RESTARTS`]): after this many respawns a shard is
+    /// degraded instead of restarted. Must be called before any tuple is
+    /// processed.
+    pub fn max_restarts(mut self, n: u32) -> Self {
+        assert_eq!(
+            self.stats.tuples_in, 0,
+            "set restart budget before processing"
+        );
+        self.max_restarts = n;
+        self
+    }
+
+    /// Arms a deterministic fault in one shard worker (see
+    /// [`crate::fault`]) — the hook the recovery tests and the CI fault
+    /// matrix drive. Must be called before any tuple is processed; panics
+    /// if the plan names a shard this engine doesn't have.
+    pub fn inject_fault(self, plan: crate::fault::FaultPlan) -> Self {
+        assert_eq!(self.stats.tuples_in, 0, "inject faults before processing");
+        assert!(
+            plan.shard < self.n_shards(),
+            "fault shard {} out of range (engine has {} shards)",
+            plan.shard,
+            self.n_shards()
+        );
+        *self.fault.lock().unwrap_or_else(PoisonError::into_inner) =
+            Some(Arc::new(FaultState::new(plan)));
         self
     }
 
@@ -284,6 +634,11 @@ impl ShardedEngine {
         &self.query.name
     }
 
+    /// Whether supervision is active (a nonzero checkpoint interval).
+    fn supervising(&self) -> bool {
+        self.config.checkpoint_every.load(Relaxed) > 0
+    }
+
     fn route(&mut self, key: u64) -> usize {
         match self.routing {
             // Fibonacci hash: multiply by 2⁶⁴/φ, then map to a shard by
@@ -306,7 +661,19 @@ impl ShardedEngine {
     /// Offers one tuple: global admission (filter, late check, watermark),
     /// then staging for the owning shard. Mirrors [`Engine::process`]
     /// decision for decision.
+    ///
+    /// # Panics
+    /// Panics if a shard worker has died while supervision is disabled
+    /// (`checkpoint_every(0)`); see [`ShardedEngine::try_process`] for the
+    /// reporting variant. With supervision on (the default), worker death
+    /// is recovered or degraded internally and never panics here.
     pub fn process(&mut self, pkt: &Packet) {
+        self.try_process(pkt).unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Offers one tuple, reporting [`fd_core::Error::WorkerLost`] instead
+    /// of panicking when an unsupervised worker has died.
+    pub fn try_process(&mut self, pkt: &Packet) -> Result<(), fd_core::Error> {
         debug_assert!(!self.done, "process after finish");
         self.stats.tuples_in += 1;
         // Admission counters have a single writer (this thread), so the
@@ -322,7 +689,7 @@ impl ShardedEngine {
                 if self.live {
                     self.telemetry.filtered.store(self.stats.filtered, Relaxed);
                 }
-                return;
+                return Ok(());
             }
         }
         let bucket = pkt.ts / self.query.bucket_micros;
@@ -333,7 +700,7 @@ impl ShardedEngine {
                     .late_drops
                     .store(self.stats.late_drops, Relaxed);
             }
-            return;
+            return Ok(());
         }
         self.watermark = self.watermark.max(pkt.ts);
         if self.live {
@@ -345,18 +712,19 @@ impl ShardedEngine {
         let shard = self.route(key);
         self.pending[shard].push(*pkt);
         if self.pending[shard].len() >= self.batch_size {
-            self.flush_shard(shard);
+            self.flush_shard(shard)?;
         }
         let target =
             self.watermark.saturating_sub(self.query.slack_micros) / self.query.bucket_micros;
         self.closed_below = self.closed_below.max(target);
+        Ok(())
     }
 
     /// Ships a shard's staged tuples, swapping in a recycled buffer from
     /// the pool so the staging slot is ready without allocating.
-    fn flush_shard(&mut self, shard: usize) {
+    fn flush_shard(&mut self, shard: usize) -> Result<(), fd_core::Error> {
         let batch = std::mem::replace(&mut self.pending[shard], self.pool.take(self.batch_size));
-        self.send(shard, Msg::Batch(batch, Instant::now()));
+        self.dispatch_batch(shard, batch)
     }
 
     /// Offers a batch of tuples through the columnar fast path: one fused
@@ -372,10 +740,21 @@ impl ShardedEngine {
     /// reruns only when the watermark gains a whole bucket. Stats and
     /// telemetry mirrors are stored once per batch instead of once per
     /// tuple.
+    ///
+    /// # Panics
+    /// As [`ShardedEngine::process`]; see
+    /// [`ShardedEngine::try_process_packets`].
     pub fn process_packets(&mut self, pkts: &[Packet]) {
+        self.try_process_packets(pkts)
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// The columnar fast path, reporting [`fd_core::Error::WorkerLost`]
+    /// instead of panicking when an unsupervised worker has died.
+    pub fn try_process_packets(&mut self, pkts: &[Packet]) -> Result<(), fd_core::Error> {
         debug_assert!(!self.done, "process after finish");
         if pkts.is_empty() {
-            return;
+            return Ok(());
         }
         let bm = self.query.bucket_micros;
         let slack = self.query.slack_micros;
@@ -385,6 +764,7 @@ impl ShardedEngine {
         let mut closed_low = self.closed_below.saturating_mul(bm);
         let mut filtered = 0u64;
         let mut late = 0u64;
+        let mut result = Ok(());
         for pkt in pkts {
             if let Some(f) = self.query.filter.as_ref() {
                 if !f(pkt) {
@@ -405,7 +785,10 @@ impl ShardedEngine {
             let shard = self.route(key);
             self.pending[shard].push(*pkt);
             if self.pending[shard].len() >= self.batch_size {
-                self.flush_shard(shard);
+                if let Err(e) = self.flush_shard(shard) {
+                    result = Err(e);
+                    break;
+                }
             }
         }
         self.stats.tuples_in += pkts.len() as u64;
@@ -423,11 +806,22 @@ impl ShardedEngine {
                 .store(self.stats.late_drops, Relaxed);
             self.telemetry.dispatcher_watermark.store(wm, Relaxed);
         }
+        result
     }
 
     /// Processes a punctuation: advances the global watermark and
     /// broadcasts it, closing due buckets on every shard.
+    ///
+    /// # Panics
+    /// As [`ShardedEngine::process`]; see
+    /// [`ShardedEngine::try_punctuate`].
     pub fn punctuate(&mut self, ts: Micros) {
+        self.try_punctuate(ts).unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Processes a punctuation, reporting [`fd_core::Error::WorkerLost`]
+    /// instead of panicking when an unsupervised worker has died.
+    pub fn try_punctuate(&mut self, ts: Micros) -> Result<(), fd_core::Error> {
         self.watermark = self.watermark.max(ts);
         if self.live {
             self.telemetry
@@ -437,7 +831,7 @@ impl ShardedEngine {
         let target =
             self.watermark.saturating_sub(self.query.slack_micros) / self.query.bucket_micros;
         self.closed_below = self.closed_below.max(target);
-        self.sync_watermark();
+        self.sync_watermark()
     }
 
     /// Offers a batch of stream elements, then broadcasts the advanced
@@ -447,66 +841,279 @@ impl ShardedEngine {
     /// Runs of consecutive [`StreamEvent::Data`] go through the columnar
     /// [`process_packets`](Self::process_packets) fast path; punctuations
     /// act as barriers between runs, exactly as in per-event processing.
+    ///
+    /// # Panics
+    /// As [`ShardedEngine::process`]; see
+    /// [`ShardedEngine::try_process_batch`].
     pub fn process_batch(&mut self, events: &[StreamEvent]) {
+        self.try_process_batch(events)
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Offers a batch of stream elements, reporting
+    /// [`fd_core::Error::WorkerLost`] instead of panicking when an
+    /// unsupervised worker has died.
+    pub fn try_process_batch(&mut self, events: &[StreamEvent]) -> Result<(), fd_core::Error> {
         let mut run = std::mem::take(&mut self.run_buf);
         run.clear();
-        for ev in events {
-            match ev {
-                StreamEvent::Data(pkt) => run.push(*pkt),
-                StreamEvent::Punctuation(ts) => {
-                    self.process_packets(&run);
-                    run.clear();
-                    self.punctuate(*ts);
+        let mut feed = || -> Result<(), fd_core::Error> {
+            for ev in events {
+                match ev {
+                    StreamEvent::Data(pkt) => run.push(*pkt),
+                    StreamEvent::Punctuation(ts) => {
+                        self.try_process_packets(&run)?;
+                        run.clear();
+                        self.try_punctuate(*ts)?;
+                    }
                 }
             }
-        }
-        self.process_packets(&run);
+            self.try_process_packets(&run)
+        };
+        let result = feed();
         run.clear();
         self.run_buf = run;
-        self.sync_watermark();
+        result?;
+        self.sync_watermark()
     }
 
     /// Flushes staged tuples and broadcasts the current global watermark
     /// to all shards.
-    fn sync_watermark(&mut self) {
+    fn sync_watermark(&mut self) -> Result<(), fd_core::Error> {
         for shard in 0..self.n_shards() {
             if !self.pending[shard].is_empty() {
-                self.flush_shard(shard);
+                self.flush_shard(shard)?;
             }
         }
         let w = self.watermark;
         if w > 0 {
             for shard in 0..self.n_shards() {
-                self.send(shard, Msg::Punctuate(w));
+                self.dispatch_punct(shard, w)?;
             }
         }
+        Ok(())
     }
 
-    fn send(&mut self, shard: usize, msg: Msg) {
+    fn next_seq(&mut self, shard: usize) -> u64 {
+        let seq = self.seats[shard].next_seq;
+        self.seats[shard].next_seq += 1;
+        seq
+    }
+
+    /// Ships one batch to a shard (or counts it dropped if the shard is
+    /// degraded), recovering the worker if the send finds it dead.
+    fn dispatch_batch(&mut self, shard: usize, pkts: Vec<Packet>) -> Result<(), fd_core::Error> {
+        if self.seats[shard].degraded {
+            self.telemetry
+                .dropped_degraded
+                .fetch_add(pkts.len() as u64, Relaxed);
+            self.pool.put(pkts);
+            return Ok(());
+        }
+        let seq = self.next_seq(shard);
+        let msg = Msg::Batch {
+            seq,
+            pkts: Arc::new(pkts),
+            sent: Instant::now(),
+        };
         // Queue depth is the one genuinely two-writer gauge (incremented
         // here, decremented by the worker), so it is a per-message RMW —
         // unconditional, to keep both sides consistent however the
         // enabled flag is toggled.
         let tel = &self.telemetry.shards()[shard];
-        match &msg {
-            Msg::Batch(..) => {
-                tel.batches_sent.fetch_add(1, Relaxed);
-            }
-            Msg::Punctuate(_) => {
-                tel.punctuations_sent.fetch_add(1, Relaxed);
+        tel.batches_sent.fetch_add(1, Relaxed);
+        tel.queue_depth.fetch_add(1, Relaxed);
+        self.dispatch(shard, msg)
+    }
+
+    /// Ships one punctuation to a shard (skipped when degraded),
+    /// recovering the worker if the send finds it dead.
+    fn dispatch_punct(&mut self, shard: usize, wm: Micros) -> Result<(), fd_core::Error> {
+        if self.seats[shard].degraded {
+            return Ok(());
+        }
+        let seq = self.next_seq(shard);
+        let msg = Msg::Punctuate { seq, wm };
+        let tel = &self.telemetry.shards()[shard];
+        tel.punctuations_sent.fetch_add(1, Relaxed);
+        tel.queue_depth.fetch_add(1, Relaxed);
+        self.dispatch(shard, msg)
+    }
+
+    /// Retains the message in the backlog (supervised mode), sends it, and
+    /// runs the recovery protocol if the worker turns out to be dead.
+    fn dispatch(&mut self, shard: usize, msg: Msg) -> Result<(), fd_core::Error> {
+        if self.supervising() && !self.seats[shard].slot.unsupported() {
+            // Clone into the backlog *before* sending, so the failed
+            // message itself is replayable. This push is the dispatch
+            // path's entire supervision cost: covered entries are trimmed
+            // by the worker after each checkpoint it publishes.
+            self.seats[shard]
+                .backlog
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .push_back(msg.clone());
+        }
+        let alive = match &self.senders[shard] {
+            Some(tx) => tx.send(msg).is_ok(),
+            None => false,
+        };
+        if alive {
+            return Ok(());
+        }
+        // A send fails only if the worker is gone — i.e. it panicked.
+        if !self.supervising() {
+            return Err(fd_core::Error::WorkerLost { shard });
+        }
+        self.reap(shard);
+        if !self.seats[shard].slot.unsupported() && self.try_restart(shard) {
+            Ok(())
+        } else {
+            self.degrade(shard);
+            Ok(())
+        }
+    }
+
+    /// Joins a dead worker's thread, recording its panic. Closes the
+    /// channel first so a (theoretically) live worker drains and exits.
+    fn reap(&mut self, shard: usize) {
+        self.senders[shard] = None;
+        if let Some(handle) = self.workers[shard].take() {
+            match handle.join() {
+                Ok(state) => self.seats[shard].early_exit = Some(state),
+                Err(payload) => {
+                    self.telemetry.worker_panics.fetch_add(1, Relaxed);
+                    eprintln!(
+                        "fd-shard-{shard}: worker panicked: {}",
+                        panic_message(&payload)
+                    );
+                }
             }
         }
-        tel.queue_depth.fetch_add(1, Relaxed);
-        // A send fails only if the worker is gone — i.e. it panicked; the
-        // join in finish() will surface that panic, so just report here.
-        self.senders[shard]
-            .send(msg)
-            .unwrap_or_else(|_| panic!("shard {shard} worker has died"));
+    }
+
+    /// Bounded-restart loop: respawn from the checkpoint with exponential
+    /// backoff, replay the backlog, retry if the replay dies too. Returns
+    /// `true` once a live worker is in place, `false` when the budget is
+    /// exhausted (the caller degrades the shard).
+    fn try_restart(&mut self, shard: usize) -> bool {
+        while self.seats[shard].restarts < self.max_restarts {
+            let attempt = self.seats[shard].restarts;
+            self.seats[shard].restarts += 1;
+            self.telemetry.restarts.fetch_add(1, Relaxed);
+            std::thread::sleep(backoff(attempt));
+            if self.respawn_and_replay(shard) {
+                return true;
+            }
+            // The replay killed the fresh worker (a permanent fault):
+            // reap it and spend another restart.
+            self.reap(shard);
+        }
+        false
+    }
+
+    /// Restores an engine from the shard's checkpoint (or builds a fresh
+    /// one if no checkpoint was taken yet), spawns a new worker on a new
+    /// ring, and replays every backlog message past the checkpoint.
+    /// Returns `false` if the restore fails or the worker dies mid-replay.
+    fn respawn_and_replay(&mut self, shard: usize) -> bool {
+        let (ckpt_seq, engine) = match self.seats[shard].slot.load() {
+            Some((seq, bytes)) => match Engine::restore(self.worker_query.clone(), &bytes) {
+                Ok(e) => (seq, e),
+                Err(err) => {
+                    // "Can't happen" (we wrote these bytes); surface it
+                    // rather than looping on a poisoned slot.
+                    eprintln!("fd-shard-{shard}: checkpoint restore failed: {err:?}");
+                    return false;
+                }
+            },
+            None => {
+                let mut e = Engine::new(self.worker_query.clone());
+                e.keep_closed_state();
+                (0, e)
+            }
+        };
+        let (tx, rx) = ring::<Msg>(CHANNEL_DEPTH);
+        let handle = spawn_worker(
+            shard,
+            engine,
+            rx,
+            Arc::clone(&self.telemetry),
+            self.pool.clone(),
+            Arc::clone(&self.config),
+            Arc::clone(&self.seats[shard].slot),
+            Arc::clone(&self.seats[shard].backlog),
+            Arc::clone(&self.fault),
+        );
+        self.workers[shard] = Some(handle);
+        self.senders[shard] = Some(tx);
+        // The old ring died with un-decremented messages in it; the gauge
+        // restarts from the replay backlog.
+        let tel = &self.telemetry.shards()[shard];
+        tel.queue_depth.store(0, Relaxed);
+        // The dead worker can't contend for the lock; a poisoned mutex
+        // just means it died mid-trim, which leaves the deque intact.
+        let replay: Vec<Msg> = self.seats[shard]
+            .backlog
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .filter(|m| m.seq() > ckpt_seq)
+            .cloned()
+            .collect();
+        for msg in replay {
+            let tel = &self.telemetry.shards()[shard];
+            if let Msg::Batch { pkts, .. } = &msg {
+                self.telemetry.replayed_batches.fetch_add(1, Relaxed);
+                self.telemetry
+                    .replayed_tuples
+                    .fetch_add(pkts.len() as u64, Relaxed);
+            }
+            tel.queue_depth.fetch_add(1, Relaxed);
+            let sent = match &self.senders[shard] {
+                Some(tx) => tx.send(msg).is_ok(),
+                None => false,
+            };
+            if !sent {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Gives up on a shard: drops its backlog (counting the tuples as
+    /// degraded drops), zeroes its queue gauge, and marks it so later
+    /// routed tuples are counted instead of sent. Its last checkpoint is
+    /// still salvaged at [`ShardedEngine::finish`].
+    fn degrade(&mut self, shard: usize) {
+        self.reap(shard);
+        self.seats[shard].degraded = true;
+        self.telemetry.degraded_shards.fetch_add(1, Relaxed);
+        let msgs: Vec<Msg> = self.seats[shard]
+            .backlog
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .drain(..)
+            .collect();
+        let mut dropped = 0u64;
+        for msg in msgs {
+            if let Msg::Batch { pkts, .. } = msg {
+                dropped += pkts.len() as u64;
+                if let Ok(buf) = Arc::try_unwrap(pkts) {
+                    self.pool.put(buf);
+                }
+            }
+        }
+        self.telemetry.dropped_degraded.fetch_add(dropped, Relaxed);
+        self.telemetry.shards()[shard].queue_depth.store(0, Relaxed);
     }
 
     /// Ends the stream: flushes all shards, merges their closed buckets,
     /// and returns every row in (bucket, key) order — the same order the
     /// single-threaded engine emits. Subsequent calls return no rows.
+    ///
+    /// A worker found dead here is put through the same supervision
+    /// protocol as one found dead mid-stream: restore, replay, bounded
+    /// retries, then degradation with checkpoint salvage.
     pub fn finish(&mut self) -> Vec<Row> {
         if self.done {
             return Vec::new();
@@ -515,21 +1122,63 @@ impl ShardedEngine {
         // Flush staged batches and broadcast the final watermark, so every
         // worker's applied-watermark gauge catches up to the dispatcher
         // (post-run watermark lag reads 0, not the un-broadcast remainder).
-        self.sync_watermark();
-        self.senders.clear(); // closes every channel: workers drain and exit
+        self.sync_watermark().unwrap_or_else(|e| panic!("{e}"));
+        // Close every channel first so all workers drain in parallel.
+        for tx in self.senders.iter_mut() {
+            *tx = None;
+        }
         let mut combined: BTreeMap<(u64, u64), Box<dyn Aggregator>> = BTreeMap::new();
-        for (shard, handle) in self.workers.drain(..).enumerate() {
-            let (closed, stats) = handle.join().unwrap_or_else(|e| {
-                self.telemetry.worker_panics.fetch_add(1, Relaxed);
-                eprintln!("fd-shard-{shard}: worker panicked: {}", panic_message(&e));
-                std::panic::resume_unwind(e);
-            });
-            self.shard_stats[shard] = stats;
+        let fold = |combined: &mut BTreeMap<(u64, u64), Box<dyn Aggregator>>,
+                    closed: Vec<ClosedGroup>| {
             for cg in closed {
                 match combined.entry((cg.bucket, cg.key)) {
                     Entry::Occupied(mut e) => e.get_mut().merge_boxed(cg.agg),
                     Entry::Vacant(e) => {
                         e.insert(cg.agg);
+                    }
+                }
+            }
+        };
+        for shard in 0..self.n_shards() {
+            while let Some(handle) = self.workers[shard].take() {
+                match handle.join() {
+                    Ok((closed, stats)) => {
+                        self.shard_stats[shard] = stats;
+                        fold(&mut combined, closed);
+                        break;
+                    }
+                    Err(payload) => {
+                        self.telemetry.worker_panics.fetch_add(1, Relaxed);
+                        eprintln!(
+                            "fd-shard-{shard}: worker panicked: {}",
+                            panic_message(&payload)
+                        );
+                        let recovered = self.supervising()
+                            && !self.seats[shard].slot.unsupported()
+                            && self.try_restart(shard);
+                        if recovered {
+                            // Close the fresh worker's channel: it drains
+                            // the replay and exits with its state, which
+                            // the next join collects.
+                            self.senders[shard] = None;
+                        } else {
+                            self.degrade(shard);
+                        }
+                    }
+                }
+            }
+            if let Some((closed, stats)) = self.seats[shard].early_exit.take() {
+                self.shard_stats[shard] = stats;
+                fold(&mut combined, closed);
+            }
+            if self.seats[shard].degraded {
+                // Salvage the degraded shard's last checkpoint: everything
+                // up to it survives in the final result.
+                if let Some((_seq, bytes)) = self.seats[shard].slot.load() {
+                    if let Ok(mut e) = Engine::restore(self.worker_query.clone(), &bytes) {
+                        let closed = e.finish_state();
+                        self.shard_stats[shard] = e.stats();
+                        fold(&mut combined, closed);
                     }
                 }
             }
@@ -610,14 +1259,18 @@ impl Drop for ShardedEngine {
         // leak threads. A worker panic must not be swallowed silently: we
         // can't propagate it from drop (we may already be unwinding), so
         // count it in the telemetry registry and log the payload.
-        self.senders.clear();
-        for (shard, handle) in self.workers.drain(..).enumerate() {
-            if let Err(payload) = handle.join() {
-                self.telemetry.worker_panics.fetch_add(1, Relaxed);
-                eprintln!(
-                    "fd-shard-{shard}: worker panicked: {}",
-                    panic_message(&payload)
-                );
+        for tx in self.senders.iter_mut() {
+            *tx = None;
+        }
+        for (shard, slot) in self.workers.iter_mut().enumerate() {
+            if let Some(handle) = slot.take() {
+                if let Err(payload) = handle.join() {
+                    self.telemetry.worker_panics.fetch_add(1, Relaxed);
+                    eprintln!(
+                        "fd-shard-{shard}: worker panicked: {}",
+                        panic_message(&payload)
+                    );
+                }
             }
         }
     }
@@ -639,6 +1292,7 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
 mod tests {
     use super::*;
     use crate::aggregators::{count_factory, fwd_sum_factory};
+    use crate::fault::FaultPlan;
     use crate::tuple::{Proto, MICROS_PER_SEC};
     use fd_core::decay::Monomial;
 
@@ -664,18 +1318,32 @@ mod tests {
             .build()
     }
 
+    fn sharded(query: Query, n: usize) -> ShardedEngine {
+        ShardedEngine::try_new(query, n).expect("spawn shards")
+    }
+
     #[test]
     fn sharded_counts_match_single_threaded() {
         let stream: Vec<Packet> = (0..10_000)
             .map(|i| pkt(0.01 * i as f64, (i % 97) as u32))
             .collect();
         let single = Engine::new(count_query()).run(stream.clone());
-        let sharded = ShardedEngine::new(count_query(), 4).run(stream);
-        assert_eq!(single.len(), sharded.len());
-        for (a, b) in single.iter().zip(&sharded) {
+        let rows = sharded(count_query(), 4).run(stream);
+        assert_eq!(single.len(), rows.len());
+        for (a, b) in single.iter().zip(&rows) {
             assert_eq!((a.bucket_start, a.key), (b.bucket_start, b.key));
             assert_eq!(a.value, b.value);
         }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_new_still_spawns() {
+        // The deprecated panicking constructor stays a thin wrapper over
+        // try_new until it is removed.
+        let mut e = ShardedEngine::new(count_query(), 2);
+        e.process(&pkt(1.0, 1));
+        assert_eq!(e.finish().len(), 1);
     }
 
     #[test]
@@ -687,11 +1355,11 @@ mod tests {
             .map(|i| pkt(0.005 * i as f64, (i % 13) as u32))
             .collect();
         let single = Engine::new(count_query()).run(stream.clone());
-        let sharded = ShardedEngine::new(count_query(), 4)
+        let rows = sharded(count_query(), 4)
             .routing(ShardBy::RoundRobin)
             .run(stream);
-        assert_eq!(single.len(), sharded.len());
-        for (a, b) in single.iter().zip(&sharded) {
+        assert_eq!(single.len(), rows.len());
+        for (a, b) in single.iter().zip(&rows) {
             assert_eq!((a.bucket_start, a.key), (b.bucket_start, b.key));
             assert_eq!(a.value, b.value);
         }
@@ -711,9 +1379,9 @@ mod tests {
             .map(|i| pkt(0.03 * i as f64, (i % 31) as u32))
             .collect();
         let single = Engine::new(q()).run(stream.clone());
-        let sharded = ShardedEngine::new(q(), 4).run(stream);
-        assert_eq!(single.len(), sharded.len());
-        for (a, b) in single.iter().zip(&sharded) {
+        let rows = sharded(q(), 4).run(stream);
+        assert_eq!(single.len(), rows.len());
+        for (a, b) in single.iter().zip(&rows) {
             assert_eq!((a.bucket_start, a.key), (b.bucket_start, b.key));
             assert_eq!(a.value, b.value, "key {}", a.key);
         }
@@ -722,7 +1390,7 @@ mod tests {
     #[test]
     fn late_tuples_drop_identically() {
         let mut single = Engine::new(count_query());
-        let mut sharded = ShardedEngine::new(count_query(), 4);
+        let mut parallel = sharded(count_query(), 4);
         let events = [
             StreamEvent::Data(pkt(10.0, 1)),
             StreamEvent::Punctuation(130 * MICROS_PER_SEC),
@@ -732,12 +1400,12 @@ mod tests {
         for ev in &events {
             single.process_event(ev);
         }
-        sharded.process_batch(&events);
+        parallel.process_batch(&events);
         let s_rows = single.finish();
-        let p_rows = sharded.finish();
+        let p_rows = parallel.finish();
         assert_eq!(s_rows.len(), p_rows.len());
         assert_eq!(single.stats().late_drops, 1);
-        assert_eq!(sharded.stats().late_drops, 1);
+        assert_eq!(parallel.stats().late_drops, 1);
     }
 
     #[test]
@@ -748,7 +1416,7 @@ mod tests {
             .bucket_secs(60)
             .aggregate(count_factory())
             .build();
-        let mut e = ShardedEngine::new(q, 3);
+        let mut e = sharded(q, 3);
         for i in 0..300 {
             e.process(&pkt(i as f64 * 0.1, (i % 7) as u32));
         }
@@ -779,11 +1447,11 @@ mod tests {
 
     #[test]
     fn finish_is_idempotent_and_drop_reaps_workers() {
-        let mut e = ShardedEngine::new(count_query(), 2);
+        let mut e = sharded(count_query(), 2);
         e.process(&pkt(1.0, 1));
         assert_eq!(e.finish().len(), 1);
         assert!(e.finish().is_empty());
-        let e2 = ShardedEngine::new(count_query(), 2);
+        let e2 = sharded(count_query(), 2);
         drop(e2); // must not hang or leak
     }
 
@@ -795,7 +1463,7 @@ mod tests {
         const KEYS: u64 = 100_000;
         for n_shards in [2usize, 3, 4, 8] {
             for (label, stride_shift) in [("dense", 0u32), ("strided", 12u32)] {
-                let mut e = ShardedEngine::new(count_query(), n_shards);
+                let mut e = sharded(count_query(), n_shards);
                 let mut counts = vec![0u64; n_shards];
                 for key in 0..KEYS {
                     counts[e.route(key << stride_shift)] += 1;
@@ -843,11 +1511,10 @@ mod tests {
             .aggregate(FnFactory::new("tripwire", true, |_| Box::new(Tripwire)))
             .two_level(false)
             .build();
-        let mut e = ShardedEngine::new(q, 2);
+        let mut e = sharded(q, 2);
         // Exactly one batch's worth of tuples so process() itself flushes
         // the batch to the worker (no explicit punctuation: the worker
-        // dies, and a later punctuation broadcast would trip the
-        // dispatcher).
+        // dies, and drop — not a send — must discover it).
         for i in 0..DEFAULT_BATCH_SIZE {
             let mut p = pkt(0.001 * i as f64, 1);
             if i == 7 {
@@ -886,12 +1553,12 @@ mod tests {
             }
             stream.push(p);
         }
-        let mut scalar = ShardedEngine::new(q(), 3);
+        let mut scalar = sharded(q(), 3);
         for p in &stream {
             scalar.process(p);
         }
         let s_rows = scalar.finish();
-        let mut batched = ShardedEngine::new(q(), 3).batch_size(256);
+        let mut batched = sharded(q(), 3).batch_size(256);
         let b_rows = batched.run(stream);
         let (ss, bs) = (scalar.stats(), batched.stats());
         assert_eq!(ss.tuples_in, bs.tuples_in);
@@ -910,7 +1577,8 @@ mod tests {
         // identically to fresh sends. Route everything to one shard,
         // ship enough batches that the depth-8 ring forces the worker to
         // drain (returning buffers to the pool) while the dispatcher is
-        // still flushing.
+        // still flushing. Supervision off: this pins the legacy
+        // worker-side recycling path.
         const BATCH: usize = 64;
         const N_BATCHES: u64 = 40;
         let q = Query::builder("pool")
@@ -919,7 +1587,7 @@ mod tests {
             .aggregate(count_factory())
             .two_level(false)
             .build();
-        let mut e = ShardedEngine::new(q, 1).batch_size(BATCH);
+        let mut e = sharded(q, 1).batch_size(BATCH).checkpoint_every(0);
         let stream: Vec<Packet> = (0..N_BATCHES * BATCH as u64)
             .map(|i| pkt(0.001 * i as f64, 1))
             .collect();
@@ -944,11 +1612,130 @@ mod tests {
     }
 
     #[test]
+    fn supervised_trim_reclaims_batch_buffers() {
+        // Under supervision the apply path can't recycle (the backlog
+        // holds a clone); the worker reclaims covered batches when it
+        // trims after publishing each checkpoint. Checkpoint after every
+        // batch so every trim succeeds deterministically: the worker
+        // releases its apply-path reference *before* publishing the
+        // checkpoint seq.
+        const BATCH: usize = 64;
+        const N_BATCHES: u64 = 40;
+        let q = Query::builder("pool")
+            .group_by(|_| 0)
+            .bucket_secs(60)
+            .aggregate(count_factory())
+            .two_level(false)
+            .build();
+        let mut e = sharded(q, 1)
+            .batch_size(BATCH)
+            .checkpoint_every(BATCH as u64);
+        let stream: Vec<Packet> = (0..N_BATCHES * BATCH as u64)
+            .map(|i| pkt(0.001 * i as f64, 1))
+            .collect();
+        e.run(stream);
+        let snap = e.telemetry().snapshot();
+        assert!(snap.checkpoints >= N_BATCHES / 2, "workers checkpointed");
+        let pool = e.batch_pool();
+        assert!(
+            pool.reuses() > 0,
+            "trimming must recycle buffers (allocs {}, reuses {})",
+            pool.allocs(),
+            pool.reuses()
+        );
+        assert!(pool.allocs() < N_BATCHES);
+    }
+
+    #[test]
+    fn transient_worker_death_recovers_exactly() {
+        // Kill shard 0 mid-stream; the supervisor restores it from its
+        // checkpoint, replays the tail, and the rows come out identical
+        // to an unfaulted run — with the recovery visible in telemetry.
+        let stream: Vec<Packet> = (0..30_000)
+            .map(|i| pkt(0.01 * i as f64, (i % 53) as u32))
+            .collect();
+        let clean = sharded(count_query(), 2).run(stream.clone());
+        let mut e = sharded(count_query(), 2)
+            .batch_size(128)
+            .checkpoint_every(1_000)
+            .inject_fault(FaultPlan::parse("panic:0:5000").expect("plan"));
+        let rows = e.run(stream);
+        assert_eq!(clean.len(), rows.len());
+        for (a, b) in clean.iter().zip(&rows) {
+            assert_eq!((a.bucket_start, a.key), (b.bucket_start, b.key));
+            assert_eq!(a.value, b.value, "key {}", a.key);
+        }
+        let snap = e.telemetry().snapshot();
+        assert_eq!(snap.restarts, 1, "one respawn");
+        assert_eq!(snap.worker_panics, 1, "the injected death was reaped");
+        assert!(snap.replayed_batches > 0, "the backlog tail was replayed");
+        assert!(snap.checkpoints > 0);
+        assert_eq!(snap.degraded_shards, 0);
+        assert_eq!(snap.dropped_degraded, 0);
+    }
+
+    #[test]
+    fn poisoned_shard_degrades_after_bounded_restarts() {
+        // A permanent fault exhausts the restart budget; the shard
+        // degrades, its checkpoint is salvaged, and the engine still
+        // produces rows for the healthy shards.
+        let stream: Vec<Packet> = (0..20_000)
+            .map(|i| pkt(0.01 * i as f64, (i % 53) as u32))
+            .collect();
+        let mut e = sharded(count_query(), 2)
+            .batch_size(128)
+            .checkpoint_every(1_000)
+            .max_restarts(2)
+            .inject_fault(FaultPlan::parse("poison:1:4000").expect("plan"));
+        let rows = e.run(stream);
+        assert!(!rows.is_empty(), "healthy shard still emits");
+        let snap = e.telemetry().snapshot();
+        assert_eq!(snap.restarts, 2, "budget spent exactly");
+        assert_eq!(snap.degraded_shards, 1);
+        assert!(
+            snap.dropped_degraded > 0,
+            "post-degradation tuples are counted dropped"
+        );
+        assert_eq!(snap.worker_panics, 3, "initial death + 2 failed respawns");
+    }
+
+    #[test]
+    fn unsupervised_dead_worker_is_a_hard_error() {
+        // checkpoint_every(0) restores the legacy contract: try_process
+        // reports WorkerLost, process panics.
+        let stream: Vec<Packet> = (0..4_000)
+            .map(|i| pkt(0.01 * i as f64, (i % 7) as u32))
+            .collect();
+        let mut e = sharded(count_query(), 1)
+            .batch_size(64)
+            .checkpoint_every(0)
+            .inject_fault(FaultPlan::parse("panic:0:100").expect("plan"));
+        let mut lost = None;
+        for p in &stream {
+            if let Err(err) = e.try_process(p) {
+                lost = Some(err);
+                break;
+            }
+        }
+        assert!(
+            matches!(lost, Some(fd_core::Error::WorkerLost { shard: 0 })),
+            "expected WorkerLost, got {lost:?}"
+        );
+    }
+
+    #[test]
     fn batch_size_builder_rejects_zero_and_late_calls() {
-        let e = ShardedEngine::new(count_query(), 2).batch_size(16);
+        let e = sharded(count_query(), 2).batch_size(16);
         drop(e);
+        assert!(matches!(
+            sharded(count_query(), 2).try_batch_size(0),
+            Err(fd_core::Error::InvalidParameter {
+                name: "batch_size",
+                ..
+            })
+        ));
         let r = std::panic::catch_unwind(|| {
-            let _ = ShardedEngine::new(count_query(), 2).batch_size(0);
+            let _ = sharded(count_query(), 2).batch_size(0);
         });
         assert!(r.is_err(), "zero batch size must panic");
     }
@@ -961,7 +1748,7 @@ mod tests {
             .bucket_secs(60)
             .aggregate(count_factory())
             .build();
-        let mut e = ShardedEngine::new(q, 3);
+        let mut e = sharded(q, 3);
         let mut events = Vec::new();
         for i in 0..500 {
             let mut p = pkt(i as f64 * 0.5, (i % 11) as u32);

@@ -163,7 +163,7 @@ pub struct BatchPool<T> {
 
 struct PoolInner<T> {
     free: Mutex<Vec<Vec<T>>>,
-    max_pooled: usize,
+    max_pooled: std::sync::atomic::AtomicUsize,
     reuses: std::sync::atomic::AtomicU64,
     allocs: std::sync::atomic::AtomicU64,
 }
@@ -182,10 +182,64 @@ impl<T> BatchPool<T> {
         Self {
             inner: Arc::new(PoolInner {
                 free: Mutex::new(Vec::with_capacity(max_pooled)),
-                max_pooled,
+                max_pooled: std::sync::atomic::AtomicUsize::new(max_pooled),
                 reuses: std::sync::atomic::AtomicU64::new(0),
                 allocs: std::sync::atomic::AtomicU64::new(0),
             }),
+        }
+    }
+
+    /// Adjusts the retention bound on a live pool. Holders that cloned the
+    /// pool see the new bound immediately; an oversized free list shrinks
+    /// lazily as buffers are taken. The supervised sharded engine uses
+    /// this to widen the pool to its checkpoint window, so buffers
+    /// retained in the replay backlog still recycle instead of forcing a
+    /// cold allocation per batch.
+    pub fn set_max_pooled(&self, max_pooled: usize) {
+        self.inner
+            .max_pooled
+            .store(max_pooled, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Tops the free list up to `count` ready buffers of capacity `cap`,
+    /// writing every element once (with clones of `fill`) so the backing
+    /// pages are faulted in here — at spawn, off the hot path — rather
+    /// than lazily by the dispatcher. Without this, every first use of a
+    /// fresh 48 KB batch buffer costs the dispatch loop a dozen page
+    /// faults, and a supervised engine (whose replay backlog roughly
+    /// doubles the number of buffers in circulation) pays twice as many
+    /// of them as an unsupervised one.
+    pub fn prewarm(&self, count: usize, cap: usize, fill: T)
+    where
+        T: Clone,
+    {
+        let missing = {
+            let free = self
+                .inner
+                .free
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            count.saturating_sub(free.len())
+        };
+        // Build (and fault) the buffers outside the lock.
+        let ready: Vec<Vec<T>> = (0..missing)
+            .map(|_| {
+                let mut buf = Vec::with_capacity(cap);
+                buf.resize(cap, fill.clone());
+                buf.clear();
+                buf
+            })
+            .collect();
+        let mut free = self
+            .inner
+            .free
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        for buf in ready {
+            if free.len() >= count {
+                break;
+            }
+            free.push(buf);
         }
     }
 
@@ -221,7 +275,12 @@ impl<T> BatchPool<T> {
             .free
             .lock()
             .unwrap_or_else(PoisonError::into_inner);
-        if free.len() < self.inner.max_pooled {
+        if free.len()
+            < self
+                .inner
+                .max_pooled
+                .load(std::sync::atomic::Ordering::Relaxed)
+        {
             free.push(buf);
         }
     }

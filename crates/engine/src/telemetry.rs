@@ -189,6 +189,30 @@ pub struct EngineTelemetry {
     /// Worker threads that terminated by panicking (see
     /// `Drop for ShardedEngine`).
     pub worker_panics: AtomicU64,
+    /// Shard workers respawned by the supervisor after a death.
+    pub restarts: AtomicU64,
+    /// Engine checkpoints taken by shard workers.
+    pub checkpoints: AtomicU64,
+    /// Total worker **CPU time** spent serializing and publishing
+    /// checkpoints, ns (thread clock where available, so time the worker
+    /// spends preempted mid-serialization is not charged here). Dividing
+    /// by `checkpoints` gives the mean per-checkpoint cost; on machines
+    /// with fewer cores than shards this CPU also lands on wall-clock
+    /// because serialization cannot overlap the dispatcher.
+    pub checkpoint_ns: AtomicU64,
+    /// Batches replayed to a respawned worker from the shard's backlog.
+    pub replayed_batches: AtomicU64,
+    /// Tuples inside replayed batches. Replays re-run through the worker,
+    /// so per-shard `tuples_processed` counts them again; reconcile with
+    /// `tuples_processed ≥ admitted − dropped` rather than equality when
+    /// restarts occurred.
+    pub replayed_tuples: AtomicU64,
+    /// Shards given up on after exhausting their restart budget (their
+    /// last checkpoint is still salvaged at `finish()`).
+    pub degraded_shards: AtomicU64,
+    /// Tuples dropped because their shard was degraded: the un-replayable
+    /// backlog at degradation time plus everything routed there after.
+    pub dropped_degraded: AtomicU64,
     /// Result rows emitted by the combiner (set at `finish()`).
     pub rows_out: AtomicU64,
     /// Distinct time buckets closed by the combiner (set at `finish()`).
@@ -206,6 +230,13 @@ impl EngineTelemetry {
             late_drops: AtomicU64::new(0),
             dispatcher_watermark: AtomicU64::new(0),
             worker_panics: AtomicU64::new(0),
+            restarts: AtomicU64::new(0),
+            checkpoints: AtomicU64::new(0),
+            checkpoint_ns: AtomicU64::new(0),
+            replayed_batches: AtomicU64::new(0),
+            replayed_tuples: AtomicU64::new(0),
+            degraded_shards: AtomicU64::new(0),
+            dropped_degraded: AtomicU64::new(0),
             rows_out: AtomicU64::new(0),
             buckets_closed: AtomicU64::new(0),
             enabled: AtomicBool::new(true),
@@ -241,6 +272,13 @@ impl EngineTelemetry {
             late_drops: self.late_drops.load(Relaxed),
             dispatcher_watermark_us,
             worker_panics: self.worker_panics.load(Relaxed),
+            restarts: self.restarts.load(Relaxed),
+            checkpoints: self.checkpoints.load(Relaxed),
+            checkpoint_ns: self.checkpoint_ns.load(Relaxed),
+            replayed_batches: self.replayed_batches.load(Relaxed),
+            replayed_tuples: self.replayed_tuples.load(Relaxed),
+            degraded_shards: self.degraded_shards.load(Relaxed),
+            dropped_degraded: self.dropped_degraded.load(Relaxed),
             rows_out: self.rows_out.load(Relaxed),
             buckets_closed: self.buckets_closed.load(Relaxed),
             shards: self
@@ -306,6 +344,22 @@ pub struct MetricsSnapshot {
     pub dispatcher_watermark_us: u64,
     /// Worker threads that have panicked.
     pub worker_panics: u64,
+    /// Shard workers respawned by the supervisor.
+    pub restarts: u64,
+    /// Engine checkpoints taken by shard workers.
+    pub checkpoints: u64,
+    /// Total worker CPU time spent serializing and publishing
+    /// checkpoints, ns.
+    pub checkpoint_ns: u64,
+    /// Batches replayed from the backlog after a restart.
+    pub replayed_batches: u64,
+    /// Tuples inside replayed batches (counted again in the owning shard's
+    /// `tuples_processed`).
+    pub replayed_tuples: u64,
+    /// Shards degraded after exhausting their restart budget.
+    pub degraded_shards: u64,
+    /// Tuples dropped on degraded shards.
+    pub dropped_degraded: u64,
     /// Rows emitted (0 until `finish()`).
     pub rows_out: u64,
     /// Distinct buckets closed (0 until `finish()`).
@@ -324,6 +378,13 @@ impl MetricsSnapshot {
             late_drops: stats.late_drops,
             dispatcher_watermark_us: watermark_us,
             worker_panics: 0,
+            restarts: 0,
+            checkpoints: 0,
+            checkpoint_ns: 0,
+            replayed_batches: 0,
+            replayed_tuples: 0,
+            degraded_shards: 0,
+            dropped_degraded: 0,
             rows_out: stats.rows_out,
             buckets_closed: stats.buckets_closed,
             shards: Vec::new(),
@@ -353,6 +414,13 @@ impl MetricsSnapshot {
         scalar("fd_rows_out", "counter", self.rows_out);
         scalar("fd_buckets_closed", "counter", self.buckets_closed);
         scalar("fd_worker_panics", "counter", self.worker_panics);
+        scalar("fd_restarts", "counter", self.restarts);
+        scalar("fd_checkpoints", "counter", self.checkpoints);
+        scalar("fd_checkpoint_ns_total", "counter", self.checkpoint_ns);
+        scalar("fd_replayed_batches", "counter", self.replayed_batches);
+        scalar("fd_replayed_tuples", "counter", self.replayed_tuples);
+        scalar("fd_degraded_shards", "gauge", self.degraded_shards);
+        scalar("fd_dropped_degraded", "counter", self.dropped_degraded);
         scalar(
             "fd_dispatcher_watermark_us",
             "gauge",
@@ -436,6 +504,10 @@ impl MetricsSnapshot {
             concat!(
                 "{{\"tuples_in\":{},\"filtered\":{},\"late_drops\":{},",
                 "\"dispatcher_watermark_us\":{},\"worker_panics\":{},",
+                "\"restarts\":{},\"checkpoints\":{},\"checkpoint_ns\":{},",
+                "\"replayed_batches\":{},",
+                "\"replayed_tuples\":{},\"degraded_shards\":{},",
+                "\"dropped_degraded\":{},",
                 "\"rows_out\":{},\"buckets_closed\":{},\"shards\":[{}]}}"
             ),
             self.tuples_in,
@@ -443,6 +515,13 @@ impl MetricsSnapshot {
             self.late_drops,
             self.dispatcher_watermark_us,
             self.worker_panics,
+            self.restarts,
+            self.checkpoints,
+            self.checkpoint_ns,
+            self.replayed_batches,
+            self.replayed_tuples,
+            self.degraded_shards,
+            self.dropped_degraded,
             self.rows_out,
             self.buckets_closed,
             shards.join(",")
@@ -509,6 +588,51 @@ impl Drop for Reporter {
     fn drop(&mut self) {
         self.stop();
     }
+}
+
+/// CPU time consumed by the calling thread, ns. Unlike a wall-clock span,
+/// a section bracketed by two reads is not inflated when the scheduler
+/// slices the thread out mid-section, and time spent blocked (channel
+/// waits, condvars) is not charged at all. The `checkpoint_ns` counter is
+/// measured on this clock, and the `recovery_overhead` bench uses it to
+/// price the dispatch path independently of core count and machine load.
+// The one unsafe block in the workspace: std exposes no thread-CPU
+// clock, and pulling in `libc` for a single syscall wrapper is not worth
+// a dependency. The extern declaration matches POSIX `clock_gettime`.
+#[allow(unsafe_code)]
+#[cfg(target_os = "linux")]
+pub fn thread_cpu_ns() -> u64 {
+    #[repr(C)]
+    struct Timespec {
+        tv_sec: i64,
+        tv_nsec: i64,
+    }
+    extern "C" {
+        fn clock_gettime(clk_id: i32, tp: *mut Timespec) -> i32;
+    }
+    const CLOCK_THREAD_CPUTIME_ID: i32 = 3;
+    let mut ts = Timespec {
+        tv_sec: 0,
+        tv_nsec: 0,
+    };
+    // SAFETY: `ts` is a valid out-pointer for the duration of the call and
+    // the clock id is supported on every Linux since 2.6.12.
+    let rc = unsafe { clock_gettime(CLOCK_THREAD_CPUTIME_ID, &mut ts) };
+    if rc == 0 {
+        ts.tv_sec as u64 * 1_000_000_000 + ts.tv_nsec as u64
+    } else {
+        0
+    }
+}
+
+/// Wall-clock fallback where no thread clock is exposed: still monotonic
+/// and per-process, just charged for preempted and blocked time too.
+#[cfg(not(target_os = "linux"))]
+pub fn thread_cpu_ns() -> u64 {
+    use std::sync::OnceLock;
+    use std::time::Instant;
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
 }
 
 #[cfg(test)]

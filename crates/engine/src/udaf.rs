@@ -19,7 +19,7 @@ use crate::tuple::{Micros, Packet, MICROS_PER_SEC};
 
 /// A single reported item with an associated value (a heavy hitter and its
 /// count, a sampled key, a quantile, …).
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct ItemValue {
     /// The item (group-internal key: an IP, a port pair, a sampled value…).
     pub item: u64,
@@ -28,7 +28,7 @@ pub struct ItemValue {
 }
 
 /// The value a group's aggregator emits when its time bucket closes.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub enum AggValue {
     /// A scalar (count, sum, average, …).
     Float(f64),
@@ -120,6 +120,53 @@ pub trait Aggregator: Any + Send {
     /// Upcast for the downcasting dance inside `merge_boxed`
     /// implementations.
     fn as_any_box(self: Box<Self>) -> Box<dyn Any>;
+
+    /// Serializes this aggregator's state for checkpoint/recovery, or
+    /// `None` when the aggregator has no serializable representation.
+    ///
+    /// Closures (value/item extractors, decay parameters) are *not*
+    /// captured: [`AggregatorFactory::make`] recreates them, and
+    /// [`restore`](Aggregator::restore) refills only the summary state.
+    /// All in-repo adapters support checkpointing; the default declines,
+    /// so a hand-rolled UDAF without it degrades gracefully (the sharded
+    /// engine then cannot restore that shard and marks it degraded on
+    /// failure instead).
+    fn checkpoint(&self) -> Option<Vec<u8>> {
+        None
+    }
+
+    /// Appends the [`checkpoint`](Aggregator::checkpoint) bytes to `out`
+    /// instead of allocating a fresh `Vec` per call. Engine checkpoints
+    /// invoke this once per live group — tens of thousands of times per
+    /// snapshot — so the in-repo adapters override the round-tripping
+    /// default to write their state directly.
+    fn checkpoint_into(&self, out: &mut Vec<u8>) -> Option<()> {
+        let bytes = self.checkpoint()?;
+        out.extend_from_slice(&bytes);
+        Some(())
+    }
+
+    /// Restores state captured by [`checkpoint`](Aggregator::checkpoint)
+    /// into a freshly [`make`](AggregatorFactory::make)d instance of the
+    /// same factory and bucket.
+    fn restore(&mut self, _bytes: &[u8]) -> Result<(), fd_core::checkpoint::CodecError> {
+        Err(fd_core::checkpoint::CodecError::new(
+            "aggregator does not support checkpointing",
+        ))
+    }
+}
+
+/// Appends one length-prefixed aggregator checkpoint to `out` — the
+/// framing engine checkpoints use for each live group. Returns `None`
+/// (leaving a zero length behind is fine; the caller aborts the whole
+/// checkpoint) if the aggregator declines checkpointing.
+pub(crate) fn write_agg(out: &mut Vec<u8>, agg: &dyn Aggregator) -> Option<()> {
+    let len_pos = out.len();
+    out.extend_from_slice(&0u64.to_le_bytes());
+    agg.checkpoint_into(out)?;
+    let len = (out.len() - len_pos - 8) as u64;
+    out[len_pos..len_pos + 8].copy_from_slice(&len.to_le_bytes());
+    Some(())
 }
 
 /// Creates fresh per-group aggregators. One factory per query.

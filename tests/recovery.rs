@@ -1,0 +1,309 @@
+//! Fault-tolerance tests: supervised shard workers must recover from
+//! crashes without changing a single output bit.
+//!
+//! Forward decay makes this cheap to get *exactly* right: a summary's
+//! state is a handful of frozen numerators `g(t_i − L)` (Section VI-B),
+//! so a checkpoint is an exact serialization, not an approximation.
+//! Recovery is therefore testable by the strongest possible oracle —
+//! bit-identical `f64` output against an unfaulted run — rather than by
+//! tolerance bands.
+//!
+//! The fault schedule is deterministic ([`fault::FaultPlan`] triggers on
+//! the worker engine's own checkpointed tuple counter), so every test
+//! here replays identically under `--test-threads=1`, in CI, and across
+//! checkpoint-interval choices. The randomized sweep honors an `FD_FAULT`
+//! seed from the environment so the CI fault matrix explores different
+//! placements without losing reproducibility.
+
+use forward_decay::core::decay::Monomial;
+use forward_decay::engine::fault::{self, FaultKind, FaultPlan};
+use forward_decay::engine::prelude::*;
+use forward_decay::gen::TraceConfig;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn decayed_query() -> Query {
+    Query::builder("fwd_sum")
+        .filter(|p| p.proto == Proto::Tcp)
+        .group_by(|p| p.dst_host())
+        .bucket_secs(2)
+        .aggregate(fwd_sum_factory(Monomial::quadratic(), |p| p.len as f64))
+        .two_level(true)
+        .lfta_slots(4096)
+        .build()
+}
+
+fn trace(duration_secs: f64, rate_pps: f64, seed: u64) -> Vec<Packet> {
+    TraceConfig {
+        seed,
+        duration_secs,
+        rate_pps,
+        n_hosts: 2_000,
+        zipf_skew: 1.1,
+        ..Default::default()
+    }
+    .generate()
+}
+
+/// The strongest equality there is for `f64` output: same rows, same
+/// order, same bits.
+fn assert_bit_identical(expected: &[Row], got: &[Row], label: &str) {
+    assert_eq!(expected.len(), got.len(), "{label}: row count");
+    for (e, g) in expected.iter().zip(got) {
+        assert_eq!(
+            (e.bucket_start, e.key),
+            (g.bucket_start, g.key),
+            "{label}: row identity"
+        );
+        let (ev, gv) = (
+            e.value.as_float().expect("scalar aggregate"),
+            g.value.as_float().expect("scalar aggregate"),
+        );
+        assert_eq!(
+            ev.to_bits(),
+            gv.to_bits(),
+            "{label}: bucket {} key {}: {ev} vs {gv}",
+            e.bucket_start,
+            e.key
+        );
+    }
+}
+
+/// Same rows, same order, values equal to within float-combination
+/// noise — the right oracle for *single vs sharded*, where per-shard
+/// LFTAs flush partial sums in a different order than one big LFTA.
+fn assert_equivalent(expected: &[Row], got: &[Row], label: &str) {
+    assert_eq!(expected.len(), got.len(), "{label}: row count");
+    for (e, g) in expected.iter().zip(got) {
+        assert_eq!(
+            (e.bucket_start, e.key),
+            (g.bucket_start, g.key),
+            "{label}: row identity"
+        );
+        let (ev, gv) = (
+            e.value.as_float().expect("scalar aggregate"),
+            g.value.as_float().expect("scalar aggregate"),
+        );
+        assert!(
+            (ev - gv).abs() <= 1e-9 * ev.abs().max(gv.abs()).max(1.0),
+            "{label}: bucket {} key {}: {ev} vs {gv}",
+            e.bucket_start,
+            e.key
+        );
+    }
+}
+
+/// The tentpole guarantee at scale: 8 shards, ~1M tuples, a worker crash
+/// mid-stream — and the recovered run is bit-for-bit the unfaulted
+/// sharded run (and semantically the single-threaded one).
+#[test]
+fn transient_crash_recovers_bit_identically_at_one_million_tuples() {
+    let packets = trace(10.0, 100_000.0, 2);
+    assert!(packets.len() >= 900_000, "want ~1M tuples");
+
+    let baseline = Engine::new(decayed_query()).run(packets.iter().copied());
+
+    let mut clean = ShardedEngine::try_new(decayed_query(), 8)
+        .expect("spawn shards")
+        .checkpoint_every(8_192);
+    let clean_rows = clean.run(packets.iter().copied());
+    assert_equivalent(&baseline, &clean_rows, "clean sharded vs single");
+
+    let mut faulted = ShardedEngine::try_new(decayed_query(), 8)
+        .expect("spawn shards")
+        .checkpoint_every(8_192)
+        .inject_fault(FaultPlan {
+            shard: 3,
+            kind: FaultKind::PanicAtTuple(40_000),
+        });
+    let faulted_rows = faulted.run(packets.iter().copied());
+    assert_bit_identical(&clean_rows, &faulted_rows, "recovered vs clean");
+
+    let t = faulted.telemetry().snapshot();
+    assert_eq!(t.worker_panics, 1, "exactly the injected crash");
+    assert_eq!(t.restarts, 1, "one restart heals a transient fault");
+    assert!(t.checkpoints > 0, "workers checkpointed");
+    assert!(
+        t.replayed_tuples > 0,
+        "the tail since the last checkpoint was replayed"
+    );
+    assert_eq!(t.degraded_shards, 0);
+    assert_eq!(t.dropped_degraded, 0);
+    // And the replay stayed a *tail*: far less than the shard's full feed.
+    assert!(
+        t.replayed_tuples < packets.len() as u64 / 8,
+        "replayed {} of ~{} shard tuples — checkpointing is not bounding \
+         the backlog",
+        t.replayed_tuples,
+        packets.len() / 8
+    );
+}
+
+/// A permanent fault exhausts the restart budget, then degrades: the
+/// supervisor salvages the shard's last checkpoint instead of aborting
+/// the whole query, and accounts for every tuple it had to drop.
+#[test]
+fn poison_pill_degrades_gracefully_and_salvages_the_checkpoint() {
+    let packets = trace(6.0, 20_000.0, 7);
+    let mut e = ShardedEngine::try_new(decayed_query(), 4)
+        .expect("spawn shards")
+        .checkpoint_every(1_024)
+        .max_restarts(2)
+        .inject_fault(FaultPlan {
+            shard: 1,
+            kind: FaultKind::PoisonedBatch(10_000),
+        });
+    let rows = e.run(packets.iter().copied());
+    assert!(!rows.is_empty(), "healthy shards still produce output");
+
+    let t = e.telemetry().snapshot();
+    assert_eq!(t.degraded_shards, 1);
+    assert_eq!(t.restarts, 2, "the full restart budget was spent");
+    assert_eq!(
+        t.worker_panics,
+        1 + t.restarts,
+        "initial crash plus one per failed restart"
+    );
+    assert!(
+        t.dropped_degraded > 0,
+        "tuples routed to the dead shard are counted, not silently lost"
+    );
+    assert!(t.checkpoints > 0, "a checkpoint existed to salvage");
+
+    // Admission still saw the whole stream; only the degraded shard's
+    // tail (post-checkpoint backlog + later-routed tuples) was dropped.
+    let stats = e.stats();
+    assert_eq!(stats.tuples_in, packets.len() as u64);
+    assert!(
+        t.dropped_degraded < packets.len() as u64 / 2,
+        "dropped {} of {} tuples — far more than one shard's tail",
+        t.dropped_degraded,
+        packets.len()
+    );
+    assert!(stats.rows_out > 0);
+}
+
+/// Recovery must be exact for *any* checkpoint interval and crash point:
+/// a seeded sweep over both, honoring an `FD_FAULT` seed from the
+/// environment (the CI fault matrix sets it; locally it defaults).
+#[test]
+fn randomized_checkpoint_intervals_recover_exactly() {
+    let seed = fault::env_seed().unwrap_or(0xF0D4);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let packets = trace(4.0, 25_000.0, 11);
+    // The bit-exact oracle for each round is the *unfaulted sharded run
+    // with the same shard count* (float combination order depends on the
+    // topology, not on checkpointing or crashes). Its per-shard tuple
+    // counts also tell us where a crash point can actually fire.
+    type CleanRun = (Vec<Row>, Vec<u64>);
+    let mut clean: std::collections::BTreeMap<usize, CleanRun> = Default::default();
+
+    for round in 0..6 {
+        let n_shards = rng.gen_range(2..=6usize);
+        let every = rng.gen_range(64..=8_192u64);
+        let shard = rng.gen_range(0..n_shards);
+        let (expected, per_shard) = clean.entry(n_shards).or_insert_with(|| {
+            let mut e = ShardedEngine::try_new(decayed_query(), n_shards).expect("spawn shards");
+            let rows = e.run(packets.iter().copied());
+            let per_shard = e.per_shard_stats().iter().map(|s| s.tuples_in).collect();
+            (rows, per_shard)
+        });
+        // Crash somewhere the shard's worker will actually reach.
+        let at = rng.gen_range(1..=per_shard[shard]);
+        let mut e = ShardedEngine::try_new(decayed_query(), n_shards)
+            .expect("spawn shards")
+            .checkpoint_every(every)
+            .inject_fault(FaultPlan {
+                shard,
+                kind: FaultKind::PanicAtTuple(at),
+            });
+        let rows = e.run(packets.iter().copied());
+        assert_bit_identical(
+            expected,
+            &rows,
+            &format!(
+                "seed {seed} round {round}: shards={n_shards} \
+                 checkpoint_every={every} crash at tuple {at} of shard {shard}"
+            ),
+        );
+        let t = e.telemetry().snapshot();
+        assert_eq!(t.restarts, 1, "seed {seed} round {round}");
+    }
+}
+
+/// A crash before the first checkpoint must also recover: the supervisor
+/// rebuilds the worker from an empty engine and replays everything.
+#[test]
+fn crash_before_first_checkpoint_replays_from_scratch() {
+    let packets = trace(2.0, 10_000.0, 3);
+    let baseline = ShardedEngine::try_new(decayed_query(), 2)
+        .expect("spawn shards")
+        .run(packets.iter().copied());
+    let mut e = ShardedEngine::try_new(decayed_query(), 2)
+        .expect("spawn shards")
+        .checkpoint_every(1_000_000) // larger than the stream: never fires
+        .inject_fault(FaultPlan {
+            shard: 0,
+            kind: FaultKind::PanicAtTuple(500),
+        });
+    let rows = e.run(packets.iter().copied());
+    assert_bit_identical(&baseline, &rows, "from-scratch replay");
+    let t = e.telemetry().snapshot();
+    assert_eq!(t.restarts, 1);
+    assert_eq!(t.checkpoints, 0, "no checkpoint ever fired");
+    assert!(t.replayed_tuples > 0);
+}
+
+/// The checkpoint codec itself: freezing an engine mid-stream and
+/// restoring it must not perturb anything downstream.
+#[test]
+fn engine_checkpoint_roundtrip_is_transparent_mid_stream() {
+    let packets = trace(4.0, 10_000.0, 5);
+    let (head, tail) = packets.split_at(packets.len() / 2);
+
+    let mut original = Engine::new(decayed_query());
+    original.keep_closed_state();
+    for p in head {
+        original.process(p);
+    }
+    let bytes = original.checkpoint().expect("checkpoint");
+    let mut restored = Engine::restore(decayed_query(), &bytes).expect("restore");
+
+    for p in tail {
+        original.process(p);
+        restored.process(p);
+    }
+    let a = original.finish();
+    let b = restored.finish();
+    assert_bit_identical(&a, &b, "restored engine");
+    assert_eq!(original.stats(), restored.stats());
+}
+
+/// Sampling-based aggregates decline checkpointing (their state is not
+/// exactly serializable); a supervised engine running one must fall back
+/// to fail-hard semantics rather than silently replaying wrong state —
+/// and a clean run must stay exact.
+#[test]
+fn non_checkpointable_aggregates_still_run_supervised() {
+    let q = || {
+        Query::builder("sample")
+            .group_by(|p| p.dst_host())
+            .bucket_secs(2)
+            .aggregate(pri_sample_factory(Monomial::new(1.0), 16, 99, |p| {
+                p.len as u64
+            }))
+            .build()
+    };
+    let packets = trace(3.0, 5_000.0, 13);
+    let mut e = ShardedEngine::try_new(q(), 2)
+        .expect("spawn shards")
+        .checkpoint_every(256);
+    let rows = e.run(packets.iter().copied());
+    assert!(!rows.is_empty());
+    let t = e.telemetry().snapshot();
+    assert_eq!(
+        t.checkpoints, 0,
+        "samplers cannot checkpoint; the slot must be marked unsupported"
+    );
+    assert_eq!(t.worker_panics, 0);
+}

@@ -25,7 +25,7 @@ fn assert_equivalent(make_query: impl Fn() -> Query, events: &[StreamEvent], n_s
     }
     let expected = single.finish();
 
-    let mut sharded = ShardedEngine::new(make_query(), n_shards);
+    let mut sharded = ShardedEngine::try_new(make_query(), n_shards).expect("spawn shards");
     sharded.process_batch(events);
     let got = sharded.finish();
 
@@ -185,7 +185,9 @@ fn round_robin_routing_matches_for_additive_aggregates() {
         single.process_event(ev);
     }
     let expected = single.finish();
-    let mut sharded = ShardedEngine::new(count_query(), 4).routing(ShardBy::RoundRobin);
+    let mut sharded = ShardedEngine::try_new(count_query(), 4)
+        .expect("spawn shards")
+        .routing(ShardBy::RoundRobin);
     sharded.process_batch(&events);
     let got = sharded.finish();
     assert_eq!(expected.len(), got.len());

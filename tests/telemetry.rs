@@ -30,7 +30,7 @@ fn gauges_are_readable_mid_stream_before_finish() {
         n_hosts: 500,
         ..Default::default()
     };
-    let mut e = ShardedEngine::new(decayed_query(), 4);
+    let mut e = ShardedEngine::try_new(decayed_query(), 4).expect("spawn shards");
     let tel = Arc::clone(e.telemetry());
     let mut mid_snapshots = 0usize;
     for (i, p) in trace.iter().enumerate() {
@@ -51,7 +51,7 @@ fn gauges_are_readable_mid_stream_before_finish() {
             for (i, sh) in s.shards.iter().enumerate() {
                 // Queue depth is sampled live: bounded by the channel, and
                 // consistent (inc/dec are unconditional on both sides).
-                assert!(sh.queue_depth <= 16, "shard {i} depth {}", sh.queue_depth);
+                assert!(sh.queue_depth <= 64, "shard {i} depth {}", sh.queue_depth);
                 // Each worker has applied the broadcast watermark or is
                 // at most one punctuation behind the dispatcher.
                 assert!(
@@ -89,7 +89,7 @@ fn observer_thread_watches_a_live_run_via_reporter() {
         n_hosts: 1_000,
         ..Default::default()
     };
-    let mut e = ShardedEngine::new(decayed_query(), 3);
+    let mut e = ShardedEngine::try_new(decayed_query(), 3).expect("spawn shards");
     let seen: Arc<Mutex<Vec<MetricsSnapshot>>> = Arc::new(Mutex::new(Vec::new()));
     let sink = Arc::clone(&seen);
     let mut reporter = Reporter::spawn(
@@ -129,7 +129,9 @@ fn disabled_telemetry_still_records_final_counters() {
         n_hosts: 200,
         ..Default::default()
     };
-    let mut e = ShardedEngine::new(decayed_query(), 2).live_telemetry(false);
+    let mut e = ShardedEngine::try_new(decayed_query(), 2)
+        .expect("spawn shards")
+        .live_telemetry(false);
     let rows = e.run(trace.iter());
     let stats = e.stats();
     let s = e.telemetry().snapshot();
@@ -155,7 +157,7 @@ fn serialized_snapshots_carry_the_exact_counters() {
         n_hosts: 300,
         ..Default::default()
     };
-    let mut e = ShardedEngine::new(decayed_query(), 2);
+    let mut e = ShardedEngine::try_new(decayed_query(), 2).expect("spawn shards");
     e.run(trace.iter());
     let stats = e.stats();
     let s = e.telemetry().snapshot();
@@ -191,7 +193,7 @@ fn telemetry_soak_conserves_tuples_under_load() {
         .aggregate(fwd_sum_factory(Exponential::new(0.5), |p| p.len as f64))
         .lfta_slots(2048)
         .build();
-    let mut e = ShardedEngine::new(q, 4);
+    let mut e = ShardedEngine::try_new(q, 4).expect("spawn shards");
     let tel = Arc::clone(e.telemetry());
     for (i, p) in trace.iter().enumerate() {
         e.process(&p);
@@ -199,7 +201,7 @@ fn telemetry_soak_conserves_tuples_under_load() {
             let s = tel.snapshot();
             assert!(s.filtered + s.late_drops <= s.tuples_in);
             for sh in &s.shards {
-                assert!(sh.queue_depth <= 16);
+                assert!(sh.queue_depth <= 64);
             }
         }
     }
@@ -218,4 +220,73 @@ fn telemetry_soak_conserves_tuples_under_load() {
     let batch_samples: u64 = s.shards.iter().map(|sh| sh.batch_ns.count).sum();
     assert_eq!(batches, batch_samples, "every batch must be timed");
     assert_eq!(tel.worker_panics.load(Relaxed), 0);
+}
+
+#[test]
+fn supervision_counters_surface_in_every_export_format() {
+    use forward_decay::engine::fault::{FaultKind, FaultPlan};
+
+    // A clean supervised run: checkpoints tick, nothing else does.
+    let trace = TraceConfig {
+        seed: 23,
+        duration_secs: 30.0,
+        rate_pps: 10_000.0,
+        n_hosts: 500,
+        ..Default::default()
+    };
+    let mut e = ShardedEngine::try_new(decayed_query(), 3)
+        .expect("spawn shards")
+        .checkpoint_every(4_096);
+    let rows = e.run(trace.iter());
+    assert!(!rows.is_empty());
+    let s = e.telemetry().snapshot();
+    assert!(s.checkpoints > 0, "supervised workers must checkpoint");
+    assert_eq!(s.restarts, 0);
+    assert_eq!(s.replayed_batches, 0);
+    assert_eq!(s.replayed_tuples, 0);
+    assert_eq!(s.degraded_shards, 0);
+    assert_eq!(s.dropped_degraded, 0);
+
+    let prom = s.to_prometheus();
+    for name in [
+        "fd_restarts",
+        "fd_checkpoints",
+        "fd_replayed_batches",
+        "fd_replayed_tuples",
+        "fd_degraded_shards",
+        "fd_dropped_degraded",
+    ] {
+        assert!(prom.contains(name), "{name} missing from:\n{prom}");
+    }
+    let json = s.to_json();
+    for key in ["\"restarts\":", "\"checkpoints\":", "\"replayed_tuples\":"] {
+        assert!(json.contains(key), "{key} missing from:\n{json}");
+    }
+    assert!(json.contains(&format!("\"checkpoints\":{}", s.checkpoints)));
+
+    // A faulted run: the same counters move, and batch accounting keeps
+    // dispatches and replays separate (batch_ns times *processed*
+    // batches, so replayed work shows up there and not in batches_sent).
+    let mut e = ShardedEngine::try_new(decayed_query(), 3)
+        .expect("spawn shards")
+        .checkpoint_every(4_096)
+        .inject_fault(FaultPlan {
+            shard: 1,
+            kind: FaultKind::PanicAtTuple(50_000),
+        });
+    let rows = e.run(trace.iter());
+    assert!(!rows.is_empty());
+    let s = e.telemetry().snapshot();
+    assert_eq!(s.worker_panics, 1);
+    assert_eq!(s.restarts, 1);
+    assert!(s.replayed_batches > 0);
+    assert!(s.replayed_tuples > 0);
+    let sent: u64 = s.shards.iter().map(|sh| sh.batches_sent).sum();
+    let timed: u64 = s.shards.iter().map(|sh| sh.batch_ns.count).sum();
+    assert!(
+        timed >= sent,
+        "replayed batches are timed but not re-counted as dispatched \
+         (timed {timed} < sent {sent})"
+    );
+    assert!(s.to_prometheus().contains("fd_restarts 1"));
 }
