@@ -12,10 +12,10 @@
 //! exponential decay on unboundedly long streams via landmark
 //! renormalization ([`crate::numerics::Renormalizer`]).
 
-use crate::decay::ForwardDecay;
+use crate::decay::{clamp_to_landmark, ForwardDecay};
 use crate::kernel::WeightKernel;
 use crate::merge::Mergeable;
-use crate::numerics::Renormalizer;
+use crate::numerics::{landmark_shift_factor, Renormalizer};
 use crate::Timestamp;
 
 /// Decayed count (Definition 5): `C = Σ_i g(t_i − L) / g(t − L)`.
@@ -55,10 +55,11 @@ impl<G: ForwardDecay> DecayedCount<G> {
         }
     }
 
-    /// Ingests an item with timestamp `t_i ≥ L`.
+    /// Ingests an item with timestamp `t_i`. Pre-landmark timestamps are
+    /// clamped to the landmark ([`clamp_to_landmark`]).
     #[inline]
     pub fn update(&mut self, t_i: impl Into<Timestamp>) {
-        let t_i = t_i.into();
+        let t_i = clamp_to_landmark(t_i.into(), self.renorm.original_landmark());
         if let Some(factor) = self.renorm.pre_update(&self.g, t_i) {
             self.acc *= factor;
         }
@@ -96,19 +97,27 @@ impl<G: ForwardDecay> DecayedCount<G> {
             if let Some(factor) = self.renorm.pre_update(&self.g, max_t) {
                 self.acc *= factor;
             }
+            // Clamp pre-landmark stragglers against the *original* landmark
+            // (the effective landmark `l` only ever advances past it), so
+            // the batched weights match the scalar path exactly.
+            let l0 = self.renorm.original_landmark();
             let l = self.renorm.landmark();
             if self.g.prefers_tick_cache() && crate::kernel::batch_ticks_repeat(ts) {
                 let mut k = WeightKernel::new(self.g.clone());
                 let mut acc = 0.0;
                 for &t in ts {
-                    acc += k.g(t - l);
+                    acc += k.g(clamp_to_landmark(t, l0) - l);
                 }
                 self.acc += acc;
             } else {
-                self.acc += self.g.g_sum_batch(ts, l).0;
+                self.acc +=
+                    crate::kernel::striped_sum(ts, |t| self.g.g(clamp_to_landmark(t, l0) - l)).0;
             }
             max_t
         } else {
+            // Non-multiplicative families clamp intrinsically (`g(n ≤ 0)`
+            // equals `g(0)` for Monomial / LandmarkWindow / PolySum), so the
+            // unswitched `g_sum_batch` overrides stay on this path.
             let l = self.renorm.landmark();
             if self.g.prefers_tick_cache() && crate::kernel::batch_ticks_repeat(ts) {
                 let mut k = WeightKernel::new(self.g.clone());
@@ -178,8 +187,10 @@ impl<G: ForwardDecay> Mergeable for DecayedCount<G> {
         // Align effective landmarks: rescale whichever is older.
         let (mut other_acc, other_lm) = (other.acc, other.renorm.landmark());
         if other_lm < self.renorm.landmark() {
-            // Express other's accumulator relative to our landmark.
-            other_acc /= self.g.g(self.renorm.landmark() - other_lm);
+            // Express other's accumulator relative to our landmark, in the
+            // log domain: the linear `1/g(ΔL)` collapses to 0.0 once the
+            // landmark gap overflows g (≈ 709/α s for exponential decay).
+            other_acc *= landmark_shift_factor(&self.g, other_lm, self.renorm.landmark());
         } else if other_lm > self.renorm.landmark() {
             if let Some(f) = self.renorm.rescale_to(&self.g, other_lm) {
                 self.acc *= f;
@@ -215,10 +226,11 @@ impl<G: ForwardDecay> DecayedSum<G> {
         }
     }
 
-    /// Ingests an item `(t_i, v_i)` with `t_i ≥ L`.
+    /// Ingests an item `(t_i, v_i)`. Pre-landmark timestamps are clamped to
+    /// the landmark ([`clamp_to_landmark`]).
     #[inline]
     pub fn update(&mut self, t_i: impl Into<Timestamp>, v: f64) {
-        let t_i = t_i.into();
+        let t_i = clamp_to_landmark(t_i.into(), self.renorm.original_landmark());
         if let Some(factor) = self.renorm.pre_update(&self.g, t_i) {
             self.acc *= factor;
         }
@@ -247,16 +259,21 @@ impl<G: ForwardDecay> DecayedSum<G> {
             if let Some(factor) = self.renorm.pre_update(&self.g, max_t) {
                 self.acc *= factor;
             }
+            // Clamp against the original landmark, as in the scalar path.
+            let l0 = self.renorm.original_landmark();
             let l = self.renorm.landmark();
             if self.g.prefers_tick_cache() && crate::kernel::batch_ticks_repeat(ts) {
                 let mut k = WeightKernel::new(self.g.clone());
                 let mut acc = 0.0;
                 for (&t, &v) in ts.iter().zip(vals) {
-                    acc += k.g(t - l) * v;
+                    acc += k.g(clamp_to_landmark(t, l0) - l) * v;
                 }
                 self.acc += acc;
             } else {
-                self.acc += self.g.g_dot_batch(ts, vals, l).0;
+                self.acc += crate::kernel::striped_dot(ts, vals, |t| {
+                    self.g.g(clamp_to_landmark(t, l0) - l)
+                })
+                .0;
             }
             max_t
         } else {
@@ -315,7 +332,8 @@ impl<G: ForwardDecay> Mergeable for DecayedSum<G> {
         );
         let (mut other_acc, other_lm) = (other.acc, other.renorm.landmark());
         if other_lm < self.renorm.landmark() {
-            other_acc /= self.g.g(self.renorm.landmark() - other_lm);
+            // Log-domain alignment; see DecayedCount::merge_from.
+            other_acc *= landmark_shift_factor(&self.g, other_lm, self.renorm.landmark());
         } else if other_lm > self.renorm.landmark() {
             if let Some(f) = self.renorm.rescale_to(&self.g, other_lm) {
                 self.acc *= f;
@@ -481,22 +499,48 @@ impl<G: ForwardDecay> DecayedExtremum<G> {
         }
     }
 
-    /// Ingests an item `(t_i, v_i)`.
+    /// Whether candidate `(key, t_i, v)` replaces the current best.
+    ///
+    /// Strictly better keys (by `total_cmp`, so `-0.0 < 0.0` and the
+    /// comparison is a total order) always win. *Equal* keys — duplicate
+    /// timestamps with the same value, or distinct items whose decayed
+    /// weights coincide — fall back to the lexicographically smallest
+    /// `(t_i, v)`, so the reported witness is identical across the scalar,
+    /// batched, and merge paths regardless of arrival or merge order.
+    /// NaN keys are rejected at ingestion and never reach this comparison.
+    fn candidate_wins(&self, key: f64, t_i: Timestamp, v: f64) -> bool {
+        use std::cmp::Ordering;
+        let Some((b, bt, bv)) = &self.best else {
+            return true;
+        };
+        let ord = match self.which {
+            Extremum::Min => key.total_cmp(b),
+            Extremum::Max => b.total_cmp(&key),
+        };
+        match ord {
+            Ordering::Less => true,
+            Ordering::Greater => false,
+            Ordering::Equal => t_i < *bt || (t_i == *bt && v.total_cmp(bv) == Ordering::Less),
+        }
+    }
+
+    /// Ingests an item `(t_i, v_i)`. Pre-landmark timestamps are clamped to
+    /// the landmark; a NaN value is ignored (it has no defined ordering, and
+    /// before this guard the first-arriving NaN stuck as the extremum
+    /// forever, making the result arrival-order-dependent).
     #[inline]
     pub fn update(&mut self, t_i: impl Into<Timestamp>, v: f64) {
-        let t_i = t_i.into();
+        let t_i = clamp_to_landmark(t_i.into(), self.renorm.original_landmark());
         if let Some(factor) = self.renorm.pre_update(&self.g, t_i) {
             if let Some((key, _, _)) = &mut self.best {
                 *key *= factor;
             }
         }
         let key = self.g.g(t_i - self.renorm.landmark()) * v;
-        let better = match (&self.best, self.which) {
-            (None, _) => true,
-            (Some((b, _, _)), Extremum::Min) => key < *b,
-            (Some((b, _, _)), Extremum::Max) => key > *b,
-        };
-        if better {
+        if key.is_nan() {
+            return;
+        }
+        if self.candidate_wins(key, t_i, v) {
             self.best = Some((key, t_i, v));
         }
     }
@@ -523,9 +567,14 @@ impl<G: ForwardDecay> Mergeable for DecayedExtremum<G> {
             "summaries must share a landmark"
         );
         if let Some((okey, ot, ov)) = other.best {
-            // Align the candidate's key to our effective landmark.
+            // Align the candidate's key to our effective landmark (log
+            // domain, as in DecayedCount::merge_from).
             let okey = if other.renorm.landmark() < self.renorm.landmark() {
-                okey / self.g.g(self.renorm.landmark() - other.renorm.landmark())
+                okey * landmark_shift_factor(
+                    &self.g,
+                    other.renorm.landmark(),
+                    self.renorm.landmark(),
+                )
             } else if other.renorm.landmark() > self.renorm.landmark() {
                 if let Some(f) = self.renorm.rescale_to(&self.g, other.renorm.landmark()) {
                     if let Some((key, _, _)) = &mut self.best {
@@ -536,12 +585,10 @@ impl<G: ForwardDecay> Mergeable for DecayedExtremum<G> {
             } else {
                 okey
             };
-            let better = match (&self.best, self.which) {
-                (None, _) => true,
-                (Some((b, _, _)), Extremum::Min) => okey < *b,
-                (Some((b, _, _)), Extremum::Max) => okey > *b,
-            };
-            if better {
+            // Same winner rule as `update` — equal keys resolve to the
+            // smallest (t_i, v), so A.merge_from(B) and B.merge_from(A)
+            // report the same witness.
+            if !okey.is_nan() && self.candidate_wins(okey, ot, ov) {
                 self.best = Some((okey, ot, ov));
             }
         }
@@ -591,6 +638,21 @@ impl<G: ForwardDecay> Summary for DecayedCount<G> {
             accepted: self.n,
             ..SummaryStats::default()
         }
+    }
+
+    fn check_invariants(&self) -> Result<(), String> {
+        // Counts sum non-negative weights: the accumulator can never go
+        // negative or NaN, whatever the stream threw at it.
+        if self.acc.is_nan() {
+            return Err("DecayedCount accumulator is NaN".into());
+        }
+        if self.acc < 0.0 {
+            return Err(format!("DecayedCount accumulator negative: {}", self.acc));
+        }
+        if self.acc > 0.0 && self.n == 0 {
+            return Err("DecayedCount has mass but zero raw count".into());
+        }
+        Ok(())
     }
 }
 
@@ -730,6 +792,23 @@ impl<G: ForwardDecay> Summary for DecayedExtremum<G> {
             capacity: 1,
             ..SummaryStats::default()
         }
+    }
+
+    fn check_invariants(&self) -> Result<(), String> {
+        // NaN keys are rejected at ingestion; the witness timestamp can
+        // never precede the landmark after the clamp.
+        if let Some((key, t_i, _)) = self.best {
+            if key.is_nan() {
+                return Err("DecayedExtremum stored a NaN key".into());
+            }
+            if t_i < self.renorm.original_landmark() {
+                return Err(format!(
+                    "DecayedExtremum witness {t_i:?} precedes landmark {:?}",
+                    self.renorm.original_landmark()
+                ));
+            }
+        }
+        Ok(())
     }
 }
 

@@ -109,9 +109,10 @@ impl CmSketch {
     }
 
     /// Multiplies every counter and the total by `factor`
-    /// (landmark-renormalization support).
+    /// (landmark-renormalization support). A factor of exactly `0.0` is
+    /// legal — see [`crate::numerics::landmark_shift_factor`].
     pub fn scale_all(&mut self, factor: f64) {
-        debug_assert!(factor > 0.0);
+        debug_assert!(factor >= 0.0 && !factor.is_nan());
         for c in &mut self.counters {
             *c *= factor;
         }
@@ -176,9 +177,11 @@ impl<G: ForwardDecay> DecayedCmHeavyHitters<G> {
         }
     }
 
-    /// Ingests an occurrence of `item` at time `t_i ≥ L`.
+    /// Ingests an occurrence of `item` at time `t_i`. Pre-landmark
+    /// timestamps are clamped to the landmark
+    /// ([`crate::decay::clamp_to_landmark`]).
     pub fn update(&mut self, t_i: impl Into<Timestamp>, item: u64) {
-        let t_i = t_i.into();
+        let t_i = crate::decay::clamp_to_landmark(t_i.into(), self.renorm.original_landmark());
         if let Some(factor) = self.renorm.pre_update(&self.g, t_i) {
             self.sketch.scale_all(factor);
             for est in self.candidates.values_mut() {
@@ -285,7 +288,12 @@ impl<G: ForwardDecay> Mergeable for DecayedCmHeavyHitters<G> {
             self.sketch.merge_from(&other.sketch);
         } else if other.renorm.landmark() < self.renorm.landmark() {
             let mut o = other.sketch.clone();
-            o.scale_all(1.0 / self.g.g(self.renorm.landmark() - other.renorm.landmark()));
+            // Log-domain landmark alignment; see DecayedHeavyHitters.
+            o.scale_all(crate::numerics::landmark_shift_factor(
+                &self.g,
+                other.renorm.landmark(),
+                self.renorm.landmark(),
+            ));
             self.sketch.merge_from(&o);
         } else {
             self.sketch.merge_from(&other.sketch);

@@ -94,8 +94,11 @@ pub trait ForwardDecay:
     }
 
     /// The decayed weight `w(i, t) = g(t_i − L) / g(t − L)` of an item that
-    /// arrived at `t_i`, evaluated at time `t ≥ t_i`, with landmark
-    /// `L ≤ t_i`.
+    /// arrived at `t_i`, evaluated at time `t ≥ t_i`.
+    ///
+    /// A pre-landmark arrival (`t_i < L`) is clamped to the landmark per
+    /// [`clamp_to_landmark`] — the uniform policy shared with every summary's
+    /// ingestion path.
     #[inline]
     fn weight(
         &self,
@@ -104,7 +107,7 @@ pub trait ForwardDecay:
         t: impl Into<Timestamp>,
     ) -> f64 {
         let (landmark, t_i, t) = (landmark.into(), t_i.into(), t.into());
-        debug_assert!(t_i >= landmark, "item precedes landmark");
+        let t_i = clamp_to_landmark(t_i, landmark);
         let denom = self.g(t - landmark);
         if denom == 0.0 {
             return 0.0;
@@ -115,6 +118,32 @@ pub trait ForwardDecay:
             return (self.ln_g(t_i - landmark) - self.ln_g(t - landmark)).exp();
         }
         self.g(t_i - landmark) / denom
+    }
+}
+
+/// The uniform pre-landmark arrival policy: an item stamped before the
+/// landmark is treated as arriving *at* the landmark (`t_i < L` behaves as
+/// `t_i = L`).
+///
+/// The paper requires `L ≤ t_i`, but real streams deliver stragglers and
+/// clock-skewed tuples stamped before the landmark. Every ingestion path —
+/// the scalar `update_at`s, the batched kernel closures, and the samplers —
+/// routes item timestamps through this clamp against the summary's
+/// **original** landmark, so all decay families and all code paths agree:
+///
+/// - for the polynomial families the clamp coincides with their intrinsic
+///   `g(n ≤ 0) = g(0)` handling (Monomial and LandmarkWindow map negative
+///   ages to weight 0, PolySum to its constant term), so nothing changes;
+/// - for exponential `g` it caps a pre-landmark item's weight at the
+///   landmark's weight instead of letting `exp(αn)` keep decaying below `L`
+///   (or tripping a debug assert), which previously made the scalar, batched
+///   and sampler paths disagree with each other.
+#[inline]
+pub fn clamp_to_landmark(t_i: Timestamp, landmark: Timestamp) -> Timestamp {
+    if t_i < landmark {
+        landmark
+    } else {
+        t_i
     }
 }
 
@@ -996,5 +1025,42 @@ mod tests {
         let f = BackSlidingWindow::new(60.0);
         assert_eq!(f.weight(0.0, 59.999), 1.0);
         assert_eq!(f.weight(0.0, 60.0), 0.0);
+    }
+
+    #[test]
+    fn pre_landmark_arrivals_clamp_to_the_landmark() {
+        // For every family, an item stamped before the landmark weighs
+        // exactly as much as one stamped *at* the landmark — weight() must
+        // not decay it below L, return NaN, or (for exponential) give it a
+        // weight below the landmark item's.
+        let landmark = 100.0;
+        let t = 110.0;
+        for g in [
+            AnyDecay::None,
+            AnyDecay::Monomial(Monomial::new(2.0)),
+            AnyDecay::Monomial(Monomial::new(1.5)),
+            AnyDecay::Exponential(Exponential::new(0.3)),
+            AnyDecay::Landmark(LandmarkWindow),
+            AnyDecay::Poly(PolySum::new(vec![1.0, 0.0, 2.0])),
+        ] {
+            let at_landmark = g.weight(landmark, landmark, t);
+            for early in [99.9, 50.0, -1000.0] {
+                let w = g.weight(landmark, early, t);
+                assert_eq!(
+                    w, at_landmark,
+                    "pre-landmark arrival at {early} disagrees with the clamp"
+                );
+                assert!(!w.is_nan());
+            }
+        }
+    }
+
+    #[test]
+    fn clamp_to_landmark_is_identity_at_and_after_l() {
+        let l = Timestamp::from_secs_f64(100.0);
+        assert_eq!(clamp_to_landmark(Timestamp::from_secs_f64(99.0), l), l);
+        assert_eq!(clamp_to_landmark(l, l), l);
+        let later = Timestamp::from_secs_f64(101.0);
+        assert_eq!(clamp_to_landmark(later, l), later);
     }
 }

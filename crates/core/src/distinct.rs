@@ -64,10 +64,11 @@ impl<G: ForwardDecay> ExactDominance<G> {
         }
     }
 
-    /// Ingests an occurrence of `value` at `t_i ≥ L`.
+    /// Ingests an occurrence of `value` at `t_i`. Pre-landmark timestamps
+    /// are clamped to the landmark ([`crate::decay::clamp_to_landmark`]).
     #[inline]
     pub fn update(&mut self, t_i: impl Into<Timestamp>, value: u64) {
-        let t_i = t_i.into();
+        let t_i = crate::decay::clamp_to_landmark(t_i.into(), self.landmark);
         let ln_w = self.g.ln_g(t_i - self.landmark);
         if ln_w == f64::NEG_INFINITY {
             return;
@@ -288,10 +289,11 @@ impl<G: ForwardDecay> DominanceSketch<G> {
         ((n / eps).ln() / self.ln_base).ceil() as i64 + 1
     }
 
-    /// Ingests an occurrence of `value` at `t_i ≥ L`. Touches at most
-    /// `O(window)` levels, each with a single threshold comparison.
+    /// Ingests an occurrence of `value` at `t_i` (pre-landmark timestamps
+    /// clamp to the landmark). Touches at most `O(window)` levels, each
+    /// with a single threshold comparison.
     pub fn update(&mut self, t_i: impl Into<Timestamp>, value: u64) {
-        let t_i = t_i.into();
+        let t_i = crate::decay::clamp_to_landmark(t_i.into(), self.landmark);
         let ln_w = self.g.ln_g(t_i - self.landmark);
         if ln_w == f64::NEG_INFINITY {
             return;
@@ -424,6 +426,19 @@ impl<G: ForwardDecay> Summary for ExactDominance<G> {
     fn query_at(&self, t: Timestamp) -> f64 {
         self.query(t)
     }
+
+    fn check_invariants(&self) -> Result<(), String> {
+        // One max-weight entry per distinct value; every stored log-weight
+        // is a real number (NEG_INFINITY is filtered at ingestion).
+        for (&v, &ln_w) in &self.max_ln_w {
+            if ln_w.is_nan() || ln_w == f64::NEG_INFINITY {
+                return Err(format!(
+                    "ExactDominance stored invalid ln-weight {ln_w} for {v}"
+                ));
+            }
+        }
+        Ok(())
+    }
 }
 
 impl<G: ForwardDecay> DominanceSketch<G> {
@@ -447,6 +462,21 @@ impl<G: ForwardDecay> Summary for DominanceSketch<G> {
 
     fn query_at(&self, t: Timestamp) -> f64 {
         self.query(t)
+    }
+
+    fn check_invariants(&self) -> Result<(), String> {
+        // Live levels must fit inside the trimming window.
+        if let (Some(&lo), Some(&hi)) = (self.levels.keys().next(), self.levels.keys().next_back())
+        {
+            if hi - lo + 1 > self.window {
+                return Err(format!(
+                    "DominanceSketch spans {} levels, window is {}",
+                    hi - lo + 1,
+                    self.window
+                ));
+            }
+        }
+        Ok(())
     }
 }
 

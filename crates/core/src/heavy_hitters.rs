@@ -221,14 +221,20 @@ impl WeightedSpaceSaving {
 
     /// Multiplies every stored count, error and the running total by
     /// `factor` — the linear renormalization pass of Section VI-A.
+    ///
+    /// A factor of exactly `0.0` is legal: a landmark shift across a gap
+    /// wider than the `f64` subnormal range can express rounds to zero
+    /// (see [`crate::numerics::landmark_shift_factor`]) — at that point the
+    /// old mass genuinely is below resolution. NaN and negative factors
+    /// remain bugs.
     pub fn scale_all(&mut self, factor: f64) {
-        debug_assert!(factor > 0.0);
+        debug_assert!(factor >= 0.0 && !factor.is_nan());
         for c in &mut self.counters {
             c.count *= factor;
             c.error *= factor;
         }
         self.total *= factor;
-        // Order is preserved (factor > 0): the heap stays valid.
+        // Order is preserved (factor ≥ 0): the heap stays valid.
     }
 
     // --- indexed binary min-heap ------------------------------------------
@@ -746,10 +752,12 @@ impl<G: ForwardDecay> DecayedHeavyHitters<G> {
         }
     }
 
-    /// Ingests an occurrence of `item` at time `t_i ≥ L`.
+    /// Ingests an occurrence of `item` at time `t_i`. Pre-landmark
+    /// timestamps are clamped to the landmark
+    /// ([`crate::decay::clamp_to_landmark`]).
     #[inline]
     pub fn update(&mut self, t_i: impl Into<Timestamp>, item: u64) {
-        let t_i = t_i.into();
+        let t_i = crate::decay::clamp_to_landmark(t_i.into(), self.renorm.original_landmark());
         if let Some(factor) = self.renorm.pre_update(&self.g, t_i) {
             self.inner.scale_all(factor);
         }
@@ -778,10 +786,12 @@ impl<G: ForwardDecay> DecayedHeavyHitters<G> {
         if let Some(factor) = self.renorm.pre_update(&self.g, max_t) {
             self.inner.scale_all(factor);
         }
+        let l0 = self.renorm.original_landmark();
         let l = self.renorm.landmark();
         let mut k = crate::kernel::WeightKernel::new(self.g.clone());
         for (&t_i, &item) in ts.iter().zip(items) {
-            self.inner.update(item, k.g(t_i - l));
+            self.inner
+                .update(item, k.g(crate::decay::clamp_to_landmark(t_i, l0) - l));
         }
     }
 
@@ -847,7 +857,14 @@ impl<G: ForwardDecay> Mergeable for DecayedHeavyHitters<G> {
             self.inner.merge_from(&other.inner);
         } else if other.renorm.landmark() < self.renorm.landmark() {
             let mut o = other.inner.clone();
-            o.scale_all(1.0 / self.g.g(self.renorm.landmark() - other.renorm.landmark()));
+            // Log-domain landmark alignment: the linear 1/g(ΔL) collapses to
+            // 0.0 across a g-overflowing gap (≈ 709/α s for exponential),
+            // zeroing the other side's mass.
+            o.scale_all(crate::numerics::landmark_shift_factor(
+                &self.g,
+                other.renorm.landmark(),
+                self.renorm.landmark(),
+            ));
             self.inner.merge_from(&o);
         } else {
             self.inner.merge_from(&other.inner);
@@ -882,6 +899,10 @@ impl<G: ForwardDecay> Summary for DecayedHeavyHitters<G> {
         self.update(t_i, item);
     }
 
+    fn update_batch_at(&mut self, ts: &[Timestamp], items: &[u64]) {
+        self.update_batch(ts, items);
+    }
+
     fn query_at(&self, t: Timestamp) -> f64 {
         self.decayed_count(t)
     }
@@ -894,6 +915,35 @@ impl<G: ForwardDecay> Summary for DecayedHeavyHitters<G> {
             items: 0, // not tracked by SpaceSaving
             accepted: 0,
         }
+    }
+
+    fn check_invariants(&self) -> Result<(), String> {
+        let total = self.inner.total_weight();
+        if total.is_nan() || total < 0.0 {
+            return Err(format!("SpaceSaving total weight invalid: {total}"));
+        }
+        if self.inner.len() > self.inner.capacity() {
+            return Err(format!(
+                "SpaceSaving occupancy {} exceeds capacity {}",
+                self.inner.len(),
+                self.inner.capacity()
+            ));
+        }
+        for c in self.inner.counters() {
+            if c.count.is_nan() || c.count < 0.0 || c.error.is_nan() || c.error < 0.0 {
+                return Err(format!(
+                    "SpaceSaving counter invalid: item {} count {} error {}",
+                    c.item, c.count, c.error
+                ));
+            }
+            if c.error > c.count + 1e-9 * c.count.abs() {
+                return Err(format!(
+                    "SpaceSaving error bound exceeds count: item {} count {} error {}",
+                    c.item, c.count, c.error
+                ));
+            }
+        }
+        Ok(())
     }
 }
 

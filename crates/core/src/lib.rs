@@ -48,6 +48,10 @@
 //!   backend (compared against SpaceSaving in the ablation benches);
 //! - [`checkpoint`] — binary snapshot/restore for every summary (all derive
 //!   serde), via an in-repo bincode-style codec;
+//! - [`oracle`] — a brute-force differential oracle (keeps the whole
+//!   stream, recomputes every decayed answer from scratch), an adversarial
+//!   stream generator and a ddmin shrinker, backing the metamorphic
+//!   cross-check harness in `tests/differential.rs`;
 //! - [`summary`] — the unified [`Summary`] trait (`update_at` / `query_at`
 //!   / `landmark`) implemented by every decayed aggregate, sketch and
 //!   sampler, so engine, checkpoint and merge layers can be generic;
@@ -102,6 +106,7 @@ pub mod heavy_hitters;
 pub mod kernel;
 pub mod merge;
 pub mod numerics;
+pub mod oracle;
 pub mod quantiles;
 pub mod sampling;
 pub mod summary;

@@ -145,6 +145,39 @@ impl Renormalizer {
     }
 }
 
+/// The factor that re-expresses a quantity stored relative to landmark
+/// `from` in terms of the newer landmark `to ≥ from`, for a multiplicative
+/// decay function: `1 / g(to − from)`, computed in the log domain.
+///
+/// Merge and restore paths use this to align two summaries whose effective
+/// landmarks drifted apart — one shard renormalized (or was restored from a
+/// checkpoint taken after renormalization) while the other did not. The
+/// naïve linear-domain `1.0 / g.g(to - from)` overflows to `1/∞ = 0.0` once
+/// the gap exceeds ≈ `709/α` seconds for `g(n) = exp(αn)`, silently zeroing
+/// the older side's mass and tripping the sketches' `scale_all` sanity
+/// asserts. The log-domain form degrades gradually through the subnormal
+/// range instead; a gap so wide that even subnormals cannot express the
+/// factor (≈ `745/α` seconds) yields `0.0`, which at that point *is* the
+/// correctly rounded value — the older mass is below `f64` resolution
+/// relative to the newer landmark.
+///
+/// For non-multiplicative `g` landmark shifting is unsound; callers must
+/// not shift landmarks for those functions (their renormalizers never
+/// advance, so the gap is always zero).
+#[inline]
+pub fn landmark_shift_factor<G: ForwardDecay>(
+    g: &G,
+    from: impl Into<Timestamp>,
+    to: impl Into<Timestamp>,
+) -> f64 {
+    let (from, to) = (from.into(), to.into());
+    debug_assert!(to >= from, "landmark shift target precedes source");
+    if to <= from {
+        return 1.0;
+    }
+    (-g.ln_g(to - from)).exp()
+}
+
 /// A log-domain accumulator: maintains `ln Σ exp(xᵢ)` without ever leaving
 /// the representable range of `f64`.
 ///
@@ -389,6 +422,31 @@ mod tests {
         assert_eq!(ls.ln(), f64::INFINITY);
         ls.add_ln(f64::NAN); // NaN still ignored at saturation
         assert_eq!(ls.ln(), f64::INFINITY);
+    }
+
+    #[test]
+    fn landmark_shift_factor_matches_linear_domain_when_finite() {
+        let g = Exponential::new(0.5);
+        let f = landmark_shift_factor(&g, 10.0, 30.0);
+        assert!((f - 1.0 / g.g(20.0)).abs() / f < 1e-12);
+        // Zero gap (and reversed arguments in release builds) is the identity.
+        assert_eq!(landmark_shift_factor(&g, 10.0, 10.0), 1.0);
+    }
+
+    #[test]
+    fn landmark_shift_factor_survives_overflow_gap() {
+        // α = 1, gap 720: g(720) = e^720 = +∞ in f64, so the linear-domain
+        // factor 1/g(720) collapsed to exactly 0.0. The log-domain factor is
+        // the subnormal e^{-720} > 0.
+        let g = Exponential::new(1.0);
+        let f = landmark_shift_factor(&g, 0.0, 720.0);
+        assert!(f > 0.0, "factor collapsed to 0.0 across an overflow gap");
+        assert_eq!(f, (-720.0f64).exp());
+        // Past the subnormal range (gap ≳ 745) the factor rounds to 0.0 —
+        // honest rounding, not a collapse: the old mass is below resolution.
+        let f2 = landmark_shift_factor(&g, 0.0, 2000.0);
+        assert_eq!(f2, 0.0);
+        assert!(!f2.is_nan());
     }
 
     #[test]

@@ -228,9 +228,11 @@ impl QDigest {
     }
 
     /// Multiplies all node weights and the total by `factor`
-    /// (landmark-renormalization support).
+    /// (landmark-renormalization support). A factor of exactly `0.0` is
+    /// legal — a landmark shift across a gap wider than the subnormal range
+    /// rounds to zero (see [`crate::numerics::landmark_shift_factor`]).
     pub fn scale_all(&mut self, factor: f64) {
-        debug_assert!(factor > 0.0);
+        debug_assert!(factor >= 0.0 && !factor.is_nan());
         for w in self.nodes.values_mut() {
             *w *= factor;
         }
@@ -405,9 +407,10 @@ impl WeightedGK {
         Some(self.tuples.last().unwrap().v)
     }
 
-    /// Multiplies all tuple weights and the total by `factor`.
+    /// Multiplies all tuple weights and the total by `factor`. A factor of
+    /// exactly `0.0` is legal — see [`crate::numerics::landmark_shift_factor`].
     pub fn scale_all(&mut self, factor: f64) {
-        debug_assert!(factor > 0.0);
+        debug_assert!(factor >= 0.0 && !factor.is_nan());
         for t in &mut self.tuples {
             t.g *= factor;
             t.delta *= factor;
@@ -483,10 +486,11 @@ impl<G: ForwardDecay> DecayedQuantiles<G> {
         }
     }
 
-    /// Ingests `(t_i, value)` with `t_i ≥ L`.
+    /// Ingests `(t_i, value)`. Pre-landmark timestamps are clamped to the
+    /// landmark ([`crate::decay::clamp_to_landmark`]).
     #[inline]
     pub fn update(&mut self, t_i: impl Into<Timestamp>, value: u64) {
-        let t_i = t_i.into();
+        let t_i = crate::decay::clamp_to_landmark(t_i.into(), self.renorm.original_landmark());
         if let Some(factor) = self.renorm.pre_update(&self.g, t_i) {
             self.inner.scale_all(factor);
         }
@@ -514,10 +518,12 @@ impl<G: ForwardDecay> DecayedQuantiles<G> {
         if let Some(factor) = self.renorm.pre_update(&self.g, max_t) {
             self.inner.scale_all(factor);
         }
+        let l0 = self.renorm.original_landmark();
         let l = self.renorm.landmark();
         let mut k = crate::kernel::WeightKernel::new(self.g.clone());
         for (&t_i, &value) in ts.iter().zip(values) {
-            self.inner.update(value, k.g(t_i - l));
+            self.inner
+                .update(value, k.g(crate::decay::clamp_to_landmark(t_i, l0) - l));
         }
     }
 
@@ -576,7 +582,12 @@ impl<G: ForwardDecay> Mergeable for DecayedQuantiles<G> {
             self.inner.merge_from(&other.inner);
         } else if other.renorm.landmark() < self.renorm.landmark() {
             let mut o = other.inner.clone();
-            o.scale_all(1.0 / self.g.g(self.renorm.landmark() - other.renorm.landmark()));
+            // Log-domain landmark alignment; see DecayedHeavyHitters.
+            o.scale_all(crate::numerics::landmark_shift_factor(
+                &self.g,
+                other.renorm.landmark(),
+                self.renorm.landmark(),
+            ));
             self.inner.merge_from(&o);
         } else {
             self.inner.merge_from(&other.inner);
@@ -612,6 +623,10 @@ impl<G: ForwardDecay> Summary for DecayedQuantiles<G> {
         self.update(t_i, value);
     }
 
+    fn update_batch_at(&mut self, ts: &[Timestamp], values: &[u64]) {
+        self.update_batch(ts, values);
+    }
+
     fn query_at(&self, t: Timestamp) -> f64 {
         self.decayed_count(t)
     }
@@ -625,6 +640,28 @@ impl<G: ForwardDecay> Summary for DecayedQuantiles<G> {
             items: 0, // not tracked by the q-digest
             accepted: 0,
         }
+    }
+
+    fn check_invariants(&self) -> Result<(), String> {
+        let total = self.inner.total_weight();
+        if total.is_nan() || total < 0.0 {
+            return Err(format!("q-digest total weight invalid: {total}"));
+        }
+        let mut node_sum = 0.0;
+        for (&id, &w) in &self.inner.nodes {
+            if w.is_nan() || w < 0.0 {
+                return Err(format!("q-digest node {id} has invalid weight {w}"));
+            }
+            node_sum += w;
+        }
+        // Node weights must account for the total (same additions, possibly
+        // reassociated by compression).
+        if (node_sum - total).abs() > 1e-6 * total.max(1.0) {
+            return Err(format!(
+                "q-digest node mass {node_sum} disagrees with total {total}"
+            ));
+        }
+        Ok(())
     }
 }
 

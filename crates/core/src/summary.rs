@@ -168,4 +168,16 @@ pub trait Summary {
     fn stats(&self) -> SummaryStats {
         SummaryStats::default()
     }
+
+    /// Structural self-check, used by the differential oracle harness
+    /// (`fd_core::oracle`, `tests/differential.rs`): verifies whatever
+    /// internal invariants the summary can state about itself — totals are
+    /// non-negative and non-NaN, occupancy stays within capacity, and so
+    /// on — and reports the first violation as an `Err` describing it.
+    ///
+    /// This is a test-path hook, not a hot-path guard: implementations may
+    /// walk their entire state. The default has nothing to check.
+    fn check_invariants(&self) -> Result<(), String> {
+        Ok(())
+    }
 }

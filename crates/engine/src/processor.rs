@@ -70,6 +70,28 @@ pub trait StreamProcessor {
     fn telemetry_snapshot(&self) -> MetricsSnapshot;
 }
 
+/// Deterministic replay entry point for differential testing: feeds every
+/// event to `p` in slice order, advances the watermark to `final_wm`,
+/// finishes the run, and returns the rows in a canonical order —
+/// `(bucket_start, key)` ascending — so two executors' outputs can be
+/// compared element-wise regardless of shard interleaving.
+///
+/// # Errors
+/// Propagates the first executor error ([`StreamProcessor::process`]).
+pub fn replay<P: StreamProcessor>(
+    p: &mut P,
+    events: &[StreamEvent],
+    final_wm: Micros,
+) -> Result<Vec<Row>, fd_core::Error> {
+    for ev in events {
+        p.process_event(ev)?;
+    }
+    p.punctuate(final_wm)?;
+    let mut rows = p.finish();
+    rows.sort_by(|a, b| (a.bucket_start, &a.key).cmp(&(b.bucket_start, &b.key)));
+    Ok(rows)
+}
+
 impl StreamProcessor for Engine {
     fn process(&mut self, pkt: &Packet) -> Result<(), fd_core::Error> {
         Engine::process(self, pkt);

@@ -172,6 +172,82 @@ fn backward_baselines_checkpoint() {
 }
 
 #[test]
+fn renormalizing_summaries_checkpoint_mid_renormalization() {
+    // α = 20 drives g(t − L) past the rescale threshold several times inside
+    // the 20 s trace, so the snapshot lands *between* renormalizations: the
+    // restored copy must carry the effective landmark and rescale count, not
+    // just the raw accumulator, or the halves disagree after restore.
+    check_roundtrip(
+        DecayedCount::new(Exponential::new(20.0), 0.0),
+        |s, p| s.update(p.ts_secs()),
+        |s| s.query(21.0),
+    );
+    check_roundtrip(
+        DecayedHeavyHitters::new(Exponential::new(20.0), 0.0, 64),
+        |s, p| s.update(p.ts_secs(), p.dst_host()),
+        |s| s.decayed_count(21.0),
+    );
+    check_roundtrip(
+        DecayedQuantiles::new(Exponential::new(20.0), 0.0, 11, 0.05),
+        |s, p| s.update(p.ts_secs(), p.len as u64),
+        |s| s.decayed_count(21.0),
+    );
+}
+
+#[test]
+fn restored_summary_merges_across_renormalization_gap() {
+    // Regression (found by the differential oracle harness): restore a
+    // shard whose renormalizer moved its effective landmark ~800 s ahead,
+    // then merge it with a shard still at the original landmark. The
+    // landmark gap exceeds ln(f64::MAX)/α ≈ 709 s, so the old linear-domain
+    // alignment factor `1/g(ΔL)` evaluated as `1/∞ = 0` — silently zeroing
+    // the stale shard's mass in release and tripping `scale_all`'s
+    // positivity assert under debug assertions. The factor now comes out of
+    // the log domain ([`landmark_shift_factor`]) as an honest subnormal.
+    use forward_decay::core::merge::Mergeable;
+    use forward_decay::core::summary::Summary;
+
+    let g = Exponential::new(1.0);
+    let mut stale = DecayedCount::new(g, 0.0);
+    stale.update(1.0);
+    let mut ahead = DecayedCount::new(g, 0.0);
+    ahead.update(800.0);
+    ahead.update(801.0);
+    assert!(
+        Summary::stats(&ahead).renormalizations >= 1,
+        "the fast shard must actually have renormalized"
+    );
+    let restored: DecayedCount<Exponential> =
+        from_bytes(&to_bytes(&ahead).expect("serialize")).expect("restore");
+    assert_eq!(
+        Summary::stats(&restored).renormalizations,
+        Summary::stats(&ahead).renormalizations,
+        "rescale count must survive the snapshot"
+    );
+    let t = 802.0;
+    use forward_decay::core::decay::ForwardDecay;
+    let want = g.weight(0.0, 1.0, t) + g.weight(0.0, 800.0, t) + g.weight(0.0, 801.0, t);
+    // Stale into restored-ahead…
+    let mut a = restored.clone();
+    a.merge_from(&stale);
+    assert!(
+        (a.query(t) - want).abs() <= 1e-9 * want,
+        "{} vs {want}",
+        a.query(t)
+    );
+    // …and restored-ahead into stale.
+    let mut b = stale.clone();
+    b.merge_from(&restored);
+    assert!(
+        (b.query(t) - want).abs() <= 1e-9 * want,
+        "{} vs {want}",
+        b.query(t)
+    );
+    a.check_invariants().expect("merged state sane");
+    b.check_invariants().expect("merged state sane");
+}
+
+#[test]
 fn snapshots_are_compact() {
     // A constant-space aggregate's snapshot is a few dozen bytes; a
     // SpaceSaving summary is proportional to its counters, not the stream.

@@ -134,6 +134,101 @@ fn engine_without_slack_counts_late_drops() {
 }
 
 #[test]
+fn sketches_track_the_oracle_under_random_interleavings() {
+    // Sketch internals (SpaceSaving evictions, q-digest compressions, KMV
+    // admissions) are order-*dependent*, so shuffled runs need not be
+    // bit-identical — but every interleaving must stay within the sketch's
+    // error budget of the same order-independent oracle. Each permutation
+    // of one adversarial stream is checked against one brute-force answer.
+    use forward_decay::core::distinct::DominanceSketch;
+    use forward_decay::core::oracle::{adversarial_stream, Oracle, StreamConfig};
+    use forward_decay::core::Timestamp;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    let g = Monomial::quadratic();
+    let landmark = 100.0;
+    let t_q = Timestamp::from_secs_f64(175.0);
+    let cfg = StreamConfig {
+        n: 300,
+        key_domain: 32,
+        ..StreamConfig::default()
+    };
+    for seed in [3u64, 17] {
+        let base = adversarial_stream(seed, &cfg);
+        let mut oracle = Oracle::new(g, landmark);
+        oracle.push_all(&base);
+        let w = oracle.count(t_q);
+        assert!(w > 0.0);
+        let true_hh: Vec<u64> = oracle
+            .heavy_hitters(0.1 + 1e-9, t_q)
+            .into_iter()
+            .map(|(k, _)| k)
+            .collect();
+        for perm_seed in 0..4u64 {
+            // Fisher–Yates with the in-repo rand shim.
+            let mut events = base.clone();
+            let mut rng = SmallRng::seed_from_u64(seed * 1000 + perm_seed);
+            for i in (1..events.len()).rev() {
+                events.swap(i, rng.gen_range(0..i + 1));
+            }
+
+            let mut hh = DecayedHeavyHitters::new(g, landmark, 256);
+            let mut quant = DecayedQuantiles::new(g, landmark, 11, 0.05);
+            let mut dom = DominanceSketch::new(g, landmark, 0.2, 7);
+            for e in &events {
+                hh.update(e.t, e.key);
+                quant.update(e.t, e.key);
+                dom.update(e.t, e.key);
+            }
+
+            // Heavy hitters: totals exact, every true φ-HH reported, every
+            // reported key genuinely above φ − 1/capacity.
+            assert!((hh.decayed_count(t_q) - w).abs() <= 1e-6 * w);
+            let reported = hh.heavy_hitters(0.1, t_q);
+            for k in &true_hh {
+                assert!(
+                    reported.iter().any(|h| h.item == *k),
+                    "perm {perm_seed}: true heavy hitter {k} missing"
+                );
+            }
+            for h in &reported {
+                let true_count = oracle.item_count(h.item, t_q);
+                assert!(
+                    true_count >= (0.1 - 1.0 / 256.0) * w - 1e-6 * w,
+                    "perm {perm_seed}: spurious heavy hitter {}",
+                    h.item
+                );
+            }
+
+            // Quantiles: the reported median's oracle rank stays in the
+            // 0.5 ± 2ε band.
+            let med = quant.quantile(0.5, t_q).expect("non-empty");
+            let rank = oracle.rank(med, t_q);
+            assert!(
+                rank >= (0.5 - 0.1) * w - 1e-9 * w,
+                "perm {perm_seed}: median {med} ranks {rank} of {w}"
+            );
+            if med > 0 {
+                let below = oracle.rank(med - 1, t_q);
+                assert!(
+                    below <= (0.5 + 0.1) * w + 1e-9 * w,
+                    "perm {perm_seed}: median {med} ranks {below} of {w}"
+                );
+            }
+
+            // Dominance sketch: within its ε band of the true norm.
+            let want = oracle.dominance(t_q);
+            assert!(
+                (dom.query(t_q) - want).abs() <= 2.0 * 0.2 * want,
+                "perm {perm_seed}: dominance {} vs {want}",
+                dom.query(t_q)
+            );
+        }
+    }
+}
+
+#[test]
 fn historical_queries_on_future_timestamps() {
     // Section VI-B: if items carry timestamps beyond the query time, the
     // query is "historical" and weights may exceed 1 — allowed and exact.
