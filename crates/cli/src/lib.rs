@@ -150,6 +150,17 @@ pub struct CliConfig {
     pub max_restarts: Option<u32>,
     /// Append a Prometheus text-format metrics snapshot to the output.
     pub metrics: bool,
+    /// Durable store directory (`None` = in-memory only). With a store,
+    /// the run logs every dispatched batch to a WAL, commits the stream
+    /// position every [`COMMIT_CHUNK`] events, and a restarted `fdql` with
+    /// the same flags resumes from the last commit instead of starting
+    /// over.
+    pub data_dir: Option<std::path::PathBuf>,
+    /// WAL fsync cadence (with `--data-dir`).
+    pub fsync: FsyncPolicy,
+    /// Sleep this many milliseconds after each durable commit chunk —
+    /// paces the stream so crash tests can land a `kill -9` mid-run.
+    pub pace_ms: u64,
 }
 
 impl Default for CliConfig {
@@ -174,6 +185,9 @@ impl Default for CliConfig {
             checkpoint_every: None,
             max_restarts: None,
             metrics: false,
+            data_dir: None,
+            fsync: FsyncPolicy::OnCheckpoint,
+            pace_ms: 0,
         }
     }
 }
@@ -207,6 +221,12 @@ OPTIONS (all optional):
                         runs); 0 disables supervision   [default: 32768]
     --max-restarts <n>  restarts per shard before degradation [default: 3]
     --metrics           append a Prometheus metrics snapshot (takes no value)
+    --data-dir <path>   durable store directory (WAL + checkpoints); rerunning
+                        with the same flags resumes after a crash [default: off]
+    --fsync <policy>    batch|every:<n>|checkpoint — WAL fsync cadence with
+                        --data-dir                       [default: checkpoint]
+    --pace-ms <ms>      sleep per durable commit chunk (crash-test pacing)
+                                                         [default: 0]
     --help              print this text
 ";
 
@@ -296,6 +316,18 @@ impl CliConfig {
                     }
                     cfg.max_restarts = Some(n as u32);
                 }
+                "--data-dir" => {
+                    if v.is_empty() {
+                        return Err("--data-dir needs a non-empty path".into());
+                    }
+                    cfg.data_dir = Some(std::path::PathBuf::from(v));
+                }
+                "--fsync" => {
+                    cfg.fsync = FsyncPolicy::parse(v).ok_or_else(|| {
+                        format!("unknown fsync policy '{v}' (batch|every:<n>|checkpoint)")
+                    })?;
+                }
+                "--pace-ms" => cfg.pace_ms = int(v)?,
                 "--ooo" => {
                     cfg.ooo_jitter_secs = num(v)?;
                     if cfg.ooo_jitter_secs < 0.0 {
@@ -380,9 +412,16 @@ pub fn try_run(cfg: &CliConfig) -> Result<String, String> {
     // rows, final counters, and a metrics snapshot (the sharded one carries
     // live per-shard series; the single-threaded one wraps the counters so
     // `--metrics` output has one shape either way).
-    let (mut rows, stats, snapshot) = if cfg.shards > 0 {
-        let mut engine =
-            ShardedEngine::try_new(cfg.query()?, cfg.shards).map_err(|e| e.to_string())?;
+    let (mut rows, stats, snapshot) = if cfg.shards > 0 || cfg.data_dir.is_some() {
+        // A durable store needs the sharded executor (its checkpoints are
+        // what gets persisted): `--data-dir` without `--shards` runs one
+        // worker shard.
+        let shards = if cfg.data_dir.is_some() {
+            cfg.shards.max(1)
+        } else {
+            cfg.shards
+        };
+        let mut engine = ShardedEngine::try_new(cfg.query()?, shards).map_err(|e| e.to_string())?;
         if cfg.batch > 0 {
             engine = engine
                 .try_batch_size(cfg.batch)
@@ -394,7 +433,34 @@ pub fn try_run(cfg: &CliConfig) -> Result<String, String> {
         if let Some(n) = cfg.max_restarts {
             engine = engine.max_restarts(n);
         }
-        let rows = engine.run(trace.iter());
+        let rows = match &cfg.data_dir {
+            Some(dir) => {
+                let opts = DurabilityOptions {
+                    fsync: cfg.fsync,
+                    ..DurabilityOptions::default()
+                };
+                let (e, report) = engine.try_durable(dir, opts).map_err(|e| e.to_string())?;
+                engine = e;
+                if report.resumed {
+                    // Resume details go to stderr only: stdout must be
+                    // bit-identical to an uncrashed run's.
+                    eprintln!(
+                        "fdql: resumed durable store in {} at position {} \
+                         (replayed {} batches / {} tuples, truncated {} records)",
+                        dir.display(),
+                        report.position,
+                        report.replayed_batches,
+                        report.replayed_tuples,
+                        report.truncated_records
+                    );
+                }
+                run_durable(&mut engine, &trace, report.position, cfg.pace_ms)?
+            }
+            None => engine.run(trace.iter()),
+        };
+        if engine.durability_degraded() {
+            eprintln!("fdql: durability degraded mid-run; results are complete but not persisted");
+        }
         (rows, engine.stats(), engine.telemetry().snapshot())
     } else {
         let mut engine = Engine::new(cfg.query()?);
@@ -426,6 +492,43 @@ pub fn try_run(cfg: &CliConfig) -> Result<String, String> {
         out.push_str(&snapshot.to_prometheus());
     }
     Ok(out)
+}
+
+/// Events fed between durable commits. Fixed (not a flag) so a restarted
+/// `fdql` replays the identical commit schedule and stdout stays
+/// bit-identical to an uncrashed run.
+pub const COMMIT_CHUNK: usize = 4096;
+
+/// Feeds the trace from `start` in [`COMMIT_CHUNK`] chunks, committing the
+/// stream position after each, and finishes the engine.
+fn run_durable(
+    engine: &mut ShardedEngine,
+    trace: &TraceConfig,
+    start: u64,
+    pace_ms: u64,
+) -> Result<Vec<Row>, String> {
+    let mut position = start;
+    let mut buf: Vec<Packet> = Vec::with_capacity(COMMIT_CHUNK);
+    let mut commit = |engine: &mut ShardedEngine, buf: &mut Vec<Packet>| -> Result<(), String> {
+        engine.try_process_packets(buf).map_err(|e| e.to_string())?;
+        position += buf.len() as u64;
+        engine.durable_commit(position).map_err(|e| e.to_string())?;
+        buf.clear();
+        if pace_ms > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(pace_ms));
+        }
+        Ok(())
+    };
+    // The trace is a deterministic function of its seed, so "re-feed from
+    // the committed position" is a plain skip.
+    for pkt in trace.iter().skip(start as usize) {
+        buf.push(pkt);
+        if buf.len() == COMMIT_CHUNK {
+            commit(engine, &mut buf)?;
+        }
+    }
+    commit(engine, &mut buf)?;
+    Ok(engine.finish())
 }
 
 /// Executes a parsed invocation and returns the rendered output.

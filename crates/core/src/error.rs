@@ -36,6 +36,15 @@ pub enum Error {
         /// Index of the shard whose worker is gone.
         shard: usize,
     },
+    /// The durable store could not be opened or recovered: unreadable
+    /// manifest, corrupt checkpoint, or a WAL that no longer covers the
+    /// newest durable commit. Torn *tails* are repaired silently; this
+    /// variant means the store is damaged below the last commit point,
+    /// where recovering would silently drop acknowledged data.
+    Durability {
+        /// What went wrong, human-readable.
+        detail: String,
+    },
 }
 
 impl fmt::Display for Error {
@@ -52,6 +61,7 @@ impl fmt::Display for Error {
             Error::WorkerLost { shard } => {
                 write!(f, "shard {shard} worker has died (supervision disabled)")
             }
+            Error::Durability { detail } => write!(f, "durable store: {detail}"),
         }
     }
 }

@@ -817,6 +817,115 @@ fn checkpoint_rejects_random_corruption() {
     });
 }
 
+#[test]
+fn checkpoint_prefixes_error_never_panic() {
+    // Every strict prefix of a valid checkpoint is what a torn write
+    // leaves behind. Decoding one must be a clean `Err` — truncated input
+    // or trailing-byte mismatch — and never a panic or a bogus `Ok`.
+    cases(37, |rng| {
+        use fd_core::checkpoint::{from_bytes, to_bytes};
+        let mut s = DecayedSum::new(Exponential::new(rng.gen_range(0.01..1.0)), 0.0);
+        for (t, v) in random_stream(rng, 0.0, 50.0, 64) {
+            s.update(t, v);
+        }
+        let sum_bytes = to_bytes(&s).unwrap();
+        let mut ss = WeightedSpaceSaving::new(rng.gen_range(2usize..16));
+        for _ in 0..rng.gen_range(1..100) {
+            ss.update(rng.gen_range(0u64..50), rng.gen_range(0.1..4.0));
+        }
+        let ss_bytes = to_bytes(&ss).unwrap();
+        let cut = rng.gen_range(0..sum_bytes.len());
+        assert!(
+            from_bytes::<DecayedSum<Exponential>>(&sum_bytes[..cut]).is_err(),
+            "prefix of len {cut}/{} decoded as DecayedSum",
+            sum_bytes.len()
+        );
+        let cut = rng.gen_range(0..ss_bytes.len());
+        assert!(
+            from_bytes::<WeightedSpaceSaving>(&ss_bytes[..cut]).is_err(),
+            "prefix of len {cut}/{} decoded as WeightedSpaceSaving",
+            ss_bytes.len()
+        );
+        // Cross-type decodes of the prefixes may land anywhere in Ok/Err —
+        // but never in a panic.
+        let _ = from_bytes::<WeightedSpaceSaving>(&sum_bytes[..cut.min(sum_bytes.len())]);
+        let _ = from_bytes::<DecayedSum<Exponential>>(&ss_bytes[..cut]);
+    });
+}
+
+#[test]
+fn reader_survives_arbitrary_byte_soup() {
+    // The durability layer points `Reader` at whatever survived a crash.
+    // Any read schedule over any bytes must either succeed or error —
+    // and a failed read must consume nothing.
+    cases(38, |rng| {
+        use fd_core::checkpoint::Reader;
+        let len = rng.gen_range(0usize..128);
+        let soup: Vec<u8> = (0..len).map(|_| rng.gen()).collect();
+        let mut r = Reader::new(&soup);
+        for _ in 0..64 {
+            let before = r.remaining();
+            let consumed = match rng.gen_range(0u8..4) {
+                0 => r.u64().is_ok().then_some(8),
+                1 => r.u32().is_ok().then_some(4),
+                2 => r.u8().is_ok().then_some(1),
+                _ => {
+                    let n = rng.gen_range(0usize..64);
+                    r.bytes(n).is_ok().then_some(n)
+                }
+            };
+            match consumed {
+                Some(n) => assert_eq!(r.remaining(), before - n),
+                None => assert_eq!(r.remaining(), before, "failed read consumed bytes"),
+            }
+        }
+    });
+}
+
+#[test]
+fn frame_stream_prefixes_truncate_cleanly() {
+    // A log is a concatenation of frames; cutting it at any byte must
+    // yield some complete frames followed by exactly one Torn (or a clean
+    // End when the cut lands on a frame boundary) — the invariant behind
+    // the WAL's torn-tail truncation rule.
+    cases(39, |rng| {
+        use fd_core::checkpoint::{put_frame, read_frame, Frame};
+        let n_frames = rng.gen_range(1usize..8);
+        let mut log = Vec::new();
+        let mut boundaries = vec![0usize];
+        for _ in 0..n_frames {
+            let len = rng.gen_range(0usize..64);
+            let payload: Vec<u8> = (0..len).map(|_| rng.gen()).collect();
+            put_frame(&mut log, &payload);
+            boundaries.push(log.len());
+        }
+        let cut = rng.gen_range(0..=log.len());
+        let mut cursor = &log[..cut];
+        let mut complete = 0usize;
+        let clean = loop {
+            match read_frame(cursor) {
+                Frame::Complete { consumed, .. } => {
+                    complete += 1;
+                    cursor = &cursor[consumed..];
+                }
+                Frame::End => break true,
+                Frame::Torn => break false,
+            }
+        };
+        let on_boundary = boundaries.contains(&cut);
+        assert_eq!(
+            clean, on_boundary,
+            "cut at {cut} (boundaries {boundaries:?}): clean={clean}"
+        );
+        // The frames before the cut always survive intact.
+        assert_eq!(
+            complete,
+            boundaries.iter().filter(|&&b| b > 0 && b <= cut).count(),
+            "cut at {cut}"
+        );
+    });
+}
+
 // ----- Section VI-B: merges for the backward-decay baselines -----------
 
 #[test]

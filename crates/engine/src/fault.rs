@@ -15,13 +15,75 @@
 //! * [`FaultKind::SlowShard`] — the worker sleeps for the given duration
 //!   before each batch. No crash; exists to make backpressure and queue
 //!   telemetry observable under a deterministically slow consumer.
+//! * [`FaultKind::Disk`] — not a worker fault at all: the durability
+//!   layer's I/O backend misbehaves at a scheduled operation (short write,
+//!   fsync error, corrupt byte, rename failure, ENOSPC). Injected through
+//!   [`crate::io::FaultyFs`], which wraps the real backend and fires the
+//!   fault at the Nth matching filesystem operation.
 //!
 //! Because the trigger position is the *engine's* tuple counter — which is
 //! checkpointed and restored — "panic at tuple N" means the same logical
-//! tuple across restarts, independent of batching or replay.
+//! tuple across restarts, independent of batching or replay. Disk faults
+//! count filesystem operations instead, which are just as deterministic:
+//! the WAL writer performs an identical operation sequence for an
+//! identical input stream.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
+
+/// Which filesystem operation a [`DiskFault`] sabotages, and how.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiskFaultKind {
+    /// The Nth write persists only a prefix of its buffer, then errors —
+    /// a torn write, exactly what a crash mid-`write(2)` leaves behind.
+    ShortWrite,
+    /// The Nth fsync returns an error (data may or may not be durable).
+    FsyncError,
+    /// The Nth write flips one payload byte and reports success — silent
+    /// media corruption, caught only by CRC verification on read-back.
+    CorruptByte,
+    /// The Nth rename fails (the commit step of every atomic-publish).
+    RenameFail,
+    /// From the Nth write on, every write fails with `ENOSPC` — a full
+    /// disk is persistent, unlike the one-shot faults above.
+    Enospc,
+}
+
+impl DiskFaultKind {
+    /// Every kind, in the order used by seed-driven selection and the
+    /// fault-matrix tests.
+    pub const ALL: [DiskFaultKind; 5] = [
+        DiskFaultKind::ShortWrite,
+        DiskFaultKind::FsyncError,
+        DiskFaultKind::CorruptByte,
+        DiskFaultKind::RenameFail,
+        DiskFaultKind::Enospc,
+    ];
+}
+
+/// A scheduled disk fault: `kind` fires at the `at_op`-th matching
+/// filesystem operation (1-based, counted per operation type).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DiskFault {
+    /// What goes wrong.
+    pub kind: DiskFaultKind,
+    /// Which matching operation triggers it (1-based).
+    pub at_op: u64,
+}
+
+impl DiskFault {
+    /// Derives a deterministic disk fault from a seed: the seed picks both
+    /// the kind and the trigger operation, so a CI matrix of seeds sweeps
+    /// fault kinds across different phases of the WAL/checkpoint protocol.
+    pub fn from_seed(seed: u64) -> Self {
+        let kind = DiskFaultKind::ALL[(seed % 5) as usize];
+        // Spread triggers across the first few dozen operations: early ones
+        // hit segment creation and the first appends, later ones land in
+        // checkpoint persistence and manifest commits.
+        let at_op = 1 + (seed / 5) % 24;
+        Self { kind, at_op }
+    }
+}
 
 /// What to inject, and when.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -35,6 +97,11 @@ pub enum FaultKind {
     PoisonedBatch(u64),
     /// Sleep this long before processing each batch.
     SlowShard(Duration),
+    /// Sabotage the durability layer's filesystem backend (see
+    /// [`DiskFault`]). Ignored by shard workers; consumed by
+    /// [`crate::shard::ShardedEngine`] when opening a durable store, which
+    /// wraps its I/O backend in [`crate::io::FaultyFs`].
+    Disk(DiskFault),
 }
 
 /// A fault bound to one shard.
@@ -52,11 +119,35 @@ impl FaultPlan {
     /// * `panic:SHARD:N` — transient panic at tuple N on shard SHARD
     /// * `poison:SHARD:N` — permanent panic at tuple N on shard SHARD
     /// * `slow:SHARD:MS` — sleep MS milliseconds per batch on shard SHARD
+    /// * `disk:KIND:N` — disk fault at the Nth matching I/O operation,
+    ///   KIND one of `short`, `fsync`, `corrupt`, `rename`, `enospc`
+    ///   (the shard field is meaningless for disk faults and reads `0`)
     ///
     /// Returns `None` on any malformed spec.
     pub fn parse(spec: &str) -> Option<Self> {
         let mut parts = spec.split(':');
         let kind = parts.next()?;
+        if kind == "disk" {
+            let disk_kind = match parts.next()? {
+                "short" => DiskFaultKind::ShortWrite,
+                "fsync" => DiskFaultKind::FsyncError,
+                "corrupt" => DiskFaultKind::CorruptByte,
+                "rename" => DiskFaultKind::RenameFail,
+                "enospc" => DiskFaultKind::Enospc,
+                _ => return None,
+            };
+            let at_op: u64 = parts.next()?.parse().ok()?;
+            if parts.next().is_some() || at_op == 0 {
+                return None;
+            }
+            return Some(Self {
+                shard: 0,
+                kind: FaultKind::Disk(DiskFault {
+                    kind: disk_kind,
+                    at_op,
+                }),
+            });
+        }
         let shard: usize = parts.next()?.parse().ok()?;
         let n: u64 = parts.next()?.parse().ok()?;
         if parts.next().is_some() {
@@ -140,6 +231,29 @@ mod tests {
     }
 
     #[test]
+    fn parses_disk_faults() {
+        assert_eq!(
+            FaultPlan::parse("disk:short:3"),
+            Some(FaultPlan {
+                shard: 0,
+                kind: FaultKind::Disk(DiskFault {
+                    kind: DiskFaultKind::ShortWrite,
+                    at_op: 3
+                })
+            })
+        );
+        for (spec, kind) in [
+            ("disk:fsync:1", DiskFaultKind::FsyncError),
+            ("disk:corrupt:7", DiskFaultKind::CorruptByte),
+            ("disk:rename:2", DiskFaultKind::RenameFail),
+            ("disk:enospc:9", DiskFaultKind::Enospc),
+        ] {
+            let plan = FaultPlan::parse(spec).expect(spec);
+            assert!(matches!(plan.kind, FaultKind::Disk(d) if d.kind == kind));
+        }
+    }
+
+    #[test]
     fn rejects_malformed_specs() {
         for bad in [
             "",
@@ -149,9 +263,26 @@ mod tests {
             "explode:0:1",
             "panic:x:1",
             "panic:0:y",
+            "disk",
+            "disk:short",
+            "disk:short:0",
+            "disk:short:1:2",
+            "disk:melt:1",
+            "disk:short:x",
         ] {
             assert_eq!(FaultPlan::parse(bad), None, "spec {bad:?}");
         }
+    }
+
+    #[test]
+    fn seeded_disk_faults_cover_all_kinds() {
+        let mut seen = std::collections::HashSet::new();
+        for seed in 0..25u64 {
+            let f = DiskFault::from_seed(seed);
+            assert!(f.at_op >= 1);
+            seen.insert(std::mem::discriminant(&f.kind));
+        }
+        assert_eq!(seen.len(), DiskFaultKind::ALL.len());
     }
 
     #[test]

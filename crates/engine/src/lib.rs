@@ -39,8 +39,16 @@
 //!   fault-tolerant shard workers: each worker periodically serializes its
 //!   full engine state (exact, thanks to Section VI-B mergeable summaries)
 //!   and the dispatcher replays the short tail after a crash;
-//! - [`fault`] — deterministic fault injection (`FD_FAULT=panic:SHARD:N`)
-//!   used by the recovery test-suite and the fault-matrix CI job.
+//! - [`fault`] — deterministic fault injection (`FD_FAULT=panic:SHARD:N`,
+//!   `disk:KIND:N`) used by the recovery test-suite and the fault-matrix
+//!   and crash-matrix CI jobs;
+//! - [`io`] — the filesystem seam of the durability layer: the
+//!   [`io::IoBackend`] trait, the real [`io::StdFs`] backend, and the
+//!   fault-injecting [`io::FaultyFs`] wrapper;
+//! - [`durability`] — crash-durable persistence: per-shard segmented
+//!   CRC-framed WALs, atomic on-disk checkpoints behind a versioned
+//!   `MANIFEST`, torn-tail truncation, and recovery that resumes a run
+//!   bit-identically after `kill -9`.
 //!
 //! The paper's example query
 //!
@@ -75,8 +83,10 @@
 
 pub mod aggregators;
 pub mod driver;
+pub mod durability;
 pub mod engine;
 pub mod fault;
+pub mod io;
 pub mod lfta;
 pub mod metrics;
 pub mod processor;
@@ -92,8 +102,10 @@ pub mod udaf;
 pub mod prelude {
     pub use crate::aggregators::*;
     pub use crate::driver::{QuerySet, RateDriver, ReplayStats};
+    pub use crate::durability::{DurabilityOptions, FsyncPolicy, RecoveryReport};
     pub use crate::engine::{ClosedGroup, Engine, EngineStats, Row, StreamEvent};
-    pub use crate::fault::{FaultKind, FaultPlan};
+    pub use crate::fault::{DiskFault, DiskFaultKind, FaultKind, FaultPlan};
+    pub use crate::io::{FaultyFs, IoBackend, StdFs};
     pub use crate::metrics::{combine_shard_stats, cpu_load_pct, drop_fraction, LoadPoint};
     pub use crate::processor::{replay, StreamProcessor};
     pub use crate::report::{rows_to_csv, rows_to_table};

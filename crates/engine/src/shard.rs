@@ -77,8 +77,12 @@ use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
+use crate::durability::{
+    recover, CommitState, DurabilityOptions, DurableSink, RecoveryReport, ReplayMsg,
+};
 use crate::engine::{ClosedGroup, Engine, EngineStats, Row, StreamEvent};
 use crate::fault::{FaultKind, FaultState};
+use crate::io::{FaultyFs, IoBackend};
 use crate::spsc::{ring, BatchPool, RingReceiver, RingSender};
 use crate::supervisor::{backoff, CheckpointSlot, SupervisorConfig, DEFAULT_MAX_RESTARTS};
 use crate::telemetry::EngineTelemetry;
@@ -186,7 +190,9 @@ fn apply_batch(engine: &mut Engine, pkts: &[Packet], fault: Option<&FaultState>,
     let trigger = fault.and_then(|f| match f.plan.kind {
         FaultKind::PanicAtTuple(n) => Some((f, n, true)),
         FaultKind::PoisonedBatch(n) => Some((f, n, false)),
-        FaultKind::SlowShard(_) => None,
+        // Disk faults live in the durability layer's I/O backend, not in
+        // the worker.
+        FaultKind::SlowShard(_) | FaultKind::Disk(_) => None,
     });
     match trigger {
         None => {
@@ -408,6 +414,9 @@ pub struct ShardedEngine {
     max_restarts: u32,
     /// Injected fault, if any (shared with every worker incarnation).
     fault: Arc<Mutex<Option<Arc<FaultState>>>>,
+    /// The durability writer, when [`ShardedEngine::try_durable`] opened a
+    /// store. `None` = in-memory supervision only (the default).
+    durable: Option<DurableSink>,
     /// Cached `telemetry.enabled()` so the per-tuple hot path tests a
     /// plain bool instead of an atomic.
     live: bool,
@@ -481,6 +490,7 @@ impl ShardedEngine {
             config,
             max_restarts: DEFAULT_MAX_RESTARTS,
             fault,
+            durable: None,
             live: true,
             done: false,
         };
@@ -597,6 +607,186 @@ impl ShardedEngine {
         *self.fault.lock().unwrap_or_else(PoisonError::into_inner) =
             Some(Arc::new(FaultState::new(plan)));
         self
+    }
+
+    /// Opens (or recovers) a durable store under `dir` and attaches the
+    /// WAL writer: from here on every dispatched message is logged, and
+    /// [`durable_commit`](Self::durable_commit) makes stream positions
+    /// crash-recoverable. Terminal builder step — call it last, after any
+    /// routing/batching/supervision tuning, before any tuple is processed.
+    ///
+    /// When the directory holds a prior run's store, the engine resumes
+    /// it: workers are restored from the on-disk checkpoints, the WAL tail
+    /// is replayed through the normal batch path, and the returned
+    /// [`RecoveryReport`] says from which input `position` the caller must
+    /// re-feed its stream. Results are then bit-identical to a run that
+    /// never crashed (for deterministic queries). Torn WAL tails are
+    /// truncated and counted, never an error; a store damaged *below* its
+    /// last commit is an explicit [`fd_core::Error::Durability`].
+    ///
+    /// Requires supervision (checkpoints are what gets persisted):
+    /// erroring if `checkpoint_every(0)` disabled it. If an armed
+    /// [`FaultKind::Disk`] fault is present, the store's I/O backend is
+    /// wrapped in [`FaultyFs`] so the scheduled disk fault fires inside
+    /// the durability layer.
+    pub fn try_durable(
+        mut self,
+        dir: impl AsRef<std::path::Path>,
+        opts: DurabilityOptions,
+    ) -> Result<(Self, RecoveryReport), fd_core::Error> {
+        assert_eq!(self.stats.tuples_in, 0, "open the store before processing");
+        if !self.supervising() {
+            return Err(fd_core::Error::InvalidParameter {
+                name: "checkpoint_every",
+                value: 0.0,
+                requirement: "durability persists checkpoints; supervision must be on",
+            });
+        }
+        let dir = dir.as_ref();
+        let io: Arc<dyn IoBackend> = {
+            let armed = self
+                .fault
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .clone()
+                .filter(|f| f.armed());
+            match armed.map(|f| f.plan.kind) {
+                Some(FaultKind::Disk(d)) => Arc::new(FaultyFs::new(Arc::clone(&opts.io), d)),
+                _ => Arc::clone(&opts.io),
+            }
+        };
+        let recovered = recover(&io, dir, self.n_shards())?;
+        let mut replayed_batches = 0u64;
+        let mut replayed_tuples = 0u64;
+        if recovered.resumed {
+            for shard in 0..self.n_shards() {
+                // Retire the fresh worker spawned by try_new: it has seen
+                // nothing, so its drained state is empty and discardable.
+                self.senders[shard] = None;
+                if let Some(handle) = self.workers[shard].take() {
+                    let _ = handle.join();
+                }
+                self.seats[shard].early_exit = None;
+                if let Some((seq, bytes)) = &recovered.ckpts[shard] {
+                    let _ = self.seats[shard].slot.store(*seq, bytes.clone());
+                }
+                // Preload the replay tail into the seat's backlog, exactly
+                // as if the dispatcher had sent it moments ago:
+                // respawn_and_replay then feeds everything past the
+                // checkpoint through the normal worker path.
+                {
+                    let mut log = self.seats[shard]
+                        .backlog
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner);
+                    log.clear();
+                    for rec in &recovered.replay[shard] {
+                        match rec {
+                            ReplayMsg::Batch { seq, pkts } => {
+                                replayed_batches += 1;
+                                replayed_tuples += pkts.len() as u64;
+                                log.push_back(Msg::Batch {
+                                    seq: *seq,
+                                    pkts: Arc::new(pkts.clone()),
+                                    sent: Instant::now(),
+                                });
+                            }
+                            ReplayMsg::Punct { seq, wm } => {
+                                log.push_back(Msg::Punctuate { seq: *seq, wm: *wm })
+                            }
+                        }
+                    }
+                }
+                self.seats[shard].next_seq = recovered.commit.hi[shard] + 1;
+                if !self.respawn_and_replay(shard) {
+                    return Err(fd_core::Error::Durability {
+                        detail: format!("shard {shard} worker died replaying the WAL tail"),
+                    });
+                }
+            }
+            // Restore the dispatcher's admission state from the commit, so
+            // the re-fed input meets the exact decisions of the first run.
+            let c = &recovered.commit;
+            self.watermark = c.watermark;
+            self.closed_below = c.closed_below;
+            self.rr = (c.rr as usize) % self.n_shards();
+            self.stats.tuples_in = c.tuples_in;
+            self.stats.filtered = c.filtered;
+            self.stats.late_drops = c.late_drops;
+        }
+        self.telemetry
+            .wal_records_truncated
+            .store(recovered.truncated, Relaxed);
+        self.telemetry
+            .recovery_replayed_batches
+            .store(replayed_batches, Relaxed);
+        let report = RecoveryReport {
+            position: recovered.commit.position,
+            watermark: recovered.commit.watermark,
+            replayed_batches,
+            replayed_tuples,
+            truncated_records: recovered.truncated,
+            resumed: recovered.resumed,
+        };
+        let slots: Vec<Arc<CheckpointSlot>> =
+            self.seats.iter().map(|s| Arc::clone(&s.slot)).collect();
+        let sink = DurableSink::spawn(
+            dir,
+            &io,
+            opts.fsync,
+            opts.segment_bytes,
+            &recovered,
+            slots,
+            Arc::clone(&self.telemetry),
+            self.pool.clone(),
+        )?;
+        self.durable = Some(sink);
+        Ok((self, report))
+    }
+
+    /// Declares the stream durable up to `position` (a caller-defined
+    /// input offset, typically "events fed so far"): flushes staged
+    /// batches, broadcasts the watermark, and enqueues a commit record
+    /// carrying the dispatcher state and each shard's high sequence. After
+    /// recovery, the caller re-feeds input from the newest committed
+    /// position. A no-op without an attached store, or once degraded.
+    pub fn durable_commit(&mut self, position: u64) -> Result<(), fd_core::Error> {
+        if self.durable.is_none() {
+            return Ok(());
+        }
+        // Every *staged* tuple below `position` must reach its shard (and
+        // therefore the WAL) before the commit record covers it: staged
+        // buffers hold tuples hash-scattered across the input range, so an
+        // uncovered one could not be recovered by suffix re-feed. Dispatched
+        // coverage is all the commit needs, though — no watermark broadcast
+        // here (the normal feed path emits puncts, and they are WAL-logged).
+        for shard in 0..self.n_shards() {
+            if !self.pending[shard].is_empty() {
+                self.flush_shard(shard)?;
+            }
+        }
+        let hi: Vec<u64> = self.seats.iter().map(|s| s.next_seq - 1).collect();
+        let c = CommitState {
+            position,
+            watermark: self.watermark,
+            closed_below: self.closed_below,
+            rr: self.rr as u64,
+            tuples_in: self.stats.tuples_in,
+            filtered: self.stats.filtered,
+            late_drops: self.stats.late_drops,
+            hi,
+        };
+        if let Some(d) = self.durable.as_mut() {
+            d.commit(c);
+        }
+        Ok(())
+    }
+
+    /// Whether the durability layer hit a persistent disk failure and the
+    /// engine fell back to in-memory supervision (`false` when no store is
+    /// attached). Mirrored as the `durability_degraded` telemetry gauge.
+    pub fn durability_degraded(&self) -> bool {
+        self.durable.as_ref().is_some_and(|d| d.degraded())
     }
 
     /// The batch-recycling pool shared with the workers — its
@@ -953,6 +1143,16 @@ impl ShardedEngine {
                 .unwrap_or_else(PoisonError::into_inner)
                 .push_back(msg.clone());
         }
+        // Write-ahead: the record is enqueued to the WAL writer before the
+        // message reaches the worker, and on the same ring the later commit
+        // record travels on — so a commit can never be written before the
+        // batches it covers.
+        if let Some(d) = self.durable.as_mut() {
+            match &msg {
+                Msg::Batch { seq, pkts, .. } => d.batch(shard, *seq, pkts),
+                Msg::Punctuate { seq, wm } => d.punct(shard, *seq, *wm),
+            }
+        }
         let alive = match &self.senders[shard] {
             Some(tx) => tx.send(msg).is_ok(),
             None => false,
@@ -1182,6 +1382,12 @@ impl ShardedEngine {
                     }
                 }
             }
+        }
+        // All workers have drained and published their last checkpoints:
+        // flush the WAL, persist what the last commit covers, and commit a
+        // final manifest, so a cleanly-finished store recovers instantly.
+        if let Some(d) = self.durable.as_mut() {
+            d.finish();
         }
         let bucket_micros = self.query.bucket_micros;
         let mut last_bucket = None;

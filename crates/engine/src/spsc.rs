@@ -100,9 +100,16 @@ impl<T> RingSender<T> {
                 return Err(msg);
             }
             if st.buf.len() < self.shared.cap {
+                // SPSC: the one receiver only ever waits after observing an
+                // empty buffer under this lock, so a push onto a non-empty
+                // ring cannot have a waiter to wake. Skipping the notify
+                // there elides a futex syscall per steady-state send.
+                let was_empty = st.buf.is_empty();
                 st.buf.push_back(msg);
                 drop(st);
-                self.shared.not_empty.notify_one();
+                if was_empty {
+                    self.shared.not_empty.notify_one();
+                }
                 return Ok(());
             }
             st = self
@@ -128,8 +135,14 @@ impl<T> RingReceiver<T> {
         let mut st = self.shared.lock();
         loop {
             if let Some(msg) = st.buf.pop_front() {
+                // Mirror of the send-side elision: the one sender only
+                // waits after observing a full buffer, so a pop that left
+                // headroom anyway has no waiter to wake.
+                let was_full = st.buf.len() + 1 == self.shared.cap;
                 drop(st);
-                self.shared.not_full.notify_one();
+                if was_full {
+                    self.shared.not_full.notify_one();
+                }
                 return Some(msg);
             }
             if !st.tx_alive {

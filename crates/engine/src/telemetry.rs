@@ -217,6 +217,22 @@ pub struct EngineTelemetry {
     pub rows_out: AtomicU64,
     /// Distinct time buckets closed by the combiner (set at `finish()`).
     pub buckets_closed: AtomicU64,
+    /// Bytes appended to WAL segments (framing included) by the durable
+    /// store's writer thread.
+    pub wal_bytes_written: AtomicU64,
+    /// Torn or corrupt WAL/checkpoint records truncated during recovery
+    /// (plus unreachable segments dropped along with them).
+    pub wal_records_truncated: AtomicU64,
+    /// Engine checkpoints persisted to disk (distinct from `checkpoints`,
+    /// which counts in-memory slot publishes by workers).
+    pub checkpoints_persisted: AtomicU64,
+    /// WAL batch records replayed through the normal batch path during
+    /// startup recovery (distinct from `replayed_batches`, which also
+    /// counts in-process backlog replays after a worker crash).
+    pub recovery_replayed_batches: AtomicU64,
+    /// 1 when the durable store hit a persistent disk failure and the
+    /// engine fell back to in-memory supervision only, else 0.
+    pub durability_degraded: AtomicU64,
     enabled: AtomicBool,
     shards: Vec<ShardTelemetry>,
 }
@@ -239,6 +255,11 @@ impl EngineTelemetry {
             dropped_degraded: AtomicU64::new(0),
             rows_out: AtomicU64::new(0),
             buckets_closed: AtomicU64::new(0),
+            wal_bytes_written: AtomicU64::new(0),
+            wal_records_truncated: AtomicU64::new(0),
+            checkpoints_persisted: AtomicU64::new(0),
+            recovery_replayed_batches: AtomicU64::new(0),
+            durability_degraded: AtomicU64::new(0),
             enabled: AtomicBool::new(true),
             shards: (0..n_shards).map(|_| ShardTelemetry::default()).collect(),
         }
@@ -281,6 +302,11 @@ impl EngineTelemetry {
             dropped_degraded: self.dropped_degraded.load(Relaxed),
             rows_out: self.rows_out.load(Relaxed),
             buckets_closed: self.buckets_closed.load(Relaxed),
+            wal_bytes_written: self.wal_bytes_written.load(Relaxed),
+            wal_records_truncated: self.wal_records_truncated.load(Relaxed),
+            checkpoints_persisted: self.checkpoints_persisted.load(Relaxed),
+            recovery_replayed_batches: self.recovery_replayed_batches.load(Relaxed),
+            durability_degraded: self.durability_degraded.load(Relaxed),
             shards: self
                 .shards
                 .iter()
@@ -364,6 +390,16 @@ pub struct MetricsSnapshot {
     pub rows_out: u64,
     /// Distinct buckets closed (0 until `finish()`).
     pub buckets_closed: u64,
+    /// Bytes appended to WAL segments, framing included.
+    pub wal_bytes_written: u64,
+    /// Torn/corrupt records truncated during recovery.
+    pub wal_records_truncated: u64,
+    /// Engine checkpoints persisted to disk.
+    pub checkpoints_persisted: u64,
+    /// WAL batch records replayed during startup recovery.
+    pub recovery_replayed_batches: u64,
+    /// 1 when durability degraded to in-memory supervision, else 0.
+    pub durability_degraded: u64,
     /// Per-shard samples; empty for a single-threaded run.
     pub shards: Vec<ShardSnapshot>,
 }
@@ -387,6 +423,11 @@ impl MetricsSnapshot {
             dropped_degraded: 0,
             rows_out: stats.rows_out,
             buckets_closed: stats.buckets_closed,
+            wal_bytes_written: 0,
+            wal_records_truncated: 0,
+            checkpoints_persisted: 0,
+            recovery_replayed_batches: 0,
+            durability_degraded: 0,
             shards: Vec::new(),
         }
     }
@@ -421,6 +462,23 @@ impl MetricsSnapshot {
         scalar("fd_replayed_tuples", "counter", self.replayed_tuples);
         scalar("fd_degraded_shards", "gauge", self.degraded_shards);
         scalar("fd_dropped_degraded", "counter", self.dropped_degraded);
+        scalar("fd_wal_bytes_written", "counter", self.wal_bytes_written);
+        scalar(
+            "fd_wal_records_truncated",
+            "counter",
+            self.wal_records_truncated,
+        );
+        scalar(
+            "fd_checkpoints_persisted",
+            "counter",
+            self.checkpoints_persisted,
+        );
+        scalar(
+            "fd_recovery_replayed_batches",
+            "counter",
+            self.recovery_replayed_batches,
+        );
+        scalar("fd_durability_degraded", "gauge", self.durability_degraded);
         scalar(
             "fd_dispatcher_watermark_us",
             "gauge",
@@ -508,6 +566,9 @@ impl MetricsSnapshot {
                 "\"replayed_batches\":{},",
                 "\"replayed_tuples\":{},\"degraded_shards\":{},",
                 "\"dropped_degraded\":{},",
+                "\"wal_bytes_written\":{},\"wal_records_truncated\":{},",
+                "\"checkpoints_persisted\":{},\"recovery_replayed_batches\":{},",
+                "\"durability_degraded\":{},",
                 "\"rows_out\":{},\"buckets_closed\":{},\"shards\":[{}]}}"
             ),
             self.tuples_in,
@@ -522,6 +583,11 @@ impl MetricsSnapshot {
             self.replayed_tuples,
             self.degraded_shards,
             self.dropped_degraded,
+            self.wal_bytes_written,
+            self.wal_records_truncated,
+            self.checkpoints_persisted,
+            self.recovery_replayed_batches,
+            self.durability_degraded,
             self.rows_out,
             self.buckets_closed,
             shards.join(",")
@@ -713,6 +779,31 @@ mod tests {
         assert!(text.contains("fd_shard_queue_depth{shard=\"0\"} 0"));
         assert!(text.contains("fd_worker_batch_ns{shard=\"0\",quantile=\"0.5\"} 1024"));
         assert!(text.contains("fd_worker_batch_ns_count{shard=\"0\"} 1"));
+    }
+
+    #[test]
+    fn durability_metrics_appear_in_both_formats() {
+        let t = EngineTelemetry::new(1);
+        t.wal_bytes_written.store(4096, Relaxed);
+        t.wal_records_truncated.store(2, Relaxed);
+        t.checkpoints_persisted.store(3, Relaxed);
+        t.recovery_replayed_batches.store(5, Relaxed);
+        t.durability_degraded.store(1, Relaxed);
+        let s = t.snapshot();
+        let prom = s.to_prometheus();
+        assert!(prom.contains("# TYPE fd_wal_bytes_written counter"));
+        assert!(prom.contains("fd_wal_bytes_written 4096"));
+        assert!(prom.contains("fd_wal_records_truncated 2"));
+        assert!(prom.contains("fd_checkpoints_persisted 3"));
+        assert!(prom.contains("fd_recovery_replayed_batches 5"));
+        assert!(prom.contains("# TYPE fd_durability_degraded gauge"));
+        assert!(prom.contains("fd_durability_degraded 1"));
+        let json = s.to_json();
+        assert!(json.contains("\"wal_bytes_written\":4096"));
+        assert!(json.contains("\"wal_records_truncated\":2"));
+        assert!(json.contains("\"checkpoints_persisted\":3"));
+        assert!(json.contains("\"recovery_replayed_batches\":5"));
+        assert!(json.contains("\"durability_degraded\":1"));
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! - **checkpointed** — snapshot to bytes mid-stream, restore, continue.
 //!   The samplers carry raw RNG state without serde derives, so they have
 //!   no checkpoint path — that exclusion is deliberate and documented
-//!   (see DESIGN.md §7), not a silent skip.
+//!   (see DESIGN.md §6), not a silent skip.
 //!
 //! Error budgets: the O(1) aggregates and `ExactDominance` must agree to
 //! floating-point accumulation order (1e-6 relative, against a
@@ -518,7 +518,7 @@ fn differential_dominance() {
 // ---------------------------------------------------------------------------
 // Samplers. No checkpoint path: WithReplacementSampler / WeightedReservoir /
 // PrioritySampler hold raw `SmallRng` state without serde derives, so they
-// are not checkpointable by design (DESIGN.md §7) — scalar, batched and
+// are not checkpointable by design (DESIGN.md §6) — scalar, batched and
 // merged paths only. Samples are random, so the checks are structural:
 // membership in the stream, size bounds, internal invariants, and the
 // Horvitz–Thompson estimate for priority sampling.

@@ -1,0 +1,600 @@
+//! Durable-store integration tests: WAL + on-disk checkpoints must make a
+//! sharded run crash-recoverable **without changing a single output bit**,
+//! and every injected disk fault must end in recovery or explicit,
+//! accounted degradation — never a panic, a hang, or a silently wrong
+//! answer.
+//!
+//! Process crashes are simulated here by *dropping* the engine mid-stream
+//! (which abandons the WAL writer without any final flush — a strictly
+//! harsher cut than `kill -9`, which at least keeps queued page-cache
+//! writes); the real `kill -9` matrix lives in the fd-cli
+//! `process_crash` test, which murders actual `fdql` processes.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use forward_decay::core::decay::Monomial;
+use forward_decay::engine::durability::{DurabilityOptions, FsyncPolicy};
+use forward_decay::engine::fault::{self, DiskFault, DiskFaultKind, FaultKind, FaultPlan};
+use forward_decay::engine::prelude::*;
+use forward_decay::engine::shard::ShardedEngine;
+use forward_decay::gen::TraceConfig;
+
+fn decayed_query() -> Query {
+    Query::builder("fwd_sum")
+        .filter(|p| p.proto == Proto::Tcp)
+        .group_by(|p| p.dst_host())
+        .bucket_secs(2)
+        .aggregate(fwd_sum_factory(Monomial::quadratic(), |p| p.len as f64))
+        .two_level(true)
+        .lfta_slots(2048)
+        .build()
+}
+
+fn trace(duration_secs: f64, rate_pps: f64, seed: u64) -> Vec<Packet> {
+    TraceConfig {
+        seed,
+        duration_secs,
+        rate_pps,
+        n_hosts: 500,
+        zipf_skew: 1.1,
+        ..Default::default()
+    }
+    .generate()
+}
+
+/// A self-cleaning store directory under the system temp dir (the
+/// workspace has no tempfile crate).
+struct StoreDir(PathBuf);
+
+impl StoreDir {
+    fn new(label: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!(
+            "fd-durability-{}-{label}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        Self(dir)
+    }
+
+    fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for StoreDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn assert_bit_identical(expected: &[Row], got: &[Row], label: &str) {
+    assert_eq!(expected.len(), got.len(), "{label}: row count");
+    for (e, g) in expected.iter().zip(got) {
+        assert_eq!(
+            (e.bucket_start, e.key),
+            (g.bucket_start, g.key),
+            "{label}: row identity"
+        );
+        let (ev, gv) = (
+            e.value.as_float().expect("scalar aggregate"),
+            g.value.as_float().expect("scalar aggregate"),
+        );
+        assert_eq!(
+            ev.to_bits(),
+            gv.to_bits(),
+            "{label}: bucket {} key {}: {ev} vs {gv}",
+            e.bucket_start,
+            e.key
+        );
+    }
+}
+
+/// Opens a durable engine over `dir` with small intervals so checkpoints
+/// and manifest commits happen many times even on short test streams.
+fn open(dir: &Path, n_shards: usize, opts: DurabilityOptions) -> (ShardedEngine, RecoveryReport) {
+    ShardedEngine::try_new(decayed_query(), n_shards)
+        .expect("spawn shards")
+        .checkpoint_every(512)
+        .try_durable(dir, opts)
+        .expect("open durable store")
+}
+
+/// Feeds `packets[from..]` in committed chunks, mirroring the fdql driver
+/// loop: process a chunk, then declare the position durable.
+fn feed(e: &mut ShardedEngine, packets: &[Packet], from: u64, chunk: usize) {
+    let mut pos = from as usize;
+    while pos < packets.len() {
+        let end = (pos + chunk).min(packets.len());
+        e.try_process_packets(&packets[pos..end]).expect("feed");
+        pos = end;
+        e.durable_commit(pos as u64).expect("commit");
+    }
+}
+
+/// A complete durable run over a fresh store: feed, commit, finish.
+fn durable_run(dir: &Path, packets: &[Packet], n_shards: usize) -> (Vec<Row>, ShardedEngine) {
+    let (mut e, report) = open(dir, n_shards, DurabilityOptions::default());
+    assert!(!report.resumed, "fresh directory must not resume");
+    feed(&mut e, packets, 0, 1024);
+    let rows = e.finish();
+    (rows, e)
+}
+
+#[test]
+fn durable_run_is_bit_identical_and_a_clean_store_reopens_to_the_same_rows() {
+    let packets = trace(4.0, 20_000.0, 31);
+    let expected = ShardedEngine::try_new(decayed_query(), 2)
+        .expect("spawn shards")
+        .checkpoint_every(512)
+        .run(packets.iter().copied());
+
+    let store = StoreDir::new("clean");
+    let (rows, e) = durable_run(store.path(), &packets, 2);
+    assert_bit_identical(&expected, &rows, "durable vs in-memory");
+    assert!(!e.durability_degraded());
+    let s = e.telemetry().snapshot();
+    assert!(s.wal_bytes_written > 0, "the WAL must have been written");
+    assert!(s.checkpoints_persisted > 0, "checkpoints must hit disk");
+    assert_eq!(s.durability_degraded, 0);
+    assert_eq!(s.wal_records_truncated, 0, "clean run, clean log");
+    drop(e);
+
+    // Reopen the finished store: everything is already committed, so the
+    // resume point is the end of the stream and finishing immediately —
+    // with no re-feed at all — reproduces the run's rows from disk alone.
+    let (mut e, report) = open(store.path(), 2, DurabilityOptions::default());
+    assert!(report.resumed);
+    assert_eq!(report.position, packets.len() as u64);
+    assert_eq!(report.truncated_records, 0);
+    let rows2 = e.finish();
+    assert_bit_identical(&rows, &rows2, "reopened store");
+}
+
+#[test]
+fn dropping_the_engine_mid_stream_recovers_bit_identically() {
+    let packets = trace(4.0, 20_000.0, 37);
+    let store = StoreDir::new("midstream");
+    let expected = {
+        let d = StoreDir::new("midstream-clean");
+        durable_run(d.path(), &packets, 3).0
+    };
+
+    // Crash: feed only part of the stream, then drop the engine without
+    // finish() — the WAL writer is abandoned wherever it happens to be.
+    let crash_at = packets.len() / 2;
+    {
+        let (mut e, _) = open(store.path(), 3, DurabilityOptions::default());
+        feed(&mut e, &packets[..crash_at], 0, 1024);
+        // dropped here, mid-stream
+    }
+
+    // Restart: recover, re-feed from the committed position, finish.
+    let (mut e, report) = open(store.path(), 3, DurabilityOptions::default());
+    assert!(report.resumed);
+    assert!(
+        report.position <= crash_at as u64,
+        "cannot have committed past what was fed"
+    );
+    assert!(report.position > 0, "commits happened before the crash");
+    feed(&mut e, &packets, report.position, 1024);
+    let rows = e.finish();
+    assert_bit_identical(&expected, &rows, "recovered after mid-stream drop");
+}
+
+#[test]
+fn repeated_crashes_at_different_points_all_recover_exactly() {
+    let packets = trace(3.0, 15_000.0, 41);
+    let expected = {
+        let d = StoreDir::new("multi-clean");
+        durable_run(d.path(), &packets, 2).0
+    };
+    // Crash → partially resume → crash again → resume to completion: the
+    // store must absorb any number of cuts.
+    let store = StoreDir::new("multi");
+    let cuts = [packets.len() / 4, packets.len() / 2, 3 * packets.len() / 4];
+    let mut resumed_from = 0u64;
+    for &cut in &cuts {
+        let (mut e, report) = open(store.path(), 2, DurabilityOptions::default());
+        assert!(report.position >= resumed_from, "position went backwards");
+        resumed_from = report.position;
+        if (report.position as usize) < cut {
+            e.try_process_packets(&packets[report.position as usize..cut])
+                .expect("feed");
+            e.durable_commit(cut as u64).expect("commit");
+        }
+        // dropped mid-stream again
+    }
+    let (mut e, report) = open(store.path(), 2, DurabilityOptions::default());
+    feed(&mut e, &packets, report.position, 1024);
+    let rows = e.finish();
+    assert_bit_identical(&expected, &rows, "after three crashes");
+}
+
+#[test]
+fn torn_wal_tails_are_truncated_counted_and_harmless() {
+    let packets = trace(3.0, 15_000.0, 43);
+    let store = StoreDir::new("torn");
+    let (rows, e) = durable_run(store.path(), &packets, 2);
+    drop(e);
+
+    // Maul the store the way a crash mid-append does: garbage after the
+    // last complete record of every log.
+    let mut mauled = 0u64;
+    for entry in std::fs::read_dir(store.path()).expect("list store") {
+        let path = entry.expect("entry").path();
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        if name.ends_with(".seg") {
+            use std::io::Write as _;
+            let mut f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&path)
+                .expect("open segment");
+            f.write_all(&[0xAB; 13]).expect("append garbage");
+            mauled += 1;
+        }
+    }
+    assert!(mauled >= 3, "expected WAL and control segments to maul");
+
+    let (mut e, report) = open(store.path(), 2, DurabilityOptions::default());
+    assert!(report.resumed);
+    assert_eq!(
+        report.truncated_records, mauled,
+        "every torn tail must be truncated and counted"
+    );
+    assert_eq!(report.position, packets.len() as u64);
+    assert_eq!(e.telemetry().snapshot().wal_records_truncated, mauled);
+    let rows2 = e.finish();
+    assert_bit_identical(&rows, &rows2, "after torn-tail truncation");
+}
+
+#[test]
+fn reopening_with_a_different_shard_count_is_an_explicit_error() {
+    let packets = trace(1.0, 10_000.0, 47);
+    let store = StoreDir::new("shardcount");
+    durable_run(store.path(), &packets, 2);
+    let err = ShardedEngine::try_new(decayed_query(), 3)
+        .expect("spawn shards")
+        .checkpoint_every(512)
+        .try_durable(store.path(), DurabilityOptions::default())
+        .err()
+        .expect("shard-count mismatch must be refused");
+    assert!(
+        matches!(err, forward_decay::core::Error::Durability { .. }),
+        "got {err:?}"
+    );
+}
+
+#[test]
+fn durability_requires_supervision() {
+    let store = StoreDir::new("nosuper");
+    let err = ShardedEngine::try_new(decayed_query(), 2)
+        .expect("spawn shards")
+        .checkpoint_every(0)
+        .try_durable(store.path(), DurabilityOptions::default())
+        .err()
+        .expect("durability without checkpoints must be refused");
+    assert!(
+        matches!(err, forward_decay::core::Error::InvalidParameter { .. }),
+        "got {err:?}"
+    );
+}
+
+#[test]
+fn abandoning_an_uncommitted_run_publishes_no_manifest() {
+    let packets = trace(2.0, 10_000.0, 53);
+    let store = StoreDir::new("abandon");
+    {
+        let (mut e, _) = open(store.path(), 2, DurabilityOptions::default());
+        // Feed without a single durable_commit, then drop mid-stream: the
+        // abandoned writer must stop dead — no fsync, no rename, and above
+        // all no manifest published from half-applied state.
+        e.try_process_packets(&packets).expect("feed");
+    }
+    let names: Vec<String> = std::fs::read_dir(store.path())
+        .expect("list store")
+        .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+        .collect();
+    assert!(
+        !names.iter().any(|n| n == "MANIFEST"),
+        "no commit was ever made, yet a MANIFEST appeared: {names:?}"
+    );
+    assert!(
+        !names.iter().any(|n| n.ends_with(".tmp")),
+        "abandoned writer left a half-written temp file: {names:?}"
+    );
+    // And the WAL that did land is still a usable (position 0) store.
+    let (mut e, report) = open(store.path(), 2, DurabilityOptions::default());
+    assert_eq!(report.position, 0, "nothing was committed");
+    feed(&mut e, &packets, 0, 1024);
+    assert!(!e.finish().is_empty());
+}
+
+#[test]
+fn garbage_collection_bounds_the_store_footprint() {
+    let packets = trace(4.0, 25_000.0, 59);
+    let store = StoreDir::new("gc");
+    let opts = DurabilityOptions {
+        segment_bytes: 4096, // rotate constantly
+        ..DurabilityOptions::default()
+    };
+    let (mut e, _) = ShardedEngine::try_new(decayed_query(), 2)
+        .expect("spawn shards")
+        .checkpoint_every(256)
+        .try_durable(store.path(), opts)
+        .expect("open");
+    feed(&mut e, &packets, 0, 512);
+    let rows = e.finish();
+    drop(e);
+    let names: Vec<String> = std::fs::read_dir(store.path())
+        .expect("list store")
+        .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+        .collect();
+    // ~100k tuples over 4 KiB segments is hundreds of rotations; retained
+    // segments must stay proportional to the replay window, not the run.
+    assert!(
+        names.len() < 60,
+        "GC is not collecting: {} files in the store: {names:?}",
+        names.len()
+    );
+    assert_eq!(
+        names.iter().filter(|n| *n == "MANIFEST").count(),
+        1,
+        "exactly one manifest: {names:?}"
+    );
+    assert!(
+        !names.iter().any(|n| n.ends_with(".tmp")),
+        "temp files must not survive a clean shutdown: {names:?}"
+    );
+    // And the collected store still recovers the full run.
+    let (mut e, report) = open(store.path(), 2, DurabilityOptions::default());
+    assert_eq!(report.position, packets.len() as u64);
+    let rows2 = e.finish();
+    assert_bit_identical(&rows, &rows2, "after heavy GC");
+}
+
+#[test]
+fn fsync_policies_change_durability_cost_not_results() {
+    let packets = trace(2.0, 15_000.0, 61);
+    let mut all_rows: Vec<Vec<Row>> = Vec::new();
+    for (label, fsync) in [
+        ("batch", FsyncPolicy::EveryBatch),
+        ("every7", FsyncPolicy::EveryN(7)),
+        ("checkpoint", FsyncPolicy::OnCheckpoint),
+    ] {
+        let store = StoreDir::new(&format!("fsync-{label}"));
+        let opts = DurabilityOptions {
+            fsync,
+            ..DurabilityOptions::default()
+        };
+        let (mut e, _) = open(store.path(), 2, opts);
+        feed(&mut e, &packets, 0, 1024);
+        let rows = e.finish();
+        assert!(!e.durability_degraded(), "{label}");
+        drop(e);
+        // Every policy's store must reopen to the full committed position.
+        let (mut e, report) = open(store.path(), 2, DurabilityOptions::default());
+        assert_eq!(report.position, packets.len() as u64, "{label}");
+        let rows2 = e.finish();
+        assert_bit_identical(&rows, &rows2, &format!("{label} reopen"));
+        all_rows.push(rows);
+    }
+    assert_bit_identical(&all_rows[0], &all_rows[1], "batch vs every:7");
+    assert_bit_identical(&all_rows[0], &all_rows[2], "batch vs checkpoint");
+}
+
+/// The fault-matrix core: every disk-fault kind, at trigger points from
+/// "first operation" to "deep inside checkpoint/manifest commits", must
+/// leave (a) the live stream producing exact results, and (b) a store
+/// that either recovers or refuses with an explicit error — never a
+/// panic, never silently wrong rows.
+#[test]
+fn injected_disk_faults_end_in_recovery_or_explicit_degradation() {
+    let packets = trace(2.0, 15_000.0, 67);
+    let expected = {
+        let d = StoreDir::new("faults-clean");
+        durable_run(d.path(), &packets, 2).0
+    };
+    let mut degraded_runs = 0u32;
+    for kind in DiskFaultKind::ALL {
+        for at_op in [1, 2, 7, 19] {
+            let label = format!("{kind:?}@{at_op}");
+            let store = StoreDir::new(&format!("fault-{kind:?}-{at_op}"));
+            let (mut e, report) = ShardedEngine::try_new(decayed_query(), 2)
+                .expect("spawn shards")
+                .checkpoint_every(512)
+                .inject_fault(FaultPlan {
+                    shard: 0,
+                    kind: FaultKind::Disk(DiskFault { kind, at_op }),
+                })
+                .try_durable(store.path(), DurabilityOptions::default())
+                .expect("a write fault cannot fail the open of a fresh store");
+            assert!(!report.resumed);
+            feed(&mut e, &packets, 0, 1024);
+            let rows = e.finish();
+            // The stream must survive the fault bit-exactly, durable or not.
+            assert_bit_identical(&expected, &rows, &label);
+            if e.durability_degraded() {
+                degraded_runs += 1;
+                assert_eq!(
+                    e.telemetry().snapshot().durability_degraded,
+                    1,
+                    "{label}: gauge must mirror degradation"
+                );
+            }
+            drop(e);
+            // Whatever the fault left on disk: recover it or refuse it.
+            match ShardedEngine::try_new(decayed_query(), 2)
+                .expect("spawn shards")
+                .checkpoint_every(512)
+                .try_durable(store.path(), DurabilityOptions::default())
+            {
+                Ok((mut e, report)) => {
+                    feed(&mut e, &packets, report.position, 1024);
+                    let rows = e.finish();
+                    assert_bit_identical(&expected, &rows, &format!("{label} reopen"));
+                }
+                Err(forward_decay::core::Error::Durability { .. }) => {
+                    // Explicitly refused: the store is damaged below its
+                    // last commit. Honest, and the only acceptable failure.
+                }
+                Err(other) => panic!("{label}: unexpected error kind {other:?}"),
+            }
+        }
+    }
+    assert!(
+        degraded_runs > 0,
+        "no fault in the whole matrix degraded durability — injection is dead"
+    );
+}
+
+/// Seed-driven sweep honoring the CI fault matrix's `FD_FAULT` seed, so
+/// different CI rows explore different (kind, trigger) placements.
+#[test]
+fn seeded_disk_faults_recover_or_degrade() {
+    let base = fault::env_seed().unwrap_or(0xD15C);
+    let packets = trace(1.5, 10_000.0, 71);
+    let expected = {
+        let d = StoreDir::new("seeded-clean");
+        durable_run(d.path(), &packets, 2).0
+    };
+    for round in 0..8u64 {
+        let seed = base.wrapping_mul(0x9E37_79B9).wrapping_add(round);
+        let fault = DiskFault::from_seed(seed);
+        let label = format!("seed {seed} → {fault:?}");
+        let store = StoreDir::new(&format!("seeded-{round}"));
+        let (mut e, _) = ShardedEngine::try_new(decayed_query(), 2)
+            .expect("spawn shards")
+            .checkpoint_every(512)
+            .inject_fault(FaultPlan {
+                shard: 0,
+                kind: FaultKind::Disk(fault),
+            })
+            .try_durable(store.path(), DurabilityOptions::default())
+            .expect("open");
+        feed(&mut e, &packets, 0, 1024);
+        let rows = e.finish();
+        assert_bit_identical(&expected, &rows, &label);
+    }
+}
+
+#[test]
+fn full_disk_degrades_to_in_memory_supervision_not_an_error() {
+    let packets = trace(2.0, 10_000.0, 73);
+    let expected = ShardedEngine::try_new(decayed_query(), 2)
+        .expect("spawn shards")
+        .checkpoint_every(512)
+        .run(packets.iter().copied());
+    let store = StoreDir::new("enospc");
+    let (mut e, _) = ShardedEngine::try_new(decayed_query(), 2)
+        .expect("spawn shards")
+        .checkpoint_every(512)
+        .inject_fault(FaultPlan::parse("disk:enospc:1").expect("spec"))
+        .try_durable(store.path(), DurabilityOptions::default())
+        .expect("open");
+    feed(&mut e, &packets, 0, 1024);
+    let rows = e.finish();
+    assert_bit_identical(&expected, &rows, "ENOSPC run");
+    assert!(
+        e.durability_degraded(),
+        "a persistently full disk must degrade durability"
+    );
+    let s = e.telemetry().snapshot();
+    assert_eq!(s.durability_degraded, 1);
+    assert_eq!(s.worker_panics, 0, "degradation must not kill workers");
+    assert_eq!(
+        s.degraded_shards, 0,
+        "shards stay healthy; only disk is lost"
+    );
+}
+
+/// Aggregates that decline checkpointing (samplers) still get a WAL: with
+/// nothing coverable, recovery replays the entire log from scratch — and
+/// because the sampler is seeded, the replay reproduces the run exactly.
+#[test]
+fn non_checkpointable_aggregates_replay_the_whole_wal() {
+    let q = || {
+        Query::builder("sample")
+            .group_by(|p| p.dst_host())
+            .bucket_secs(2)
+            .aggregate(pri_sample_factory(Monomial::new(1.0), 16, 99, |p| {
+                p.len as u64
+            }))
+            .build()
+    };
+    let packets = trace(1.5, 8_000.0, 79);
+    let store = StoreDir::new("sampler");
+    let (mut e, _) = ShardedEngine::try_new(q(), 2)
+        .expect("spawn shards")
+        .checkpoint_every(256)
+        .try_durable(store.path(), DurabilityOptions::default())
+        .expect("open");
+    feed(&mut e, &packets, 0, 512);
+    let rows = e.finish();
+    assert!(!rows.is_empty());
+    drop(e);
+    let (mut e, report) = ShardedEngine::try_new(q(), 2)
+        .expect("spawn shards")
+        .checkpoint_every(256)
+        .try_durable(store.path(), DurabilityOptions::default())
+        .expect("reopen");
+    assert!(report.resumed);
+    assert_eq!(report.position, packets.len() as u64);
+    assert!(
+        report.replayed_batches > 0,
+        "nothing was coverable, so the whole WAL must replay"
+    );
+    let rows2 = e.finish();
+    assert_eq!(
+        format!("{rows:?}"),
+        format!("{rows2:?}"),
+        "seeded sampler replay must reproduce the run"
+    );
+}
+
+/// The dispatch-path contract behind the overhead bench: attaching a
+/// durable sink must not change admission, routing, or results even when
+/// combined with a concurrent worker crash.
+#[test]
+fn durability_composes_with_worker_crash_recovery() {
+    let packets = trace(3.0, 15_000.0, 83);
+    let expected = {
+        let d = StoreDir::new("compose-clean");
+        durable_run(d.path(), &packets, 2).0
+    };
+    let store = StoreDir::new("compose");
+    let (mut e, _) = ShardedEngine::try_new(decayed_query(), 2)
+        .expect("spawn shards")
+        .checkpoint_every(512)
+        .inject_fault(FaultPlan {
+            shard: 1,
+            kind: FaultKind::PanicAtTuple(5_000),
+        })
+        .try_durable(store.path(), DurabilityOptions::default())
+        .expect("open");
+    feed(&mut e, &packets, 0, 1024);
+    let rows = e.finish();
+    assert_bit_identical(&expected, &rows, "worker crash under durability");
+    let s = e.telemetry().snapshot();
+    assert_eq!(s.worker_panics, 1);
+    assert_eq!(s.restarts, 1);
+    assert!(!e.durability_degraded());
+    drop(e);
+    // The store survived the worker crash too.
+    let (mut e, report) = open(store.path(), 2, DurabilityOptions::default());
+    assert_eq!(report.position, packets.len() as u64);
+    let rows2 = e.finish();
+    assert_bit_identical(&expected, &rows2, "reopen after worker crash");
+}
+
+/// `Arc` is how the tests above reach `DurabilityOptions::io`; pin the
+/// default wiring so a refactor can't silently detach [`StdFs`].
+#[test]
+fn default_options_use_the_real_filesystem() {
+    let opts = DurabilityOptions::default();
+    assert_eq!(opts.fsync, FsyncPolicy::OnCheckpoint);
+    assert_eq!(opts.segment_bytes, 8 * 1024 * 1024);
+    let io: Arc<dyn forward_decay::engine::io::IoBackend> = opts.io;
+    assert!(format!("{io:?}").contains("StdFs"));
+}

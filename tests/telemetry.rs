@@ -290,3 +290,106 @@ fn supervision_counters_surface_in_every_export_format() {
     );
     assert!(s.to_prometheus().contains("fd_restarts 1"));
 }
+
+#[test]
+fn durability_counters_surface_in_every_export_format() {
+    use forward_decay::engine::durability::DurabilityOptions;
+    use forward_decay::engine::fault::{DiskFault, DiskFaultKind, FaultKind, FaultPlan};
+
+    let dir = std::env::temp_dir().join(format!("fd-telemetry-durable-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let trace = TraceConfig {
+        seed: 29,
+        duration_secs: 5.0,
+        rate_pps: 10_000.0,
+        n_hosts: 300,
+        ..Default::default()
+    };
+    let packets: Vec<Packet> = trace.iter().collect();
+
+    // A healthy durable run: WAL bytes and checkpoints tick, nothing
+    // degrades, nothing is truncated or replayed.
+    let (mut e, _) = ShardedEngine::try_new(decayed_query(), 2)
+        .expect("spawn shards")
+        .checkpoint_every(1_024)
+        .try_durable(&dir, DurabilityOptions::default())
+        .expect("open durable store");
+    e.try_process_packets(&packets).expect("feed");
+    e.durable_commit(packets.len() as u64).expect("commit");
+    let rows = e.finish();
+    assert!(!rows.is_empty());
+    let s = e.telemetry().snapshot();
+    assert!(s.wal_bytes_written > 0, "the WAL must have been written");
+    assert!(s.checkpoints_persisted > 0, "checkpoints must hit disk");
+    assert_eq!(s.wal_records_truncated, 0);
+    assert_eq!(s.recovery_replayed_batches, 0);
+    assert_eq!(s.durability_degraded, 0);
+
+    let prom = s.to_prometheus();
+    for name in [
+        "fd_wal_bytes_written",
+        "fd_wal_records_truncated",
+        "fd_checkpoints_persisted",
+        "fd_recovery_replayed_batches",
+        "fd_durability_degraded",
+    ] {
+        assert!(prom.contains(name), "{name} missing from:\n{prom}");
+    }
+    assert!(prom.contains(&format!("fd_wal_bytes_written {}", s.wal_bytes_written)));
+    let json = s.to_json();
+    for key in [
+        "\"wal_bytes_written\":",
+        "\"wal_records_truncated\":",
+        "\"checkpoints_persisted\":",
+        "\"recovery_replayed_batches\":",
+        "\"durability_degraded\":",
+    ] {
+        assert!(json.contains(key), "{key} missing from:\n{json}");
+    }
+    assert!(json.contains(&format!(
+        "\"checkpoints_persisted\":{}",
+        s.checkpoints_persisted
+    )));
+    drop(e);
+
+    // Reopening the store moves the recovery-side counters.
+    let (mut e, report) = ShardedEngine::try_new(decayed_query(), 2)
+        .expect("spawn shards")
+        .checkpoint_every(1_024)
+        .try_durable(&dir, DurabilityOptions::default())
+        .expect("reopen durable store");
+    assert!(report.resumed);
+    e.finish();
+    let s = e.telemetry().snapshot();
+    assert_eq!(s.recovery_replayed_batches, report.replayed_batches);
+    assert_eq!(s.wal_records_truncated, report.truncated_records);
+    drop(e);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // A degraded run: the gauge flips to 1 in both export formats.
+    let dir = std::env::temp_dir().join(format!("fd-telemetry-degraded-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let (mut e, _) = ShardedEngine::try_new(decayed_query(), 2)
+        .expect("spawn shards")
+        .checkpoint_every(1_024)
+        .inject_fault(FaultPlan {
+            shard: 0,
+            kind: FaultKind::Disk(DiskFault {
+                kind: DiskFaultKind::Enospc,
+                at_op: 1,
+            }),
+        })
+        .try_durable(&dir, DurabilityOptions::default())
+        .expect("open durable store");
+    e.try_process_packets(&packets).expect("feed");
+    e.durable_commit(packets.len() as u64).expect("commit");
+    let rows2 = e.finish();
+    assert_eq!(rows.len(), rows2.len(), "degradation must not change rows");
+    assert!(e.durability_degraded());
+    let s = e.telemetry().snapshot();
+    assert_eq!(s.durability_degraded, 1);
+    assert!(s.to_prometheus().contains("fd_durability_degraded 1"));
+    assert!(s.to_json().contains("\"durability_degraded\":1"));
+    drop(e);
+    let _ = std::fs::remove_dir_all(&dir);
+}
