@@ -217,6 +217,97 @@ pub fn measure_dispatch_ns(query: &Query, n_shards: usize, packets: &[Packet]) -
     start.elapsed().as_nanos() as f64 / packets.len() as f64
 }
 
+/// One producer's route-and-scatter pass over `packets`, exactly as the
+/// fabric's `IngressHandle::stage`/`seal_epoch` runs it: per chunk, one
+/// fused pass computing admission plus the multiply-shift hash fold into
+/// a shard-index scratch array, then a software write-combining scatter
+/// into per-shard staging buffers, then an epoch seal that ships every
+/// shard's staging through an `Arc` hand-off with pool recycling.
+/// Returns elapsed seconds.
+fn ingress_scatter_secs(query: &Query, n_shards: usize, packets: &[Packet]) -> f64 {
+    const REJECT: u32 = u32::MAX;
+    let pool: BatchPool<Packet> = BatchPool::new(n_shards + 2);
+    let mut staging: Vec<Vec<Packet>> = (0..n_shards).map(|_| pool.take(DISPATCH_BATCH)).collect();
+    let mut shard_of: Vec<u32> = Vec::with_capacity(DISPATCH_BATCH);
+    let bm = query.bucket_micros;
+    let slack = query.slack_micros;
+    let mut wm: u64 = 0;
+    let mut closed_low: u64 = 0;
+    let start = Instant::now();
+    for chunk in packets.chunks(DISPATCH_BATCH) {
+        // Pass 1: fused admission + routing into the scratch array.
+        shard_of.clear();
+        for pkt in chunk {
+            let idx = if query.filter.as_ref().is_some_and(|f| !f(pkt)) || pkt.ts < closed_low {
+                REJECT
+            } else {
+                wm = wm.max(pkt.ts);
+                let horizon = wm.saturating_sub(slack);
+                if horizon >= closed_low.saturating_add(bm) {
+                    closed_low = (horizon / bm) * bm;
+                }
+                route_shard((query.group_by)(pkt), n_shards) as u32
+            };
+            shard_of.push(idx);
+        }
+        // Pass 2: write-combining scatter into the staging buffers.
+        for (pkt, &s) in chunk.iter().zip(&shard_of) {
+            if s != REJECT {
+                staging[s as usize].push(*pkt);
+            }
+        }
+        // Epoch seal: every shard ships (the fabric's determinism
+        // contract), and the "worker" returns the buffer to the pool.
+        for staged in staging.iter_mut() {
+            let sent = if staged.is_empty() {
+                std::sync::Arc::new(Vec::new())
+            } else {
+                std::sync::Arc::new(std::mem::replace(staged, pool.take(DISPATCH_BATCH)))
+            };
+            if let Ok(buf) = std::sync::Arc::try_unwrap(std::hint::black_box(sent)) {
+                if buf.capacity() > 0 {
+                    pool.put(buf);
+                }
+            }
+        }
+    }
+    std::hint::black_box(&staging);
+    start.elapsed().as_secs_f64()
+}
+
+/// Measures the per-tuple cost of one fabric ingress producer's
+/// vectorized route-and-scatter stage (see [`ingress_scatter_secs`]),
+/// worker-free — the fabric-era counterpart of [`measure_dispatch_ns`],
+/// directly comparable with it.
+pub fn measure_ingress_ns(query: &Query, n_shards: usize, packets: &[Packet]) -> f64 {
+    assert!(n_shards > 0 && !packets.is_empty());
+    ingress_scatter_secs(query, n_shards, packets) * 1e9 / packets.len() as f64
+}
+
+/// Wall-clock aggregate ingress throughput (tuples/s) with `producers`
+/// threads each running the fabric scatter stage over a contiguous slice
+/// of `packets`. On hosts with fewer cores than producers this measures
+/// oversubscription, not the fabric — gate on a core count check and fall
+/// back to the modeled aggregate
+/// ([`fd_engine::metrics::fabric_capacity_pps`]).
+pub fn measure_parallel_ingress_tps(
+    query: &Query,
+    n_shards: usize,
+    producers: usize,
+    packets: &[Packet],
+) -> f64 {
+    assert!(producers > 0 && !packets.is_empty());
+    let per = packets.len().div_ceil(producers);
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for slice in packets.chunks(per) {
+            let q = query.clone();
+            scope.spawn(move || ingress_scatter_secs(&q, n_shards, slice));
+        }
+    });
+    packets.len() as f64 / start.elapsed().as_secs_f64()
+}
+
 /// Measures the batched dispatch path with the supervision layer's
 /// whole per-batch bookkeeping run inline, worker-free — the same
 /// serial-ingress methodology as [`measure_dispatch_ns`], so the two are

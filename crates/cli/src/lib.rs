@@ -140,6 +140,10 @@ pub struct CliConfig {
     pub burst: Option<Burst>,
     /// Worker shards for parallel execution (0 = single-threaded engine).
     pub shards: usize,
+    /// Ingress producers for the multi-producer fabric (0 = classic
+    /// single-dispatcher ingress). Any non-zero value engages the sharded
+    /// executor.
+    pub producers: usize,
     /// Dispatcher batch size for sharded runs (0 = engine default).
     pub batch: usize,
     /// Checkpoint interval in tuples for sharded runs (`None` = engine
@@ -181,6 +185,7 @@ impl Default for CliConfig {
             slack_secs: 0.0,
             burst: None,
             shards: 0,
+            producers: 0,
             batch: 0,
             checkpoint_every: None,
             max_restarts: None,
@@ -216,6 +221,8 @@ OPTIONS (all optional):
     --slack <secs>      engine watermark slack for late tuples          [default: 0]
     --burst <s,e,f>     flood fraction f toward one host in [s, e) secs
     --shards <n>        parallel worker shards, 0 = single-threaded     [default: 0]
+    --producers <n>     multi-producer ingress fabric, 0 = classic
+                        single-dispatcher ingress        [default: 0]
     --batch <n>         dispatcher batch size (sharded runs), 0 = default [default: 0]
     --checkpoint-every <n>  worker checkpoint interval in tuples (sharded
                         runs); 0 disables supervision   [default: 32768]
@@ -307,6 +314,7 @@ impl CliConfig {
                 }
                 "--limit" => cfg.limit = int(v)? as usize,
                 "--shards" => cfg.shards = int(v)? as usize,
+                "--producers" => cfg.producers = int(v)? as usize,
                 "--batch" => cfg.batch = int(v)? as usize,
                 "--checkpoint-every" => cfg.checkpoint_every = Some(int(v)?),
                 "--max-restarts" => {
@@ -412,11 +420,15 @@ pub fn try_run(cfg: &CliConfig) -> Result<String, String> {
     // rows, final counters, and a metrics snapshot (the sharded one carries
     // live per-shard series; the single-threaded one wraps the counters so
     // `--metrics` output has one shape either way).
-    let (mut rows, stats, snapshot) = if cfg.shards > 0 || cfg.data_dir.is_some() {
+    let (mut rows, stats, snapshot) = if cfg.shards > 0
+        || cfg.data_dir.is_some()
+        || cfg.producers > 0
+    {
         // A durable store needs the sharded executor (its checkpoints are
-        // what gets persisted): `--data-dir` without `--shards` runs one
+        // what gets persisted), and so does the ingress fabric:
+        // `--data-dir` or `--producers` without `--shards` runs one
         // worker shard.
-        let shards = if cfg.data_dir.is_some() {
+        let shards = if cfg.data_dir.is_some() || cfg.producers > 0 {
             cfg.shards.max(1)
         } else {
             cfg.shards
@@ -432,6 +444,11 @@ pub fn try_run(cfg: &CliConfig) -> Result<String, String> {
         }
         if let Some(n) = cfg.max_restarts {
             engine = engine.max_restarts(n);
+        }
+        if cfg.producers > 0 {
+            engine = engine
+                .try_producers(cfg.producers)
+                .map_err(|e| e.to_string())?;
         }
         let rows = match &cfg.data_dir {
             Some(dir) => {
@@ -836,6 +853,54 @@ mod tests {
         let large = run(&CliConfig::parse(args("4096")).unwrap());
         assert_eq!(small, large, "batch size must not change results");
         assert!(CliConfig::parse(["--batch", "x"]).is_err());
+    }
+
+    #[test]
+    fn producers_flag_parses_and_matches_single_dispatcher() {
+        let cfg = CliConfig::parse(["--producers", "4", "--shards", "2"]).unwrap();
+        assert_eq!(cfg.producers, 4);
+        let cfg = CliConfig::parse(Vec::<String>::new()).unwrap();
+        assert_eq!(cfg.producers, 0);
+        assert!(CliConfig::parse(["--producers", "x"]).is_err());
+        assert!(CliConfig::parse(["--producers", "0"]).is_ok(), "0 = off");
+
+        // Same trace through the classic dispatcher and the fabric:
+        // identical rows, and the fabric exposes per-producer series.
+        fn args(producers: &'static str) -> [&'static str; 15] {
+            [
+                "--rate",
+                "10000",
+                "--duration",
+                "2",
+                "--hosts",
+                "50",
+                "--shards",
+                "2",
+                "--producers",
+                producers,
+                "--format",
+                "csv",
+                "--metrics",
+                "--seed",
+                "7",
+            ]
+        }
+        let classic = run(&CliConfig::parse(args("0")).unwrap());
+        let fabric = run(&CliConfig::parse(args("3")).unwrap());
+        let rows = |out: &str| -> String {
+            out.lines()
+                .take_while(|l| !l.starts_with('#'))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(
+            rows(&classic),
+            rows(&fabric),
+            "the ingress fabric must not change results"
+        );
+        assert!(!classic.contains("fd_producer_tuples_in"));
+        assert!(fabric.contains("fd_producer_tuples_in{producer=\"2\"}"));
+        assert!(fabric.contains("fd_producer_ring_depth{producer=\"0\",shard=\"1\"}"));
     }
 
     #[test]

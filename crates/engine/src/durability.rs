@@ -268,6 +268,54 @@ pub(crate) struct CommitState {
     pub late_drops: u64,
     /// Highest WAL sequence assigned per shard at commit time.
     pub hi: Vec<u64>,
+    /// Per-producer ingress state for multi-producer fabric runs. Empty
+    /// for single-dispatcher stores (and for stores written before the
+    /// fabric existed — the field is appended after `hi` on the wire and
+    /// only decoded when bytes remain, so legacy commits parse fine).
+    pub producers: Vec<ProducerCommit>,
+}
+
+/// One ingress handle's admission state frozen into a fabric commit:
+/// everything `resume_fabric` needs to rebuild the handle bit-identically.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct ProducerCommit {
+    /// Handle-local watermark, µs.
+    pub watermark: Micros,
+    /// Handle-local `closed_below` (bucket index).
+    pub closed_below: u64,
+    /// Handle-local round-robin shard cursor.
+    pub rr: u64,
+    /// Epochs sealed so far (the handle's local epoch counter `k`; its
+    /// next per-shard seq is `k·P + p + 1`).
+    pub epochs: u64,
+    /// Handle-local admission counters.
+    pub tuples_in: u64,
+    pub filtered: u64,
+    pub late_drops: u64,
+}
+
+impl ProducerCommit {
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_u64(out, self.watermark);
+        put_u64(out, self.closed_below);
+        put_u64(out, self.rr);
+        put_u64(out, self.epochs);
+        put_u64(out, self.tuples_in);
+        put_u64(out, self.filtered);
+        put_u64(out, self.late_drops);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Option<Self> {
+        Some(Self {
+            watermark: r.u64().ok()?,
+            closed_below: r.u64().ok()?,
+            rr: r.u64().ok()?,
+            epochs: r.u64().ok()?,
+            tuples_in: r.u64().ok()?,
+            filtered: r.u64().ok()?,
+            late_drops: r.u64().ok()?,
+        })
+    }
 }
 
 impl CommitState {
@@ -281,6 +329,7 @@ impl CommitState {
             filtered: 0,
             late_drops: 0,
             hi: vec![0; n_shards],
+            producers: Vec::new(),
         }
     }
 
@@ -296,6 +345,14 @@ impl CommitState {
         put_u32(out, self.hi.len() as u32);
         for &h in &self.hi {
             put_u64(out, h);
+        }
+        // Producer blocks ride after `hi` so a legacy (single-dispatcher)
+        // commit is byte-identical to the pre-fabric format.
+        if !self.producers.is_empty() {
+            put_u32(out, self.producers.len() as u32);
+            for p in &self.producers {
+                p.encode(out);
+            }
         }
     }
 
@@ -315,6 +372,17 @@ impl CommitState {
         for _ in 0..n {
             hi.push(r.u64().ok()?);
         }
+        let mut producers = Vec::new();
+        if !r.is_empty() {
+            let np = r.u32().ok()? as usize;
+            if np == 0 || np > r.remaining() / 8 {
+                return None;
+            }
+            producers.reserve(np);
+            for _ in 0..np {
+                producers.push(ProducerCommit::decode(r)?);
+            }
+        }
         if !r.is_empty() {
             return None;
         }
@@ -327,6 +395,7 @@ impl CommitState {
             filtered,
             late_drops,
             hi,
+            producers,
         })
     }
 }
@@ -335,8 +404,14 @@ impl CommitState {
 /// replay backlog.
 #[derive(Debug, Clone)]
 pub(crate) enum ReplayMsg {
-    /// A batch of admitted packets.
-    Batch { seq: u64, pkts: Vec<Packet> },
+    /// A batch of admitted packets, carrying the sender's watermark as of
+    /// the batch (0 from the single-dispatcher path, which punctuates via
+    /// dedicated `Punct` records instead).
+    Batch {
+        seq: u64,
+        wm: Micros,
+        pkts: Vec<Packet>,
+    },
     /// A watermark broadcast.
     Punct { seq: u64, wm: Micros },
 }
@@ -354,6 +429,7 @@ fn decode_wal_record(payload: &[u8]) -> Option<ReplayMsg> {
     match r.u8().ok()? {
         KIND_BATCH => {
             let seq = r.u64().ok()?;
+            let wm = r.u64().ok()?;
             let n = r.u32().ok()? as usize;
             // Variable-width packets: bound the claimed count by what the
             // payload could possibly hold before allocating for it, and
@@ -369,7 +445,7 @@ fn decode_wal_record(payload: &[u8]) -> Option<ReplayMsg> {
             if !r.is_empty() {
                 return None;
             }
-            Some(ReplayMsg::Batch { seq, pkts })
+            Some(ReplayMsg::Batch { seq, wm, pkts })
         }
         KIND_PUNCT => {
             let seq = r.u64().ok()?;
@@ -447,6 +523,7 @@ enum WalCmd {
     Batch {
         shard: usize,
         seq: u64,
+        wm: Micros,
         pkts: Arc<Vec<Packet>>,
     },
     Punct {
@@ -603,10 +680,11 @@ impl DurableSink {
         }
     }
 
-    pub(crate) fn batch(&mut self, shard: usize, seq: u64, pkts: &Arc<Vec<Packet>>) {
+    pub(crate) fn batch(&mut self, shard: usize, seq: u64, pkts: &Arc<Vec<Packet>>, wm: Micros) {
         self.push(WalCmd::Batch {
             shard,
             seq,
+            wm,
             pkts: Arc::clone(pkts),
         });
     }
@@ -765,8 +843,13 @@ impl Writer {
                 continue;
             }
             let result = match cmd {
-                WalCmd::Batch { shard, seq, pkts } => {
-                    let r = self.append_batch(shard, seq, &pkts);
+                WalCmd::Batch {
+                    shard,
+                    seq,
+                    wm,
+                    pkts,
+                } => {
+                    let r = self.append_batch(shard, seq, wm, &pkts);
                     self.recycle(pkts);
                     r
                 }
@@ -847,10 +930,17 @@ impl Writer {
         Ok(())
     }
 
-    fn append_batch(&mut self, shard: usize, seq: u64, pkts: &[Packet]) -> io::Result<()> {
+    fn append_batch(
+        &mut self,
+        shard: usize,
+        seq: u64,
+        wm: Micros,
+        pkts: &[Packet],
+    ) -> io::Result<()> {
         self.payload_buf.clear();
         self.payload_buf.push(KIND_BATCH);
         put_u64(&mut self.payload_buf, seq);
+        put_u64(&mut self.payload_buf, wm);
         put_u32(&mut self.payload_buf, pkts.len() as u32);
         let mut prev_ts = 0u64;
         for p in pkts {
@@ -1595,6 +1685,7 @@ mod tests {
             filtered: 55,
             late_drops: 7,
             hi: vec![101, 99, 0, 42],
+            producers: Vec::new(),
         };
         let mut buf = Vec::new();
         c.encode(&mut buf);
@@ -1605,6 +1696,49 @@ mod tests {
         let mut r = Reader::new(&buf);
         let _ = r.u8();
         assert!(CommitState::decode(&mut r, 3).is_none());
+    }
+
+    #[test]
+    fn fabric_commit_state_roundtrips_producer_blocks() {
+        let c = CommitState {
+            position: 4_000,
+            watermark: 90_000_000,
+            closed_below: 8,
+            rr: 1,
+            tuples_in: 4_000,
+            filtered: 12,
+            late_drops: 3,
+            hi: vec![7, 7],
+            producers: vec![
+                ProducerCommit {
+                    watermark: 90_000_000,
+                    closed_below: 8,
+                    rr: 0,
+                    epochs: 4,
+                    tuples_in: 2_600,
+                    filtered: 9,
+                    late_drops: 1,
+                },
+                ProducerCommit {
+                    watermark: 88_000_000,
+                    closed_below: 7,
+                    rr: 1,
+                    epochs: 3,
+                    tuples_in: 1_400,
+                    filtered: 3,
+                    late_drops: 2,
+                },
+            ],
+        };
+        let mut buf = Vec::new();
+        c.encode(&mut buf);
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.u8().unwrap(), KIND_COMMIT);
+        assert_eq!(CommitState::decode(&mut r, 2).expect("decode"), c);
+        // A truncated producer block is rejected, never misread.
+        let mut r = Reader::new(&buf[..buf.len() - 1]);
+        let _ = r.u8();
+        assert!(CommitState::decode(&mut r, 2).is_none());
     }
 
     #[test]
@@ -1624,14 +1758,16 @@ mod tests {
         let mut buf = Vec::new();
         buf.push(KIND_BATCH);
         put_u64(&mut buf, 17);
+        put_u64(&mut buf, 42_000_000);
         put_u32(&mut buf, pkts.len() as u32);
         let mut prev = 0u64;
         for p in &pkts {
             put_packet(&mut buf, p, &mut prev);
         }
         match decode_wal_record(&buf) {
-            Some(ReplayMsg::Batch { seq, pkts: got }) => {
+            Some(ReplayMsg::Batch { seq, wm, pkts: got }) => {
                 assert_eq!(seq, 17);
+                assert_eq!(wm, 42_000_000);
                 assert_eq!(got, pkts);
             }
             other => panic!("bad decode: {other:?}"),

@@ -109,7 +109,7 @@ pub mod prelude {
     pub use crate::metrics::{combine_shard_stats, cpu_load_pct, drop_fraction, LoadPoint};
     pub use crate::processor::{replay, StreamProcessor};
     pub use crate::report::{rows_to_csv, rows_to_table};
-    pub use crate::shard::{ShardBy, ShardedEngine};
+    pub use crate::shard::{IngressHandle, ShardBy, ShardedEngine};
     pub use crate::supervisor::{DEFAULT_CHECKPOINT_EVERY, DEFAULT_MAX_RESTARTS};
     pub use crate::telemetry::{EngineTelemetry, MetricsSnapshot, Reporter};
     pub use crate::tuple::{secs, Micros, Packet, Proto, MICROS_PER_SEC};

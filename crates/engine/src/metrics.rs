@@ -60,6 +60,22 @@ pub fn sharded_capacity_pps(dispatch_ns: f64, worker_ns: f64, n_shards: usize) -
     (1e9 / dispatch_ns).min(n_shards as f64 * 1e9 / worker_ns)
 }
 
+/// Extends [`sharded_capacity_pps`] to the multi-producer ingress fabric:
+/// `producers` ingress threads each sustain `10⁹ / ingress_ns` tuples/s of
+/// route-and-scatter, and the shard workers cap the aggregate at
+/// `n · 10⁹ / worker_ns` — the serial-dispatcher term of the paper's §VI
+/// cost model becomes a scalable one. With `producers == 1` this is
+/// exactly [`sharded_capacity_pps`].
+pub fn fabric_capacity_pps(
+    ingress_ns: f64,
+    worker_ns: f64,
+    n_shards: usize,
+    producers: usize,
+) -> f64 {
+    assert!(ingress_ns > 0.0 && worker_ns > 0.0 && n_shards > 0 && producers > 0);
+    (producers as f64 * 1e9 / ingress_ns).min(n_shards as f64 * 1e9 / worker_ns)
+}
+
 /// Sums per-shard execution counters into one
 /// [`EngineStats`](crate::engine::EngineStats) — the view
 /// of a sharded run as if it were one engine. Admission counters

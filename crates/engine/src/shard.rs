@@ -72,18 +72,19 @@
 
 use std::collections::btree_map::Entry;
 use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::AtomicBool;
 use std::sync::atomic::Ordering::Relaxed;
 use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
 use crate::durability::{
-    recover, CommitState, DurabilityOptions, DurableSink, RecoveryReport, ReplayMsg,
+    recover, CommitState, DurabilityOptions, DurableSink, ProducerCommit, RecoveryReport, ReplayMsg,
 };
 use crate::engine::{ClosedGroup, Engine, EngineStats, Row, StreamEvent};
 use crate::fault::{FaultKind, FaultState};
 use crate::io::{FaultyFs, IoBackend};
-use crate::spsc::{ring, BatchPool, RingReceiver, RingSender};
+use crate::spsc::{ring, ring_fabric, BatchPool, RingReceiver, RingSender};
 use crate::supervisor::{backoff, CheckpointSlot, SupervisorConfig, DEFAULT_MAX_RESTARTS};
 use crate::telemetry::EngineTelemetry;
 use crate::tuple::{secs, Micros, Packet, Proto};
@@ -111,11 +112,18 @@ pub enum ShardBy {
 /// holds the only reference and recycles the buffer exactly as before.
 /// Batches also carry their send instant so the worker can report
 /// dispatch-to-apply latency.
+///
+/// The multi-producer ingress fabric reuses `Batch` as its *epoch*
+/// message: one per (producer, shard) per sealed epoch, possibly with an
+/// empty packet slice, carrying the producer's admission watermark in
+/// `wm`. The single-dispatcher path always sends `wm: 0` (its watermark
+/// travels as explicit `Punctuate` messages, unchanged).
 #[derive(Clone)]
 enum Msg {
     Batch {
         seq: u64,
         pkts: Arc<Vec<Packet>>,
+        wm: Micros,
         sent: Instant,
     },
     Punctuate {
@@ -360,6 +368,768 @@ fn spawn_worker(
         .expect("spawn shard worker")
 }
 
+/// Per-(producer, shard) ring depth of the multi-producer ingress fabric.
+/// Shallower than the single-dispatcher ring ([`CHANNEL_DEPTH`]): each
+/// shard worker drains its `P` rings in strict rotation, so a producer
+/// can only ever run this many epochs ahead of the slowest producer —
+/// deep enough to absorb scheduling jitter, shallow enough to bound the
+/// memory pinned by `P × N` rings.
+pub const FABRIC_RING_DEPTH: usize = 8;
+
+/// Maps a group key to a shard: Fibonacci hash (multiply by 2⁶⁴/φ), then
+/// multiply-shift fold of the HIGH bits. `h % n` would read the low bits,
+/// which stay skewed for power-of-two-strided keys; the high bits are
+/// well mixed for dense and strided keys alike (pinned by
+/// `key_routing_spreads_within_bound`). Shared by the single dispatcher
+/// and every fabric ingress handle, so keyed routing is identical in both
+/// modes.
+#[inline]
+fn route_key(key: u64, n_shards: usize) -> usize {
+    let h = key.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    ((u128::from(h) * n_shards as u128) >> 64) as usize
+}
+
+/// Recovery state of one fabric shard, behind its own mutex so a
+/// recovering handle never blocks senders of *other* shards. The sender
+/// slots live OUTSIDE this lock (see [`FabShard::senders`]) because a
+/// send can block on a full ring; recovery must be able to run while
+/// other handles are parked in `send`.
+struct FabInner {
+    worker: Option<WorkerHandle>,
+    /// Restarts consumed so far, cumulative for the run.
+    restarts: u32,
+    /// Bumped after every completed recovery (successful or degrading).
+    /// A handle whose send failed compares the generation it observed
+    /// before sending: if it moved, another handle already recovered and
+    /// *replayed this handle's message from the backlog* — the failed
+    /// message was pushed there before the generation was read, and the
+    /// recoverer's replay ran entirely after that read — so the handle
+    /// must NOT resend.
+    generation: u64,
+    /// Producers whose handles have finished (their rings are closed).
+    /// A respawn closes these producers' fresh rings immediately so the
+    /// new worker's rotation skips them exactly like the old one did.
+    finished: Vec<bool>,
+    /// Defensive stash for a worker that exited cleanly while being
+    /// reaped (see [`Seat::early_exit`]).
+    early_exit: Option<(Vec<ClosedGroup>, EngineStats)>,
+}
+
+/// One shard of the ingress fabric: the per-producer replay backlogs, the
+/// checkpoint slot shared across worker incarnations, and one sender slot
+/// per producer.
+struct FabShard {
+    /// Per-producer backlog rows of messages since the last checkpoint.
+    /// Each row is FIFO in that producer's (strictly increasing) seq;
+    /// rows are merged by seq for replay. One mutex for all rows — pushes
+    /// and trims are brief, and a single lock keeps trim atomic.
+    backlogs: Mutex<Vec<VecDeque<Msg>>>,
+    /// The worker's checkpoint slot (shared across its incarnations).
+    slot: Arc<CheckpointSlot>,
+    /// Per-producer sender slots. Outside [`FabShard::inner`]: a sender
+    /// blocked on a full ring holds only its own slot's lock, so recovery
+    /// (under `inner`) can proceed — the blocked send fails as soon as
+    /// the dead worker's receiver drops, releasing the slot for the
+    /// recoverer to install a fresh sender into.
+    senders: Vec<Mutex<Option<RingSender<Msg>>>>,
+    inner: Mutex<FabInner>,
+    /// Checked (cheaply) by every handle before sending; set under
+    /// `inner` when the restart budget is exhausted.
+    degraded: AtomicBool,
+}
+
+/// Everything the `P` ingress handles and `N` fabric workers share.
+///
+/// ## The producer-seq determinism rule
+///
+/// Every sealed epoch ships exactly one [`Msg::Batch`] to **every**
+/// shard (possibly empty, always carrying the producer's watermark), and
+/// epochs must be dealt to producers in strict round-robin order starting
+/// at producer 0. Producer `p`'s `k`-th epoch then has the per-shard
+/// sequence number `k·P + p + 1`: the per-shard message stream is
+/// *globally* ordered — `seq ≡ producer (mod P)`, consecutive seqs are
+/// consecutive epochs — and each worker drains its rings in fixed
+/// rotation, applying messages in exactly this seq order. Dealing a
+/// stream round-robin in chunks across the handles therefore reproduces
+/// the original per-shard apply order bit for bit, and one number
+/// subsumes the `(producer, seq)` pair everywhere downstream: backlog
+/// trim, checkpoint coverage, WAL contiguity and crash recovery all key
+/// on the same per-shard seq the single-dispatcher path already uses.
+struct FabShared {
+    producers: usize,
+    shards: Vec<FabShard>,
+    telemetry: Arc<EngineTelemetry>,
+    config: Arc<SupervisorConfig>,
+    fault: Arc<Mutex<Option<Arc<FaultState>>>>,
+    /// The per-worker query (selection stripped), for checkpoint restore.
+    worker_query: Query,
+    /// Per-producer batch pools (pool sharding): handles never contend on
+    /// a shared free list, and total pooled capacity scales with
+    /// `producers × shards`.
+    pools: Vec<BatchPool<Packet>>,
+    max_restarts: u32,
+    /// Handle end-of-run stats, one slot per producer, written by
+    /// [`IngressHandle::finish`] and folded by [`ShardedEngine::finish`].
+    stats_out: Mutex<Vec<Option<EngineStats>>>,
+}
+
+impl FabShared {
+    fn supervising(&self) -> bool {
+        self.config.checkpoint_every.load(Relaxed) > 0
+    }
+
+    /// Ships one epoch message from producer `p` to `shard`, retaining it
+    /// in the backlog and running the recovery protocol if the send finds
+    /// the worker dead. Mirrors the single dispatcher's
+    /// [`ShardedEngine::dispatch`], made safe for concurrent callers.
+    fn send(self: &Arc<Self>, shard: usize, p: usize, msg: Msg) -> Result<(), fd_core::Error> {
+        let sh = &self.shards[shard];
+        if sh.degraded.load(Relaxed) {
+            if let Msg::Batch { pkts, .. } = &msg {
+                self.telemetry
+                    .dropped_degraded
+                    .fetch_add(pkts.len() as u64, Relaxed);
+            }
+            return Ok(());
+        }
+        if self.supervising() && !sh.slot.unsupported() {
+            // Into the backlog *before* sending, so the failed message
+            // itself is replayable (and so a concurrent recoverer's replay
+            // provably includes it — see [`FabInner::generation`]).
+            sh.backlogs.lock().unwrap_or_else(PoisonError::into_inner)[p].push_back(msg.clone());
+        }
+        let tel = &self.telemetry.shards()[shard];
+        tel.batches_sent.fetch_add(1, Relaxed);
+        tel.queue_depth.fetch_add(1, Relaxed);
+        self.telemetry.producers()[p].ring_depth[shard].fetch_add(1, Relaxed);
+        let gen = sh
+            .inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .generation;
+        let sent = {
+            let slot = sh.senders[p].lock().unwrap_or_else(PoisonError::into_inner);
+            match slot.as_ref() {
+                Some(tx) => tx.send(msg).is_ok(),
+                None => false,
+            }
+        };
+        if sent {
+            return Ok(());
+        }
+        // A send fails only if the worker is gone — i.e. it panicked.
+        if !self.supervising() {
+            return Err(fd_core::Error::WorkerLost { shard });
+        }
+        let mut inner = sh.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        if inner.generation == gen {
+            // First handle to notice: run the recovery. The message is in
+            // the backlog, so the respawn's replay delivers it.
+            self.recover_locked(shard, &mut inner);
+        }
+        // Otherwise another handle recovered (or degraded) the shard
+        // while we were trying; its replay read our backlog push, so the
+        // message is already delivered or counted — never resend.
+        Ok(())
+    }
+
+    /// Reaps the dead worker and restarts it from its checkpoint with
+    /// exponential backoff, degrading the shard when the budget is
+    /// exhausted. Caller holds `inner`. Always bumps the generation.
+    fn recover_locked(self: &Arc<Self>, shard: usize, inner: &mut FabInner) {
+        let sh = &self.shards[shard];
+        self.reap_locked(shard, inner);
+        let mut restored = false;
+        if !sh.slot.unsupported() {
+            while inner.restarts < self.max_restarts {
+                let attempt = inner.restarts;
+                inner.restarts += 1;
+                self.telemetry.restarts.fetch_add(1, Relaxed);
+                std::thread::sleep(backoff(attempt));
+                if self.respawn_locked(shard, inner) {
+                    restored = true;
+                    break;
+                }
+                // The replay killed the fresh worker (a permanent fault):
+                // reap it and spend another restart.
+                self.reap_locked(shard, inner);
+            }
+        }
+        if !restored {
+            self.degrade_locked(shard, inner);
+        }
+        inner.generation += 1;
+    }
+
+    /// Joins a dead worker's thread, recording its panic.
+    fn reap_locked(&self, shard: usize, inner: &mut FabInner) {
+        if let Some(handle) = inner.worker.take() {
+            match handle.join() {
+                Ok(state) => inner.early_exit = Some(state),
+                Err(payload) => {
+                    self.telemetry.worker_panics.fetch_add(1, Relaxed);
+                    eprintln!(
+                        "fd-shard-{shard}: worker panicked: {}",
+                        panic_message(&payload)
+                    );
+                }
+            }
+        }
+    }
+
+    /// Restores an engine from the shard's checkpoint, spawns a new
+    /// worker on fresh rings, replays the backlog tail in seq order, and
+    /// installs the fresh senders (closing finished producers' rings).
+    /// Caller holds `inner`; other handles' sends fail against the old
+    /// rings and park on `inner` until the new generation is published.
+    fn respawn_locked(self: &Arc<Self>, shard: usize, inner: &mut FabInner) -> bool {
+        let sh = &self.shards[shard];
+        let (ckpt_seq, engine) = match sh.slot.load() {
+            Some((seq, bytes)) => match Engine::restore(self.worker_query.clone(), &bytes) {
+                Ok(e) => (seq, e),
+                Err(err) => {
+                    eprintln!("fd-shard-{shard}: checkpoint restore failed: {err:?}");
+                    return false;
+                }
+            },
+            None => {
+                let mut e = Engine::new(self.worker_query.clone());
+                e.keep_closed_state();
+                (0, e)
+            }
+        };
+        let p_count = self.producers;
+        let mut txs = Vec::with_capacity(p_count);
+        let mut rxs = Vec::with_capacity(p_count);
+        for _ in 0..p_count {
+            let (tx, rx) = ring::<Msg>(FABRIC_RING_DEPTH);
+            txs.push(tx);
+            rxs.push(rx);
+        }
+        inner.worker = Some(spawn_fabric_worker(
+            shard,
+            engine,
+            rxs,
+            Arc::clone(self),
+            ckpt_seq,
+        ));
+        let tel = &self.telemetry.shards()[shard];
+        tel.queue_depth.store(0, Relaxed);
+        for p in 0..p_count {
+            self.telemetry.producers()[p].ring_depth[shard].store(0, Relaxed);
+        }
+        // Replay the uncheckpointed tail: merge the per-producer backlog
+        // rows by seq (each row is already FIFO) and push in that order —
+        // the exact order the worker's rotation drains, so a bounded ring
+        // can never deadlock the refill.
+        let mut replay: Vec<Msg> = {
+            let rows = sh.backlogs.lock().unwrap_or_else(PoisonError::into_inner);
+            rows.iter()
+                .flat_map(|row| row.iter().filter(|m| m.seq() > ckpt_seq).cloned())
+                .collect()
+        };
+        replay.sort_by_key(Msg::seq);
+        for msg in replay {
+            let p = ((msg.seq() - 1) % p_count as u64) as usize;
+            if let Msg::Batch { pkts, .. } = &msg {
+                self.telemetry.replayed_batches.fetch_add(1, Relaxed);
+                self.telemetry
+                    .replayed_tuples
+                    .fetch_add(pkts.len() as u64, Relaxed);
+            }
+            tel.queue_depth.fetch_add(1, Relaxed);
+            self.telemetry.producers()[p].ring_depth[shard].fetch_add(1, Relaxed);
+            if txs[p].send(msg).is_err() {
+                return false;
+            }
+        }
+        // Only now are the fresh rings reachable by other handles. A
+        // finished producer can never close its ring again, so close it
+        // here on its behalf.
+        for (p, tx) in txs.into_iter().enumerate() {
+            let mut slot = sh.senders[p].lock().unwrap_or_else(PoisonError::into_inner);
+            *slot = if inner.finished[p] { None } else { Some(tx) };
+        }
+        true
+    }
+
+    /// Gives up on a shard: closes its rings, drains its backlogs
+    /// (counting the tuples as degraded drops), and marks it so later
+    /// epochs are counted instead of sent. Its last checkpoint is still
+    /// salvaged at [`ShardedEngine::finish`]. Caller holds `inner`.
+    fn degrade_locked(&self, shard: usize, inner: &mut FabInner) {
+        let sh = &self.shards[shard];
+        sh.degraded.store(true, Relaxed);
+        self.telemetry.degraded_shards.fetch_add(1, Relaxed);
+        for slot in &sh.senders {
+            *slot.lock().unwrap_or_else(PoisonError::into_inner) = None;
+        }
+        self.reap_locked(shard, inner);
+        let rows: Vec<VecDeque<Msg>> = {
+            let mut rows = sh.backlogs.lock().unwrap_or_else(PoisonError::into_inner);
+            rows.iter_mut().map(std::mem::take).collect()
+        };
+        let mut dropped = 0u64;
+        for (p, row) in rows.into_iter().enumerate() {
+            for msg in row {
+                if let Msg::Batch { pkts, .. } = msg {
+                    dropped += pkts.len() as u64;
+                    if let Ok(buf) = Arc::try_unwrap(pkts) {
+                        self.pools[p].put(buf);
+                    }
+                }
+            }
+            self.telemetry.producers()[p].ring_depth[shard].store(0, Relaxed);
+        }
+        self.telemetry.dropped_degraded.fetch_add(dropped, Relaxed);
+        self.telemetry.shards()[shard].queue_depth.store(0, Relaxed);
+    }
+}
+
+/// Spawns one fabric shard worker: drains its `P` dedicated rings in
+/// strict producer rotation (seq order — see the determinism rule on
+/// [`FabShared`]), folds each epoch's batch, advances the
+/// min-across-producers watermark frontier, and checkpoints exactly like
+/// the single-dispatcher worker. `start_seq` is the last applied seq (0
+/// fresh; the checkpoint's seq on respawn), which determines where the
+/// rotation resumes: the producer owning `start_seq + 1`.
+fn spawn_fabric_worker(
+    shard: usize,
+    mut engine: Engine,
+    rxs: Vec<RingReceiver<Msg>>,
+    fab: Arc<FabShared>,
+    start_seq: u64,
+) -> WorkerHandle {
+    std::thread::Builder::new()
+        .name(format!("fd-shard-{shard}"))
+        .spawn(move || {
+            let registry = Arc::clone(&fab.telemetry);
+            let tel = &registry.shards()[shard];
+            let n_shards = registry.shards().len().max(1);
+            let p_count = fab.producers;
+            let mut cursor = (start_seq % p_count as u64) as usize;
+            let mut last_seq = start_seq;
+            let mut open = vec![true; p_count];
+            // Per-producer watermarks feeding the frontier. A closed
+            // producer's entry is raised to MAX so it stops gating the
+            // frontier; `Micros::MAX` never wins the min while any
+            // producer is live, and an all-closed shard just exits.
+            let mut prod_wm: Vec<Micros> = vec![0; p_count];
+            let mut frontier_applied: Micros = 0;
+            let mut since_ckpt = 0u64;
+            let mut staggered = false;
+            let mut spare: Vec<u8> = Vec::new();
+            while open.iter().any(|&o| o) {
+                if !open[cursor] {
+                    cursor = (cursor + 1) % p_count;
+                    continue;
+                }
+                let Some(msg) = rxs[cursor].recv() else {
+                    // The producer finished (or recovery closed its ring
+                    // on its behalf): remove it from the rotation.
+                    open[cursor] = false;
+                    prod_wm[cursor] = Micros::MAX;
+                    cursor = (cursor + 1) % p_count;
+                    continue;
+                };
+                let live = registry.enabled();
+                let active_fault = fab
+                    .fault
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .clone()
+                    .filter(|f| f.plan.shard == shard && f.armed());
+                let (seq, pkts, wm, sent) = match msg {
+                    Msg::Batch {
+                        seq,
+                        pkts,
+                        wm,
+                        sent,
+                    } => (seq, pkts, wm, sent),
+                    // The fabric only ships epoch batches; watermarks ride
+                    // inside them.
+                    Msg::Punctuate { .. } => unreachable!("fabric rings carry epochs only"),
+                };
+                debug_assert!(
+                    seq > last_seq,
+                    "fabric seq went backwards on shard {shard}: {seq} after {last_seq}"
+                );
+                last_seq = seq;
+                if let Some(FaultKind::SlowShard(d)) = active_fault.as_ref().map(|f| f.plan.kind) {
+                    std::thread::sleep(d);
+                }
+                if live {
+                    let t0 = Instant::now();
+                    apply_batch(&mut engine, &pkts, active_fault.as_deref(), shard);
+                    tel.batch_ns.record(t0.elapsed().as_nanos() as u64);
+                    tel.dispatch_lag_ns.record(sent.elapsed().as_nanos() as u64);
+                    tel.tuples_processed.fetch_add(pkts.len() as u64, Relaxed);
+                } else {
+                    apply_batch(&mut engine, &pkts, active_fault.as_deref(), shard);
+                }
+                // Epochs count their batch plus the embedded watermark as
+                // tuple-equivalents, so idle shards still checkpoint.
+                since_ckpt += pkts.len() as u64 + 1;
+                if !pkts.is_empty() {
+                    if let Ok(buf) = Arc::try_unwrap(pkts) {
+                        fab.pools[cursor].put(buf);
+                    }
+                }
+                // The frontier is the min watermark across ALL producers:
+                // a bucket may only close once no producer can still send
+                // tuples for it (PAPER.md §VI-B's per-site merge rule).
+                if wm > prod_wm[cursor] {
+                    prod_wm[cursor] = wm;
+                }
+                let frontier = prod_wm.iter().copied().min().unwrap_or(0);
+                if frontier > frontier_applied && frontier != Micros::MAX {
+                    engine.punctuate(frontier);
+                    frontier_applied = frontier;
+                    if live {
+                        tel.applied_watermark.store(frontier, Relaxed);
+                        tel.lfta_evictions
+                            .store(engine.stats().lfta_evictions, Relaxed);
+                        if let Some(occ) = engine.lfta_occupancy() {
+                            tel.lfta_occupancy.store(occ as u64, Relaxed);
+                        }
+                    }
+                }
+                let every = fab.config.checkpoint_every.load(Relaxed);
+                if !staggered && every > 0 {
+                    since_ckpt += shard as u64 * every / n_shards as u64;
+                    staggered = true;
+                }
+                if every > 0 && since_ckpt >= every && !fab.shards[shard].slot.unsupported() {
+                    let ckpt_start = crate::telemetry::thread_cpu_ns();
+                    let mut blob = std::mem::take(&mut spare);
+                    match engine.checkpoint_into(&mut blob) {
+                        Ok(()) => {
+                            spare = fab.shards[shard].slot.store(seq, blob).unwrap_or_default();
+                            registry.checkpoints.fetch_add(1, Relaxed);
+                            let spent =
+                                crate::telemetry::thread_cpu_ns().saturating_sub(ckpt_start);
+                            registry.checkpoint_ns.fetch_add(spent, Relaxed);
+                            since_ckpt = 0;
+                            // Trim every producer's backlog row up to the
+                            // covered seq, recycling buffers outside the
+                            // lock into each producer's own pool.
+                            let mut covered: Vec<(usize, Arc<Vec<Packet>>)> = Vec::new();
+                            {
+                                let mut rows = fab.shards[shard]
+                                    .backlogs
+                                    .lock()
+                                    .unwrap_or_else(PoisonError::into_inner);
+                                for (p, row) in rows.iter_mut().enumerate() {
+                                    while row.front().is_some_and(|m| m.seq() <= seq) {
+                                        if let Some(Msg::Batch { pkts, .. }) = row.pop_front() {
+                                            covered.push((p, pkts));
+                                        }
+                                    }
+                                }
+                            }
+                            for (p, pkts) in covered {
+                                if let Ok(buf) = Arc::try_unwrap(pkts) {
+                                    fab.pools[p].put(buf);
+                                }
+                            }
+                        }
+                        Err(_) => fab.shards[shard].slot.mark_unsupported(),
+                    }
+                }
+                registry.producers()[cursor].ring_depth[shard].fetch_sub(1, Relaxed);
+                tel.queue_depth.fetch_sub(1, Relaxed);
+                cursor = (cursor + 1) % p_count;
+            }
+            (engine.finish_state(), engine.stats())
+        })
+        .expect("spawn shard worker")
+}
+
+/// One producer's share of the multi-producer ingress plane: a full
+/// route-and-scatter stage (admission, staging buffers, its own batch
+/// pool) that feeds every shard worker through a dedicated SPSC ring.
+///
+/// Handles come from [`ShardedEngine::take_ingress_handles`] and are
+/// `Send` (not `Sync`): move each onto its own ingress thread. Admission
+/// (selection, late check, watermark advance) is handle-local — each
+/// producer admits against its *own* watermark, the honest semantics of
+/// distributed ingress (no producer can observe another's clock; PAPER.md
+/// §VI-B). Workers close buckets at the *min* watermark across producers,
+/// so a tuple admitted by its handle is never late at its worker. For
+/// streams whose disorder stays within the query's slack, every admission
+/// decision is identical to the single-dispatcher engine's.
+///
+/// ## The epoch contract
+///
+/// Each [`ingest`](Self::ingest) call seals one *epoch*: exactly one
+/// message per shard (possibly empty, always carrying the handle's
+/// watermark). For deterministic — bit-identical — results, deal input
+/// chunks to the handles in round-robin order starting at producer 0:
+/// producer `p`'s `k`-th epoch carries the per-shard seq `k·P + p + 1`
+/// (see the determinism rule on the fabric), so round-robin dealing makes
+/// per-shard seqs dense and the apply order unambiguous. The coordinator
+/// mode of [`ShardedEngine`] (handles *not* taken) deals this way
+/// automatically.
+pub struct IngressHandle {
+    producer: usize,
+    query: Query,
+    routing: ShardBy,
+    fab: Arc<FabShared>,
+    /// Per-shard staging buffers, swapped against [`Self::pool`] buffers
+    /// at each seal.
+    staging: Vec<Vec<Packet>>,
+    /// Scratch for the vectorized scatter: pass 1 writes one shard index
+    /// per tuple (`u32::MAX` = rejected), pass 2 scatters by it.
+    shard_of: Vec<u32>,
+    /// This producer's pool (a clone of `fab.pools[producer]`).
+    pool: BatchPool<Packet>,
+    batch_size: usize,
+    /// Epochs sealed so far; the next seal ships seq
+    /// `epochs · P + producer + 1`.
+    epochs: u64,
+    rr: usize,
+    watermark: Micros,
+    /// Closed boundary in timestamp space (`closed_below · bucket_micros`).
+    closed_low: Micros,
+    stats: EngineStats,
+    live: bool,
+    finished: bool,
+}
+
+impl IngressHandle {
+    fn new(
+        producer: usize,
+        query: Query,
+        routing: ShardBy,
+        batch_size: usize,
+        live: bool,
+        fab: &Arc<FabShared>,
+    ) -> Self {
+        let n_shards = fab.shards.len();
+        Self {
+            producer,
+            query,
+            routing,
+            fab: Arc::clone(fab),
+            staging: vec![Vec::new(); n_shards],
+            shard_of: Vec::new(),
+            pool: fab.pools[producer].clone(),
+            batch_size,
+            epochs: 0,
+            rr: 0,
+            watermark: 0,
+            closed_low: 0,
+            stats: EngineStats::default(),
+            live,
+            finished: false,
+        }
+    }
+
+    /// Admits and scatters one chunk, then seals it as one epoch. See the
+    /// epoch contract above for how calls must interleave across handles.
+    pub fn ingest(&mut self, pkts: &[Packet]) -> Result<(), fd_core::Error> {
+        self.ingest_logged(pkts, None)
+    }
+
+    /// [`ingest`](Self::ingest) with an optional WAL hook: the
+    /// coordinator passes its durability writer so each shard's epoch is
+    /// logged *before* it is sent (write-ahead, same ordering as the
+    /// single dispatcher).
+    pub(crate) fn ingest_logged(
+        &mut self,
+        pkts: &[Packet],
+        durable: Option<&mut DurableSink>,
+    ) -> Result<(), fd_core::Error> {
+        self.stage(pkts);
+        self.seal_logged(durable)
+    }
+
+    /// The batch-vectorized scatter. Pass 1 fuses admission (selection,
+    /// late check in timestamp space, watermark advance) with the
+    /// multiply-shift hash fold over the whole slice, writing one shard
+    /// index per tuple into the scratch array; pass 2 is a software
+    /// write-combining sweep that moves tuples into per-shard staging
+    /// with the branchy admission work already out of the way. Admission
+    /// is decision-for-decision the single dispatcher's columnar path
+    /// ([`ShardedEngine::try_process_packets`]), against this handle's
+    /// local watermark.
+    fn stage(&mut self, pkts: &[Packet]) {
+        const REJECT: u32 = u32::MAX;
+        let bm = self.query.bucket_micros;
+        let slack = self.query.slack_micros;
+        let n_shards = self.staging.len();
+        let mut wm = self.watermark;
+        let mut closed_low = self.closed_low;
+        let mut filtered = 0u64;
+        let mut late = 0u64;
+        self.shard_of.clear();
+        self.shard_of.reserve(pkts.len());
+        for pkt in pkts {
+            let idx = if self.query.filter.as_ref().is_some_and(|f| !f(pkt)) {
+                filtered += 1;
+                REJECT
+            } else if pkt.ts < closed_low {
+                late += 1;
+                REJECT
+            } else {
+                wm = wm.max(pkt.ts);
+                let horizon = wm.saturating_sub(slack);
+                if horizon >= closed_low.saturating_add(bm) {
+                    closed_low = (horizon / bm) * bm;
+                }
+                let key = (self.query.group_by)(pkt);
+                (match self.routing {
+                    ShardBy::Key => route_key(key, n_shards),
+                    ShardBy::RoundRobin => {
+                        let s = self.rr;
+                        self.rr = (self.rr + 1) % n_shards;
+                        s
+                    }
+                }) as u32
+            };
+            self.shard_of.push(idx);
+        }
+        for (pkt, &s) in pkts.iter().zip(&self.shard_of) {
+            if s != REJECT {
+                self.staging[s as usize].push(*pkt);
+            }
+        }
+        self.stats.tuples_in += pkts.len() as u64;
+        self.stats.filtered += filtered;
+        self.stats.late_drops += late;
+        self.watermark = wm;
+        self.closed_low = closed_low;
+        if self.live {
+            self.mirror_admission();
+        }
+    }
+
+    /// Advances this handle's watermark as an explicit punctuation would:
+    /// the next sealed epoch carries it to every shard (the fabric ships
+    /// no separate punctuation messages).
+    pub fn punctuate(&mut self, ts: Micros) {
+        self.watermark = self.watermark.max(ts);
+        let bm = self.query.bucket_micros;
+        let target = (self.watermark.saturating_sub(self.query.slack_micros) / bm) * bm;
+        self.closed_low = self.closed_low.max(target);
+        if self.live {
+            self.mirror_admission();
+        }
+    }
+
+    /// Seals the staged tuples as one epoch: exactly one sequence-stamped
+    /// message per shard (empty shards included — every shard must see
+    /// every seq), carrying the handle's watermark.
+    pub fn seal_epoch(&mut self) -> Result<(), fd_core::Error> {
+        self.seal_logged(None)
+    }
+
+    fn seal_logged(&mut self, mut durable: Option<&mut DurableSink>) -> Result<(), fd_core::Error> {
+        let p_count = self.fab.producers;
+        let seq = self.epochs * p_count as u64 + self.producer as u64 + 1;
+        self.epochs += 1;
+        let wm = self.watermark;
+        for shard in 0..self.staging.len() {
+            let pkts = if self.staging[shard].is_empty() {
+                // Nothing staged: ship the bare epoch marker without
+                // churning a pooled buffer through the ring.
+                Arc::new(Vec::new())
+            } else {
+                Arc::new(std::mem::replace(
+                    &mut self.staging[shard],
+                    self.pool.take(self.batch_size),
+                ))
+            };
+            if let Some(d) = durable.as_deref_mut() {
+                d.batch(shard, seq, &pkts, wm);
+            }
+            let msg = Msg::Batch {
+                seq,
+                pkts,
+                wm,
+                sent: Instant::now(),
+            };
+            self.fab.send(shard, self.producer, msg)?;
+        }
+        if self.live {
+            let t = &self.fab.telemetry.producers()[self.producer];
+            t.epochs_sent.store(self.epochs, Relaxed);
+            t.pool_reuses.store(self.pool.reuses(), Relaxed);
+            t.pool_allocs.store(self.pool.allocs(), Relaxed);
+        }
+        Ok(())
+    }
+
+    /// Single-writer mirrors of this producer's admission counters.
+    fn mirror_admission(&self) {
+        let t = &self.fab.telemetry.producers()[self.producer];
+        t.tuples_in.store(self.stats.tuples_in, Relaxed);
+        t.filtered.store(self.stats.filtered, Relaxed);
+        t.late_drops.store(self.stats.late_drops, Relaxed);
+        t.watermark_us.store(self.watermark, Relaxed);
+    }
+
+    /// This handle's admission counters so far.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// Ends this producer's stream: seals any staged remainder as a final
+    /// epoch, closes its rings (removing the producer from every worker's
+    /// rotation and from the frontier min), and records its stats for
+    /// [`ShardedEngine::finish`] to fold.
+    pub fn finish(mut self) -> EngineStats {
+        if self.staging.iter().any(|s| !s.is_empty()) {
+            // Only unsupervised worker loss can error here; the panic is
+            // surfaced (counted, logged) by the engine's finish/join.
+            let _ = self.seal_logged(None);
+        }
+        self.close();
+        self.stats
+    }
+
+    /// Marks the producer finished on every shard and drops its senders.
+    /// Runs under each shard's recovery lock so a concurrent respawn
+    /// can't re-install a fresh sender afterwards (which would leave the
+    /// new worker waiting forever on a ring nobody closes).
+    fn close(&mut self) {
+        if self.finished {
+            return;
+        }
+        self.finished = true;
+        for sh in &self.fab.shards {
+            let mut inner = sh.inner.lock().unwrap_or_else(PoisonError::into_inner);
+            inner.finished[self.producer] = true;
+            *sh.senders[self.producer]
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner) = None;
+            drop(inner);
+        }
+        let mut out = self
+            .fab
+            .stats_out
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        out[self.producer] = Some(self.stats);
+        drop(out);
+        // Final mirrors are unconditional, so a post-run snapshot agrees
+        // with the folded stats even with live telemetry off.
+        self.mirror_admission();
+        let t = &self.fab.telemetry.producers()[self.producer];
+        t.epochs_sent.store(self.epochs, Relaxed);
+        t.pool_reuses.store(self.pool.reuses(), Relaxed);
+        t.pool_allocs.store(self.pool.allocs(), Relaxed);
+    }
+}
+
+impl Drop for IngressHandle {
+    fn drop(&mut self) {
+        // An abandoned handle must still leave every worker's rotation,
+        // or `finish` would join workers that wait forever on its rings.
+        self.close();
+    }
+}
+
 /// A parallel instance of one continuous query across N worker threads.
 ///
 /// ```
@@ -417,6 +1187,23 @@ pub struct ShardedEngine {
     /// The durability writer, when [`ShardedEngine::try_durable`] opened a
     /// store. `None` = in-memory supervision only (the default).
     durable: Option<DurableSink>,
+    /// The multi-producer ingress fabric, when
+    /// [`try_producers`](Self::try_producers) enabled it. `None` = classic
+    /// single-dispatcher mode (everything below `seats`/`senders` etc.).
+    fabric: Option<Arc<FabShared>>,
+    /// Coordinator-mode ingress handles; emptied by
+    /// [`take_ingress_handles`](Self::take_ingress_handles).
+    fab_handles: Vec<IngressHandle>,
+    /// Next handle to deal a chunk to (coordinator mode).
+    fab_cursor: usize,
+    /// Epochs dealt so far (coordinator mode). Dealing round-robin from
+    /// producer 0, epoch `i` (0-based) carries seq `i + 1` — so this is
+    /// also the highest per-shard seq assigned, which durable commits
+    /// record as `hi`.
+    fab_epochs: u64,
+    /// Per-tuple staging for coordinator mode, dealt as an epoch every
+    /// `batch_size` tuples.
+    fab_chunk: Vec<Packet>,
     /// Cached `telemetry.enabled()` so the per-tuple hot path tests a
     /// plain bool instead of an atomic.
     live: bool,
@@ -491,6 +1278,11 @@ impl ShardedEngine {
             max_restarts: DEFAULT_MAX_RESTARTS,
             fault,
             durable: None,
+            fabric: None,
+            fab_handles: Vec::new(),
+            fab_cursor: 0,
+            fab_epochs: 0,
+            fab_chunk: Vec::new(),
             live: true,
             done: false,
         };
@@ -509,8 +1301,6 @@ impl ShardedEngine {
             0 => 0,
             every => ((every / self.batch_size as u64) + 2).min(512) as usize,
         };
-        let bound = self.n_shards() * (CHANNEL_DEPTH + 1 + window);
-        self.pool.set_max_pooled(bound);
         // Fault the working set in now, off the dispatch path. First use of
         // a cold batch buffer otherwise charges the dispatcher a page fault
         // per 4 KB of batch, and supervision's backlog roughly doubles how
@@ -526,7 +1316,24 @@ impl ShardedEngine {
             len: 0,
             proto: Proto::Tcp,
         };
-        self.pool.prewarm(bound.min(512), self.batch_size, blank);
+        if let Some(fab) = &self.fabric {
+            // Pool sharding: each producer owns a pool sized for its share
+            // of the fabric working set — per shard, a full ring plus one
+            // staging buffer plus (supervised) one checkpoint window of
+            // backlog. Total pooled capacity therefore scales with
+            // `producers × shards`; a single-producer-sized pool would
+            // drop most trimmed buffers and collapse the recycling
+            // hit-rate under the fabric.
+            let bound = self.n_shards() * (FABRIC_RING_DEPTH + 1 + window);
+            for pool in &fab.pools {
+                pool.set_max_pooled(bound);
+                pool.prewarm(bound.min(256), self.batch_size, blank);
+            }
+        } else {
+            let bound = self.n_shards() * (CHANNEL_DEPTH + 1 + window);
+            self.pool.set_max_pooled(bound);
+            self.pool.prewarm(bound.min(512), self.batch_size, blank);
+        }
     }
 
     /// Sets the routing policy (default [`ShardBy::Key`]). Must be called
@@ -534,6 +1341,9 @@ impl ShardedEngine {
     pub fn routing(mut self, routing: ShardBy) -> Self {
         assert_eq!(self.stats.tuples_in, 0, "set routing before processing");
         self.routing = routing;
+        for h in &mut self.fab_handles {
+            h.routing = routing;
+        }
         self
     }
 
@@ -558,6 +1368,9 @@ impl ShardedEngine {
         }
         assert_eq!(self.stats.tuples_in, 0, "set batch size before processing");
         self.batch_size = n;
+        for h in &mut self.fab_handles {
+            h.batch_size = n;
+        }
         self.retune_pool();
         Ok(self)
     }
@@ -588,6 +1401,10 @@ impl ShardedEngine {
             self.stats.tuples_in, 0,
             "set restart budget before processing"
         );
+        assert!(
+            self.fabric.is_none(),
+            "set the restart budget before try_producers"
+        );
         self.max_restarts = n;
         self
     }
@@ -607,6 +1424,143 @@ impl ShardedEngine {
         *self.fault.lock().unwrap_or_else(PoisonError::into_inner) =
             Some(Arc::new(FaultState::new(plan)));
         self
+    }
+
+    /// Replaces the single-dispatcher funnel with the multi-producer
+    /// ingress fabric: `P` ingress handles, each owning a full
+    /// route-and-scatter stage, feeding every shard worker through
+    /// dedicated per-(producer, shard) SPSC rings. Results stay
+    /// deterministic — and bit-identical to the single dispatcher for
+    /// keyed routing of within-slack streams — as long as chunks are
+    /// dealt to the handles round-robin (which the engine's own feed
+    /// methods do automatically; see [`IngressHandle`] for the contract
+    /// when feeding the handles from your own threads via
+    /// [`take_ingress_handles`](Self::take_ingress_handles)).
+    ///
+    /// Call after routing/batching/supervision tuning and *before*
+    /// [`try_durable`](Self::try_durable). `try_producers(1)` is a valid
+    /// (single-producer) fabric, mostly useful for testing; the default
+    /// engine keeps the classic dispatcher instead. Reports an error on
+    /// zero producers.
+    pub fn try_producers(mut self, producers: usize) -> Result<Self, fd_core::Error> {
+        assert_eq!(self.stats.tuples_in, 0, "set producers before processing");
+        assert!(
+            self.durable.is_none(),
+            "call try_producers before try_durable"
+        );
+        assert!(self.fabric.is_none(), "producers already set");
+        if producers == 0 {
+            return Err(fd_core::Error::InvalidParameter {
+                name: "producers",
+                value: 0.0,
+                requirement: "at least one ingress producer",
+            });
+        }
+        let n = self.n_shards();
+        // Retire the single-dispatcher workers spawned by try_new: they
+        // have seen nothing, so their drained state is empty.
+        for shard in 0..n {
+            self.senders[shard] = None;
+            if let Some(handle) = self.workers[shard].take() {
+                let _ = handle.join();
+            }
+            self.seats[shard].early_exit = None;
+        }
+        // A fresh registry with per-producer slots (try_new's had none);
+        // the retired workers held the only other references.
+        self.telemetry = Arc::new(EngineTelemetry::with_producers(n, producers));
+        self.telemetry.set_enabled(self.live);
+        let shards = (0..n)
+            .map(|_| FabShard {
+                backlogs: Mutex::new((0..producers).map(|_| VecDeque::new()).collect()),
+                slot: Arc::new(CheckpointSlot::default()),
+                senders: (0..producers).map(|_| Mutex::new(None)).collect(),
+                inner: Mutex::new(FabInner {
+                    worker: None,
+                    restarts: 0,
+                    generation: 0,
+                    finished: vec![false; producers],
+                    early_exit: None,
+                }),
+                degraded: AtomicBool::new(false),
+            })
+            .collect();
+        let fab = Arc::new(FabShared {
+            producers,
+            shards,
+            telemetry: Arc::clone(&self.telemetry),
+            config: Arc::clone(&self.config),
+            fault: Arc::clone(&self.fault),
+            worker_query: self.worker_query.clone(),
+            pools: (0..producers).map(|_| BatchPool::new(0)).collect(),
+            max_restarts: self.max_restarts,
+            stats_out: Mutex::new(vec![None; producers]),
+        });
+        self.fabric = Some(Arc::clone(&fab));
+        self.retune_pool();
+        let (senders, receivers) = ring_fabric::<Msg>(producers, n, FABRIC_RING_DEPTH);
+        for (shard, rxs) in receivers.into_iter().enumerate() {
+            let mut engine = Engine::new(self.worker_query.clone());
+            engine.keep_closed_state();
+            let worker = spawn_fabric_worker(shard, engine, rxs, Arc::clone(&fab), 0);
+            fab.shards[shard]
+                .inner
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .worker = Some(worker);
+        }
+        for (p, row) in senders.into_iter().enumerate() {
+            for (shard, tx) in row.into_iter().enumerate() {
+                *fab.shards[shard].senders[p]
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner) = Some(tx);
+            }
+        }
+        self.fab_handles = (0..producers)
+            .map(|p| {
+                IngressHandle::new(
+                    p,
+                    self.query.clone(),
+                    self.routing,
+                    self.batch_size,
+                    self.live,
+                    &fab,
+                )
+            })
+            .collect();
+        Ok(self)
+    }
+
+    /// Detaches the fabric's ingress handles for genuinely parallel
+    /// feeding: move each onto its own thread and deal input chunks to
+    /// the handles round-robin from producer 0 (the determinism
+    /// contract). Once taken, the engine's own feed methods must no
+    /// longer be used; after every handle has finished (or been dropped),
+    /// call [`finish`](Self::finish) to join the workers and merge.
+    ///
+    /// # Panics
+    /// If the fabric is not enabled, the handles were already taken, or a
+    /// durable store is attached — durable runs require coordinator mode,
+    /// where the engine deals epochs itself and write-ahead-logs them.
+    pub fn take_ingress_handles(&mut self) -> Vec<IngressHandle> {
+        assert!(
+            self.fabric.is_some(),
+            "enable the fabric with try_producers first"
+        );
+        assert!(
+            self.durable.is_none(),
+            "durable runs use coordinator mode; feed the engine directly"
+        );
+        assert!(
+            !self.fab_handles.is_empty(),
+            "ingress handles already taken"
+        );
+        std::mem::take(&mut self.fab_handles)
+    }
+
+    /// Number of ingress producers (1 in single-dispatcher mode).
+    pub fn n_producers(&self) -> usize {
+        self.fabric.as_ref().map_or(1, |f| f.producers)
     }
 
     /// Opens (or recovers) a durable store under `dir` and attaches the
@@ -658,7 +1612,19 @@ impl ShardedEngine {
         let recovered = recover(&io, dir, self.n_shards())?;
         let mut replayed_batches = 0u64;
         let mut replayed_tuples = 0u64;
-        if recovered.resumed {
+        if recovered.resumed && self.fabric.is_some() {
+            self.resume_fabric(&recovered, &mut replayed_batches, &mut replayed_tuples)?;
+        } else if recovered.resumed {
+            if !recovered.commit.producers.is_empty() {
+                return Err(fd_core::Error::Durability {
+                    detail: format!(
+                        "store was written by a {}-producer ingress fabric; \
+                         enable try_producers({}) before try_durable to resume it",
+                        recovered.commit.producers.len(),
+                        recovered.commit.producers.len()
+                    ),
+                });
+            }
             for shard in 0..self.n_shards() {
                 // Retire the fresh worker spawned by try_new: it has seen
                 // nothing, so its drained state is empty and discardable.
@@ -682,12 +1648,13 @@ impl ShardedEngine {
                     log.clear();
                     for rec in &recovered.replay[shard] {
                         match rec {
-                            ReplayMsg::Batch { seq, pkts } => {
+                            ReplayMsg::Batch { seq, wm, pkts } => {
                                 replayed_batches += 1;
                                 replayed_tuples += pkts.len() as u64;
                                 log.push_back(Msg::Batch {
                                     seq: *seq,
                                     pkts: Arc::new(pkts.clone()),
+                                    wm: *wm,
                                     sent: Instant::now(),
                                 });
                             }
@@ -728,8 +1695,16 @@ impl ShardedEngine {
             truncated_records: recovered.truncated,
             resumed: recovered.resumed,
         };
-        let slots: Vec<Arc<CheckpointSlot>> =
-            self.seats.iter().map(|s| Arc::clone(&s.slot)).collect();
+        let (slots, recycle): (Vec<Arc<CheckpointSlot>>, BatchPool<Packet>) = match &self.fabric {
+            Some(fab) => (
+                fab.shards.iter().map(|s| Arc::clone(&s.slot)).collect(),
+                fab.pools[0].clone(),
+            ),
+            None => (
+                self.seats.iter().map(|s| Arc::clone(&s.slot)).collect(),
+                self.pool.clone(),
+            ),
+        };
         let sink = DurableSink::spawn(
             dir,
             &io,
@@ -738,10 +1713,110 @@ impl ShardedEngine {
             &recovered,
             slots,
             Arc::clone(&self.telemetry),
-            self.pool.clone(),
+            recycle,
         )?;
         self.durable = Some(sink);
         Ok((self, report))
+    }
+
+    /// Fabric-mode resume: restore each shard worker from its on-disk
+    /// checkpoint, preload the WAL tail into the per-producer backlog rows
+    /// (routed by `(seq − 1) mod P`), replay it through the fresh rings,
+    /// and restore every ingress handle's admission state from its commit
+    /// block. The coordinator's dealing rotation resumes at epoch
+    /// `hi mod P`, so the re-fed input reproduces the original epoch/seq
+    /// assignment exactly.
+    fn resume_fabric(
+        &mut self,
+        recovered: &crate::durability::Recovered,
+        replayed_batches: &mut u64,
+        replayed_tuples: &mut u64,
+    ) -> Result<(), fd_core::Error> {
+        let fab = Arc::clone(self.fabric.as_ref().expect("fabric mode"));
+        let p_count = fab.producers;
+        let commit = &recovered.commit;
+        if commit.producers.len() != p_count {
+            return Err(fd_core::Error::Durability {
+                detail: format!(
+                    "store was written with {} producers, engine configured with {p_count}; \
+                     the epoch interleaving is producer-count-specific",
+                    commit.producers.len()
+                ),
+            });
+        }
+        for shard in 0..self.n_shards() {
+            let sh = &fab.shards[shard];
+            // Retire the fresh worker spawned by try_producers: it has
+            // seen nothing, so its drained state is empty and discardable.
+            {
+                for slot in &sh.senders {
+                    *slot.lock().unwrap_or_else(PoisonError::into_inner) = None;
+                }
+                let mut inner = sh.inner.lock().unwrap_or_else(PoisonError::into_inner);
+                if let Some(handle) = inner.worker.take() {
+                    let _ = handle.join();
+                }
+                inner.early_exit = None;
+            }
+            if let Some((seq, bytes)) = &recovered.ckpts[shard] {
+                let _ = sh.slot.store(*seq, bytes.clone());
+            }
+            {
+                let mut rows = sh.backlogs.lock().unwrap_or_else(PoisonError::into_inner);
+                for row in rows.iter_mut() {
+                    row.clear();
+                }
+                for rec in &recovered.replay[shard] {
+                    match rec {
+                        ReplayMsg::Batch { seq, wm, pkts } => {
+                            *replayed_batches += 1;
+                            *replayed_tuples += pkts.len() as u64;
+                            rows[((seq - 1) % p_count as u64) as usize].push_back(Msg::Batch {
+                                seq: *seq,
+                                pkts: Arc::new(pkts.clone()),
+                                wm: *wm,
+                                sent: Instant::now(),
+                            });
+                        }
+                        ReplayMsg::Punct { .. } => {
+                            return Err(fd_core::Error::Durability {
+                                detail: format!(
+                                    "shard {shard} WAL holds a punctuation record, which the \
+                                     fabric never writes; the store is not a fabric store"
+                                ),
+                            });
+                        }
+                    }
+                }
+            }
+            let ok = {
+                let mut inner = sh.inner.lock().unwrap_or_else(PoisonError::into_inner);
+                fab.respawn_locked(shard, &mut inner)
+            };
+            if !ok {
+                return Err(fd_core::Error::Durability {
+                    detail: format!("shard {shard} worker died replaying the WAL tail"),
+                });
+            }
+        }
+        // Restore each handle's admission state, so the re-fed input meets
+        // the exact decisions (and seq assignments) of the first run.
+        let bm = self.query.bucket_micros;
+        let n_shards = self.n_shards();
+        for (p, block) in commit.producers.iter().enumerate() {
+            let h = &mut self.fab_handles[p];
+            h.watermark = block.watermark;
+            h.closed_low = block.closed_below.saturating_mul(bm);
+            h.rr = (block.rr as usize) % n_shards;
+            h.epochs = block.epochs;
+            h.stats.tuples_in = block.tuples_in;
+            h.stats.filtered = block.filtered;
+            h.stats.late_drops = block.late_drops;
+        }
+        self.fab_epochs = commit.hi.first().copied().unwrap_or(0);
+        self.fab_cursor = (self.fab_epochs % p_count as u64) as usize;
+        self.watermark = commit.watermark;
+        Ok(())
     }
 
     /// Declares the stream durable up to `position` (a caller-defined
@@ -752,6 +1827,47 @@ impl ShardedEngine {
     /// position. A no-op without an attached store, or once degraded.
     pub fn durable_commit(&mut self, position: u64) -> Result<(), fd_core::Error> {
         if self.durable.is_none() {
+            return Ok(());
+        }
+        if self.fabric.is_some() {
+            // A commit covers whole epochs: deal the per-tuple remainder
+            // first so every admitted tuple below `position` is sealed and
+            // WAL-logged before the commit record that covers it.
+            self.flush_fab_chunk()?;
+            let bm = self.query.bucket_micros;
+            let producers: Vec<ProducerCommit> = self
+                .fab_handles
+                .iter()
+                .map(|h| ProducerCommit {
+                    watermark: h.watermark,
+                    closed_below: h.closed_low / bm,
+                    rr: h.rr as u64,
+                    epochs: h.epochs,
+                    tuples_in: h.stats.tuples_in,
+                    filtered: h.stats.filtered,
+                    late_drops: h.stats.late_drops,
+                })
+                .collect();
+            assert!(
+                !producers.is_empty(),
+                "durable fabric runs use coordinator mode; handles must not be taken"
+            );
+            // The legacy scalar fields carry aggregates; recovery restores
+            // the handles from the per-producer blocks.
+            let c = CommitState {
+                position,
+                watermark: producers.iter().map(|p| p.watermark).max().unwrap_or(0),
+                closed_below: producers.iter().map(|p| p.closed_below).min().unwrap_or(0),
+                rr: self.fab_cursor as u64,
+                tuples_in: producers.iter().map(|p| p.tuples_in).sum(),
+                filtered: producers.iter().map(|p| p.filtered).sum(),
+                late_drops: producers.iter().map(|p| p.late_drops).sum(),
+                hi: vec![self.fab_epochs; self.n_shards()],
+                producers,
+            };
+            if let Some(d) = self.durable.as_mut() {
+                d.commit(c);
+            }
             return Ok(());
         }
         // Every *staged* tuple below `position` must reach its shard (and
@@ -775,6 +1891,7 @@ impl ShardedEngine {
             filtered: self.stats.filtered,
             late_drops: self.stats.late_drops,
             hi,
+            producers: Vec::new(),
         };
         if let Some(d) = self.durable.as_mut() {
             d.commit(c);
@@ -804,6 +1921,9 @@ impl ShardedEngine {
         assert_eq!(self.stats.tuples_in, 0, "set telemetry before processing");
         self.live = on;
         self.telemetry.set_enabled(on);
+        for h in &mut self.fab_handles {
+            h.live = on;
+        }
         self
     }
 
@@ -831,15 +1951,7 @@ impl ShardedEngine {
 
     fn route(&mut self, key: u64) -> usize {
         match self.routing {
-            // Fibonacci hash: multiply by 2⁶⁴/φ, then map to a shard by
-            // folding the HIGH bits (multiply-shift). `h % n` would read
-            // the low bits, which stay skewed for power-of-two-strided
-            // keys; the high bits are well mixed for dense and strided
-            // keys alike (pinned by `key_routing_spreads_within_bound`).
-            ShardBy::Key => {
-                let h = key.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-                ((u128::from(h) * self.n_shards() as u128) >> 64) as usize
-            }
+            ShardBy::Key => route_key(key, self.n_shards()),
             ShardBy::RoundRobin => {
                 let s = self.rr;
                 self.rr = (self.rr + 1) % self.n_shards();
@@ -865,6 +1977,15 @@ impl ShardedEngine {
     /// of panicking when an unsupervised worker has died.
     pub fn try_process(&mut self, pkt: &Packet) -> Result<(), fd_core::Error> {
         debug_assert!(!self.done, "process after finish");
+        if self.fabric.is_some() {
+            // Coordinator mode: buffer into batch_size chunks, dealt to
+            // the handles as whole epochs.
+            self.fab_chunk.push(*pkt);
+            if self.fab_chunk.len() >= self.batch_size {
+                self.flush_fab_chunk()?;
+            }
+            return Ok(());
+        }
         self.stats.tuples_in += 1;
         // Admission counters have a single writer (this thread), so the
         // live mirror is a relaxed store of the local count — no RMW.
@@ -946,6 +2067,12 @@ impl ShardedEngine {
         if pkts.is_empty() {
             return Ok(());
         }
+        if self.fabric.is_some() {
+            // Flush any per-tuple staging first, preserving stream order,
+            // then deal this chunk as the next epoch.
+            self.flush_fab_chunk()?;
+            return self.deal_epoch(pkts);
+        }
         let bm = self.query.bucket_micros;
         let slack = self.query.slack_micros;
         let mut wm = self.watermark;
@@ -1018,6 +2145,16 @@ impl ShardedEngine {
                 .dispatcher_watermark
                 .store(self.watermark, Relaxed);
         }
+        if self.fabric.is_some() {
+            // A punctuation is an admission-state event: it advances every
+            // handle's watermark, and the *next* sealed epoch carries it
+            // to the workers (the fabric ships no punctuation messages).
+            self.flush_fab_chunk()?;
+            for h in &mut self.fab_handles {
+                h.punctuate(ts);
+            }
+            return Ok(());
+        }
         let target =
             self.watermark.saturating_sub(self.query.slack_micros) / self.query.bucket_micros;
         self.closed_below = self.closed_below.max(target);
@@ -1069,6 +2206,9 @@ impl ShardedEngine {
     /// Flushes staged tuples and broadcasts the current global watermark
     /// to all shards.
     fn sync_watermark(&mut self) -> Result<(), fd_core::Error> {
+        if self.fabric.is_some() {
+            return self.flush_fab_chunk();
+        }
         for shard in 0..self.n_shards() {
             if !self.pending[shard].is_empty() {
                 self.flush_shard(shard)?;
@@ -1081,6 +2221,34 @@ impl ShardedEngine {
             }
         }
         Ok(())
+    }
+
+    /// Coordinator mode: deals one chunk to the next handle in rotation,
+    /// sealing exactly one epoch — the determinism contract of the
+    /// fabric. Epoch `i` (0-based) goes to handle `i mod P` and carries
+    /// per-shard seq `i + 1`.
+    fn deal_epoch(&mut self, pkts: &[Packet]) -> Result<(), fd_core::Error> {
+        assert!(
+            !self.fab_handles.is_empty(),
+            "ingress handles were taken; feed them directly"
+        );
+        let p = self.fab_cursor;
+        self.fab_cursor = (self.fab_cursor + 1) % self.fab_handles.len();
+        self.fab_epochs += 1;
+        self.fab_handles[p].ingest_logged(pkts, self.durable.as_mut())
+    }
+
+    /// Deals the per-tuple staging buffer as an epoch, if it holds
+    /// anything.
+    fn flush_fab_chunk(&mut self) -> Result<(), fd_core::Error> {
+        if self.fab_chunk.is_empty() {
+            return Ok(());
+        }
+        let chunk = std::mem::take(&mut self.fab_chunk);
+        let result = self.deal_epoch(&chunk);
+        self.fab_chunk = chunk;
+        self.fab_chunk.clear();
+        result
     }
 
     fn next_seq(&mut self, shard: usize) -> u64 {
@@ -1103,6 +2271,7 @@ impl ShardedEngine {
         let msg = Msg::Batch {
             seq,
             pkts: Arc::new(pkts),
+            wm: 0,
             sent: Instant::now(),
         };
         // Queue depth is the one genuinely two-writer gauge (incremented
@@ -1149,7 +2318,7 @@ impl ShardedEngine {
         // batches it covers.
         if let Some(d) = self.durable.as_mut() {
             match &msg {
-                Msg::Batch { seq, pkts, .. } => d.batch(shard, *seq, pkts),
+                Msg::Batch { seq, pkts, wm, .. } => d.batch(shard, *seq, pkts, *wm),
                 Msg::Punctuate { seq, wm } => d.punct(shard, *seq, *wm),
             }
         }
@@ -1319,6 +2488,9 @@ impl ShardedEngine {
             return Vec::new();
         }
         self.done = true;
+        if self.fabric.is_some() {
+            return self.finish_fabric();
+        }
         // Flush staged batches and broadcast the final watermark, so every
         // worker's applied-watermark gauge catches up to the dispatcher
         // (post-run watermark lag reads 0, not the un-broadcast remainder).
@@ -1328,23 +2500,12 @@ impl ShardedEngine {
             *tx = None;
         }
         let mut combined: BTreeMap<(u64, u64), Box<dyn Aggregator>> = BTreeMap::new();
-        let fold = |combined: &mut BTreeMap<(u64, u64), Box<dyn Aggregator>>,
-                    closed: Vec<ClosedGroup>| {
-            for cg in closed {
-                match combined.entry((cg.bucket, cg.key)) {
-                    Entry::Occupied(mut e) => e.get_mut().merge_boxed(cg.agg),
-                    Entry::Vacant(e) => {
-                        e.insert(cg.agg);
-                    }
-                }
-            }
-        };
         for shard in 0..self.n_shards() {
             while let Some(handle) = self.workers[shard].take() {
                 match handle.join() {
                     Ok((closed, stats)) => {
                         self.shard_stats[shard] = stats;
-                        fold(&mut combined, closed);
+                        fold_closed(&mut combined, closed);
                         break;
                     }
                     Err(payload) => {
@@ -1369,7 +2530,7 @@ impl ShardedEngine {
             }
             if let Some((closed, stats)) = self.seats[shard].early_exit.take() {
                 self.shard_stats[shard] = stats;
-                fold(&mut combined, closed);
+                fold_closed(&mut combined, closed);
             }
             if self.seats[shard].degraded {
                 // Salvage the degraded shard's last checkpoint: everything
@@ -1378,7 +2539,7 @@ impl ShardedEngine {
                     if let Ok(mut e) = Engine::restore(self.worker_query.clone(), &bytes) {
                         let closed = e.finish_state();
                         self.shard_stats[shard] = e.stats();
-                        fold(&mut combined, closed);
+                        fold_closed(&mut combined, closed);
                     }
                 }
             }
@@ -1389,6 +2550,97 @@ impl ShardedEngine {
         if let Some(d) = self.durable.as_mut() {
             d.finish();
         }
+        self.emit_rows(combined)
+    }
+
+    /// Fabric-mode finish: deal the per-tuple remainder, finish the
+    /// coordinator's handles (parallel callers have already finished or
+    /// dropped theirs), join every shard worker, and merge — applying the
+    /// same dead-worker protocol as the single dispatcher's finish.
+    fn finish_fabric(&mut self) -> Vec<Row> {
+        self.flush_fab_chunk().unwrap_or_else(|e| panic!("{e}"));
+        let fab = Arc::clone(self.fabric.as_ref().expect("fabric mode"));
+        for h in std::mem::take(&mut self.fab_handles) {
+            h.finish();
+        }
+        let mut combined: BTreeMap<(u64, u64), Box<dyn Aggregator>> = BTreeMap::new();
+        for (shard, sh) in fab.shards.iter().enumerate() {
+            loop {
+                let handle = sh
+                    .inner
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .worker
+                    .take();
+                let Some(handle) = handle else { break };
+                match handle.join() {
+                    Ok((closed, stats)) => {
+                        self.shard_stats[shard] = stats;
+                        fold_closed(&mut combined, closed);
+                        break;
+                    }
+                    Err(payload) => {
+                        self.telemetry.worker_panics.fetch_add(1, Relaxed);
+                        eprintln!(
+                            "fd-shard-{shard}: worker panicked: {}",
+                            panic_message(&payload)
+                        );
+                        if !self.supervising() {
+                            break;
+                        }
+                        // Same protocol as mid-stream: bounded respawn
+                        // (the fresh worker replays the backlog tail and
+                        // exits — every producer's ring is already
+                        // closed), else degrade with salvage below.
+                        let mut inner = sh.inner.lock().unwrap_or_else(PoisonError::into_inner);
+                        fab.recover_locked(shard, &mut inner);
+                    }
+                }
+            }
+            let early = sh
+                .inner
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .early_exit
+                .take();
+            if let Some((closed, stats)) = early {
+                self.shard_stats[shard] = stats;
+                fold_closed(&mut combined, closed);
+            }
+            if sh.degraded.load(Relaxed) {
+                if let Some((_seq, bytes)) = sh.slot.load() {
+                    if let Ok(mut e) = Engine::restore(self.worker_query.clone(), &bytes) {
+                        let closed = e.finish_state();
+                        self.shard_stats[shard] = e.stats();
+                        fold_closed(&mut combined, closed);
+                    }
+                }
+            }
+        }
+        if let Some(d) = self.durable.as_mut() {
+            d.finish();
+        }
+        // Fold the producers' admission counters into the engine stats:
+        // the fabric must report the same aggregate counts the single
+        // dispatcher would have.
+        {
+            let out = fab.stats_out.lock().unwrap_or_else(PoisonError::into_inner);
+            for s in out.iter().flatten() {
+                self.stats.tuples_in += s.tuples_in;
+                self.stats.filtered += s.filtered;
+                self.stats.late_drops += s.late_drops;
+            }
+        }
+        for t in self.telemetry.producers() {
+            self.watermark = self.watermark.max(t.watermark_us.load(Relaxed));
+        }
+        self.emit_rows(combined)
+    }
+
+    /// Evaluates the merged `(bucket, key)` states into rows and records
+    /// the final counters unconditionally (even with live telemetry off),
+    /// so a post-run snapshot always agrees exactly with `stats()`.
+    fn emit_rows(&mut self, combined: BTreeMap<(u64, u64), Box<dyn Aggregator>>) -> Vec<Row> {
         let bucket_micros = self.query.bucket_micros;
         let mut last_bucket = None;
         let rows: Vec<Row> = combined
@@ -1406,9 +2658,6 @@ impl ShardedEngine {
             })
             .collect();
         self.stats.rows_out = rows.len() as u64;
-        // Record the final counters unconditionally (even with live
-        // telemetry off) so a post-run snapshot always agrees exactly
-        // with `stats()`.
         self.telemetry
             .tuples_in
             .store(self.stats.tuples_in, Relaxed);
@@ -1446,10 +2695,22 @@ impl ShardedEngine {
     /// Shard-side numbers are folded in by [`ShardedEngine::finish`].
     pub fn stats(&self) -> EngineStats {
         let shards = crate::metrics::combine_shard_stats(&self.shard_stats);
-        EngineStats {
+        let mut stats = EngineStats {
             lfta_evictions: shards.lfta_evictions,
             ..self.stats
+        };
+        if !self.done {
+            // Fabric coordinator mode mid-run: admission lives on the
+            // handles; fold their counters in. (After finish they are
+            // folded into self.stats already; in taken-handles mode the
+            // caller reads the handles' own stats until finish.)
+            for h in &self.fab_handles {
+                stats.tuples_in += h.stats.tuples_in;
+                stats.filtered += h.stats.filtered;
+                stats.late_drops += h.stats.late_drops;
+            }
         }
+        stats
     }
 
     /// Raw per-shard engine counters (populated by
@@ -1477,6 +2738,46 @@ impl Drop for ShardedEngine {
                         panic_message(&payload)
                     );
                 }
+            }
+        }
+        if let Some(fab) = self.fabric.take() {
+            // Dropping the coordinator handles closes their rings
+            // (IngressHandle::drop); close any recovery-installed senders
+            // too, then join the fabric workers.
+            self.fab_handles.clear();
+            for (shard, sh) in fab.shards.iter().enumerate() {
+                for slot in &sh.senders {
+                    *slot.lock().unwrap_or_else(PoisonError::into_inner) = None;
+                }
+                let handle = sh
+                    .inner
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .worker
+                    .take();
+                if let Some(handle) = handle {
+                    if let Err(payload) = handle.join() {
+                        self.telemetry.worker_panics.fetch_add(1, Relaxed);
+                        eprintln!(
+                            "fd-shard-{shard}: worker panicked: {}",
+                            panic_message(&payload)
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Merges closed groups into the combined `(bucket, key)` map, combining
+/// states that met the same group on different shards (or in different
+/// worker incarnations).
+fn fold_closed(combined: &mut BTreeMap<(u64, u64), Box<dyn Aggregator>>, closed: Vec<ClosedGroup>) {
+    for cg in closed {
+        match combined.entry((cg.bucket, cg.key)) {
+            Entry::Occupied(mut e) => e.get_mut().merge_boxed(cg.agg),
+            Entry::Vacant(e) => {
+                e.insert(cg.agg);
             }
         }
     }
@@ -1985,5 +3286,239 @@ mod tests {
             snap.shards.iter().map(|s| s.tuples_processed).sum::<u64>(),
             stats.tuples_in - stats.filtered - stats.late_drops
         );
+    }
+
+    // -- Multi-producer ingress fabric ------------------------------------
+
+    #[test]
+    fn fabric_coordinator_matches_single_threaded() {
+        // The producer-seq determinism rule in action: for every P, the
+        // coordinator deals chunks round-robin and each worker drains
+        // producers in seq order, so keyed-routing rows are bit-identical
+        // to the single-threaded engine.
+        let stream: Vec<Packet> = (0..12_000)
+            .map(|i| pkt(0.01 * i as f64, (i % 97) as u32))
+            .collect();
+        let single = Engine::new(count_query()).run(stream.clone());
+        for producers in [1usize, 2, 3] {
+            let mut e = sharded(count_query(), 4)
+                .batch_size(256)
+                .try_producers(producers)
+                .expect("fabric");
+            let rows = e.run(stream.clone());
+            assert_eq!(single.len(), rows.len(), "P={producers}");
+            for (a, b) in single.iter().zip(&rows) {
+                assert_eq!((a.bucket_start, a.key), (b.bucket_start, b.key));
+                assert_eq!(a.value, b.value, "P={producers} key {}", a.key);
+            }
+            assert_eq!(e.stats().tuples_in, stream.len() as u64);
+            assert_eq!(e.n_producers(), producers);
+        }
+    }
+
+    #[test]
+    fn fabric_round_robin_matches_single_dispatcher() {
+        let stream: Vec<Packet> = (0..8_000)
+            .map(|i| pkt(0.005 * i as f64, (i % 13) as u32))
+            .collect();
+        let single = Engine::new(count_query()).run(stream.clone());
+        let mut e = sharded(count_query(), 4)
+            .routing(ShardBy::RoundRobin)
+            .batch_size(128)
+            .try_producers(2)
+            .expect("fabric");
+        let rows = e.run(stream);
+        assert_eq!(single.len(), rows.len());
+        for (a, b) in single.iter().zip(&rows) {
+            assert_eq!((a.bucket_start, a.key), (b.bucket_start, b.key));
+            assert_eq!(a.value, b.value, "key {}", a.key);
+        }
+    }
+
+    #[test]
+    fn fabric_parallel_handles_match_single_threaded() {
+        // True parallel ingress: P threads each own an IngressHandle and
+        // feed an interleaved slice of the stream. Count aggregation is
+        // order-insensitive within a bucket and the slices stay within
+        // slack of each other, so the rows still match the single-threaded
+        // run exactly.
+        const P: usize = 3;
+        let q = || {
+            Query::builder("par")
+                .group_by(|p| p.dst_host())
+                .bucket_secs(60)
+                .slack_secs(30.0)
+                .aggregate(count_factory())
+                .two_level(true)
+                .lfta_slots(64)
+                .build()
+        };
+        let stream: Vec<Packet> = (0..15_000)
+            .map(|i| pkt(0.01 * i as f64, (i % 53) as u32))
+            .collect();
+        let single = Engine::new(q()).run(stream.clone());
+        let mut e = sharded(q(), 4)
+            .batch_size(128)
+            .try_producers(P)
+            .expect("fabric");
+        let handles = e.take_ingress_handles();
+        let slices: Vec<Vec<Packet>> = (0..P)
+            .map(|p| stream.iter().skip(p).step_by(P).copied().collect())
+            .collect();
+        let joined: Vec<std::thread::JoinHandle<EngineStats>> = handles
+            .into_iter()
+            .zip(slices)
+            .map(|(mut h, slice)| {
+                std::thread::spawn(move || {
+                    for chunk in slice.chunks(256) {
+                        h.ingest(chunk).expect("ingest");
+                    }
+                    h.finish()
+                })
+            })
+            .collect();
+        let mut fed = 0u64;
+        for j in joined {
+            fed += j.join().expect("producer thread").tuples_in;
+        }
+        assert_eq!(fed, stream.len() as u64);
+        let rows = e.finish();
+        assert_eq!(single.len(), rows.len());
+        for (a, b) in single.iter().zip(&rows) {
+            assert_eq!((a.bucket_start, a.key), (b.bucket_start, b.key));
+            assert_eq!(a.value, b.value, "key {}", a.key);
+        }
+        assert_eq!(e.stats().tuples_in, stream.len() as u64);
+    }
+
+    #[test]
+    fn fabric_transient_worker_death_recovers_exactly() {
+        // Same contract as the single-dispatcher supervisor: kill a shard
+        // mid-stream under the fabric and the checkpoint + per-producer
+        // backlog replay restores it bit-identically.
+        let stream: Vec<Packet> = (0..30_000)
+            .map(|i| pkt(0.01 * i as f64, (i % 53) as u32))
+            .collect();
+        let clean = sharded(count_query(), 2).run(stream.clone());
+        let mut e = sharded(count_query(), 2)
+            .batch_size(128)
+            .checkpoint_every(1_000)
+            .inject_fault(FaultPlan::parse("panic:0:5000").expect("plan"))
+            .try_producers(2)
+            .expect("fabric");
+        let rows = e.run(stream);
+        assert_eq!(clean.len(), rows.len());
+        for (a, b) in clean.iter().zip(&rows) {
+            assert_eq!((a.bucket_start, a.key), (b.bucket_start, b.key));
+            assert_eq!(a.value, b.value, "key {}", a.key);
+        }
+        let snap = e.telemetry().snapshot();
+        assert_eq!(snap.restarts, 1, "one respawn");
+        assert_eq!(snap.worker_panics, 1);
+        assert!(snap.replayed_batches > 0, "backlog tail was replayed");
+        assert_eq!(snap.degraded_shards, 0);
+    }
+
+    #[test]
+    fn fabric_pools_recycle_per_producer() {
+        // Satellite: pool capacity scales with producers × shards and the
+        // recycling hit-rate holds up under the fabric — visible through
+        // the per-producer pool telemetry counters.
+        const BATCH: usize = 64;
+        const N: u64 = 10_000;
+        let stream: Vec<Packet> = (0..N)
+            .map(|i| pkt(0.001 * i as f64, (i % 7) as u32))
+            .collect();
+        let mut e = sharded(count_query(), 2)
+            .batch_size(BATCH)
+            .try_producers(2)
+            .expect("fabric");
+        e.run(stream);
+        let snap = e.telemetry().snapshot();
+        assert_eq!(snap.producers.len(), 2);
+        let reuses: u64 = snap.producers.iter().map(|p| p.pool_reuses).sum();
+        let allocs: u64 = snap.producers.iter().map(|p| p.pool_allocs).sum();
+        assert!(
+            reuses > 0,
+            "steady state must recycle buffers (allocs {allocs}, reuses {reuses})"
+        );
+        assert!(
+            allocs < reuses,
+            "most epochs must reuse pooled buffers (allocs {allocs}, reuses {reuses})"
+        );
+        for (p, prod) in snap.producers.iter().enumerate() {
+            assert!(prod.epochs_sent > 0, "producer {p} sealed epochs");
+            for (s, depth) in prod.ring_depth.iter().enumerate() {
+                assert_eq!(*depth, 0, "ring ({p},{s}) drained");
+            }
+        }
+    }
+
+    #[test]
+    fn fabric_admission_matches_scalar_exactly() {
+        // Handle-local admission (filter, late-drop, watermark advance)
+        // must reproduce the dispatcher's columnar path decisions exactly.
+        let q = || {
+            Query::builder("diff")
+                .filter(|p| p.dst_port == 80)
+                .group_by(|p| p.dst_host())
+                .bucket_secs(60)
+                .slack_secs(30.0)
+                .aggregate(count_factory())
+                .build()
+        };
+        let mut stream = Vec::new();
+        for i in 0..20_000u64 {
+            let mut p = pkt(i as f64 * 0.05, (i % 41) as u32);
+            if i % 17 == 0 {
+                p.dst_port = 443; // filtered
+            }
+            if i % 97 == 0 {
+                p.ts = p.ts.saturating_sub(200 * MICROS_PER_SEC); // late
+            }
+            stream.push(p);
+        }
+        let mut scalar = sharded(q(), 3);
+        for p in &stream {
+            scalar.process(p);
+        }
+        let s_rows = scalar.finish();
+        let mut fab = sharded(q(), 3)
+            .batch_size(256)
+            .try_producers(2)
+            .expect("fabric");
+        let f_rows = fab.run(stream);
+        let (ss, fs) = (scalar.stats(), fab.stats());
+        assert_eq!(ss.tuples_in, fs.tuples_in);
+        assert_eq!(ss.filtered, fs.filtered);
+        assert_eq!(ss.late_drops, fs.late_drops);
+        assert_eq!(s_rows.len(), f_rows.len());
+        for (a, b) in s_rows.iter().zip(&f_rows) {
+            assert_eq!((a.bucket_start, a.key), (b.bucket_start, b.key));
+            assert_eq!(a.value, b.value, "key {}", a.key);
+        }
+    }
+
+    #[test]
+    fn try_producers_rejects_zero_and_finish_is_idempotent() {
+        assert!(matches!(
+            sharded(count_query(), 2).try_producers(0),
+            Err(fd_core::Error::InvalidParameter {
+                name: "producers",
+                ..
+            })
+        ));
+        let mut e = sharded(count_query(), 2).try_producers(2).expect("fabric");
+        e.process(&pkt(1.0, 1));
+        assert_eq!(e.finish().len(), 1);
+        assert!(e.finish().is_empty());
+        // Dropping a never-finished fabric engine must not hang or leak.
+        let e2 = sharded(count_query(), 2).try_producers(3).expect("fabric");
+        drop(e2);
+        // Dropping taken handles without finish() must not hang either.
+        let mut e3 = sharded(count_query(), 2).try_producers(2).expect("fabric");
+        let handles = e3.take_ingress_handles();
+        drop(handles);
+        drop(e3);
     }
 }

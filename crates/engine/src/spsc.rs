@@ -23,6 +23,33 @@
 //! Both halves report what they did — [`BatchPool::reuses`] /
 //! [`BatchPool::allocs`] — so tests can pin the zero-allocation claim
 //! instead of trusting it.
+//!
+//! ## The multi-producer ingress fabric
+//!
+//! The ring is nominally SPSC, but because it is a `Mutex<VecDeque>` (not
+//! an atomic index ring) every transition happens under one lock, and the
+//! wakeup elisions stay sound with *several* senders sharing one
+//! [`RingSender`] behind an `Arc`: the receiver parks only after
+//! observing an empty buffer under the lock, so whichever sender's push
+//! makes the buffer non-empty performs the wake; senders park only after
+//! observing a full buffer and register in a waiter count under the same
+//! lock, and every pop that finds a registered waiter wakes one, which
+//! either fills the slot or (channel closed) fails out. (A plain
+//! "pop-from-full wakes one" rule would be enough for a single sender but
+//! strands extra senders when the receiver drains full → empty on one
+//! notify; the waiter count keeps the no-contention fast path free of
+//! syscalls while waking exactly as many senders as pops can feed.) The
+//! WAL writer's command ring uses
+//! exactly this: `P` ingress handles and the coordinator share one
+//! `Arc<RingSender<WalCmd>>`, preserving per-producer FIFO (each handle's
+//! records enter in its own stash order) without a second channel
+//! implementation.
+//!
+//! The per-(producer, shard) data fabric, by contrast, stays strictly
+//! SPSC: [`ring_fabric`] builds the `P × N` grid of dedicated rings the
+//! multi-producer engine scatters into, and [`BatchPool`] is instantiated
+//! per producer (pool sharding) so handles never contend on a shared
+//! free list and total pooled capacity scales with `producers × shards`.
 
 use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
@@ -33,6 +60,11 @@ struct State<T> {
     buf: VecDeque<T>,
     tx_alive: bool,
     rx_alive: bool,
+    /// Senders currently parked (or committed to parking) on `not_full`.
+    /// Maintained under the lock so the receiver knows whether a pop must
+    /// wake anyone — required once several senders share one
+    /// [`RingSender`] behind an `Arc` (see the module docs).
+    tx_waiting: usize,
 }
 
 struct Shared<T> {
@@ -77,6 +109,7 @@ pub fn ring<T>(cap: usize) -> (RingSender<T>, RingReceiver<T>) {
             buf: VecDeque::with_capacity(cap),
             tx_alive: true,
             rx_alive: true,
+            tx_waiting: 0,
         }),
         not_empty: Condvar::new(),
         not_full: Condvar::new(),
@@ -88,6 +121,34 @@ pub fn ring<T>(cap: usize) -> (RingSender<T>, RingReceiver<T>) {
         },
         RingReceiver { shared },
     )
+}
+
+/// Builds the dedicated ring grid of a multi-producer ingress fabric:
+/// one SPSC ring per (producer, shard) pair, each of depth `cap`.
+///
+/// Returned producer-major: `senders[p]` is producer `p`'s sender per
+/// shard (moved into its ingress handle), `receivers[s]` is shard `s`'s
+/// receiver per producer (moved into its worker, drained in fixed
+/// producer order).
+#[allow(clippy::type_complexity)]
+pub fn ring_fabric<T>(
+    producers: usize,
+    shards: usize,
+    cap: usize,
+) -> (Vec<Vec<RingSender<T>>>, Vec<Vec<RingReceiver<T>>>) {
+    assert!(producers > 0 && shards > 0, "fabric needs both dimensions");
+    let mut senders: Vec<Vec<RingSender<T>>> = (0..producers).map(|_| Vec::new()).collect();
+    let mut receivers: Vec<Vec<RingReceiver<T>>> = Vec::with_capacity(shards);
+    for _shard in 0..shards {
+        let mut per_producer = Vec::with_capacity(producers);
+        for tx_row in senders.iter_mut() {
+            let (tx, rx) = ring::<T>(cap);
+            tx_row.push(tx);
+            per_producer.push(rx);
+        }
+        receivers.push(per_producer);
+    }
+    (senders, receivers)
 }
 
 impl<T> RingSender<T> {
@@ -112,11 +173,13 @@ impl<T> RingSender<T> {
                 }
                 return Ok(());
             }
+            st.tx_waiting += 1;
             st = self
                 .shared
                 .not_full
                 .wait(st)
                 .unwrap_or_else(PoisonError::into_inner);
+            st.tx_waiting -= 1;
         }
     }
 }
@@ -135,12 +198,15 @@ impl<T> RingReceiver<T> {
         let mut st = self.shared.lock();
         loop {
             if let Some(msg) = st.buf.pop_front() {
-                // Mirror of the send-side elision: the one sender only
-                // waits after observing a full buffer, so a pop that left
-                // headroom anyway has no waiter to wake.
-                let was_full = st.buf.len() + 1 == self.shared.cap;
+                // Mirror of the send-side elision: senders only wait after
+                // observing a full buffer, registering in `tx_waiting`
+                // under this lock, so a pop with no registered waiter has
+                // nobody to wake. (Checking "was the buffer full" instead
+                // would strand all but one of several Arc-shared senders
+                // when the receiver drains full → empty on one notify.)
+                let wake = st.tx_waiting > 0;
                 drop(st);
-                if was_full {
+                if wake {
                     self.shared.not_full.notify_one();
                 }
                 return Some(msg);
@@ -364,6 +430,53 @@ mod tests {
         std::thread::sleep(std::time::Duration::from_millis(20));
         drop(rx);
         assert_eq!(producer.join().unwrap(), Err(2));
+    }
+
+    #[test]
+    fn shared_sender_supports_multiple_producers() {
+        // The WAL command ring is shared by P ingress handles through one
+        // Arc'd sender; every message must arrive exactly once and
+        // per-producer order must be preserved.
+        use std::sync::Arc;
+        let (tx, rx) = ring::<(usize, u32)>(4);
+        let tx = Arc::new(tx);
+        let producers: Vec<_> = (0..3)
+            .map(|p| {
+                let tx = Arc::clone(&tx);
+                std::thread::spawn(move || {
+                    for i in 0..100u32 {
+                        tx.send((p, i)).unwrap();
+                    }
+                })
+            })
+            .collect();
+        drop(tx);
+        let mut next = [0u32; 3];
+        let mut total = 0;
+        while let Some((p, i)) = rx.recv() {
+            assert_eq!(i, next[p], "producer {p} out of order");
+            next[p] += 1;
+            total += 1;
+        }
+        for h in producers {
+            h.join().unwrap();
+        }
+        assert_eq!(total, 300);
+    }
+
+    #[test]
+    fn ring_fabric_builds_dedicated_lanes() {
+        let (senders, receivers) = ring_fabric::<u32>(2, 3, 4);
+        assert_eq!((senders.len(), receivers.len()), (2, 3));
+        // Producer 1 → shard 2 must arrive only on shard 2's lane 1.
+        senders[1][2].send(42).unwrap();
+        assert_eq!(receivers[2][1].recv(), Some(42));
+        drop(senders);
+        for row in &receivers {
+            for rx in row {
+                assert_eq!(rx.recv(), None, "all lanes closed");
+            }
+        }
     }
 
     #[test]

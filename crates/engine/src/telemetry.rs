@@ -168,6 +168,45 @@ pub struct ShardTelemetry {
     pub dispatch_lag_ns: LogHistogram,
 }
 
+/// Live counters and gauges for one ingress producer of a multi-producer
+/// fabric run and its per-shard rings.
+///
+/// Writer discipline mirrors [`ShardTelemetry`]: each `ring_depth[s]`
+/// gauge is the only two-writer field (the producer's handle increments
+/// on send, the shard worker decrements on apply — both per epoch
+/// message); everything else is written only by the owning ingress
+/// handle, so the live mirrors are relaxed stores of handle-local counts.
+#[derive(Debug, Default)]
+pub struct ProducerTelemetry {
+    /// Tuples offered to this producer's ingress handle.
+    pub tuples_in: AtomicU64,
+    /// Tuples this handle's selection filter rejected.
+    pub filtered: AtomicU64,
+    /// Tuples this handle dropped as late against its local boundary.
+    pub late_drops: AtomicU64,
+    /// The handle's local admission watermark, µs.
+    pub watermark_us: AtomicU64,
+    /// Epochs sealed (each ships one message per shard).
+    pub epochs_sent: AtomicU64,
+    /// This producer's batch-pool recycles (mirror of its
+    /// [`BatchPool::reuses`](crate::spsc::BatchPool::reuses)).
+    pub pool_reuses: AtomicU64,
+    /// This producer's batch-pool cold allocations (mirror of its
+    /// [`BatchPool::allocs`](crate::spsc::BatchPool::allocs)).
+    pub pool_allocs: AtomicU64,
+    /// Messages in flight on this producer's ring to each shard.
+    pub ring_depth: Vec<AtomicU64>,
+}
+
+impl ProducerTelemetry {
+    fn new(n_shards: usize) -> Self {
+        Self {
+            ring_depth: (0..n_shards).map(|_| AtomicU64::new(0)).collect(),
+            ..Self::default()
+        }
+    }
+}
+
 /// The shared metrics registry of a sharded engine run.
 ///
 /// One instance lives behind an `Arc` held by the dispatcher
@@ -235,11 +274,20 @@ pub struct EngineTelemetry {
     pub durability_degraded: AtomicU64,
     enabled: AtomicBool,
     shards: Vec<ShardTelemetry>,
+    producers: Vec<ProducerTelemetry>,
 }
 
 impl EngineTelemetry {
     /// A zeroed registry for `n_shards` shards, with live updates enabled.
     pub fn new(n_shards: usize) -> Self {
+        Self::with_producers(n_shards, 0)
+    }
+
+    /// A zeroed registry for `n_shards` shards and `n_producers` fabric
+    /// ingress handles. `new(n)` is `with_producers(n, 0)`: a run without
+    /// the multi-producer fabric has no producer section and renders
+    /// exactly as before.
+    pub fn with_producers(n_shards: usize, n_producers: usize) -> Self {
         Self {
             tuples_in: AtomicU64::new(0),
             filtered: AtomicU64::new(0),
@@ -262,6 +310,9 @@ impl EngineTelemetry {
             durability_degraded: AtomicU64::new(0),
             enabled: AtomicBool::new(true),
             shards: (0..n_shards).map(|_| ShardTelemetry::default()).collect(),
+            producers: (0..n_producers)
+                .map(|_| ProducerTelemetry::new(n_shards))
+                .collect(),
         }
     }
 
@@ -281,6 +332,13 @@ impl EngineTelemetry {
     /// Per-shard registries, indexed like the engine's shards.
     pub fn shards(&self) -> &[ShardTelemetry] {
         &self.shards
+    }
+
+    /// Per-producer registries, indexed like the fabric's ingress handles.
+    /// Empty unless the registry was built with
+    /// [`with_producers`](Self::with_producers).
+    pub fn producers(&self) -> &[ProducerTelemetry] {
+        &self.producers
     }
 
     /// A relaxed point-in-time sample of every counter, gauge and
@@ -326,8 +384,43 @@ impl EngineTelemetry {
                     }
                 })
                 .collect(),
+            producers: self
+                .producers
+                .iter()
+                .map(|p| ProducerSnapshot {
+                    tuples_in: p.tuples_in.load(Relaxed),
+                    filtered: p.filtered.load(Relaxed),
+                    late_drops: p.late_drops.load(Relaxed),
+                    watermark_us: p.watermark_us.load(Relaxed),
+                    epochs_sent: p.epochs_sent.load(Relaxed),
+                    pool_reuses: p.pool_reuses.load(Relaxed),
+                    pool_allocs: p.pool_allocs.load(Relaxed),
+                    ring_depth: p.ring_depth.iter().map(|d| d.load(Relaxed)).collect(),
+                })
+                .collect(),
         }
     }
+}
+
+/// One ingress producer's slice of a [`MetricsSnapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProducerSnapshot {
+    /// Tuples offered to this producer's handle.
+    pub tuples_in: u64,
+    /// Tuples its selection filter rejected.
+    pub filtered: u64,
+    /// Late tuples it dropped at admission.
+    pub late_drops: u64,
+    /// Its local admission watermark, µs.
+    pub watermark_us: u64,
+    /// Epochs it has sealed (one message per shard each).
+    pub epochs_sent: u64,
+    /// Its batch-pool recycles.
+    pub pool_reuses: u64,
+    /// Its batch-pool cold allocations.
+    pub pool_allocs: u64,
+    /// In-flight messages on its ring to each shard, indexed by shard.
+    pub ring_depth: Vec<u64>,
 }
 
 /// One shard's slice of a [`MetricsSnapshot`].
@@ -402,6 +495,9 @@ pub struct MetricsSnapshot {
     pub durability_degraded: u64,
     /// Per-shard samples; empty for a single-threaded run.
     pub shards: Vec<ShardSnapshot>,
+    /// Per-producer samples; empty unless the multi-producer ingress
+    /// fabric is active.
+    pub producers: Vec<ProducerSnapshot>,
 }
 
 impl MetricsSnapshot {
@@ -429,6 +525,7 @@ impl MetricsSnapshot {
             recovery_replayed_batches: 0,
             durability_degraded: 0,
             shards: Vec::new(),
+            producers: Vec::new(),
         }
     }
 
@@ -521,6 +618,31 @@ impl MetricsSnapshot {
         };
         histogram("fd_worker_batch_ns", &|s| s.batch_ns);
         histogram("fd_dispatch_lag_ns", &|s| s.dispatch_lag_ns);
+        if self.producers.is_empty() {
+            return out;
+        }
+        let mut per_producer = |name: &str, kind: &str, get: &dyn Fn(&ProducerSnapshot) -> u64| {
+            let _ = writeln!(out, "# TYPE {name} {kind}");
+            for (i, p) in self.producers.iter().enumerate() {
+                let _ = writeln!(out, "{name}{{producer=\"{i}\"}} {}", get(p));
+            }
+        };
+        per_producer("fd_producer_tuples_in", "counter", &|p| p.tuples_in);
+        per_producer("fd_producer_filtered", "counter", &|p| p.filtered);
+        per_producer("fd_producer_late_drops", "counter", &|p| p.late_drops);
+        per_producer("fd_producer_watermark_us", "gauge", &|p| p.watermark_us);
+        per_producer("fd_producer_epochs_sent", "counter", &|p| p.epochs_sent);
+        per_producer("fd_producer_pool_reuses", "counter", &|p| p.pool_reuses);
+        per_producer("fd_producer_pool_allocs", "counter", &|p| p.pool_allocs);
+        let _ = writeln!(out, "# TYPE fd_producer_ring_depth gauge");
+        for (i, p) in self.producers.iter().enumerate() {
+            for (s, depth) in p.ring_depth.iter().enumerate() {
+                let _ = writeln!(
+                    out,
+                    "fd_producer_ring_depth{{producer=\"{i}\",shard=\"{s}\"}} {depth}"
+                );
+            }
+        }
         out
     }
 
@@ -558,6 +680,29 @@ impl MetricsSnapshot {
                 )
             })
             .collect();
+        let producers: Vec<String> = self
+            .producers
+            .iter()
+            .map(|p| {
+                let depths: Vec<String> = p.ring_depth.iter().map(u64::to_string).collect();
+                format!(
+                    concat!(
+                        "{{\"tuples_in\":{},\"filtered\":{},\"late_drops\":{},",
+                        "\"watermark_us\":{},\"epochs_sent\":{},",
+                        "\"pool_reuses\":{},\"pool_allocs\":{},",
+                        "\"ring_depth\":[{}]}}"
+                    ),
+                    p.tuples_in,
+                    p.filtered,
+                    p.late_drops,
+                    p.watermark_us,
+                    p.epochs_sent,
+                    p.pool_reuses,
+                    p.pool_allocs,
+                    depths.join(","),
+                )
+            })
+            .collect();
         format!(
             concat!(
                 "{{\"tuples_in\":{},\"filtered\":{},\"late_drops\":{},",
@@ -569,7 +714,8 @@ impl MetricsSnapshot {
                 "\"wal_bytes_written\":{},\"wal_records_truncated\":{},",
                 "\"checkpoints_persisted\":{},\"recovery_replayed_batches\":{},",
                 "\"durability_degraded\":{},",
-                "\"rows_out\":{},\"buckets_closed\":{},\"shards\":[{}]}}"
+                "\"rows_out\":{},\"buckets_closed\":{},\"shards\":[{}],",
+                "\"producers\":[{}]}}"
             ),
             self.tuples_in,
             self.filtered,
@@ -590,7 +736,8 @@ impl MetricsSnapshot {
             self.durability_degraded,
             self.rows_out,
             self.buckets_closed,
-            shards.join(",")
+            shards.join(","),
+            producers.join(",")
         )
     }
 }
@@ -804,6 +951,62 @@ mod tests {
         assert!(json.contains("\"checkpoints_persisted\":3"));
         assert!(json.contains("\"recovery_replayed_batches\":5"));
         assert!(json.contains("\"durability_degraded\":1"));
+    }
+
+    /// Golden-file pin of the Prometheus exposition format: the scrape a
+    /// non-fabric run produces must stay byte-identical when producer
+    /// metrics are absent, and a fabric run may only ever *append* to it.
+    #[test]
+    fn producer_series_extend_scrape_without_reordering_it() {
+        let base = EngineTelemetry::new(1);
+        base.tuples_in.store(42, Relaxed);
+        let golden = base.snapshot().to_prometheus();
+        assert!(
+            !golden.contains("fd_producer_"),
+            "non-fabric scrape must not mention producers"
+        );
+
+        let t = EngineTelemetry::with_producers(1, 2);
+        t.tuples_in.store(42, Relaxed);
+        t.producers()[1].tuples_in.store(17, Relaxed);
+        t.producers()[1].epochs_sent.store(3, Relaxed);
+        t.producers()[0].ring_depth[0].store(5, Relaxed);
+        let text = t.snapshot().to_prometheus();
+        // Additive: the entire pre-fabric scrape is a literal prefix.
+        assert!(
+            text.starts_with(&golden),
+            "producer series must append to the existing scrape, not reshape it"
+        );
+        let tail = &text[golden.len()..];
+        assert!(tail.contains("# TYPE fd_producer_tuples_in counter"));
+        assert!(tail.contains("fd_producer_tuples_in{producer=\"0\"} 0"));
+        assert!(tail.contains("fd_producer_tuples_in{producer=\"1\"} 17"));
+        assert!(tail.contains("fd_producer_epochs_sent{producer=\"1\"} 3"));
+        assert!(tail.contains("# TYPE fd_producer_ring_depth gauge"));
+        assert!(tail.contains("fd_producer_ring_depth{producer=\"0\",shard=\"0\"} 5"));
+        assert!(tail.contains("fd_producer_ring_depth{producer=\"1\",shard=\"0\"} 0"));
+    }
+
+    #[test]
+    fn producer_metrics_appear_in_json() {
+        let t = EngineTelemetry::with_producers(2, 2);
+        t.producers()[0].pool_reuses.store(11, Relaxed);
+        t.producers()[0].pool_allocs.store(4, Relaxed);
+        t.producers()[1].late_drops.store(2, Relaxed);
+        t.producers()[1].ring_depth[1].store(9, Relaxed);
+        let json = t.snapshot().to_json();
+        assert!(json.contains("\"pool_reuses\":11,\"pool_allocs\":4"));
+        assert!(json.contains("\"late_drops\":2"));
+        assert!(json.contains("\"ring_depth\":[0,9]"));
+        assert_eq!(json.matches("\"epochs_sent\"").count(), 2);
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        // A registry without producers keeps an empty array, not a missing
+        // field, so downstream JSON consumers see a stable schema.
+        assert!(EngineTelemetry::new(1)
+            .snapshot()
+            .to_json()
+            .ends_with("\"producers\":[]}"));
     }
 
     #[test]

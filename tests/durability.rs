@@ -598,3 +598,118 @@ fn default_options_use_the_real_filesystem() {
     let io: Arc<dyn forward_decay::engine::io::IoBackend> = opts.io;
     assert!(format!("{io:?}").contains("StdFs"));
 }
+
+// ---------------------------------------------------------------------------
+// Multi-producer ingress fabric × durability
+// ---------------------------------------------------------------------------
+
+/// Opens a durable engine whose ingress runs through the multi-producer
+/// fabric in coordinator mode (the only mode durable runs support).
+fn open_fabric(
+    dir: &Path,
+    n_shards: usize,
+    producers: usize,
+    opts: DurabilityOptions,
+) -> (ShardedEngine, RecoveryReport) {
+    ShardedEngine::try_new(decayed_query(), n_shards)
+        .expect("spawn shards")
+        .checkpoint_every(512)
+        .try_producers(producers)
+        .expect("fabric")
+        .try_durable(dir, opts)
+        .expect("open durable store")
+}
+
+#[test]
+fn fabric_durable_run_is_bit_identical_and_recovers_after_mid_stream_drop() {
+    let packets = trace(4.0, 20_000.0, 61);
+    let expected = ShardedEngine::try_new(decayed_query(), 2)
+        .expect("spawn shards")
+        .checkpoint_every(512)
+        .run(packets.iter().copied());
+
+    // Clean fabric run against a fresh store.
+    let store = StoreDir::new("fabric-clean");
+    let (mut e, report) = open_fabric(store.path(), 2, 2, DurabilityOptions::default());
+    assert!(!report.resumed);
+    feed(&mut e, &packets, 0, 1024);
+    let rows = e.finish();
+    assert_bit_identical(&expected, &rows, "durable fabric vs in-memory");
+    assert!(!e.durability_degraded());
+    let s = e.telemetry().snapshot();
+    assert!(s.wal_bytes_written > 0);
+    assert!(s.checkpoints_persisted > 0);
+    assert_eq!(s.wal_records_truncated, 0);
+    drop(e);
+
+    // Crash mid-stream against a second store, then resume and finish:
+    // the per-producer commit blocks must restore each ingress handle
+    // (watermark, seq cursor, admission counters) bit-identically.
+    let store2 = StoreDir::new("fabric-crash");
+    let crash_at = packets.len() / 2;
+    {
+        let (mut e, _) = open_fabric(store2.path(), 2, 2, DurabilityOptions::default());
+        feed(&mut e, &packets[..crash_at], 0, 1024);
+        // dropped here, mid-stream
+    }
+    let (mut e, report) = open_fabric(store2.path(), 2, 2, DurabilityOptions::default());
+    assert!(report.resumed);
+    assert!(report.position > 0, "commits happened before the crash");
+    assert!(report.position <= crash_at as u64);
+    feed(&mut e, &packets, report.position, 1024);
+    let rows2 = e.finish();
+    assert_bit_identical(&expected, &rows2, "fabric recovered after drop");
+}
+
+#[test]
+fn fabric_and_legacy_stores_refuse_to_cross_open() {
+    let packets = trace(1.0, 10_000.0, 67);
+
+    // A fabric store reopened without the fabric is an explicit error …
+    let store = StoreDir::new("fabric-store");
+    {
+        let (mut e, _) = open_fabric(store.path(), 2, 2, DurabilityOptions::default());
+        feed(&mut e, &packets, 0, 1024);
+        e.finish();
+    }
+    let err = ShardedEngine::try_new(decayed_query(), 2)
+        .expect("spawn shards")
+        .checkpoint_every(512)
+        .try_durable(store.path(), DurabilityOptions::default())
+        .err()
+        .expect("legacy open of a fabric store must be refused");
+    assert!(
+        matches!(err, forward_decay::core::Error::Durability { .. }),
+        "got {err:?}"
+    );
+
+    // … and so is reopening it with a different producer count …
+    let err = ShardedEngine::try_new(decayed_query(), 2)
+        .expect("spawn shards")
+        .checkpoint_every(512)
+        .try_producers(3)
+        .expect("fabric")
+        .try_durable(store.path(), DurabilityOptions::default())
+        .err()
+        .expect("producer-count mismatch must be refused");
+    assert!(
+        matches!(err, forward_decay::core::Error::Durability { .. }),
+        "got {err:?}"
+    );
+
+    // … and so is opening a legacy store through the fabric.
+    let legacy = StoreDir::new("legacy-store");
+    durable_run(legacy.path(), &packets, 2);
+    let err = ShardedEngine::try_new(decayed_query(), 2)
+        .expect("spawn shards")
+        .checkpoint_every(512)
+        .try_producers(2)
+        .expect("fabric")
+        .try_durable(legacy.path(), DurabilityOptions::default())
+        .err()
+        .expect("fabric open of a legacy store must be refused");
+    assert!(
+        matches!(err, forward_decay::core::Error::Durability { .. }),
+        "got {err:?}"
+    );
+}

@@ -231,6 +231,60 @@ fn randomized_checkpoint_intervals_recover_exactly() {
     }
 }
 
+/// The multi-producer ingress fabric under the same randomized sweep:
+/// for any (producers, shards, checkpoint interval, crash point),
+/// checkpoint restore plus merged-by-seq per-producer backlog replay
+/// must reproduce the unfaulted fabric run bit for bit. Honors the CI
+/// fault matrix's `FD_FAULT` seed like the single-dispatcher sweep.
+#[test]
+fn randomized_multi_producer_crashes_recover_exactly() {
+    let seed = fault::env_seed().unwrap_or(0xFA8);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let packets = trace(4.0, 25_000.0, 12);
+    // The oracle per (shards, producers) topology is the unfaulted fabric
+    // run itself: worker drain order is a pure function of the dealt
+    // epochs, so a crashed-and-recovered run has no excuse to differ.
+    type CleanRun = (Vec<Row>, Vec<u64>);
+    let mut clean: std::collections::BTreeMap<(usize, usize), CleanRun> = Default::default();
+
+    for round in 0..6 {
+        let n_shards = rng.gen_range(2..=6usize);
+        let producers = rng.gen_range(1..=4usize);
+        let every = rng.gen_range(64..=8_192u64);
+        let shard = rng.gen_range(0..n_shards);
+        let (expected, per_shard) = clean.entry((n_shards, producers)).or_insert_with(|| {
+            let mut e = ShardedEngine::try_new(decayed_query(), n_shards)
+                .expect("spawn shards")
+                .try_producers(producers)
+                .expect("fabric");
+            let rows = e.run(packets.iter().copied());
+            let per_shard = e.per_shard_stats().iter().map(|s| s.tuples_in).collect();
+            (rows, per_shard)
+        });
+        let at = rng.gen_range(1..=per_shard[shard]);
+        let mut e = ShardedEngine::try_new(decayed_query(), n_shards)
+            .expect("spawn shards")
+            .checkpoint_every(every)
+            .inject_fault(FaultPlan {
+                shard,
+                kind: FaultKind::PanicAtTuple(at),
+            })
+            .try_producers(producers)
+            .expect("fabric");
+        let rows = e.run(packets.iter().copied());
+        assert_bit_identical(
+            expected,
+            &rows,
+            &format!(
+                "seed {seed} round {round}: producers={producers} shards={n_shards} \
+                 checkpoint_every={every} crash at tuple {at} of shard {shard}"
+            ),
+        );
+        let t = e.telemetry().snapshot();
+        assert_eq!(t.restarts, 1, "seed {seed} round {round}");
+    }
+}
+
 /// A crash before the first checkpoint must also recover: the supervisor
 /// rebuilds the worker from an empty engine and replays everything.
 #[test]

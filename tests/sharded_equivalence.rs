@@ -197,6 +197,240 @@ fn round_robin_routing_matches_for_additive_aggregates() {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Multi-producer ingress fabric: the same differential contract, with P
+// ingress producers scattering into the shard fabric. The single-threaded
+// engine — itself pinned to the brute-force reference by the differential
+// oracle harness (`tests/differential.rs`) — is the oracle throughout.
+// ---------------------------------------------------------------------------
+
+/// A shorter trace for the P × shards matrix (nine fabric runs per test).
+fn fabric_trace(seed: u64, ooo_jitter_secs: f64) -> Vec<Packet> {
+    TraceConfig {
+        seed,
+        duration_secs: 60.0,
+        rate_pps: 2_000.0,
+        n_hosts: 500,
+        zipf_skew: 1.1,
+        ooo_jitter_secs,
+        ..Default::default()
+    }
+    .generate()
+}
+
+/// Runs the single-threaded oracle once: sorted rows plus admission stats.
+fn oracle_run(make_query: &impl Fn() -> Query, packets: &[Packet]) -> (Vec<Row>, EngineStats) {
+    let mut single = Engine::new(make_query());
+    for p in packets {
+        single.process_event(&StreamEvent::Data(*p));
+    }
+    let rows = single.finish();
+    let stats = single.stats();
+    (rows, stats)
+}
+
+/// Feeds the fabric in coordinator mode and requires byte-identical rows
+/// and admission stats against the precomputed oracle run.
+fn assert_fabric_matches(
+    make_query: &impl Fn() -> Query,
+    packets: &[Packet],
+    oracle: &(Vec<Row>, EngineStats),
+    n_shards: usize,
+    producers: usize,
+    routing: ShardBy,
+) {
+    let (expected, want) = oracle;
+    let mut fabric = ShardedEngine::try_new(make_query(), n_shards)
+        .expect("spawn shards")
+        .routing(routing)
+        .batch_size(256)
+        .try_producers(producers)
+        .expect("fabric");
+    let got = fabric.run(packets.iter().copied());
+    let ctx = format!("P={producers} shards={n_shards} routing={routing:?}");
+    assert_eq!(expected.len(), got.len(), "{ctx}: row count");
+    for (e, g) in expected.iter().zip(&got) {
+        assert_eq!((e.bucket_start, e.key), (g.bucket_start, g.key), "{ctx}");
+        assert_eq!(
+            e.value, g.value,
+            "{ctx}: key {} bucket {}",
+            e.key, e.bucket_start
+        );
+    }
+    let s = fabric.stats();
+    assert_eq!(want.tuples_in, s.tuples_in, "{ctx}: tuples_in");
+    assert_eq!(want.filtered, s.filtered, "{ctx}: filtered");
+    assert_eq!(want.late_drops, s.late_drops, "{ctx}: late_drops");
+}
+
+#[test]
+fn multi_producer_matrix_keyed_in_order_is_identical() {
+    // The producer-seq determinism rule across the whole P × shards grid:
+    // coordinator dealing restores global order at every worker, so keyed
+    // routing is bit-identical for any producer count.
+    let packets = fabric_trace(21, 0.0);
+    let oracle = oracle_run(&count_query, &packets);
+    for producers in [1usize, 2, 4] {
+        for shards in [1usize, 4, 8] {
+            assert_fabric_matches(
+                &count_query,
+                &packets,
+                &oracle,
+                shards,
+                producers,
+                ShardBy::Key,
+            );
+        }
+    }
+}
+
+#[test]
+fn multi_producer_matrix_under_slack_is_identical() {
+    // 2 s of jitter against 5 s of slack — within-slack disorder, the
+    // scope of the fabric's bit-identity guarantee (DESIGN.md §8). Every
+    // handle sees a subsequence of the stream, so its local watermark
+    // trails the global one and admission decisions agree exactly.
+    let q = || {
+        Query::builder("slack")
+            .group_by(|p| p.dst_host())
+            .bucket_secs(60)
+            .slack_secs(5.0)
+            .aggregate(count_factory())
+            .two_level(true)
+            .lfta_slots(256)
+            .build()
+    };
+    let packets = fabric_trace(22, 2.0);
+    let oracle = oracle_run(&q, &packets);
+    for producers in [1usize, 2, 4] {
+        for shards in [1usize, 4, 8] {
+            assert_fabric_matches(&q, &packets, &oracle, shards, producers, ShardBy::Key);
+        }
+    }
+}
+
+#[test]
+fn multi_producer_matrix_round_robin_matches() {
+    // Round-robin splits every group across all shards; additive count
+    // state re-assembles exactly whatever the producer count.
+    let packets = fabric_trace(23, 0.0);
+    let oracle = oracle_run(&count_query, &packets);
+    for producers in [1usize, 2, 4] {
+        for shards in [1usize, 4, 8] {
+            assert_fabric_matches(
+                &count_query,
+                &packets,
+                &oracle,
+                shards,
+                producers,
+                ShardBy::RoundRobin,
+            );
+        }
+    }
+}
+
+#[test]
+fn multi_producer_crash_restart_mid_stream_is_identical() {
+    // The FD_FAULT plan grammar, injected programmatically: shard 0 dies
+    // after 5 000 tuples. Checkpoint restore plus per-producer backlog
+    // replay (merged by global seq) must rebuild the worker bit-identically
+    // for every producer count.
+    let packets = fabric_trace(24, 0.0);
+    let (expected, _) = oracle_run(&count_query, &packets);
+    for producers in [1usize, 2, 4] {
+        let mut fabric = ShardedEngine::try_new(count_query(), 4)
+            .expect("spawn shards")
+            .batch_size(128)
+            .checkpoint_every(1_000)
+            .inject_fault(FaultPlan::parse("panic:0:5000").expect("plan"))
+            .try_producers(producers)
+            .expect("fabric");
+        let got = fabric.run(packets.iter().copied());
+        assert_eq!(expected.len(), got.len(), "P={producers}: row count");
+        for (e, g) in expected.iter().zip(&got) {
+            assert_eq!(
+                (e.bucket_start, e.key),
+                (g.bucket_start, g.key),
+                "P={producers}"
+            );
+            assert_eq!(e.value, g.value, "P={producers}: key {}", e.key);
+        }
+        let snap = fabric.telemetry().snapshot();
+        assert_eq!(snap.worker_panics, 1, "P={producers}: one injected panic");
+        assert_eq!(snap.restarts, 1, "P={producers}: one respawn");
+        assert_eq!(snap.degraded_shards, 0, "P={producers}");
+        assert!(snap.replayed_batches > 0, "P={producers}: backlog replayed");
+    }
+}
+
+#[test]
+fn parallel_ingress_interleavings_match_the_single_producer_oracle() {
+    // True 4-thread ingress under two different stream partitions: strided
+    // (each producer takes every 4th packet — the coordinator's deal) and
+    // contiguous quarters (maximal inter-producer time skew). The worker's
+    // fixed producer rotation makes both deterministic, and count state is
+    // exactly additive, so both reassemble the single-producer answer bit
+    // for bit — whichever thread wins each race.
+    const P: usize = 4;
+    let q = || {
+        Query::builder("par")
+            .group_by(|p| p.dst_host())
+            .bucket_secs(10)
+            .slack_secs(90.0)
+            .aggregate(count_factory())
+            .two_level(true)
+            .lfta_slots(256)
+            .build()
+    };
+    let packets = fabric_trace(25, 0.0);
+    let (expected, _) = oracle_run(&q, &packets);
+    for contiguous in [false, true] {
+        let slices: Vec<Vec<Packet>> = if contiguous {
+            packets
+                .chunks(packets.len().div_ceil(P))
+                .map(<[Packet]>::to_vec)
+                .collect()
+        } else {
+            (0..P)
+                .map(|p| packets.iter().skip(p).step_by(P).copied().collect())
+                .collect()
+        };
+        let mut fabric = ShardedEngine::try_new(q(), 4)
+            .expect("spawn shards")
+            .batch_size(128)
+            .try_producers(P)
+            .expect("fabric");
+        let joined: Vec<std::thread::JoinHandle<EngineStats>> = fabric
+            .take_ingress_handles()
+            .into_iter()
+            .zip(slices)
+            .map(|(mut h, slice)| {
+                std::thread::spawn(move || {
+                    for chunk in slice.chunks(256) {
+                        h.ingest(chunk).expect("ingest");
+                    }
+                    h.finish()
+                })
+            })
+            .collect();
+        let mut fed = 0u64;
+        for j in joined {
+            fed += j.join().expect("producer thread").tuples_in;
+        }
+        assert_eq!(fed, packets.len() as u64, "contiguous={contiguous}");
+        let got = fabric.finish();
+        assert_eq!(expected.len(), got.len(), "contiguous={contiguous}: rows");
+        for (e, g) in expected.iter().zip(&got) {
+            assert_eq!(
+                (e.bucket_start, e.key),
+                (g.bucket_start, g.key),
+                "contiguous={contiguous}"
+            );
+            assert_eq!(e.value, g.value, "contiguous={contiguous}: key {}", e.key);
+        }
+    }
+}
+
 /// 8 shards × 1M tuples with jitter, slack, a selection and a multi-part
 /// aggregate: the full pipeline under sustained load. Run with
 /// `cargo test --test sharded_equivalence -- --ignored`.
