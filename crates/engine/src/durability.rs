@@ -157,6 +157,16 @@ const MAGIC_MANIFEST: u32 = 0x314D_4446;
 const KIND_BATCH: u8 = 1;
 const KIND_PUNCT: u8 = 2;
 const KIND_COMMIT: u8 = 3;
+/// A batch carrying an embedded sender watermark (a fabric epoch). A
+/// separate kind rather than a new field on [`KIND_BATCH`]: stores
+/// written before the ingress fabric existed have watermark-less batch
+/// records, and growing the old layout in place would make every one of
+/// them misparse on open — classified as torn, silently truncating the
+/// tail of a perfectly good store. The single-dispatcher path (watermark
+/// always 0, punctuation via [`KIND_PUNCT`]) still writes [`KIND_BATCH`],
+/// so its stores stay byte-identical to pre-fabric versions in both
+/// directions.
+const KIND_BATCH_WM: u8 = 4;
 
 /// Smallest possible encoded packet — used to bound the claimed packet
 /// count of a batch record before allocating for it.
@@ -427,9 +437,15 @@ impl ReplayMsg {
 fn decode_wal_record(payload: &[u8]) -> Option<ReplayMsg> {
     let mut r = Reader::new(payload);
     match r.u8().ok()? {
-        KIND_BATCH => {
+        kind @ (KIND_BATCH | KIND_BATCH_WM) => {
             let seq = r.u64().ok()?;
-            let wm = r.u64().ok()?;
+            // Legacy batches (pre-fabric stores, and the single-dispatcher
+            // path today) carry no watermark field: it is implicitly 0.
+            let wm = if kind == KIND_BATCH_WM {
+                r.u64().ok()?
+            } else {
+                0
+            };
             let n = r.u32().ok()? as usize;
             // Variable-width packets: bound the claimed count by what the
             // payload could possibly hold before allocating for it, and
@@ -577,8 +593,9 @@ impl DurableSink {
         recovered: &Recovered,
         slots: Vec<Arc<CheckpointSlot>>,
         telemetry: Arc<EngineTelemetry>,
-        pool: BatchPool<Packet>,
+        pools: Vec<BatchPool<Packet>>,
     ) -> Result<Self, fd_core::Error> {
+        assert!(!pools.is_empty(), "one recycle pool per producer");
         let degraded = Arc::new(AtomicBool::new(false));
         let abandoned = Arc::new(AtomicBool::new(false));
         let (tx, rx) = ring::<WalCmd>(WAL_RING_DEPTH);
@@ -602,7 +619,7 @@ impl DurableSink {
             abandoned: Arc::clone(&abandoned),
             payload_buf: Vec::new(),
             frame_buf: Vec::new(),
-            pool,
+            pools,
         };
         // Reopen the live segments recovery decided to keep appending to.
         for (s, resume) in recovered.wal_resume.iter().enumerate() {
@@ -815,13 +832,14 @@ struct Writer {
     abandoned: Arc<AtomicBool>,
     payload_buf: Vec<u8>,
     frame_buf: Vec<u8>,
-    /// The dispatcher's batch-recycling pool. The WAL holds a third `Arc`
-    /// on every batch (dispatcher backlog, worker, WAL), and the recycling
+    /// The batch-recycling pools, one per producer (a single entry for
+    /// the single-dispatcher engine). The WAL holds a third `Arc` on
+    /// every batch (dispatcher backlog, worker, WAL), and the recycling
     /// protocol is "last holder returns the buffer" — so the writer must
     /// play too, or every batch it outlives leaks from the pool and the
     /// dispatcher pays a fresh allocation (plus the page faults of filling
     /// cold memory) per flush. The `durability_overhead` bench gates this.
-    pool: BatchPool<Packet>,
+    pools: Vec<BatchPool<Packet>>,
 }
 
 impl Writer {
@@ -837,7 +855,7 @@ impl Writer {
                     WalCmd::Finish => return,
                     // Drain and discard so the dispatcher never blocks —
                     // but keep recycling, as below.
-                    WalCmd::Batch { pkts, .. } => self.recycle(pkts),
+                    WalCmd::Batch { seq, pkts, .. } => self.recycle(seq, pkts),
                     _ => {}
                 }
                 continue;
@@ -850,7 +868,7 @@ impl Writer {
                     pkts,
                 } => {
                     let r = self.append_batch(shard, seq, wm, &pkts);
-                    self.recycle(pkts);
+                    self.recycle(seq, pkts);
                     r
                 }
                 WalCmd::Punct { shard, seq, wm } => self.append_punct(shard, seq, wm),
@@ -870,10 +888,15 @@ impl Writer {
     }
 
     /// Drops the writer's `Arc` on a batch, returning the buffer to the
-    /// dispatcher's pool when this was the last holder.
-    fn recycle(&self, pkts: Arc<Vec<Packet>>) {
+    /// *owning producer's* pool when this was the last holder. The owner
+    /// is recoverable from the seq — fabric epochs obey
+    /// `producer = (seq − 1) mod P` (the determinism rule) — so each
+    /// producer's bounded pool is refilled by its own buffers instead of
+    /// all recycling landing on (and overflowing) producer 0's.
+    fn recycle(&self, seq: u64, pkts: Arc<Vec<Packet>>) {
         if let Ok(buf) = Arc::try_unwrap(pkts) {
-            self.pool.put(buf);
+            let p = (seq.saturating_sub(1) % self.pools.len() as u64) as usize;
+            self.pools[p].put(buf);
         }
     }
 
@@ -938,9 +961,17 @@ impl Writer {
         pkts: &[Packet],
     ) -> io::Result<()> {
         self.payload_buf.clear();
-        self.payload_buf.push(KIND_BATCH);
-        put_u64(&mut self.payload_buf, seq);
-        put_u64(&mut self.payload_buf, wm);
+        if wm == 0 {
+            // Legacy layout — keeps single-dispatcher stores (and fabric
+            // epochs sealed before any watermark) byte-identical to
+            // pre-fabric versions of this engine.
+            self.payload_buf.push(KIND_BATCH);
+            put_u64(&mut self.payload_buf, seq);
+        } else {
+            self.payload_buf.push(KIND_BATCH_WM);
+            put_u64(&mut self.payload_buf, seq);
+            put_u64(&mut self.payload_buf, wm);
+        }
         put_u32(&mut self.payload_buf, pkts.len() as u32);
         let mut prev_ts = 0u64;
         for p in pkts {
@@ -1756,7 +1787,7 @@ mod tests {
             3
         ];
         let mut buf = Vec::new();
-        buf.push(KIND_BATCH);
+        buf.push(KIND_BATCH_WM);
         put_u64(&mut buf, 17);
         put_u64(&mut buf, 42_000_000);
         put_u32(&mut buf, pkts.len() as u32);
@@ -1772,6 +1803,25 @@ mod tests {
             }
             other => panic!("bad decode: {other:?}"),
         }
+        // The legacy batch layout — no watermark field, exactly what every
+        // pre-fabric store on disk holds — must keep parsing (wm = 0), not
+        // be cut off as a torn record.
+        let mut legacy = Vec::new();
+        legacy.push(KIND_BATCH);
+        put_u64(&mut legacy, 17);
+        put_u32(&mut legacy, pkts.len() as u32);
+        let mut prev = 0u64;
+        for p in &pkts {
+            put_packet(&mut legacy, p, &mut prev);
+        }
+        match decode_wal_record(&legacy) {
+            Some(ReplayMsg::Batch { seq, wm, pkts: got }) => {
+                assert_eq!(seq, 17);
+                assert_eq!(wm, 0);
+                assert_eq!(got, pkts);
+            }
+            other => panic!("bad legacy decode: {other:?}"),
+        }
         // Truncated, oversized, and unknown-kind payloads all decode to
         // None (→ torn-record treatment), never panic.
         assert!(decode_wal_record(&buf[..buf.len() - 1]).is_none());
@@ -1780,6 +1830,88 @@ mod tests {
         assert!(decode_wal_record(&extended).is_none());
         assert!(decode_wal_record(&[9, 0, 0]).is_none());
         assert!(decode_wal_record(&[]).is_none());
+    }
+
+    #[test]
+    fn pre_fabric_store_recovers_without_truncation() {
+        // A store laid out byte-for-byte as the engine wrote it before the
+        // ingress fabric existed: watermark-less KIND_BATCH records, a
+        // KIND_PUNCT, a commit with no producer blocks, and no MANIFEST
+        // (crashed before the first manifest commit — zero coverage).
+        // Opening it must parse every record — not misread the new wm
+        // field into the old layout and silently truncate the tail as
+        // torn.
+        let dir = std::env::temp_dir().join(format!(
+            "fd-legacy-store-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let pkts = vec![
+            Packet {
+                ts: 1_000,
+                src_ip: 1,
+                dst_ip: 2,
+                src_port: 3,
+                dst_port: 4,
+                len: 100,
+                proto: Proto::Tcp,
+            };
+            5
+        ];
+        let mut wal = Vec::new();
+        for seq in 1..=2u64 {
+            let mut payload = Vec::new();
+            payload.push(KIND_BATCH);
+            put_u64(&mut payload, seq);
+            put_u32(&mut payload, pkts.len() as u32);
+            let mut prev = 0u64;
+            for p in &pkts {
+                put_packet(&mut payload, p, &mut prev);
+            }
+            put_frame(&mut wal, &payload);
+        }
+        let mut payload = Vec::new();
+        payload.push(KIND_PUNCT);
+        put_u64(&mut payload, 3);
+        put_u64(&mut payload, 2_000_000);
+        put_frame(&mut wal, &payload);
+        std::fs::write(dir.join(wal_name(0, 1)), &wal).expect("write wal");
+        let commit = CommitState {
+            position: 10,
+            watermark: 2_000_000,
+            closed_below: 0,
+            rr: 1,
+            tuples_in: 10,
+            filtered: 0,
+            late_drops: 0,
+            hi: vec![3],
+            producers: Vec::new(),
+        };
+        let mut ctl = Vec::new();
+        let mut payload = Vec::new();
+        commit.encode(&mut payload);
+        put_frame(&mut ctl, &payload);
+        std::fs::write(dir.join(ctl_name(1)), &ctl).expect("write ctl");
+        let io: Arc<dyn IoBackend> = Arc::new(crate::io::StdFs);
+        let rec = recover(&io, &dir, 1).expect("recover legacy store");
+        assert_eq!(rec.truncated, 0, "legacy records must parse, not be cut");
+        assert_eq!(rec.commit, commit);
+        assert!(rec.resumed);
+        assert_eq!(rec.replay[0].len(), 3);
+        match &rec.replay[0][0] {
+            ReplayMsg::Batch { seq, wm, pkts: got } => {
+                assert_eq!((*seq, *wm), (1, 0), "implied watermark is 0");
+                assert_eq!(got, &pkts);
+            }
+            other => panic!("bad replay head: {other:?}"),
+        }
+        match &rec.replay[0][2] {
+            ReplayMsg::Punct { seq, wm } => assert_eq!((*seq, *wm), (3, 2_000_000)),
+            other => panic!("bad replay tail: {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -398,13 +398,19 @@ struct FabInner {
     worker: Option<WorkerHandle>,
     /// Restarts consumed so far, cumulative for the run.
     restarts: u32,
-    /// Bumped after every completed recovery (successful or degrading).
-    /// A handle whose send failed compares the generation it observed
-    /// before sending: if it moved, another handle already recovered and
-    /// *replayed this handle's message from the backlog* — the failed
-    /// message was pushed there before the generation was read, and the
-    /// recoverer's replay ran entirely after that read — so the handle
-    /// must NOT resend.
+    /// Bumped at the start of every recovery (successful or degrading),
+    /// while `inner` is held across the whole reap + replay +
+    /// fresh-sender install. Each installed sender is stamped with the
+    /// generation it belongs to, and a handle observes the generation
+    /// *atomically with its backlog push* (both under `inner`), so for
+    /// any send exactly one of two things is true: the push preceded the
+    /// recovery — the replay delivered the message and the stamp check
+    /// in [`FabShared::send`] refuses the now-duplicate direct send — or
+    /// it followed it, in which case the replay never saw the message
+    /// and the fresh sender's stamp matches the observed generation.
+    /// A handle whose send failed (or was refused) re-reads the
+    /// generation under `inner`: if it moved, another handle already
+    /// recovered and replayed the backlog, so it must NOT recover again.
     generation: u64,
     /// Producers whose handles have finished (their rings are closed).
     /// A respawn closes these producers' fresh rings immediately so the
@@ -414,6 +420,10 @@ struct FabInner {
     /// reaped (see [`Seat::early_exit`]).
     early_exit: Option<(Vec<ClosedGroup>, EngineStats)>,
 }
+
+/// One producer's sender slot on one fabric shard: the ring sender,
+/// stamped with the [`FabInner::generation`] it was installed under.
+type SenderSlot = Mutex<Option<(u64, RingSender<Msg>)>>;
 
 /// One shard of the ingress fabric: the per-producer replay backlogs, the
 /// checkpoint slot shared across worker incarnations, and one sender slot
@@ -426,12 +436,16 @@ struct FabShard {
     backlogs: Mutex<Vec<VecDeque<Msg>>>,
     /// The worker's checkpoint slot (shared across its incarnations).
     slot: Arc<CheckpointSlot>,
-    /// Per-producer sender slots. Outside [`FabShard::inner`]: a sender
-    /// blocked on a full ring holds only its own slot's lock, so recovery
-    /// (under `inner`) can proceed — the blocked send fails as soon as
-    /// the dead worker's receiver drops, releasing the slot for the
-    /// recoverer to install a fresh sender into.
-    senders: Vec<Mutex<Option<RingSender<Msg>>>>,
+    /// Per-producer sender slots, each stamped with the
+    /// [`FabInner::generation`] it was installed under: a send refuses a
+    /// sender from a different generation than the one it observed at
+    /// backlog-push time, because that recovery's replay already
+    /// delivered the pushed message. Outside [`FabShard::inner`]: a
+    /// sender blocked on a full ring holds only its own slot's lock, so
+    /// recovery (under `inner`) can proceed — the blocked send fails as
+    /// soon as the dead worker's receiver drops, releasing the slot for
+    /// the recoverer to install a fresh sender into.
+    senders: Vec<SenderSlot>,
     inner: Mutex<FabInner>,
     /// Checked (cheaply) by every handle before sending; set under
     /// `inner` when the restart budget is exhausted.
@@ -492,32 +506,44 @@ impl FabShared {
             }
             return Ok(());
         }
-        if self.supervising() && !sh.slot.unsupported() {
-            // Into the backlog *before* sending, so the failed message
-            // itself is replayable (and so a concurrent recoverer's replay
-            // provably includes it — see [`FabInner::generation`]).
-            sh.backlogs.lock().unwrap_or_else(PoisonError::into_inner)[p].push_back(msg.clone());
-        }
+        // Observe the generation and push into the backlog as one atomic
+        // step with respect to recovery, which holds `inner` across its
+        // whole reap + backlog replay + fresh-sender install + generation
+        // bump. Either the push lands before the recovery — its replay
+        // delivers the message, and the stamp check below refuses the
+        // now-duplicate direct send — or after it, in which case the
+        // replay never saw the message and the fresh sender's stamp
+        // matches. Splitting the two (push, then read) would let a
+        // recovery slip in between and both replay the message AND leave
+        // a fresh sender the direct send succeeds against: duplicate
+        // delivery.
+        let gen = {
+            let inner = sh.inner.lock().unwrap_or_else(PoisonError::into_inner);
+            if self.supervising() && !sh.slot.unsupported() {
+                sh.backlogs.lock().unwrap_or_else(PoisonError::into_inner)[p]
+                    .push_back(msg.clone());
+            }
+            inner.generation
+        };
         let tel = &self.telemetry.shards()[shard];
         tel.batches_sent.fetch_add(1, Relaxed);
         tel.queue_depth.fetch_add(1, Relaxed);
         self.telemetry.producers()[p].ring_depth[shard].fetch_add(1, Relaxed);
-        let gen = sh
-            .inner
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .generation;
         let sent = {
             let slot = sh.senders[p].lock().unwrap_or_else(PoisonError::into_inner);
             match slot.as_ref() {
-                Some(tx) => tx.send(msg).is_ok(),
-                None => false,
+                // A sender from another generation was installed by a
+                // recovery whose replay already delivered the message
+                // pushed above — refuse it rather than send a duplicate.
+                Some((stamp, tx)) if *stamp == gen => tx.send(msg).is_ok(),
+                _ => false,
             }
         };
         if sent {
             return Ok(());
         }
-        // A send fails only if the worker is gone — i.e. it panicked.
+        // A send fails (or is refused) only if the worker died at some
+        // point — i.e. it panicked.
         if !self.supervising() {
             return Err(fd_core::Error::WorkerLost { shard });
         }
@@ -528,16 +554,19 @@ impl FabShared {
             self.recover_locked(shard, &mut inner);
         }
         // Otherwise another handle recovered (or degraded) the shard
-        // while we were trying; its replay read our backlog push, so the
-        // message is already delivered or counted — never resend.
+        // while we were trying; its replay ran after our backlog push, so
+        // the message is already delivered or counted — never resend.
         Ok(())
     }
 
     /// Reaps the dead worker and restarts it from its checkpoint with
     /// exponential backoff, degrading the shard when the budget is
-    /// exhausted. Caller holds `inner`. Always bumps the generation.
+    /// exhausted. Caller holds `inner`. Always bumps the generation —
+    /// up front, so the senders [`respawn_locked`](Self::respawn_locked)
+    /// installs carry the generation this recovery publishes.
     fn recover_locked(self: &Arc<Self>, shard: usize, inner: &mut FabInner) {
         let sh = &self.shards[shard];
+        inner.generation += 1;
         self.reap_locked(shard, inner);
         let mut restored = false;
         if !sh.slot.unsupported() {
@@ -558,7 +587,6 @@ impl FabShared {
         if !restored {
             self.degrade_locked(shard, inner);
         }
-        inner.generation += 1;
     }
 
     /// Joins a dead worker's thread, recording its panic.
@@ -643,12 +671,18 @@ impl FabShared {
                 return false;
             }
         }
-        // Only now are the fresh rings reachable by other handles. A
+        // Only now are the fresh rings reachable by other handles,
+        // stamped with the current generation (bumped by recover_locked
+        // before calling in; unchanged on the durable-resume path). A
         // finished producer can never close its ring again, so close it
         // here on its behalf.
         for (p, tx) in txs.into_iter().enumerate() {
             let mut slot = sh.senders[p].lock().unwrap_or_else(PoisonError::into_inner);
-            *slot = if inner.finished[p] { None } else { Some(tx) };
+            *slot = if inner.finished[p] {
+                None
+            } else {
+                Some((inner.generation, tx))
+            };
         }
         true
     }
@@ -1511,9 +1545,10 @@ impl ShardedEngine {
         }
         for (p, row) in senders.into_iter().enumerate() {
             for (shard, tx) in row.into_iter().enumerate() {
+                // Stamped with the initial generation 0.
                 *fab.shards[shard].senders[p]
                     .lock()
-                    .unwrap_or_else(PoisonError::into_inner) = Some(tx);
+                    .unwrap_or_else(PoisonError::into_inner) = Some((0, tx));
             }
         }
         self.fab_handles = (0..producers)
@@ -1695,16 +1730,22 @@ impl ShardedEngine {
             truncated_records: recovered.truncated,
             resumed: recovered.resumed,
         };
-        let (slots, recycle): (Vec<Arc<CheckpointSlot>>, BatchPool<Packet>) = match &self.fabric {
-            Some(fab) => (
-                fab.shards.iter().map(|s| Arc::clone(&s.slot)).collect(),
-                fab.pools[0].clone(),
-            ),
-            None => (
-                self.seats.iter().map(|s| Arc::clone(&s.slot)).collect(),
-                self.pool.clone(),
-            ),
-        };
+        // The writer recycles each batch buffer back to the pool of the
+        // producer that sealed it (recoverable from the seq — see
+        // `Writer::recycle`), so every producer's bounded pool keeps its
+        // hit rate under the fabric instead of producer 0's overflowing
+        // while the rest starve.
+        let (slots, recycle): (Vec<Arc<CheckpointSlot>>, Vec<BatchPool<Packet>>) =
+            match &self.fabric {
+                Some(fab) => (
+                    fab.shards.iter().map(|s| Arc::clone(&s.slot)).collect(),
+                    fab.pools.clone(),
+                ),
+                None => (
+                    self.seats.iter().map(|s| Arc::clone(&s.slot)).collect(),
+                    vec![self.pool.clone()],
+                ),
+            };
         let sink = DurableSink::spawn(
             dir,
             &io,

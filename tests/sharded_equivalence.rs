@@ -431,6 +431,60 @@ fn parallel_ingress_interleavings_match_the_single_producer_oracle() {
     }
 }
 
+#[test]
+fn parallel_ingress_crash_recovery_is_exact_and_recovers_once() {
+    // Regression for a duplicate-delivery race: a handle that had pushed
+    // its epoch into the shard's backlog but not yet acquired its sender
+    // slot while another handle ran the full recovery (reap + backlog
+    // replay + fresh-sender install) used to get its message replayed
+    // AND successfully sent against the freshly installed ring. Four
+    // true ingress threads race a shard-0 panic; every tuple must be
+    // applied exactly once (the worker's seq debug_assert catches
+    // duplicates, the counts catch losses) and exactly one recovery may
+    // run however many handles notice the dead worker.
+    const P: usize = 4;
+    let packets = fabric_trace(26, 0.0);
+    let (expected, _) = oracle_run(&count_query, &packets);
+    let mut fabric = ShardedEngine::try_new(count_query(), 4)
+        .expect("spawn shards")
+        .batch_size(64)
+        .checkpoint_every(500)
+        .inject_fault(FaultPlan::parse("panic:0:5000").expect("plan"))
+        .try_producers(P)
+        .expect("fabric");
+    let joined: Vec<std::thread::JoinHandle<EngineStats>> = fabric
+        .take_ingress_handles()
+        .into_iter()
+        .enumerate()
+        .map(|(p, mut h)| {
+            let slice: Vec<Packet> = packets.iter().skip(p).step_by(P).copied().collect();
+            std::thread::spawn(move || {
+                for chunk in slice.chunks(64) {
+                    h.ingest(chunk).expect("ingest");
+                }
+                h.finish()
+            })
+        })
+        .collect();
+    for j in joined {
+        j.join().expect("producer thread");
+    }
+    let got = fabric.finish();
+    assert_eq!(expected.len(), got.len(), "row count");
+    for (e, g) in expected.iter().zip(&got) {
+        assert_eq!((e.bucket_start, e.key), (g.bucket_start, g.key));
+        assert_eq!(e.value, g.value, "key {}", e.key);
+    }
+    let snap = fabric.telemetry().snapshot();
+    assert_eq!(snap.worker_panics, 1, "one injected panic");
+    assert_eq!(
+        snap.restarts, 1,
+        "exactly one recovery despite racing handles"
+    );
+    assert_eq!(snap.degraded_shards, 0);
+    assert!(snap.replayed_batches > 0, "backlog tail was replayed");
+}
+
 /// 8 shards × 1M tuples with jitter, slack, a selection and a multi-part
 /// aggregate: the full pipeline under sustained load. Run with
 /// `cargo test --test sharded_equivalence -- --ignored`.
