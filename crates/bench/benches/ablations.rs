@@ -413,7 +413,7 @@ fn a7_answer_quality_under_nonstationary_load() {
 }
 
 fn main() {
-    println!("\nAblation studies (see DESIGN.md §9).\n");
+    println!("\nAblation studies (see DESIGN.md §11).\n");
     a1_two_level_and_lfta_size();
     a2_space_saving_capacity();
     a3_renormalization_cost();

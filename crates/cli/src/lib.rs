@@ -165,6 +165,16 @@ pub struct CliConfig {
     /// Sleep this many milliseconds after each durable commit chunk —
     /// paces the stream so crash tests can land a `kill -9` mid-run.
     pub pace_ms: u64,
+    /// Overload shed policy for sharded runs. A lossy policy (or an
+    /// explicit lag budget) engages the sharded executor even without
+    /// `--shards`.
+    pub shed: ShedPolicy,
+    /// Per-shard lag budget in queued batches (`None` = engine default:
+    /// shed only once a ring is full past the send deadline).
+    pub lag_budget: Option<usize>,
+    /// Graceful-drain deadline in seconds: how long shutdown waits for
+    /// shard queues to empty before abandoning laggards.
+    pub drain_timeout_secs: f64,
 }
 
 impl Default for CliConfig {
@@ -193,6 +203,9 @@ impl Default for CliConfig {
             data_dir: None,
             fsync: FsyncPolicy::OnCheckpoint,
             pace_ms: 0,
+            shed: ShedPolicy::Block,
+            lag_budget: None,
+            drain_timeout_secs: 30.0,
         }
     }
 }
@@ -234,7 +247,23 @@ OPTIONS (all optional):
                         --data-dir                       [default: checkpoint]
     --pace-ms <ms>      sleep per durable commit chunk (crash-test pacing)
                                                          [default: 0]
+    --shed <policy>     block|drop-oldest|subsample:<rate> — what to do when
+                        a shard stays over its lag budget past the send
+                        deadline; lossy policies engage the sharded
+                        executor and are refused with --data-dir
+                                                         [default: block]
+    --lag-budget <n>    per-shard lag budget in queued batches; subsample
+                        thinning starts at this depth     [default: ring depth]
+    --drain-timeout <secs>  graceful-drain deadline: how long shutdown waits
+                        for shard queues to empty before abandoning
+                        laggards                         [default: 30]
     --help              print this text
+
+ENVIRONMENT:
+    FD_FAULT=<plan>     inject a deterministic fault into a sharded run,
+                        e.g. slow:0:50 (50 ms/batch on shard 0) or
+                        wedge:0:10000 (spin at tuple 10000) — the overload
+                        soak harness; non-plan values are ignored
 ";
 
 impl CliConfig {
@@ -336,6 +365,20 @@ impl CliConfig {
                     })?;
                 }
                 "--pace-ms" => cfg.pace_ms = int(v)?,
+                "--shed" => cfg.shed = v.parse().map_err(|e| format!("{e}"))?,
+                "--lag-budget" => {
+                    let n = int(v)? as usize;
+                    if n == 0 {
+                        return Err("lag budget must be positive".into());
+                    }
+                    cfg.lag_budget = Some(n);
+                }
+                "--drain-timeout" => {
+                    cfg.drain_timeout_secs = num(v)?;
+                    if cfg.drain_timeout_secs <= 0.0 {
+                        return Err("drain timeout must be positive".into());
+                    }
+                }
                 "--ooo" => {
                     cfg.ooo_jitter_secs = num(v)?;
                     if cfg.ooo_jitter_secs < 0.0 {
@@ -404,9 +447,86 @@ impl CliConfig {
     }
 }
 
+/// What a completed `fdql` run looked like beyond its stdout: the drain
+/// report and the supervision counters the shutdown report and the exit
+/// code are derived from.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// The rendered stdout payload (rows + stats line + optional metrics).
+    pub output: String,
+    /// The graceful-drain report (clean for single-threaded runs).
+    pub drain: DrainReport,
+    /// The shed policy the run executed under.
+    pub shed_policy: ShedPolicy,
+    /// Shards that exhausted their restart budget and were degraded.
+    pub degraded_shards: u64,
+    /// Worker respawns (panics and wedges combined).
+    pub restarts: u64,
+    /// Batches replayed from supervision backlogs.
+    pub replayed_batches: u64,
+    /// Tuples routed to already-degraded shards and dropped.
+    pub dropped_degraded: u64,
+}
+
+impl RunReport {
+    /// Whether the run lost data it had promised not to lose: any shed,
+    /// unflushed epoch, or degraded-shard drop under the lossless
+    /// [`ShedPolicy::Block`]. Under the lossy policies, sheds are the
+    /// configured cost and only the exit-status stays clean.
+    pub fn data_lost_under_block(&self) -> bool {
+        !self.shed_policy.is_lossy() && (self.drain.data_lost() || self.dropped_degraded > 0)
+    }
+
+    /// The one-line-per-fact shutdown report `fdql` prints to stderr.
+    pub fn shutdown_summary(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "fdql shutdown: shed_tuples={} shed_batches={} wedged_respawns={} \
+             restarts={} replayed_batches={} degraded_shards={} dropped_degraded={} \
+             unflushed_epochs={}{}",
+            self.drain.shed_tuples,
+            self.drain.shed_batches,
+            self.drain.wedged_respawns,
+            self.restarts,
+            self.replayed_batches,
+            self.degraded_shards,
+            self.dropped_degraded,
+            self.drain.unflushed_epochs,
+            if self.drain.deadline_expired {
+                " (drain deadline expired)"
+            } else {
+                ""
+            }
+        );
+        for (shard, lag) in self.drain.per_shard_lag.iter().enumerate() {
+            if *lag > 0 {
+                let _ = writeln!(
+                    s,
+                    "fdql shutdown: shard {shard} abandoned with {lag} queued"
+                );
+            }
+        }
+        if self.data_lost_under_block() {
+            let _ = writeln!(
+                s,
+                "fdql shutdown: DATA LOST under lossless policy 'block' — exiting nonzero"
+            );
+        }
+        s
+    }
+}
+
 /// Executes a parsed invocation and returns the rendered output, or an
 /// error message if the configuration does not form a valid query.
 pub fn try_run(cfg: &CliConfig) -> Result<String, String> {
+    try_run_report(cfg).map(|r| r.output)
+}
+
+/// Executes a parsed invocation and returns the rendered output together
+/// with the shutdown report ([`RunReport`]) the `fdql` binary prints to
+/// stderr and derives its exit status from.
+pub fn try_run_report(cfg: &CliConfig) -> Result<RunReport, String> {
     let trace = TraceConfig {
         seed: cfg.seed,
         duration_secs: cfg.duration_secs,
@@ -416,23 +536,20 @@ pub fn try_run(cfg: &CliConfig) -> Result<String, String> {
         burst: cfg.burst,
         ..Default::default()
     };
-    // Single-threaded and sharded runs produce the same three artifacts:
-    // rows, final counters, and a metrics snapshot (the sharded one carries
-    // live per-shard series; the single-threaded one wraps the counters so
-    // `--metrics` output has one shape either way).
-    let (mut rows, stats, snapshot) = if cfg.shards > 0
+    // Single-threaded and sharded runs produce the same artifacts: rows,
+    // final counters, a metrics snapshot (the sharded one carries live
+    // per-shard series; the single-threaded one wraps the counters so
+    // `--metrics` output has one shape either way), and a drain report.
+    let sharded = cfg.shards > 0
         || cfg.data_dir.is_some()
         || cfg.producers > 0
-    {
+        || cfg.shed.is_lossy()
+        || cfg.lag_budget.is_some();
+    let (mut rows, stats, snapshot, drain) = if sharded {
         // A durable store needs the sharded executor (its checkpoints are
-        // what gets persisted), and so does the ingress fabric:
-        // `--data-dir` or `--producers` without `--shards` runs one
-        // worker shard.
-        let shards = if cfg.data_dir.is_some() || cfg.producers > 0 {
-            cfg.shards.max(1)
-        } else {
-            cfg.shards
-        };
+        // what gets persisted); so do the ingress fabric and the overload
+        // controller: those flags without `--shards` run one worker shard.
+        let shards = cfg.shards.max(1);
         let mut engine = ShardedEngine::try_new(cfg.query()?, shards).map_err(|e| e.to_string())?;
         if cfg.batch > 0 {
             engine = engine
@@ -445,12 +562,35 @@ pub fn try_run(cfg: &CliConfig) -> Result<String, String> {
         if let Some(n) = cfg.max_restarts {
             engine = engine.max_restarts(n);
         }
+        let mut overload = OverloadConfig {
+            policy: cfg.shed,
+            decay: cfg.decay.clone(),
+            seed: cfg.seed,
+            ..OverloadConfig::default()
+        };
+        if let Some(budget) = cfg.lag_budget {
+            overload.lag_budget = budget;
+        }
+        engine = engine.try_overload(overload).map_err(|e| e.to_string())?;
+        // The overload soak harness: FD_FAULT carrying a fault-plan spec
+        // (`slow:0:50`, `wedge:0:10000`, …) arms that fault in this run.
+        // Values that don't parse as a plan (e.g. the numeric seeds the
+        // test-suite fault matrix uses) are ignored.
+        if let Ok(spec) = std::env::var("FD_FAULT") {
+            if let Some(plan) = FaultPlan::parse(spec.trim()) {
+                if plan.shard < shards {
+                    eprintln!("fdql: injecting fault {} (FD_FAULT)", spec.trim());
+                    engine = engine.inject_fault(plan);
+                }
+            }
+        }
         if cfg.producers > 0 {
             engine = engine
                 .try_producers(cfg.producers)
                 .map_err(|e| e.to_string())?;
         }
-        let rows = match &cfg.data_dir {
+        let drain_deadline = std::time::Duration::from_secs_f64(cfg.drain_timeout_secs);
+        let (rows, drain) = match &cfg.data_dir {
             Some(dir) => {
                 let opts = DurabilityOptions {
                     fsync: cfg.fsync,
@@ -471,20 +611,41 @@ pub fn try_run(cfg: &CliConfig) -> Result<String, String> {
                         report.truncated_records
                     );
                 }
-                run_durable(&mut engine, &trace, report.position, cfg.pace_ms)?
+                run_durable(
+                    &mut engine,
+                    &trace,
+                    report.position,
+                    cfg.pace_ms,
+                    drain_deadline,
+                )?
             }
-            None => engine.run(trace.iter()),
+            None => {
+                let mut buf: Vec<Packet> = Vec::with_capacity(COMMIT_CHUNK);
+                for pkt in trace.iter() {
+                    buf.push(pkt);
+                    if buf.len() == COMMIT_CHUNK {
+                        engine
+                            .try_process_packets(&buf)
+                            .map_err(|e| e.to_string())?;
+                        buf.clear();
+                    }
+                }
+                engine
+                    .try_process_packets(&buf)
+                    .map_err(|e| e.to_string())?;
+                engine.drain(drain_deadline)
+            }
         };
         if engine.durability_degraded() {
             eprintln!("fdql: durability degraded mid-run; results are complete but not persisted");
         }
-        (rows, engine.stats(), engine.telemetry().snapshot())
+        (rows, engine.stats(), engine.telemetry().snapshot(), drain)
     } else {
         let mut engine = Engine::new(cfg.query()?);
         let rows = engine.run(trace.iter());
         let stats = engine.stats();
         let snapshot = MetricsSnapshot::from_engine_stats(&stats, engine.watermark());
-        (rows, stats, snapshot)
+        (rows, stats, snapshot, DrainReport::clean())
     };
     if cfg.limit > 0 && rows.len() > cfg.limit {
         rows.truncate(cfg.limit);
@@ -508,7 +669,15 @@ pub fn try_run(cfg: &CliConfig) -> Result<String, String> {
     if cfg.metrics {
         out.push_str(&snapshot.to_prometheus());
     }
-    Ok(out)
+    Ok(RunReport {
+        output: out,
+        drain,
+        shed_policy: cfg.shed,
+        degraded_shards: snapshot.degraded_shards,
+        restarts: snapshot.restarts,
+        replayed_batches: snapshot.replayed_batches,
+        dropped_degraded: snapshot.dropped_degraded,
+    })
 }
 
 /// Events fed between durable commits. Fixed (not a flag) so a restarted
@@ -517,13 +686,14 @@ pub fn try_run(cfg: &CliConfig) -> Result<String, String> {
 pub const COMMIT_CHUNK: usize = 4096;
 
 /// Feeds the trace from `start` in [`COMMIT_CHUNK`] chunks, committing the
-/// stream position after each, and finishes the engine.
+/// stream position after each, and drains the engine.
 fn run_durable(
     engine: &mut ShardedEngine,
     trace: &TraceConfig,
     start: u64,
     pace_ms: u64,
-) -> Result<Vec<Row>, String> {
+    drain_deadline: std::time::Duration,
+) -> Result<(Vec<Row>, DrainReport), String> {
     let mut position = start;
     let mut buf: Vec<Packet> = Vec::with_capacity(COMMIT_CHUNK);
     let mut commit = |engine: &mut ShardedEngine, buf: &mut Vec<Packet>| -> Result<(), String> {
@@ -545,7 +715,7 @@ fn run_durable(
         }
     }
     commit(engine, &mut buf)?;
-    Ok(engine.finish())
+    Ok(engine.drain(drain_deadline))
 }
 
 /// Executes a parsed invocation and returns the rendered output.
@@ -901,6 +1071,129 @@ mod tests {
         assert!(!classic.contains("fd_producer_tuples_in"));
         assert!(fabric.contains("fd_producer_tuples_in{producer=\"2\"}"));
         assert!(fabric.contains("fd_producer_ring_depth{producer=\"0\",shard=\"1\"}"));
+    }
+
+    #[test]
+    fn overload_flags_parse() {
+        let cfg = CliConfig::parse([
+            "--shed",
+            "subsample:0.25",
+            "--lag-budget",
+            "8",
+            "--drain-timeout",
+            "5",
+        ])
+        .unwrap();
+        assert_eq!(cfg.shed, ShedPolicy::Subsample { target_rate: 0.25 });
+        assert_eq!(cfg.lag_budget, Some(8));
+        assert_eq!(cfg.drain_timeout_secs, 5.0);
+        let cfg = CliConfig::parse(["--shed", "drop-oldest"]).unwrap();
+        assert_eq!(cfg.shed, ShedPolicy::DropOldest);
+        let cfg = CliConfig::parse(Vec::<String>::new()).unwrap();
+        assert_eq!(cfg.shed, ShedPolicy::Block);
+        assert_eq!(cfg.lag_budget, None);
+        assert_eq!(cfg.drain_timeout_secs, 30.0);
+        assert!(CliConfig::parse(["--shed", "nope"]).is_err());
+        assert!(CliConfig::parse(["--shed", "subsample:1.5"]).is_err());
+        assert!(CliConfig::parse(["--lag-budget", "0"]).is_err());
+        assert!(CliConfig::parse(["--drain-timeout", "0"]).is_err());
+    }
+
+    #[test]
+    fn healthy_run_reports_clean_shutdown() {
+        let cfg = CliConfig::parse([
+            "--rate",
+            "10000",
+            "--duration",
+            "2",
+            "--hosts",
+            "50",
+            "--shards",
+            "2",
+            "--format",
+            "stats",
+        ])
+        .unwrap();
+        let report = try_run_report(&cfg).unwrap();
+        assert!(!report.drain.deadline_expired);
+        assert!(!report.data_lost_under_block());
+        assert_eq!(report.drain.shed_tuples, 0);
+        assert_eq!(report.degraded_shards, 0);
+        let summary = report.shutdown_summary();
+        assert!(summary.contains("shed_tuples=0"), "{summary}");
+        assert!(!summary.contains("DATA LOST"), "{summary}");
+    }
+
+    #[test]
+    fn lossy_shed_engages_sharded_executor_and_matches_block_when_healthy() {
+        // With no overload pressure, DropOldest must shed nothing and the
+        // rows must be identical to a Block run of the same trace.
+        fn args(shed: &'static str) -> [&'static str; 12] {
+            [
+                "--rate",
+                "10000",
+                "--duration",
+                "2",
+                "--hosts",
+                "50",
+                "--shed",
+                shed,
+                "--format",
+                "csv",
+                "--limit",
+                "0",
+            ]
+        }
+        let block = try_run_report(&CliConfig::parse(args("block")).unwrap()).unwrap();
+        let lossy = try_run_report(&CliConfig::parse(args("drop-oldest")).unwrap()).unwrap();
+        assert_eq!(block.output, lossy.output);
+        assert_eq!(lossy.drain.shed_tuples, 0, "no pressure, no sheds");
+        assert!(
+            !lossy.data_lost_under_block(),
+            "lossy policy never trips it"
+        );
+    }
+
+    #[test]
+    fn subsample_is_refused_for_unscalable_aggregates() {
+        let cfg = CliConfig::parse([
+            "--agg",
+            "count",
+            "--shed",
+            "subsample:0.5",
+            "--duration",
+            "1",
+            "--rate",
+            "1000",
+        ])
+        .unwrap();
+        let err = try_run(&cfg).unwrap_err();
+        assert!(
+            err.contains("Horvitz-Thompson") || err.contains("shed_policy"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn lossy_shed_is_refused_with_durable_store() {
+        let dir = std::env::temp_dir().join(format!("fdql-shed-durable-{}", std::process::id()));
+        let cfg = CliConfig::parse([
+            "--shed",
+            "drop-oldest",
+            "--data-dir",
+            dir.to_str().unwrap(),
+            "--duration",
+            "1",
+            "--rate",
+            "1000",
+        ])
+        .unwrap();
+        let err = try_run(&cfg).unwrap_err();
+        assert!(
+            err.contains("lossless") || err.contains("shed_policy"),
+            "{err}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

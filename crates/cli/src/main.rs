@@ -1,14 +1,30 @@
 //! `fdql` binary entry point: parse flags, run the query, print the rows.
+//!
+//! Exit status: `0` on success, `1` on a bad invocation or failed run,
+//! `3` when the run completed but lost data under the lossless `block`
+//! shed policy (an abandoned drain, a degraded shard) — so scripts can
+//! distinguish "wrong flags" from "answers are incomplete".
 
 use std::process::ExitCode;
+
+/// Exit status for a run that completed but lost data under
+/// [`fd_engine::prelude::ShedPolicy::Block`].
+const EXIT_DATA_LOST: u8 = 3;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match fd_cli::CliConfig::parse(args.iter().map(String::as_str)) {
-        Ok(cfg) => match fd_cli::try_run(&cfg) {
-            Ok(out) => {
-                print!("{out}");
-                ExitCode::SUCCESS
+        Ok(cfg) => match fd_cli::try_run_report(&cfg) {
+            Ok(report) => {
+                print!("{}", report.output);
+                // The shutdown report goes to stderr: stdout stays
+                // bit-identical to an untroubled run's.
+                eprint!("{}", report.shutdown_summary());
+                if report.data_lost_under_block() {
+                    ExitCode::from(EXIT_DATA_LOST)
+                } else {
+                    ExitCode::SUCCESS
+                }
             }
             Err(msg) => {
                 eprintln!("{msg}");

@@ -68,6 +68,25 @@ impl<G: ForwardDecay> DecayedCount<G> {
         self.max_t = self.max_t.max(t_i);
     }
 
+    /// Ingests an item with timestamp `t_i` carrying an importance weight
+    /// `w ≥ 0` — typically a Horvitz–Thompson inverse-inclusion-probability
+    /// scale attached by load shedding. The item contributes
+    /// `w · g(t_i − L)` to the accumulator, so `update_weighted(t, 1.0)`
+    /// is exactly [`update`](Self::update) and a survivor admitted with
+    /// probability `p` fed as `update_weighted(t, 1.0 / p)` keeps the
+    /// decayed count unbiased (the weight multiplies the *frozen numerator*,
+    /// so mergeability and renormalization are untouched).
+    #[inline]
+    pub fn update_weighted(&mut self, t_i: impl Into<Timestamp>, w: f64) {
+        let t_i = clamp_to_landmark(t_i.into(), self.renorm.original_landmark());
+        if let Some(factor) = self.renorm.pre_update(&self.g, t_i) {
+            self.acc *= factor;
+        }
+        self.acc += self.g.g(t_i - self.renorm.landmark()) * w;
+        self.n += 1;
+        self.max_t = self.max_t.max(t_i);
+    }
+
     /// Ingests a batch of timestamps in one call.
     ///
     /// Computes the same count as per-item [`update`](Self::update) calls,
@@ -239,6 +258,15 @@ impl<G: ForwardDecay> DecayedSum<G> {
         self.max_t = self.max_t.max(t_i);
     }
 
+    /// Ingests an item `(t_i, v_i)` carrying a Horvitz–Thompson scale `w`:
+    /// contributes `w · g(t_i − L) · v_i`, i.e. exactly
+    /// [`update`](Self::update)`(t_i, v * w)`. See
+    /// [`DecayedCount::update_weighted`].
+    #[inline]
+    pub fn update_weighted(&mut self, t_i: impl Into<Timestamp>, v: f64, w: f64) {
+        self.update(t_i, v * w);
+    }
+
     /// Ingests a columnar batch: `ts[i]` pairs with `vals[i]`.
     ///
     /// The batched counterpart of per-item [`update`](Self::update) calls,
@@ -372,6 +400,17 @@ impl<G: ForwardDecay> DecayedAverage<G> {
         let t_i = t_i.into();
         self.sum.update(t_i, v);
         self.count.update(t_i);
+    }
+
+    /// Ingests an item `(t_i, v_i)` carrying a Horvitz–Thompson scale `w`:
+    /// the scale enters numerator and denominator alike, keeping the
+    /// weighted mean a consistent ratio estimator under subsampling. See
+    /// [`DecayedCount::update_weighted`].
+    #[inline]
+    pub fn update_weighted(&mut self, t_i: impl Into<Timestamp>, v: f64, w: f64) {
+        let t_i = t_i.into();
+        self.sum.update_weighted(t_i, v, w);
+        self.count.update_weighted(t_i, w);
     }
 
     /// The decayed average; `None` if no items (or all weights zero).
@@ -627,6 +666,18 @@ impl<G: ForwardDecay> Summary for DecayedCount<G> {
         self.update_batch(ts);
     }
 
+    fn supports_scaled_batches(&self) -> bool {
+        true
+    }
+
+    fn update_batch_scaled_at(&mut self, ts: &[Timestamp], us: &[()], scales: &[f64]) {
+        assert_eq!(ts.len(), us.len(), "columnar batch slices must align");
+        assert_eq!(ts.len(), scales.len(), "scale column must align with batch");
+        for (&t_i, &w) in ts.iter().zip(scales) {
+            self.update_weighted(t_i, w);
+        }
+    }
+
     fn query_at(&self, t: Timestamp) -> f64 {
         self.query(t)
     }
@@ -679,6 +730,18 @@ impl<G: ForwardDecay> Summary for DecayedSum<G> {
         self.update_batch(ts, vs);
     }
 
+    fn supports_scaled_batches(&self) -> bool {
+        true
+    }
+
+    fn update_batch_scaled_at(&mut self, ts: &[Timestamp], vs: &[f64], scales: &[f64]) {
+        assert_eq!(ts.len(), vs.len(), "columnar batch slices must align");
+        assert_eq!(ts.len(), scales.len(), "scale column must align with batch");
+        for ((&t_i, &v), &w) in ts.iter().zip(vs).zip(scales) {
+            self.update_weighted(t_i, v, w);
+        }
+    }
+
     fn query_at(&self, t: Timestamp) -> f64 {
         self.query(t)
     }
@@ -710,6 +773,18 @@ impl<G: ForwardDecay> Summary for DecayedAverage<G> {
 
     fn update_at(&mut self, t_i: Timestamp, v: f64) {
         self.update(t_i, v);
+    }
+
+    fn supports_scaled_batches(&self) -> bool {
+        true
+    }
+
+    fn update_batch_scaled_at(&mut self, ts: &[Timestamp], vs: &[f64], scales: &[f64]) {
+        assert_eq!(ts.len(), vs.len(), "columnar batch slices must align");
+        assert_eq!(ts.len(), scales.len(), "scale column must align with batch");
+        for ((&t_i, &v), &w) in ts.iter().zip(vs).zip(scales) {
+            self.update_weighted(t_i, v, w);
+        }
     }
 
     fn query_at(&self, t: Timestamp) -> Option<f64> {
@@ -1103,6 +1178,88 @@ mod tests {
         assert!(DecayedExtremum::<Monomial>::max(g, 0.0)
             .query(10.0)
             .is_none());
+    }
+
+    #[test]
+    fn unit_weight_matches_unweighted_update() {
+        let g = Exponential::new(0.1);
+        let mut plain_c = DecayedCount::new(g, 0.0);
+        let mut weighted_c = DecayedCount::new(g, 0.0);
+        let mut plain_s = DecayedSum::new(g, 0.0);
+        let mut weighted_s = DecayedSum::new(g, 0.0);
+        let mut plain_a = DecayedAverage::new(g, 0.0);
+        let mut weighted_a = DecayedAverage::new(g, 0.0);
+        for i in 0..500 {
+            let (t, v) = (i as f64 * 0.7, ((i * 13) % 11) as f64);
+            plain_c.update(t);
+            weighted_c.update_weighted(t, 1.0);
+            plain_s.update(t, v);
+            weighted_s.update_weighted(t, v, 1.0);
+            plain_a.update(t, v);
+            weighted_a.update_weighted(t, v, 1.0);
+        }
+        assert_eq!(plain_c.query(400.0), weighted_c.query(400.0));
+        assert_eq!(plain_s.query(400.0), weighted_s.query(400.0));
+        assert_eq!(plain_a.query(400.0), weighted_a.query(400.0));
+    }
+
+    #[test]
+    fn horvitz_thompson_identity_on_duplicated_mass() {
+        // Feeding an item once with weight 1/p equals feeding it 1/p times
+        // with weight 1 — the algebraic identity HT unbiasedness rests on.
+        let g = Monomial::quadratic();
+        let mut dup = DecayedCount::new(g, 100.0);
+        let mut ht = DecayedCount::new(g, 100.0);
+        let mut dup_s = DecayedSum::new(g, 100.0);
+        let mut ht_s = DecayedSum::new(g, 100.0);
+        for (t, v) in example_stream() {
+            for _ in 0..4 {
+                dup.update(t);
+                dup_s.update(t, v);
+            }
+            ht.update_weighted(t, 4.0);
+            ht_s.update_weighted(t, v, 4.0);
+        }
+        assert!((dup.query(110.0) - ht.query(110.0)).abs() < 1e-9);
+        assert!((dup_s.query(110.0) - ht_s.query(110.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scaled_batch_matches_per_item_weighted() {
+        use crate::summary::Summary;
+        let g = Exponential::new(0.2);
+        let ts: Vec<Timestamp> = (0..64).map(|i| Timestamp::from(i as f64 * 1.3)).collect();
+        let vs: Vec<f64> = (0..64).map(|i| ((i * 7) % 5) as f64).collect();
+        let ws: Vec<f64> = (0..64).map(|i| 1.0 + (i % 3) as f64 * 0.5).collect();
+
+        let mut batched = DecayedSum::new(g, 0.0);
+        let mut scalar = DecayedSum::new(g, 0.0);
+        Summary::update_batch_scaled_at(&mut batched, &ts, &vs, &ws);
+        for ((&t, &v), &w) in ts.iter().zip(&vs).zip(&ws) {
+            scalar.update_weighted(t, v, w);
+        }
+        assert_eq!(batched.query(100.0), scalar.query(100.0));
+
+        let mut batched_c = DecayedCount::new(g, 0.0);
+        let mut scalar_c = DecayedCount::new(g, 0.0);
+        let units = vec![(); ts.len()];
+        Summary::update_batch_scaled_at(&mut batched_c, &ts, &units, &ws);
+        for (&t, &w) in ts.iter().zip(&ws) {
+            scalar_c.update_weighted(t, w);
+        }
+        assert_eq!(batched_c.query(100.0), scalar_c.query(100.0));
+        assert!(batched_c.supports_scaled_batches());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-unit Horvitz")]
+    fn default_scaled_batch_rejects_non_unit_scales() {
+        use crate::summary::Summary;
+        // Variance has no scaled override: the trait default must refuse
+        // rather than silently bias the estimate.
+        let mut v = DecayedVariance::new(Monomial::quadratic(), 0.0);
+        assert!(!v.supports_scaled_batches());
+        Summary::update_batch_scaled_at(&mut v, &[Timestamp::from(1.0)], &[2.0], &[2.0]);
     }
 
     #[test]

@@ -159,6 +159,12 @@ impl Aggregator for SumAgg {
     fn update(&mut self, pkt: &Packet) {
         self.sum += (self.val)(pkt);
     }
+    fn supports_scaled_updates(&self) -> bool {
+        true
+    }
+    fn update_scaled(&mut self, pkt: &Packet, scale: f64) {
+        self.sum += (self.val)(pkt) * scale;
+    }
     fn merge_boxed(&mut self, other: Box<dyn Aggregator>) {
         self.sum += other
             .as_any_box()
@@ -213,6 +219,12 @@ macro_rules! fwd_scalar_agg {
             fn update(&mut self, pkt: &Packet) {
                 self.inner.update(pkt.timestamp());
             }
+            fn supports_scaled_updates(&self) -> bool {
+                true
+            }
+            fn update_scaled(&mut self, pkt: &Packet, scale: f64) {
+                self.inner.update_weighted(pkt.timestamp(), scale);
+            }
             fn merge_boxed(&mut self, other: Box<dyn Aggregator>) {
                 let o = other
                     .as_any_box()
@@ -250,6 +262,13 @@ macro_rules! fwd_scalar_agg {
             inner_checkpoint!();
             fn update(&mut self, pkt: &Packet) {
                 self.inner.update(pkt.timestamp(), (self.val)(pkt));
+            }
+            fn supports_scaled_updates(&self) -> bool {
+                true
+            }
+            fn update_scaled(&mut self, pkt: &Packet, scale: f64) {
+                self.inner
+                    .update_weighted(pkt.timestamp(), (self.val)(pkt), scale);
             }
             fn merge_boxed(&mut self, other: Box<dyn Aggregator>) {
                 let o = other
@@ -302,6 +321,13 @@ impl<G: ForwardDecay> Aggregator for FwdAvgAgg<G> {
     inner_checkpoint!();
     fn update(&mut self, pkt: &Packet) {
         self.inner.update(pkt.timestamp(), (self.val)(pkt));
+    }
+    fn supports_scaled_updates(&self) -> bool {
+        true
+    }
+    fn update_scaled(&mut self, pkt: &Packet, scale: f64) {
+        self.inner
+            .update_weighted(pkt.timestamp(), (self.val)(pkt), scale);
     }
     fn merge_boxed(&mut self, other: Box<dyn Aggregator>) {
         let o = other
@@ -1091,6 +1117,14 @@ impl Aggregator for MultiAgg {
     fn update(&mut self, pkt: &Packet) {
         for p in &mut self.parts {
             p.update(pkt);
+        }
+    }
+    fn supports_scaled_updates(&self) -> bool {
+        self.parts.iter().all(|p| p.supports_scaled_updates())
+    }
+    fn update_scaled(&mut self, pkt: &Packet, scale: f64) {
+        for p in &mut self.parts {
+            p.update_scaled(pkt, scale);
         }
     }
     fn merge_boxed(&mut self, other: Box<dyn Aggregator>) {

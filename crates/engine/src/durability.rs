@@ -61,6 +61,7 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use fd_core::checkpoint::{put_frame, put_u32, put_u64, read_frame, Frame, Reader};
 
@@ -573,6 +574,15 @@ pub(crate) struct DurableSink {
 /// per batch, so the bound is about ring fairness, not memory).
 const STASH_MAX: usize = 128;
 
+/// Upper bound on any single hand-off to the WAL writer's ring.
+/// Deliberately generous — orders of magnitude above a healthy writer's
+/// worst fsync — because timing out here costs durability: a writer that
+/// cannot accept a command within this bound is treated exactly like a
+/// persistent disk failure (degrade, keep streaming on in-memory
+/// supervision) rather than letting a wedged I/O call head-of-line-block
+/// the dispatcher forever.
+const WAL_SEND_DEADLINE: Duration = Duration::from_secs(10);
+
 impl std::fmt::Debug for DurableSink {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("DurableSink")
@@ -683,15 +693,16 @@ impl DurableSink {
         let mut dead = false;
         if let Some(tx) = &self.tx {
             for cmd in self.stash.drain(..) {
-                if tx.send(cmd).is_err() {
+                if tx.send_deadline(cmd, WAL_SEND_DEADLINE).is_err() {
                     dead = true;
                     break;
                 }
             }
         }
         if dead {
-            // The writer only disappears by panicking; treat that exactly
-            // like a persistent disk failure.
+            // The writer disappeared (panicked) or sat wedged past the
+            // generous deadline; treat both exactly like a persistent
+            // disk failure.
             self.degraded.store(true, Relaxed);
             self.stash.clear();
         }

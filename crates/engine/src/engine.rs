@@ -195,6 +195,43 @@ impl Engine {
         self.maybe_close_buckets();
     }
 
+    /// Offers one tuple carrying a Horvitz–Thompson scale (the `1/p`
+    /// inverse-inclusion-probability weight attached by decay-aware load
+    /// shedding). A unit scale is exactly [`process`](Engine::process);
+    /// non-unit scales take the direct high-level path, bypassing the
+    /// LFTA — its direct-mapped slots carry no scale column. High-level
+    /// groups absorb LFTA partials through the same merge
+    /// ([`absorb_partial`](Self::absorb_partial)), so mixing scaled and
+    /// unscaled tuples within a bucket stays correct.
+    pub fn process_scaled(&mut self, pkt: &Packet, scale: f64) {
+        if scale == 1.0 {
+            return self.process(pkt);
+        }
+        self.stats.tuples_in += 1;
+        if let Some(f) = &self.query.filter {
+            if !f(pkt) {
+                self.stats.filtered += 1;
+                return;
+            }
+        }
+        let bucket = pkt.ts / self.query.bucket_micros;
+        if bucket < self.closed_below {
+            self.stats.late_drops += 1;
+            return;
+        }
+        self.watermark = self.watermark.max(pkt.ts);
+        let key = (self.query.group_by)(pkt);
+        let bucket_start = bucket * self.query.bucket_micros;
+        let agg = self
+            .buckets
+            .entry(bucket)
+            .or_default()
+            .entry(key)
+            .or_insert_with(|| self.query.aggregate.make(bucket_start));
+        agg.update_scaled(pkt, scale);
+        self.maybe_close_buckets();
+    }
+
     fn absorb_partial(
         buckets: &mut BTreeMap<u64, HashMap<u64, Box<dyn Aggregator>>>,
         query: &Query,
@@ -769,6 +806,70 @@ mod tests {
         e.process_event(&StreamEvent::Punctuation(0));
         e.process_event(&StreamEvent::Data(pkt(100.0, 2)));
         assert_eq!(e.finish().len(), 1);
+    }
+
+    #[test]
+    fn scaled_tuples_reweight_linear_aggregates() {
+        use crate::aggregators::{fwd_avg_factory, fwd_sum_factory, multi_factory};
+        // One survivor fed with scale w must equal the same tuple fed w
+        // times — the Horvitz–Thompson identity, end to end through the
+        // engine (including the LFTA-bypass for scaled tuples).
+        let combo = || {
+            multi_factory(vec![
+                crate::aggregators::fwd_count_factory(Monomial::quadratic()),
+                fwd_sum_factory(Monomial::quadratic(), |p| p.len as f64),
+                fwd_avg_factory(Monomial::quadratic(), |p| p.len as f64),
+            ])
+        };
+        let q = |f| {
+            Query::builder("scaled")
+                .group_by(|p: &Packet| p.dst_host())
+                .bucket_secs(60)
+                .aggregate(f)
+                .two_level(true)
+                .lfta_slots(16)
+                .build()
+        };
+        let mut scaled = Engine::new(q(combo()));
+        let mut dup = Engine::new(q(combo()));
+        {
+            use crate::udaf::AggregatorFactory as _;
+            assert!(combo().make(0).supports_scaled_updates());
+        }
+        for i in 0..200 {
+            let p = pkt(i as f64 * 0.25, (i % 5) as u32);
+            if i % 3 == 0 {
+                scaled.process_scaled(&p, 3.0);
+                for _ in 0..3 {
+                    dup.process(&p);
+                }
+            } else {
+                scaled.process(&p);
+                dup.process(&p);
+            }
+        }
+        let (a, b) = (scaled.finish(), dup.finish());
+        assert_eq!(a.len(), b.len());
+        for (ra, rb) in a.iter().zip(&b) {
+            assert_eq!((ra.bucket_start, ra.key), (rb.bucket_start, rb.key));
+            let (pa, pb) = (ra.value.as_multi().unwrap(), rb.value.as_multi().unwrap());
+            for (va, vb) in pa.iter().zip(pb) {
+                let (x, y) = (va.as_float().unwrap(), vb.as_float().unwrap());
+                assert!((x - y).abs() <= 1e-9 * y.abs().max(1.0), "{x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn unit_scale_is_exactly_process() {
+        let mut a = Engine::new(count_query(true));
+        let mut b = Engine::new(count_query(true));
+        for i in 0..500 {
+            let p = pkt(i as f64 * 0.3, (i % 9) as u32);
+            a.process(&p);
+            b.process_scaled(&p, 1.0);
+        }
+        assert_eq!(a.finish(), b.finish());
     }
 
     #[test]

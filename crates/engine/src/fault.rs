@@ -97,6 +97,13 @@ pub enum FaultKind {
     PoisonedBatch(u64),
     /// Sleep this long before processing each batch.
     SlowShard(Duration),
+    /// Wedge (spin without consuming) when the engine's cumulative tuple
+    /// count reaches N — an infinite loop, not a crash, so supervision's
+    /// panic path never sees it. Only the stuck-shard watchdog can: the
+    /// wedged worker spins until its lease is retired, then exits with no
+    /// side effects. Transient: disarms before wedging, so the respawned
+    /// incarnation replays past the same tuple.
+    WedgeAtTuple(u64),
     /// Sabotage the durability layer's filesystem backend (see
     /// [`DiskFault`]). Ignored by shard workers; consumed by
     /// [`crate::shard::ShardedEngine`] when opening a durable store, which
@@ -119,6 +126,8 @@ impl FaultPlan {
     /// * `panic:SHARD:N` — transient panic at tuple N on shard SHARD
     /// * `poison:SHARD:N` — permanent panic at tuple N on shard SHARD
     /// * `slow:SHARD:MS` — sleep MS milliseconds per batch on shard SHARD
+    /// * `wedge:SHARD:N` — spin (stop consuming, no crash) at tuple N on
+    ///   shard SHARD until the watchdog retires the worker's lease
     /// * `disk:KIND:N` — disk fault at the Nth matching I/O operation,
     ///   KIND one of `short`, `fsync`, `corrupt`, `rename`, `enospc`
     ///   (the shard field is meaningless for disk faults and reads `0`)
@@ -157,6 +166,7 @@ impl FaultPlan {
             "panic" => FaultKind::PanicAtTuple(n),
             "poison" => FaultKind::PoisonedBatch(n),
             "slow" => FaultKind::SlowShard(Duration::from_millis(n)),
+            "wedge" => FaultKind::WedgeAtTuple(n),
             _ => return None,
         };
         Some(Self { shard, kind })
@@ -226,6 +236,13 @@ mod tests {
             Some(FaultPlan {
                 shard: 1,
                 kind: FaultKind::SlowShard(Duration::from_millis(250))
+            })
+        );
+        assert_eq!(
+            FaultPlan::parse("wedge:3:64"),
+            Some(FaultPlan {
+                shard: 3,
+                kind: FaultKind::WedgeAtTuple(64)
             })
         );
     }

@@ -28,6 +28,10 @@
 //!   batches to workers without allocating;
 //! - [`metrics`] — the CPU-load model translating measured per-tuple cost
 //!   into the load/drop curves the paper plots;
+//! - [`overload`] — the overload control plane: bounded-lag backpressure
+//!   deadlines, decay-aware shed policies with Horvitz–Thompson
+//!   reweighting, the stuck-shard watchdog lease parameters, and the
+//!   [`overload::DrainReport`] graceful shutdown contract;
 //! - [`telemetry`] — live lock-free observability for the sharded engine:
 //!   an `Arc`-shared atomic registry (queue depth, watermark lag, admission
 //!   counters), per-batch latency histograms with p50/p95/p99, and
@@ -89,6 +93,7 @@ pub mod fault;
 pub mod io;
 pub mod lfta;
 pub mod metrics;
+pub mod overload;
 pub mod processor;
 pub mod report;
 pub mod shard;
@@ -107,6 +112,7 @@ pub mod prelude {
     pub use crate::fault::{DiskFault, DiskFaultKind, FaultKind, FaultPlan};
     pub use crate::io::{FaultyFs, IoBackend, StdFs};
     pub use crate::metrics::{combine_shard_stats, cpu_load_pct, drop_fraction, LoadPoint};
+    pub use crate::overload::{DrainReport, OverloadConfig, ShedPolicy};
     pub use crate::processor::{replay, StreamProcessor};
     pub use crate::report::{rows_to_csv, rows_to_table};
     pub use crate::shard::{IngressHandle, ShardBy, ShardedEngine};

@@ -60,6 +60,16 @@ pub trait StreamProcessor {
     /// row. Idempotent where the executor supports it.
     fn finish(&mut self) -> Vec<Row>;
 
+    /// Graceful drain: flushes everything in flight, waits up to `deadline`
+    /// for queues to empty, then finishes — reporting what the shutdown
+    /// cost (sheds, wedge respawns, epochs abandoned at the deadline). The
+    /// single-threaded engine has nothing in flight, so the default simply
+    /// finishes with a clean report.
+    fn drain(&mut self, deadline: std::time::Duration) -> (Vec<Row>, crate::overload::DrainReport) {
+        let _ = deadline;
+        (self.finish(), crate::overload::DrainReport::clean())
+    }
+
     /// Execution counters so far (shard-side counters of a sharded run
     /// are complete only after [`finish`](StreamProcessor::finish)).
     fn stats(&self) -> EngineStats;
@@ -131,6 +141,10 @@ impl StreamProcessor for ShardedEngine {
 
     fn finish(&mut self) -> Vec<Row> {
         ShardedEngine::finish(self)
+    }
+
+    fn drain(&mut self, deadline: std::time::Duration) -> (Vec<Row>, crate::overload::DrainReport) {
+        ShardedEngine::drain(self, deadline)
     }
 
     fn stats(&self) -> EngineStats {

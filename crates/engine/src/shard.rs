@@ -76,7 +76,7 @@ use std::sync::atomic::AtomicBool;
 use std::sync::atomic::Ordering::Relaxed;
 use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use crate::durability::{
     recover, CommitState, DurabilityOptions, DurableSink, ProducerCommit, RecoveryReport, ReplayMsg,
@@ -84,8 +84,11 @@ use crate::durability::{
 use crate::engine::{ClosedGroup, Engine, EngineStats, Row, StreamEvent};
 use crate::fault::{FaultKind, FaultState};
 use crate::io::{FaultyFs, IoBackend};
-use crate::spsc::{ring, ring_fabric, BatchPool, RingReceiver, RingSender};
-use crate::supervisor::{backoff, CheckpointSlot, SupervisorConfig, DEFAULT_MAX_RESTARTS};
+use crate::overload::{DrainReport, OverloadConfig, ScaleColumn, ShedPolicy, Subsampler};
+use crate::spsc::{ring, ring_fabric, BatchPool, Capacity, RingReceiver, RingSender, SendError};
+use crate::supervisor::{
+    backoff, CheckpointSlot, SupervisorConfig, WorkerLease, DEFAULT_MAX_RESTARTS,
+};
 use crate::telemetry::EngineTelemetry;
 use crate::tuple::{secs, Micros, Packet, Proto};
 use crate::udaf::{Aggregator, Query};
@@ -123,6 +126,10 @@ enum Msg {
     Batch {
         seq: u64,
         pkts: Arc<Vec<Packet>>,
+        /// Horvitz–Thompson scale column from subsample shedding, pairing
+        /// each packet with its 1/p reweighting factor (`None` = all ones,
+        /// the only value outside `ShedPolicy::Subsample`).
+        scales: ScaleColumn,
         wm: Micros,
         sent: Instant,
     },
@@ -161,6 +168,9 @@ struct Seat {
     /// Restarts consumed so far, cumulative for the run.
     restarts: u32,
     degraded: bool,
+    /// The live worker incarnation's progress lease — the stuck-shard
+    /// watchdog's ground truth, replaced wholesale on every respawn.
+    lease: Arc<WorkerLease>,
     /// Defensive stash for a worker that exited *cleanly* while being
     /// reaped — not expected (a worker only exits when its channel
     /// closes), but its state must not be silently dropped if it happens.
@@ -175,6 +185,7 @@ impl Seat {
             slot: Arc::new(CheckpointSlot::default()),
             restarts: 0,
             degraded: false,
+            lease: Arc::new(WorkerLease::default()),
             early_exit: None,
         }
     }
@@ -194,22 +205,38 @@ pub const DEFAULT_BATCH_SIZE: usize = 1024;
 /// accepted-tuple count (`tuples_in`), which is checkpointed — so "tuple
 /// N" names the same logical tuple across restarts and replays, however
 /// the stream was batched.
-fn apply_batch(engine: &mut Engine, pkts: &[Packet], fault: Option<&FaultState>, shard: usize) {
+fn apply_batch(
+    engine: &mut Engine,
+    pkts: &[Packet],
+    scales: Option<&[f64]>,
+    fault: Option<&FaultState>,
+    shard: usize,
+) {
+    if let Some(sc) = scales {
+        debug_assert_eq!(sc.len(), pkts.len(), "scale column out of step");
+    }
     let trigger = fault.and_then(|f| match f.plan.kind {
         FaultKind::PanicAtTuple(n) => Some((f, n, true)),
         FaultKind::PoisonedBatch(n) => Some((f, n, false)),
-        // Disk faults live in the durability layer's I/O backend, not in
-        // the worker.
-        FaultKind::SlowShard(_) | FaultKind::Disk(_) => None,
+        // Disk faults live in the durability layer's I/O backend; slow and
+        // wedge faults fire in the worker loop, before apply.
+        FaultKind::SlowShard(_) | FaultKind::WedgeAtTuple(_) | FaultKind::Disk(_) => None,
     });
     match trigger {
-        None => {
-            for p in pkts {
-                engine.process(p);
+        None => match scales {
+            None => {
+                for p in pkts {
+                    engine.process(p);
+                }
             }
-        }
+            Some(sc) => {
+                for (p, &s) in pkts.iter().zip(sc) {
+                    engine.process_scaled(p, s);
+                }
+            }
+        },
         Some((f, n, transient)) => {
-            for p in pkts {
+            for (i, p) in pkts.iter().enumerate() {
                 if engine.stats().tuples_in + 1 >= n {
                     // A transient fault disarms *before* panicking, so the
                     // respawned worker replays past this point.
@@ -218,7 +245,10 @@ fn apply_batch(engine: &mut Engine, pkts: &[Packet], fault: Option<&FaultState>,
                     }
                     panic!("injected fault: shard {shard} worker dies at tuple {n}");
                 }
-                engine.process(p);
+                match scales {
+                    None => engine.process(p),
+                    Some(sc) => engine.process_scaled(p, sc[i]),
+                }
             }
         }
     }
@@ -241,6 +271,7 @@ fn spawn_worker(
     slot: Arc<CheckpointSlot>,
     backlog: Arc<Mutex<VecDeque<Msg>>>,
     fault: Arc<Mutex<Option<Arc<FaultState>>>>,
+    lease: Arc<WorkerLease>,
 ) -> WorkerHandle {
     std::thread::Builder::new()
         .name(format!("fd-shard-{shard}"))
@@ -262,6 +293,13 @@ fn spawn_worker(
             // checkpointing stops allocating.
             let mut spare: Vec<u8> = Vec::new();
             while let Some(msg) = rx.recv() {
+                // A retired incarnation (the watchdog abandoned it) must
+                // make no further observable moves: its messages have been
+                // replayed to the fresh incarnation, whose applies, gauge
+                // updates and checkpoint stores are the live ones now.
+                if lease.retired() {
+                    return (Vec::new(), engine.stats());
+                }
                 let live = registry.enabled();
                 let active_fault = fault
                     .lock()
@@ -270,20 +308,40 @@ fn spawn_worker(
                     .filter(|f| f.plan.shard == shard && f.armed());
                 let seq = msg.seq();
                 match msg {
-                    Msg::Batch { pkts, sent, .. } => {
-                        if let Some(FaultKind::SlowShard(d)) =
-                            active_fault.as_ref().map(|f| f.plan.kind)
-                        {
-                            std::thread::sleep(d);
+                    Msg::Batch {
+                        pkts, scales, sent, ..
+                    } => {
+                        match active_fault.as_ref().map(|f| f.plan.kind) {
+                            Some(FaultKind::SlowShard(d)) => std::thread::sleep(d),
+                            Some(FaultKind::WedgeAtTuple(n))
+                                if engine.stats().tuples_in + pkts.len() as u64 >= n =>
+                            {
+                                // Wedge: stop consuming without crashing, so
+                                // supervision's panic path never fires — only
+                                // the watchdog can notice. Disarm first
+                                // (transient), then spin until the watchdog
+                                // retires this incarnation. The triggering
+                                // batch is NOT applied; it replays to the
+                                // fresh incarnation.
+                                if let Some(f) = active_fault.as_deref() {
+                                    f.disarm();
+                                }
+                                while !lease.retired() {
+                                    std::thread::sleep(Duration::from_millis(1));
+                                }
+                                return (Vec::new(), engine.stats());
+                            }
+                            _ => {}
                         }
+                        let sc = scales.as_deref().map(|v| v.as_slice());
                         if live {
                             let t0 = Instant::now();
-                            apply_batch(&mut engine, &pkts, active_fault.as_deref(), shard);
+                            apply_batch(&mut engine, &pkts, sc, active_fault.as_deref(), shard);
                             tel.batch_ns.record(t0.elapsed().as_nanos() as u64);
                             tel.dispatch_lag_ns.record(sent.elapsed().as_nanos() as u64);
                             tel.tuples_processed.fetch_add(pkts.len() as u64, Relaxed);
                         } else {
-                            apply_batch(&mut engine, &pkts, active_fault.as_deref(), shard);
+                            apply_batch(&mut engine, &pkts, sc, active_fault.as_deref(), shard);
                         }
                         since_ckpt += pkts.len() as u64;
                         // Sole owner ⇒ unsupervised mode: hand the drained
@@ -307,6 +365,13 @@ fn spawn_worker(
                         }
                         since_ckpt += 1;
                     }
+                }
+                lease.record_progress(seq);
+                // Retired mid-apply (the watchdog just abandoned us): the
+                // fresh incarnation owns the checkpoint slot and the queue
+                // gauge from here on, so exit before touching either.
+                if lease.retired() {
+                    return (Vec::new(), engine.stats());
                 }
                 // Checkpoint at message boundaries: the snapshot then means
                 // exactly "everything up to seq applied", which is what
@@ -416,6 +481,12 @@ struct FabInner {
     /// A respawn closes these producers' fresh rings immediately so the
     /// new worker's rotation skips them exactly like the old one did.
     finished: Vec<bool>,
+    /// The live worker incarnation's progress lease (watchdog state),
+    /// replaced wholesale on every respawn.
+    lease: Arc<WorkerLease>,
+    /// Abandoned (wedged) incarnations, joined at finish/drop once they
+    /// observe their retired lease (see [`reap_zombies`]).
+    zombies: Vec<WorkerHandle>,
     /// Defensive stash for a worker that exited cleanly while being
     /// reaped (see [`Seat::early_exit`]).
     early_exit: Option<(Vec<ClosedGroup>, EngineStats)>,
@@ -482,6 +553,9 @@ struct FabShared {
     /// `producers × shards`.
     pools: Vec<BatchPool<Packet>>,
     max_restarts: u32,
+    /// The overload control plane (send deadlines, shed policy, watchdog
+    /// lease), shared by every handle's seal path and [`FabShared::send`].
+    overload: OverloadConfig,
     /// Handle end-of-run stats, one slot per producer, written by
     /// [`IngressHandle::finish`] and folded by [`ShardedEngine::finish`].
     stats_out: Mutex<Vec<Option<EngineStats>>>,
@@ -529,14 +603,67 @@ impl FabShared {
         tel.batches_sent.fetch_add(1, Relaxed);
         tel.queue_depth.fetch_add(1, Relaxed);
         self.telemetry.producers()[p].ring_depth[shard].fetch_add(1, Relaxed);
-        let sent = {
-            let slot = sh.senders[p].lock().unwrap_or_else(PoisonError::into_inner);
-            match slot.as_ref() {
-                // A sender from another generation was installed by a
-                // recovery whose replay already delivered the message
-                // pushed above — refuse it rather than send a duplicate.
-                Some((stamp, tx)) if *stamp == gen => tx.send(msg).is_ok(),
-                _ => false,
+        enum Attempt {
+            Sent,
+            Dead,
+            Full,
+        }
+        let deadline = self.overload.send_deadline;
+        let mut pending = Some(msg);
+        let sent = loop {
+            let attempt = {
+                let slot = sh.senders[p].lock().unwrap_or_else(PoisonError::into_inner);
+                match slot.as_ref() {
+                    // A sender from another generation was installed by a
+                    // recovery whose replay already delivered the message
+                    // pushed above — refuse it rather than send a duplicate.
+                    Some((stamp, tx)) if *stamp == gen => {
+                        match tx.send_deadline(pending.take().expect("message pending"), deadline) {
+                            Ok(()) => Attempt::Sent,
+                            Err(SendError::Closed(_)) => Attempt::Dead,
+                            Err(SendError::Full(m)) => {
+                                pending = Some(m);
+                                Attempt::Full
+                            }
+                        }
+                    }
+                    _ => Attempt::Dead,
+                }
+            };
+            match attempt {
+                Attempt::Sent => break true,
+                Attempt::Dead => break false,
+                Attempt::Full => {
+                    // Ring still full after a whole deadline. Releasing the
+                    // slot lock between attempts is what lets a wedge
+                    // recovery install a fresh sender: a wedged (not dead)
+                    // worker never drops its receiver, so a send that held
+                    // the lock while blocking would deadlock the recovery.
+                    let mut inner = sh.inner.lock().unwrap_or_else(PoisonError::into_inner);
+                    if inner.generation != gen {
+                        // Another handle recovered the shard meanwhile; its
+                        // replay (which ran after our backlog push above)
+                        // delivered the message.
+                        break true;
+                    }
+                    if self.supervising()
+                        && !sh.slot.unsupported()
+                        && inner.lease.is_stale(self.overload.lease)
+                    {
+                        eprintln!(
+                            "fd-shard-{shard}: worker wedged (no heartbeat for {:?}); respawning",
+                            inner.lease.stale_for()
+                        );
+                        self.recover_wedged_locked(shard, &mut inner);
+                        // The recovery's replay delivered (or its degrade
+                        // counted) the message pushed to the backlog above.
+                        break true;
+                    }
+                    // A slow — not wedged — worker: keep waiting. Lossy
+                    // fabric policies shed whole epochs at seal time,
+                    // before the backlog push; past this point the message
+                    // must be delivered or replayed.
+                }
             }
         };
         if sent {
@@ -565,9 +692,39 @@ impl FabShared {
     /// up front, so the senders [`respawn_locked`](Self::respawn_locked)
     /// installs carry the generation this recovery publishes.
     fn recover_locked(self: &Arc<Self>, shard: usize, inner: &mut FabInner) {
-        let sh = &self.shards[shard];
         inner.generation += 1;
         self.reap_locked(shard, inner);
+        self.restart_or_degrade_locked(shard, inner);
+    }
+
+    /// Wedge recovery: abandons an unresponsive — but alive — worker and
+    /// restarts the shard through the same bounded-budget path as a
+    /// crashed one. Safe Rust cannot kill a thread, so the old incarnation
+    /// is retired (its lease goes sticky-dead) and parked in
+    /// [`FabInner::zombies`]; if it ever unwedges it observes the retired
+    /// lease and exits without side effects. Caller holds `inner`; the
+    /// generation bump makes every in-flight send against the old rings
+    /// refuse or re-route exactly as for a crash recovery.
+    fn recover_wedged_locked(self: &Arc<Self>, shard: usize, inner: &mut FabInner) {
+        inner.generation += 1;
+        inner.lease.retire();
+        if let Some(handle) = inner.worker.take() {
+            if handle.is_finished() {
+                let _ = handle.join();
+            } else {
+                inner.zombies.push(handle);
+            }
+        }
+        self.telemetry.wedged_respawns.fetch_add(1, Relaxed);
+        self.restart_or_degrade_locked(shard, inner);
+    }
+
+    /// The bounded-restart tail shared by crash and wedge recovery:
+    /// respawn from the checkpoint with exponential backoff, degrading the
+    /// shard when the budget is exhausted. Caller holds `inner` and has
+    /// already bumped the generation and disposed of the old worker.
+    fn restart_or_degrade_locked(self: &Arc<Self>, shard: usize, inner: &mut FabInner) {
+        let sh = &self.shards[shard];
         let mut restored = false;
         if !sh.slot.unsupported() {
             while inner.restarts < self.max_restarts {
@@ -586,6 +743,30 @@ impl FabShared {
         }
         if !restored {
             self.degrade_locked(shard, inner);
+        }
+    }
+
+    /// Depth of producer `p`'s ring to `shard` (0 when the sender is
+    /// gone). A seal-time lag probe, racy by nature — the worker drains
+    /// concurrently — but monotone enough for a shed decision.
+    fn ring_len(&self, shard: usize, p: usize) -> usize {
+        self.shards[shard].senders[p]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .as_ref()
+            .map_or(0, |(_, tx)| tx.len())
+    }
+
+    /// Waits up to `deadline` for capacity on producer `p`'s ring to
+    /// `shard`. Sole-producer soundness holds — only handle `p` sends on
+    /// this ring, so `Ready` means the next send will not block.
+    fn ring_capacity(&self, shard: usize, p: usize, deadline: Duration) -> Capacity {
+        let slot = self.shards[shard].senders[p]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        match slot.as_ref() {
+            Some((_, tx)) => tx.wait_capacity(deadline),
+            None => Capacity::Closed,
         }
     }
 
@@ -634,12 +815,17 @@ impl FabShared {
             txs.push(tx);
             rxs.push(rx);
         }
+        // A fresh incarnation gets a fresh lease: the old one stays
+        // retired forever (any zombie still holding it keeps seeing
+        // `retired() == true`), and the watchdog clock restarts from now.
+        inner.lease = Arc::new(WorkerLease::default());
         inner.worker = Some(spawn_fabric_worker(
             shard,
             engine,
             rxs,
             Arc::clone(self),
             ckpt_seq,
+            Arc::clone(&inner.lease),
         ));
         let tel = &self.telemetry.shards()[shard];
         tel.queue_depth.store(0, Relaxed);
@@ -733,6 +919,7 @@ fn spawn_fabric_worker(
     rxs: Vec<RingReceiver<Msg>>,
     fab: Arc<FabShared>,
     start_seq: u64,
+    lease: Arc<WorkerLease>,
 ) -> WorkerHandle {
     std::thread::Builder::new()
         .name(format!("fd-shard-{shard}"))
@@ -766,6 +953,12 @@ fn spawn_fabric_worker(
                     cursor = (cursor + 1) % p_count;
                     continue;
                 };
+                // Retired (the watchdog abandoned this incarnation): the
+                // fresh incarnation replays our messages — exit before
+                // making any observable move.
+                if lease.retired() {
+                    return (Vec::new(), engine.stats());
+                }
                 let live = registry.enabled();
                 let active_fault = fab
                     .fault
@@ -773,13 +966,14 @@ fn spawn_fabric_worker(
                     .unwrap_or_else(PoisonError::into_inner)
                     .clone()
                     .filter(|f| f.plan.shard == shard && f.armed());
-                let (seq, pkts, wm, sent) = match msg {
+                let (seq, pkts, scales, wm, sent) = match msg {
                     Msg::Batch {
                         seq,
                         pkts,
+                        scales,
                         wm,
                         sent,
-                    } => (seq, pkts, wm, sent),
+                    } => (seq, pkts, scales, wm, sent),
                     // The fabric only ships epoch batches; watermarks ride
                     // inside them.
                     Msg::Punctuate { .. } => unreachable!("fabric rings carry epochs only"),
@@ -789,17 +983,33 @@ fn spawn_fabric_worker(
                     "fabric seq went backwards on shard {shard}: {seq} after {last_seq}"
                 );
                 last_seq = seq;
-                if let Some(FaultKind::SlowShard(d)) = active_fault.as_ref().map(|f| f.plan.kind) {
-                    std::thread::sleep(d);
+                match active_fault.as_ref().map(|f| f.plan.kind) {
+                    Some(FaultKind::SlowShard(d)) => std::thread::sleep(d),
+                    Some(FaultKind::WedgeAtTuple(n))
+                        if engine.stats().tuples_in + pkts.len() as u64 >= n =>
+                    {
+                        // See the single-dispatcher worker: disarm, spin
+                        // until retired, exit without applying this batch
+                        // (it replays to the fresh incarnation).
+                        if let Some(f) = active_fault.as_deref() {
+                            f.disarm();
+                        }
+                        while !lease.retired() {
+                            std::thread::sleep(Duration::from_millis(1));
+                        }
+                        return (Vec::new(), engine.stats());
+                    }
+                    _ => {}
                 }
+                let sc = scales.as_deref().map(|v| v.as_slice());
                 if live {
                     let t0 = Instant::now();
-                    apply_batch(&mut engine, &pkts, active_fault.as_deref(), shard);
+                    apply_batch(&mut engine, &pkts, sc, active_fault.as_deref(), shard);
                     tel.batch_ns.record(t0.elapsed().as_nanos() as u64);
                     tel.dispatch_lag_ns.record(sent.elapsed().as_nanos() as u64);
                     tel.tuples_processed.fetch_add(pkts.len() as u64, Relaxed);
                 } else {
-                    apply_batch(&mut engine, &pkts, active_fault.as_deref(), shard);
+                    apply_batch(&mut engine, &pkts, sc, active_fault.as_deref(), shard);
                 }
                 // Epochs count their batch plus the embedded watermark as
                 // tuple-equivalents, so idle shards still checkpoint.
@@ -827,6 +1037,12 @@ fn spawn_fabric_worker(
                             tel.lfta_occupancy.store(occ as u64, Relaxed);
                         }
                     }
+                }
+                lease.record_progress(seq);
+                // Retired mid-apply: the fresh incarnation owns the
+                // checkpoint slot and the gauges from here on.
+                if lease.retired() {
+                    return (Vec::new(), engine.stats());
                 }
                 let every = fab.config.checkpoint_every.load(Relaxed);
                 if !staggered && every > 0 {
@@ -921,6 +1137,9 @@ pub struct IngressHandle {
     /// Epochs sealed so far; the next seal ships seq
     /// `epochs · P + producer + 1`.
     epochs: u64,
+    /// This producer's decay-aware thinning stage, present only under
+    /// [`ShedPolicy::Subsample`].
+    subsampler: Option<Subsampler>,
     rr: usize,
     watermark: Micros,
     /// Closed boundary in timestamp space (`closed_below · bucket_micros`).
@@ -940,6 +1159,15 @@ impl IngressHandle {
         fab: &Arc<FabShared>,
     ) -> Self {
         let n_shards = fab.shards.len();
+        let subsampler = match fab.overload.policy {
+            ShedPolicy::Subsample { target_rate } => Some(Subsampler::new(
+                fab.overload.decay.clone(),
+                query.bucket_micros,
+                target_rate,
+                fab.overload.seed ^ (producer as u64).wrapping_mul(0xA076_1D64_78BD_642F),
+            )),
+            _ => None,
+        };
         Self {
             producer,
             query,
@@ -950,6 +1178,7 @@ impl IngressHandle {
             pool: fab.pools[producer].clone(),
             batch_size,
             epochs: 0,
+            subsampler,
             rr: 0,
             watermark: 0,
             closed_low: 0,
@@ -1060,10 +1289,74 @@ impl IngressHandle {
 
     fn seal_logged(&mut self, mut durable: Option<&mut DurableSink>) -> Result<(), fd_core::Error> {
         let p_count = self.fab.producers;
+        let n_shards = self.staging.len();
+        let policy = self.fab.overload.policy;
+        let deadline = self.fab.overload.send_deadline;
+        let budget = self.fab.overload.lag_budget.min(FABRIC_RING_DEPTH);
+        // Lossy shedding happens HERE, before a seq is assigned or any
+        // message ships: the fabric's per-shard apply order is keyed by
+        // dense per-producer seqs, so dropping a single (producer, shard)
+        // message would wedge every worker's strict rotation. DropOldest
+        // therefore sheds the WHOLE epoch when any live shard's ring stays
+        // full past the deadline (the seq is reused by the next seal —
+        // density preserved); Subsample thins the staged batches in place
+        // and ships the epoch normally, with its scale columns. Lossy
+        // policies are refused for durable runs at config time, so the WAL
+        // never has to distinguish a shed epoch from a missing one.
+        match policy {
+            ShedPolicy::Block => {}
+            ShedPolicy::DropOldest => {
+                let stalled = (0..n_shards).any(|s| {
+                    !self.fab.shards[s].degraded.load(Relaxed)
+                        && !self.staging[s].is_empty()
+                        && matches!(
+                            self.fab.ring_capacity(s, self.producer, deadline),
+                            Capacity::TimedOut
+                        )
+                });
+                if stalled {
+                    let mut shed = 0u64;
+                    for stage in &mut self.staging {
+                        shed += stage.len() as u64;
+                        stage.clear();
+                    }
+                    self.fab.telemetry.shed_tuples.fetch_add(shed, Relaxed);
+                    self.fab.telemetry.shed_batches.fetch_add(1, Relaxed);
+                    self.fab.telemetry.producers()[self.producer]
+                        .shed_tuples
+                        .fetch_add(shed, Relaxed);
+                    return Ok(());
+                }
+            }
+            ShedPolicy::Subsample { .. } => {}
+        }
+        let mut scale_cols: Vec<ScaleColumn> = vec![None; n_shards];
+        if let Some(mut sub) = self.subsampler.take() {
+            let mut sc = Vec::new();
+            for (shard, col) in scale_cols.iter_mut().enumerate() {
+                if self.staging[shard].is_empty()
+                    || self.fab.ring_len(shard, self.producer) < budget
+                {
+                    continue;
+                }
+                let shed = sub.thin(&mut self.staging[shard], &mut sc);
+                *col = Some(Arc::new(std::mem::take(&mut sc)));
+                if shed > 0 {
+                    self.fab.telemetry.shed_tuples.fetch_add(shed, Relaxed);
+                    self.fab.telemetry.shards()[shard]
+                        .shed_tuples
+                        .fetch_add(shed, Relaxed);
+                    self.fab.telemetry.producers()[self.producer]
+                        .shed_tuples
+                        .fetch_add(shed, Relaxed);
+                }
+            }
+            self.subsampler = Some(sub);
+        }
         let seq = self.epochs * p_count as u64 + self.producer as u64 + 1;
         self.epochs += 1;
         let wm = self.watermark;
-        for shard in 0..self.staging.len() {
+        for (shard, col) in scale_cols.iter_mut().enumerate() {
             let pkts = if self.staging[shard].is_empty() {
                 // Nothing staged: ship the bare epoch marker without
                 // churning a pooled buffer through the ring.
@@ -1080,6 +1373,7 @@ impl IngressHandle {
             let msg = Msg::Batch {
                 seq,
                 pkts,
+                scales: col.take(),
                 wm,
                 sent: Instant::now(),
             };
@@ -1216,6 +1510,18 @@ pub struct ShardedEngine {
     config: Arc<SupervisorConfig>,
     /// Per-shard restart budget before degradation.
     max_restarts: u32,
+    /// The overload control plane: shed policy, bounded-lag send
+    /// deadline, lag budget, watchdog lease. Always present — the default
+    /// is lossless `Block` with a long lease, which preserves the
+    /// pre-overload semantics while still bounding every hot-path send.
+    overload: OverloadConfig,
+    /// Per-shard thinning stages, non-empty only under
+    /// [`ShedPolicy::Subsample`] in single-dispatcher mode (the fabric's
+    /// handles each own their own).
+    subsamplers: Vec<Subsampler>,
+    /// Abandoned (wedged) worker incarnations, joined at finish/drop once
+    /// they observe their retired lease (see [`reap_zombies`]).
+    zombies: Vec<WorkerHandle>,
     /// Injected fault, if any (shared with every worker incarnation).
     fault: Arc<Mutex<Option<Arc<FaultState>>>>,
     /// The durability writer, when [`ShardedEngine::try_durable`] opened a
@@ -1287,6 +1593,7 @@ impl ShardedEngine {
                 Arc::clone(&seat.slot),
                 Arc::clone(&seat.backlog),
                 Arc::clone(&fault),
+                Arc::clone(&seat.lease),
             );
             senders.push(Some(tx));
             workers.push(Some(handle));
@@ -1310,6 +1617,9 @@ impl ShardedEngine {
             telemetry,
             config,
             max_restarts: DEFAULT_MAX_RESTARTS,
+            overload: OverloadConfig::default(),
+            subsamplers: Vec::new(),
+            zombies: Vec::new(),
             fault,
             durable: None,
             fabric: None,
@@ -1443,6 +1753,65 @@ impl ShardedEngine {
         self
     }
 
+    /// Configures the overload control plane (see [`crate::overload`]):
+    /// the shed policy, the bounded-lag send deadline, the per-shard lag
+    /// budget, and the stuck-shard watchdog lease. The default is
+    /// lossless — [`ShedPolicy::Block`] with a
+    /// [`DEFAULT_SEND_DEADLINE`](crate::overload::DEFAULT_SEND_DEADLINE)
+    /// re-check cadence and a
+    /// [`DEFAULT_LEASE`](crate::overload::DEFAULT_LEASE) watchdog lease.
+    ///
+    /// [`ShedPolicy::Subsample`] is refused for queries whose aggregate
+    /// cannot apply Horvitz–Thompson scaled updates (anything beyond the
+    /// decayed counts, sums and averages): thinned tuples would *bias*
+    /// such summaries instead of reweighting them. Must be called before
+    /// any tuple is processed, before
+    /// [`try_producers`](Self::try_producers) (the fabric handles capture
+    /// the config at construction) and before
+    /// [`try_durable`](Self::try_durable) (which refuses lossy policies
+    /// outright — a WAL must log what was admitted, not what survived a
+    /// shed).
+    pub fn try_overload(mut self, cfg: OverloadConfig) -> Result<Self, fd_core::Error> {
+        assert_eq!(
+            self.stats.tuples_in, 0,
+            "configure overload before processing"
+        );
+        assert!(
+            self.fabric.is_none(),
+            "call try_overload before try_producers"
+        );
+        assert!(
+            self.durable.is_none(),
+            "call try_overload before try_durable"
+        );
+        self.subsamplers = match cfg.policy {
+            ShedPolicy::Subsample { target_rate } => {
+                if !self.query.aggregate.make(0).supports_scaled_updates() {
+                    return Err(fd_core::Error::InvalidParameter {
+                        name: "shed_policy",
+                        value: target_rate,
+                        requirement: "paired with an aggregate supporting \
+                                      Horvitz-Thompson scaled updates \
+                                      (decayed count/sum/avg)",
+                    });
+                }
+                (0..self.n_shards())
+                    .map(|s| {
+                        Subsampler::new(
+                            cfg.decay.clone(),
+                            self.query.bucket_micros,
+                            target_rate,
+                            cfg.seed ^ (s as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                        )
+                    })
+                    .collect()
+            }
+            _ => Vec::new(),
+        };
+        self.overload = cfg;
+        Ok(self)
+    }
+
     /// Arms a deterministic fault in one shard worker (see
     /// [`crate::fault`]) — the hook the recovery tests and the CI fault
     /// matrix drive. Must be called before any tuple is processed; panics
@@ -1514,6 +1883,8 @@ impl ShardedEngine {
                     restarts: 0,
                     generation: 0,
                     finished: vec![false; producers],
+                    lease: Arc::new(WorkerLease::default()),
+                    zombies: Vec::new(),
                     early_exit: None,
                 }),
                 degraded: AtomicBool::new(false),
@@ -1528,6 +1899,7 @@ impl ShardedEngine {
             worker_query: self.worker_query.clone(),
             pools: (0..producers).map(|_| BatchPool::new(0)).collect(),
             max_restarts: self.max_restarts,
+            overload: self.overload.clone(),
             stats_out: Mutex::new(vec![None; producers]),
         });
         self.fabric = Some(Arc::clone(&fab));
@@ -1536,12 +1908,19 @@ impl ShardedEngine {
         for (shard, rxs) in receivers.into_iter().enumerate() {
             let mut engine = Engine::new(self.worker_query.clone());
             engine.keep_closed_state();
-            let worker = spawn_fabric_worker(shard, engine, rxs, Arc::clone(&fab), 0);
-            fab.shards[shard]
+            let mut inner = fab.shards[shard]
                 .inner
                 .lock()
-                .unwrap_or_else(PoisonError::into_inner)
-                .worker = Some(worker);
+                .unwrap_or_else(PoisonError::into_inner);
+            let lease = Arc::clone(&inner.lease);
+            inner.worker = Some(spawn_fabric_worker(
+                shard,
+                engine,
+                rxs,
+                Arc::clone(&fab),
+                0,
+                lease,
+            ));
         }
         for (p, row) in senders.into_iter().enumerate() {
             for (shard, tx) in row.into_iter().enumerate() {
@@ -1631,6 +2010,14 @@ impl ShardedEngine {
                 requirement: "durability persists checkpoints; supervision must be on",
             });
         }
+        if self.overload.policy.is_lossy() {
+            return Err(fd_core::Error::InvalidParameter {
+                name: "shed_policy",
+                value: 0.0,
+                requirement: "durable stores are lossless; \
+                              overload shedding must be ShedPolicy::Block",
+            });
+        }
         let dir = dir.as_ref();
         let io: Arc<dyn IoBackend> = {
             let armed = self
@@ -1689,6 +2076,7 @@ impl ShardedEngine {
                                 log.push_back(Msg::Batch {
                                     seq: *seq,
                                     pkts: Arc::new(pkts.clone()),
+                                    scales: None,
                                     wm: *wm,
                                     sent: Instant::now(),
                                 });
@@ -1815,6 +2203,7 @@ impl ShardedEngine {
                             rows[((seq - 1) % p_count as u64) as usize].push_back(Msg::Batch {
                                 seq: *seq,
                                 pkts: Arc::new(pkts.clone()),
+                                scales: None,
                                 wm: *wm,
                                 sent: Instant::now(),
                             });
@@ -2300,7 +2689,19 @@ impl ShardedEngine {
 
     /// Ships one batch to a shard (or counts it dropped if the shard is
     /// degraded), recovering the worker if the send finds it dead.
-    fn dispatch_batch(&mut self, shard: usize, pkts: Vec<Packet>) -> Result<(), fd_core::Error> {
+    fn dispatch_batch(
+        &mut self,
+        shard: usize,
+        mut pkts: Vec<Packet>,
+    ) -> Result<(), fd_core::Error> {
+        let mut scales: Option<Vec<f64>> = None;
+        let displace = if self.seats[shard].degraded {
+            false
+        } else {
+            self.admit_batch(shard, &mut pkts, &mut scales)
+        };
+        // Re-checked after admission: the watchdog may have degraded the
+        // shard while we waited for capacity.
         if self.seats[shard].degraded {
             self.telemetry
                 .dropped_degraded
@@ -2308,10 +2709,17 @@ impl ShardedEngine {
             self.pool.put(pkts);
             return Ok(());
         }
+        if pkts.is_empty() {
+            // Subsampling shed the whole batch: nothing to ship, and no
+            // seq is assigned (the sheds are already counted).
+            self.pool.put(pkts);
+            return Ok(());
+        }
         let seq = self.next_seq(shard);
         let msg = Msg::Batch {
             seq,
             pkts: Arc::new(pkts),
+            scales: scales.map(Arc::new),
             wm: 0,
             sent: Instant::now(),
         };
@@ -2322,7 +2730,7 @@ impl ShardedEngine {
         let tel = &self.telemetry.shards()[shard];
         tel.batches_sent.fetch_add(1, Relaxed);
         tel.queue_depth.fetch_add(1, Relaxed);
-        self.dispatch(shard, msg)
+        self.dispatch(shard, msg, displace)
     }
 
     /// Ships one punctuation to a shard (skipped when degraded),
@@ -2331,17 +2739,188 @@ impl ShardedEngine {
         if self.seats[shard].degraded {
             return Ok(());
         }
+        let displace = self.admit_punct(shard);
+        if self.seats[shard].degraded {
+            return Ok(());
+        }
         let seq = self.next_seq(shard);
         let msg = Msg::Punctuate { seq, wm };
         let tel = &self.telemetry.shards()[shard];
         tel.punctuations_sent.fetch_add(1, Relaxed);
         tel.queue_depth.fetch_add(1, Relaxed);
-        self.dispatch(shard, msg)
+        self.dispatch(shard, msg, displace)
     }
 
-    /// Retains the message in the backlog (supervised mode), sends it, and
-    /// runs the recovery protocol if the worker turns out to be dead.
-    fn dispatch(&mut self, shard: usize, msg: Msg) -> Result<(), fd_core::Error> {
+    /// Bounded-lag admission for one batch: waits for ring capacity in
+    /// deadline-sized slices, runs the stuck-shard watchdog between
+    /// slices, and applies the shed policy once the shard has stayed full
+    /// past a whole deadline. Returns `true` when the caller must use a
+    /// displacing send (`DropOldest` decided to shed the oldest queued
+    /// message). `Ready` capacity is stable: this thread is the ring's
+    /// only producer, so the send that follows never blocks.
+    fn admit_batch(
+        &mut self,
+        shard: usize,
+        pkts: &mut Vec<Packet>,
+        scales: &mut Option<Vec<f64>>,
+    ) -> bool {
+        // Under `Subsample`, thin as soon as the shard sits at or past its
+        // lag budget — before the ring is even full. The budget clamps to
+        // the ring depth, so the default (usize::MAX) engages thinning
+        // only when the ring is actually full past the deadline.
+        let budget = self.overload.lag_budget.min(CHANNEL_DEPTH);
+        let mut thinned = false;
+        loop {
+            let (cap, depth) = match &self.senders[shard] {
+                Some(tx) => (tx.wait_capacity(self.overload.send_deadline), tx.len()),
+                // Worker gone: let `dispatch` discover it and run the
+                // normal recovery protocol.
+                None => return false,
+            };
+            match cap {
+                Capacity::Ready => {
+                    if !thinned && !self.subsamplers.is_empty() && depth >= budget {
+                        self.thin(shard, pkts, scales);
+                    }
+                    return false;
+                }
+                // A closed ring means the worker died; the send below
+                // discovers it and recovers.
+                Capacity::Closed => return false,
+                Capacity::TimedOut => {
+                    if self.watchdog(shard) {
+                        // The watchdog respawned (or degraded) the shard;
+                        // re-evaluate against the fresh — empty — ring.
+                        continue;
+                    }
+                    match self.overload.policy {
+                        // Lossless: keep waiting, one deadline at a time.
+                        ShedPolicy::Block => {}
+                        ShedPolicy::DropOldest => return true,
+                        ShedPolicy::Subsample { .. } => {
+                            if !thinned {
+                                thinned = true;
+                                self.thin(shard, pkts, scales);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// [`admit_batch`](Self::admit_batch) for punctuations: no payload to
+    /// thin, so `Subsample` degenerates to `Block` (the ring drains in
+    /// bounded time once thinning relieves the batches) and only
+    /// `DropOldest` requests a displacing send.
+    fn admit_punct(&mut self, shard: usize) -> bool {
+        loop {
+            let cap = match &self.senders[shard] {
+                Some(tx) => tx.wait_capacity(self.overload.send_deadline),
+                None => return false,
+            };
+            match cap {
+                Capacity::Ready | Capacity::Closed => return false,
+                Capacity::TimedOut => {
+                    if self.watchdog(shard) {
+                        continue;
+                    }
+                    if matches!(self.overload.policy, ShedPolicy::DropOldest) {
+                        return true;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Runs the shard's decay-aware thinning stage over a staged batch,
+    /// recording the shed in telemetry. Only called with a non-empty
+    /// subsampler set (`ShedPolicy::Subsample`).
+    fn thin(&mut self, shard: usize, pkts: &mut Vec<Packet>, scales: &mut Option<Vec<f64>>) {
+        let mut sc = Vec::new();
+        let shed = self.subsamplers[shard].thin(pkts, &mut sc);
+        *scales = Some(sc);
+        if shed > 0 {
+            self.telemetry.shed_tuples.fetch_add(shed, Relaxed);
+            self.telemetry.shards()[shard]
+                .shed_tuples
+                .fetch_add(shed, Relaxed);
+        }
+    }
+
+    /// The stuck-shard watchdog: a worker whose ring has been full for a
+    /// whole send deadline AND whose lease heartbeat has gone stale is
+    /// declared wedged and replaced. Returns `true` when it acted
+    /// (respawned or degraded the shard) so the caller re-evaluates
+    /// capacity; `false` means the worker is slow but alive — keep
+    /// applying the shed policy.
+    fn watchdog(&mut self, shard: usize) -> bool {
+        if !self.supervising() || !self.seats[shard].lease.is_stale(self.overload.lease) {
+            return false;
+        }
+        self.wedge_respawn(shard);
+        true
+    }
+
+    /// Abandons a wedged worker incarnation and brings up a fresh one
+    /// through the normal checkpoint + backlog replay path, spending
+    /// restarts from the shard's budget. Safe Rust cannot kill a thread:
+    /// the zombie is parked and joined at finish/drop once it observes its
+    /// retired lease (or detached if it never does).
+    fn wedge_respawn(&mut self, shard: usize) {
+        eprintln!(
+            "fd-shard-{shard}: worker wedged (no heartbeat for {:?}); respawning",
+            self.seats[shard].lease.stale_for()
+        );
+        self.seats[shard].lease.retire();
+        self.senders[shard] = None;
+        if let Some(handle) = self.workers[shard].take() {
+            if handle.is_finished() {
+                let _ = handle.join();
+            } else {
+                self.zombies.push(handle);
+            }
+        }
+        self.telemetry.wedged_respawns.fetch_add(1, Relaxed);
+        if self.seats[shard].slot.unsupported() || !self.try_restart(shard) {
+            self.degrade(shard);
+        }
+    }
+
+    /// Accounts for a message displaced off a full ring by `DropOldest`:
+    /// purges it from the replay backlog (it will never be applied, so it
+    /// must not be replayed either), counts the shed, and recycles its
+    /// buffer.
+    fn shed_displaced(&mut self, shard: usize, old: Msg) {
+        let dseq = old.seq();
+        self.telemetry.shards()[shard]
+            .queue_depth
+            .fetch_sub(1, Relaxed);
+        if self.supervising() && !self.seats[shard].slot.unsupported() {
+            self.seats[shard]
+                .backlog
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .retain(|m| m.seq() != dseq);
+        }
+        if let Msg::Batch { pkts, .. } = old {
+            let shed = pkts.len() as u64;
+            self.telemetry.shed_tuples.fetch_add(shed, Relaxed);
+            self.telemetry.shed_batches.fetch_add(1, Relaxed);
+            self.telemetry.shards()[shard]
+                .shed_tuples
+                .fetch_add(shed, Relaxed);
+            if let Ok(buf) = Arc::try_unwrap(pkts) {
+                self.pool.put(buf);
+            }
+        }
+    }
+
+    /// Retains the message in the backlog (supervised mode), sends it
+    /// (displacing the oldest queued message when `displace` — the
+    /// `DropOldest` verdict from admission), and runs the recovery
+    /// protocol if the worker turns out to be dead.
+    fn dispatch(&mut self, shard: usize, msg: Msg, displace: bool) -> Result<(), fd_core::Error> {
         if self.supervising() && !self.seats[shard].slot.unsupported() {
             // Clone into the backlog *before* sending, so the failed
             // message itself is replayable. This push is the dispatch
@@ -2363,10 +2942,23 @@ impl ShardedEngine {
                 Msg::Punctuate { seq, wm } => d.punct(shard, *seq, *wm),
             }
         }
+        let mut displaced = None;
         let alive = match &self.senders[shard] {
+            // Admission's `DropOldest` verdict: bump the oldest queued
+            // message out of the full ring instead of waiting behind it.
+            Some(tx) if displace => match tx.send_displacing(msg) {
+                Ok(old) => {
+                    displaced = old;
+                    true
+                }
+                Err(_) => false,
+            },
             Some(tx) => tx.send(msg).is_ok(),
             None => false,
         };
+        if let Some(old) = displaced {
+            self.shed_displaced(shard, old);
+        }
         if alive {
             return Ok(());
         }
@@ -2443,6 +3035,9 @@ impl ShardedEngine {
             }
         };
         let (tx, rx) = ring::<Msg>(CHANNEL_DEPTH);
+        // A fresh incarnation gets a fresh lease; the retired one stays
+        // with any zombie still holding it.
+        self.seats[shard].lease = Arc::new(WorkerLease::default());
         let handle = spawn_worker(
             shard,
             engine,
@@ -2453,6 +3048,7 @@ impl ShardedEngine {
             Arc::clone(&self.seats[shard].slot),
             Arc::clone(&self.seats[shard].backlog),
             Arc::clone(&self.fault),
+            Arc::clone(&self.seats[shard].lease),
         );
         self.workers[shard] = Some(handle);
         self.senders[shard] = Some(tx);
@@ -2515,6 +3111,105 @@ impl ShardedEngine {
         }
         self.telemetry.dropped_degraded.fetch_add(dropped, Relaxed);
         self.telemetry.shards()[shard].queue_depth.store(0, Relaxed);
+    }
+
+    /// Graceful drain: seals ingress, flushes every staged tuple, waits up
+    /// to `deadline` for all shard queues to empty, then finishes the run
+    /// and reports exactly what the shutdown cost. A shard still lagging at
+    /// the deadline is abandoned — its worker retired, its state salvaged
+    /// from the last checkpoint — rather than blocking shutdown forever,
+    /// and the loss shows up in the report's `per_shard_lag` /
+    /// `unflushed_epochs` instead of vanishing.
+    ///
+    /// Coordinator mode only: callers running taken ingress handles on
+    /// their own threads must [`IngressHandle::finish`] them first.
+    pub fn drain(&mut self, deadline: Duration) -> (Vec<Row>, DrainReport) {
+        let mut report = DrainReport {
+            per_shard_lag: vec![0; self.n_shards()],
+            ..DrainReport::default()
+        };
+        if self.done {
+            return (Vec::new(), report);
+        }
+        // Seal: push every staged tuple into the rings. Errors here mean a
+        // shard is already beyond saving; the finish below salvages it.
+        let flushed = if self.fabric.is_some() {
+            self.flush_fab_chunk()
+        } else {
+            self.sync_watermark()
+        };
+        if let Err(e) = flushed {
+            eprintln!("fd-drain: final flush failed: {e}");
+        }
+        let give_up = Instant::now() + deadline;
+        loop {
+            let lag: u64 = (0..self.n_shards())
+                .map(|s| self.telemetry.shards()[s].queue_depth.load(Relaxed))
+                .sum();
+            if lag == 0 {
+                break;
+            }
+            if Instant::now() >= give_up {
+                report.deadline_expired = true;
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        if report.deadline_expired {
+            for shard in 0..self.n_shards() {
+                let lag = self.telemetry.shards()[shard].queue_depth.load(Relaxed);
+                if lag > 0 {
+                    report.per_shard_lag[shard] = lag;
+                    report.unflushed_epochs += lag;
+                    self.abandon_shard(shard);
+                }
+            }
+        }
+        let rows = self.finish();
+        report.shed_tuples = self.telemetry.shed_tuples.load(Relaxed);
+        report.shed_batches = self.telemetry.shed_batches.load(Relaxed);
+        report.wedged_respawns = self.telemetry.wedged_respawns.load(Relaxed);
+        (rows, report)
+    }
+
+    /// Abandons a shard that failed to drain by its deadline: retires the
+    /// worker's lease, parks the thread as a zombie (it may be blocked on
+    /// a full downstream or genuinely wedged), and degrades the shard so
+    /// [`ShardedEngine::finish`] salvages its last checkpoint. The join
+    /// result of an already-exited worker is deliberately discarded —
+    /// folding it *and* the checkpoint salvage would double-count.
+    fn abandon_shard(&mut self, shard: usize) {
+        if let Some(fab) = self.fabric.as_ref().map(Arc::clone) {
+            let sh = &fab.shards[shard];
+            if sh.degraded.load(Relaxed) {
+                return;
+            }
+            let mut inner = sh.inner.lock().unwrap_or_else(PoisonError::into_inner);
+            inner.generation += 1;
+            inner.lease.retire();
+            if let Some(handle) = inner.worker.take() {
+                if handle.is_finished() {
+                    let _ = handle.join();
+                } else {
+                    inner.zombies.push(handle);
+                }
+            }
+            fab.degrade_locked(shard, &mut inner);
+            return;
+        }
+        if self.seats[shard].degraded {
+            return;
+        }
+        self.seats[shard].lease.retire();
+        self.senders[shard] = None;
+        if let Some(handle) = self.workers[shard].take() {
+            if handle.is_finished() {
+                let _ = handle.join();
+            } else {
+                self.zombies.push(handle);
+            }
+        }
+        self.degrade(shard);
     }
 
     /// Ends the stream: flushes all shards, merges their closed buckets,
@@ -2585,6 +3280,7 @@ impl ShardedEngine {
                 }
             }
         }
+        reap_zombies(&mut self.zombies);
         // All workers have drained and published their last checkpoints:
         // flush the WAL, persist what the last commit covers, and commit a
         // final manifest, so a cleanly-finished store recovers instantly.
@@ -2657,7 +3353,16 @@ impl ShardedEngine {
                     }
                 }
             }
+            let mut zombies = std::mem::take(
+                &mut sh
+                    .inner
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .zombies,
+            );
+            reap_zombies(&mut zombies);
         }
+        reap_zombies(&mut self.zombies);
         if let Some(d) = self.durable.as_mut() {
             d.finish();
         }
@@ -2790,12 +3495,10 @@ impl Drop for ShardedEngine {
                 for slot in &sh.senders {
                     *slot.lock().unwrap_or_else(PoisonError::into_inner) = None;
                 }
-                let handle = sh
-                    .inner
-                    .lock()
-                    .unwrap_or_else(PoisonError::into_inner)
-                    .worker
-                    .take();
+                let (handle, mut zombies) = {
+                    let mut inner = sh.inner.lock().unwrap_or_else(PoisonError::into_inner);
+                    (inner.worker.take(), std::mem::take(&mut inner.zombies))
+                };
                 if let Some(handle) = handle {
                     if let Err(payload) = handle.join() {
                         self.telemetry.worker_panics.fetch_add(1, Relaxed);
@@ -2805,7 +3508,28 @@ impl Drop for ShardedEngine {
                         );
                     }
                 }
+                reap_zombies(&mut zombies);
             }
+        }
+        reap_zombies(&mut self.zombies);
+    }
+}
+
+/// Joins retired (zombie) worker incarnations, giving each a short grace
+/// period to notice its retired lease and exit. A thread still running
+/// after the grace period is detached by dropping its handle — safe Rust
+/// cannot kill it, and blocking shutdown on a genuinely wedged thread
+/// would turn a shed into a hang. Join results are discarded: a retired
+/// incarnation's state is stale by construction (its unapplied messages
+/// were replayed to its successor).
+fn reap_zombies(zombies: &mut Vec<WorkerHandle>) {
+    for handle in zombies.drain(..) {
+        let give_up = Instant::now() + Duration::from_millis(250);
+        while !handle.is_finished() && Instant::now() < give_up {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        if handle.is_finished() {
+            let _ = handle.join();
         }
     }
 }
@@ -3561,5 +4285,145 @@ mod tests {
         let handles = e3.take_ingress_handles();
         drop(handles);
         drop(e3);
+    }
+
+    fn fwd_query() -> Query {
+        Query::builder("fwd")
+            .group_by(|p| p.dst_host())
+            .bucket_secs(60)
+            .aggregate(fwd_sum_factory(Monomial::quadratic(), |p| p.len as f64))
+            .two_level(false)
+            .build()
+    }
+
+    #[test]
+    fn try_overload_rejects_subsample_for_unscalable_aggregates() {
+        // Undecayed count(*) refuses Horvitz–Thompson reweighting, so the
+        // builder must reject Subsample for it at configuration time …
+        let cfg = OverloadConfig {
+            policy: ShedPolicy::Subsample { target_rate: 0.5 },
+            ..OverloadConfig::default()
+        };
+        assert!(matches!(
+            sharded(count_query(), 2).try_overload(cfg.clone()),
+            Err(fd_core::Error::InvalidParameter {
+                name: "shed_policy",
+                ..
+            })
+        ));
+        // … while a decayed linear aggregate accepts it, and the lossless
+        // policies are accepted for any aggregate.
+        assert!(sharded(fwd_query(), 2).try_overload(cfg).is_ok());
+        let block = OverloadConfig::default();
+        assert!(sharded(count_query(), 2).try_overload(block).is_ok());
+    }
+
+    #[test]
+    fn default_block_policy_sheds_nothing() {
+        let stream: Vec<Packet> = (0..5_000)
+            .map(|i| pkt(0.01 * i as f64, (i % 13) as u32))
+            .collect();
+        let single = Engine::new(count_query()).run(stream.clone());
+        let mut e = sharded(count_query(), 3);
+        let rows = e.run(stream);
+        assert_eq!(single.len(), rows.len());
+        let snap = e.telemetry().snapshot();
+        assert_eq!(snap.shed_tuples, 0);
+        assert_eq!(snap.shed_batches, 0);
+        assert_eq!(snap.wedged_respawns, 0);
+    }
+
+    #[test]
+    fn drop_oldest_sheds_bounded_and_completes_under_slow_shard() {
+        // One shard, deliberately slow worker (10 ms per batch), 2 ms send
+        // deadline: the ring fills, and DropOldest must displace old
+        // batches instead of stalling ingress — visibly, in telemetry.
+        let stream: Vec<Packet> = (0..1_280)
+            .map(|i| pkt(0.001 * i as f64, (i % 5) as u32))
+            .collect();
+        let cfg = OverloadConfig {
+            policy: ShedPolicy::DropOldest,
+            send_deadline: Duration::from_millis(2),
+            ..OverloadConfig::default()
+        };
+        let started = Instant::now();
+        let mut e = sharded(count_query(), 1)
+            .batch_size(16)
+            .try_overload(cfg)
+            .expect("overload config")
+            .inject_fault(FaultPlan::parse("slow:0:10").expect("plan"));
+        let rows = e.run(stream);
+        assert!(!rows.is_empty(), "shedding must not lose whole buckets");
+        let snap = e.telemetry().snapshot();
+        assert!(snap.shed_batches > 0, "ring pressure must displace batches");
+        assert!(
+            snap.shed_tuples >= snap.shed_batches,
+            "batches carry tuples"
+        );
+        assert_eq!(snap.wedged_respawns, 0, "slow is not wedged");
+        assert_eq!(snap.degraded_shards, 0);
+        // 80 batches at 10 ms each would take 800 ms fully blocked; the
+        // sheds must buy a visibly bounded ingress stall.
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "DropOldest must bound the run"
+        );
+    }
+
+    #[test]
+    fn drain_on_healthy_engine_reports_clean() {
+        let stream: Vec<Packet> = (0..3_000)
+            .map(|i| pkt(0.01 * i as f64, (i % 7) as u32))
+            .collect();
+        let single = Engine::new(count_query()).run(stream.clone());
+        let mut e = sharded(count_query(), 2);
+        for p in &stream {
+            e.process(p);
+        }
+        let (rows, report) = e.drain(Duration::from_secs(10));
+        assert_eq!(single.len(), rows.len());
+        assert!(!report.deadline_expired);
+        assert!(!report.data_lost());
+        assert_eq!(report.unflushed_epochs, 0);
+        assert!(report.per_shard_lag.iter().all(|&l| l == 0));
+        // A second drain on a finished engine is a no-op.
+        let (rows2, report2) = e.drain(Duration::from_secs(1));
+        assert!(rows2.is_empty());
+        assert!(!report2.data_lost());
+    }
+
+    #[test]
+    fn watchdog_respawns_wedged_worker_losslessly() {
+        // The worker wedges (spins, no crash) at tuple 64. Supervision's
+        // panic path never fires; only the watchdog can see it: ring full
+        // past the deadline + stale lease. The respawned incarnation
+        // replays the backlog, so the result is bit-identical to a clean
+        // run under the lossless Block policy.
+        let stream: Vec<Packet> = (0..4_000)
+            .map(|i| pkt(0.002 * i as f64, (i % 11) as u32))
+            .collect();
+        let clean = Engine::new(count_query()).run(stream.clone());
+        let cfg = OverloadConfig {
+            send_deadline: Duration::from_millis(5),
+            lease: Duration::from_millis(50),
+            ..OverloadConfig::default()
+        };
+        let mut e = sharded(count_query(), 1)
+            .batch_size(16)
+            .try_overload(cfg)
+            .expect("overload config")
+            .inject_fault(FaultPlan::parse("wedge:0:64").expect("plan"));
+        let rows = e.run(stream);
+        assert_eq!(clean.len(), rows.len());
+        for (a, b) in clean.iter().zip(&rows) {
+            assert_eq!((a.bucket_start, a.key), (b.bucket_start, b.key));
+            assert_eq!(a.value, b.value, "key {}", a.key);
+        }
+        let snap = e.telemetry().snapshot();
+        assert_eq!(snap.wedged_respawns, 1, "exactly one wedge detected");
+        assert_eq!(snap.restarts, 1, "respawn spends a restart");
+        assert_eq!(snap.worker_panics, 0, "a wedge is not a panic");
+        assert_eq!(snap.degraded_shards, 0);
+        assert_eq!(snap.shed_tuples, 0, "Block never sheds");
     }
 }

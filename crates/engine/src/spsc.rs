@@ -151,6 +151,37 @@ pub fn ring_fabric<T>(
     (senders, receivers)
 }
 
+/// Why a bounded send ([`RingSender::send_deadline`]) failed. Either way
+/// the message comes back to the caller, who owns the shed/retry decision.
+#[derive(Debug, PartialEq, Eq)]
+pub enum SendError<T> {
+    /// The deadline elapsed with the ring still full.
+    Full(T),
+    /// The receiver is gone.
+    Closed(T),
+}
+
+impl<T> SendError<T> {
+    /// The message that did not make it in.
+    pub fn into_inner(self) -> T {
+        match self {
+            SendError::Full(msg) | SendError::Closed(msg) => msg,
+        }
+    }
+}
+
+/// What [`RingSender::wait_capacity`] observed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Capacity {
+    /// At least one slot was free when the call returned.
+    Ready,
+    /// The deadline elapsed with the ring still full — the receiver made
+    /// no progress for the whole wait.
+    TimedOut,
+    /// The receiver is gone.
+    Closed,
+}
+
 impl<T> RingSender<T> {
     /// Enqueues `msg`, blocking while the ring is full. Returns the
     /// message back as `Err` if the receiver is gone.
@@ -181,6 +212,114 @@ impl<T> RingSender<T> {
                 .unwrap_or_else(PoisonError::into_inner);
             st.tx_waiting -= 1;
         }
+    }
+
+    /// Enqueues `msg`, blocking at most `deadline` while the ring is full.
+    ///
+    /// The bounded-lag variant of [`send`](RingSender::send): a wedged
+    /// receiver can stall this call only up to the deadline, after which
+    /// the message comes back as [`SendError::Full`] and the caller
+    /// consults its shed policy. Identical to `send` on the non-full fast
+    /// path (one lock, elided wakeup).
+    pub fn send_deadline(&self, msg: T, deadline: std::time::Duration) -> Result<(), SendError<T>> {
+        let start = std::time::Instant::now();
+        let mut st = self.shared.lock();
+        loop {
+            if !st.rx_alive {
+                return Err(SendError::Closed(msg));
+            }
+            if st.buf.len() < self.shared.cap {
+                let was_empty = st.buf.is_empty();
+                st.buf.push_back(msg);
+                drop(st);
+                if was_empty {
+                    self.shared.not_empty.notify_one();
+                }
+                return Ok(());
+            }
+            let Some(remaining) = deadline.checked_sub(start.elapsed()) else {
+                return Err(SendError::Full(msg));
+            };
+            st.tx_waiting += 1;
+            let (guard, _) = self
+                .shared
+                .not_full
+                .wait_timeout(st, remaining)
+                .unwrap_or_else(PoisonError::into_inner);
+            st = guard;
+            st.tx_waiting -= 1;
+        }
+    }
+
+    /// Blocks until the ring has at least one free slot, the receiver
+    /// disappears, or `deadline` elapses — without enqueuing anything.
+    ///
+    /// Only meaningful for a ring with a **sole** producer (the strict
+    /// SPSC data lanes): with no competing sender, observed capacity can
+    /// only grow until this thread's next push, so `Ready` guarantees the
+    /// next [`send`](RingSender::send) completes without blocking. The
+    /// dispatcher uses this to make its shed decision *before* committing
+    /// a batch to the supervision backlog and WAL, preserving write-ahead
+    /// ordering (nothing enters the log that the ring then refuses).
+    /// Unsound as a non-blocking-send guarantee on an `Arc`-shared sender.
+    pub fn wait_capacity(&self, deadline: std::time::Duration) -> Capacity {
+        let start = std::time::Instant::now();
+        let mut st = self.shared.lock();
+        loop {
+            if !st.rx_alive {
+                return Capacity::Closed;
+            }
+            if st.buf.len() < self.shared.cap {
+                return Capacity::Ready;
+            }
+            let Some(remaining) = deadline.checked_sub(start.elapsed()) else {
+                return Capacity::TimedOut;
+            };
+            st.tx_waiting += 1;
+            let (guard, _) = self
+                .shared
+                .not_full
+                .wait_timeout(st, remaining)
+                .unwrap_or_else(PoisonError::into_inner);
+            st = guard;
+            st.tx_waiting -= 1;
+        }
+    }
+
+    /// Enqueues `msg` without ever blocking: if the ring is full, the
+    /// *oldest queued* message is popped to make room and returned as
+    /// `Ok(Some(displaced))` — the mechanism behind
+    /// `ShedPolicy::DropOldest`, which prefers shedding stale batches
+    /// (whose forward-decay weights are smallest) over fresh ones.
+    /// Returns `Err(msg)` if the receiver is gone.
+    pub fn send_displacing(&self, msg: T) -> Result<Option<T>, T> {
+        let mut st = self.shared.lock();
+        if !st.rx_alive {
+            return Err(msg);
+        }
+        let displaced = if st.buf.len() >= self.shared.cap {
+            st.buf.pop_front()
+        } else {
+            None
+        };
+        let was_empty = st.buf.is_empty();
+        st.buf.push_back(msg);
+        drop(st);
+        if was_empty {
+            self.shared.not_empty.notify_one();
+        }
+        Ok(displaced)
+    }
+
+    /// Messages queued right now (a snapshot under the lock) — the
+    /// ring-depth half of a shard's lag budget.
+    pub fn len(&self) -> usize {
+        self.shared.lock().buf.len()
+    }
+
+    /// Whether the ring is empty right now (a snapshot under the lock).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 }
 
@@ -477,6 +616,83 @@ mod tests {
                 assert_eq!(rx.recv(), None, "all lanes closed");
             }
         }
+    }
+
+    #[test]
+    fn send_deadline_times_out_on_a_full_ring_and_returns_the_message() {
+        use std::time::{Duration, Instant};
+        let (tx, _rx) = ring::<u32>(2);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        let start = Instant::now();
+        let got = tx.send_deadline(3, Duration::from_millis(30));
+        assert_eq!(got, Err(SendError::Full(3)));
+        assert!(start.elapsed() >= Duration::from_millis(30));
+        // The queued messages are untouched.
+        assert_eq!(tx.len(), 2);
+    }
+
+    #[test]
+    fn send_deadline_succeeds_once_the_consumer_drains() {
+        use std::time::Duration;
+        let (tx, rx) = ring::<u32>(1);
+        tx.send(1).unwrap();
+        let consumer = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            let first = rx.recv();
+            (first, rx.recv())
+        });
+        tx.send_deadline(2, Duration::from_secs(10)).unwrap();
+        drop(tx);
+        assert_eq!(consumer.join().unwrap(), (Some(1), Some(2)));
+    }
+
+    #[test]
+    fn send_deadline_reports_a_dead_receiver() {
+        use std::time::Duration;
+        let (tx, rx) = ring::<u32>(1);
+        tx.send(1).unwrap();
+        drop(rx);
+        assert_eq!(
+            tx.send_deadline(2, Duration::from_secs(10)),
+            Err(SendError::Closed(2))
+        );
+        assert_eq!(SendError::Closed(2).into_inner(), 2);
+    }
+
+    #[test]
+    fn wait_capacity_observes_ready_full_and_closed() {
+        use std::time::Duration;
+        let (tx, rx) = ring::<u32>(1);
+        assert_eq!(tx.wait_capacity(Duration::ZERO), Capacity::Ready);
+        tx.send(1).unwrap();
+        assert_eq!(
+            tx.wait_capacity(Duration::from_millis(10)),
+            Capacity::TimedOut
+        );
+        // A concurrent pop wakes a parked waiter into Ready.
+        let waiter = std::thread::spawn(move || {
+            let observed = tx.wait_capacity(Duration::from_secs(10));
+            (tx, observed)
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(rx.recv(), Some(1));
+        let (tx, observed) = waiter.join().unwrap();
+        assert_eq!(observed, Capacity::Ready);
+        drop(rx);
+        assert_eq!(tx.wait_capacity(Duration::ZERO), Capacity::Closed);
+    }
+
+    #[test]
+    fn send_displacing_evicts_the_oldest() {
+        let (tx, rx) = ring::<u32>(2);
+        assert_eq!(tx.send_displacing(1), Ok(None));
+        assert_eq!(tx.send_displacing(2), Ok(None));
+        assert_eq!(tx.send_displacing(3), Ok(Some(1)), "head displaced");
+        assert_eq!(rx.recv(), Some(2));
+        assert_eq!(rx.recv(), Some(3));
+        drop(rx);
+        assert_eq!(tx.send_displacing(4), Err(4));
     }
 
     #[test]

@@ -125,6 +125,89 @@ pub fn backoff(attempt: u32) -> Duration {
     BACKOFF_BASE.saturating_mul(1u32.checked_shl(attempt).unwrap_or(u32::MAX))
 }
 
+/// One worker *incarnation*'s progress lease — the stuck-shard watchdog's
+/// ground truth.
+///
+/// The worker heartbeats ([`beat`](WorkerLease::beat) /
+/// [`record_progress`](WorkerLease::record_progress)) with relaxed stores
+/// on its message loop; the dispatcher reads the lease only when a shard's
+/// ring has been full past the send deadline, and declares the worker
+/// *wedged* when the heartbeat is older than the configured lease. Safe
+/// Rust cannot kill a thread, so a wedged worker is **retired**
+/// ([`retire`](WorkerLease::retire)) and abandoned: a fresh incarnation
+/// with a fresh lease takes over through the normal checkpoint + backlog
+/// replay path, while the old thread — if it ever unwedges — observes
+/// [`retired`](WorkerLease::retired) on its next loop iteration and exits
+/// without side effects (no checkpoint stores, no result sends, no
+/// telemetry decrements: its replayed messages are the live copies now).
+#[derive(Debug)]
+pub struct WorkerLease {
+    /// When this incarnation was installed; heartbeats are milliseconds
+    /// since then.
+    born: std::time::Instant,
+    /// Milliseconds since `born` at the worker's last sign of life.
+    beat_ms: AtomicU64,
+    /// Highest sequence number the worker has fully applied.
+    consumed_seq: AtomicU64,
+    /// Set by the watchdog when it abandons this incarnation.
+    retired: AtomicBool,
+}
+
+impl Default for WorkerLease {
+    fn default() -> Self {
+        Self {
+            born: std::time::Instant::now(),
+            beat_ms: AtomicU64::new(0),
+            consumed_seq: AtomicU64::new(0),
+            retired: AtomicBool::new(false),
+        }
+    }
+}
+
+impl WorkerLease {
+    /// Worker-side: records a sign of life (one relaxed store).
+    pub fn beat(&self) {
+        self.beat_ms
+            .store(self.born.elapsed().as_millis() as u64, Ordering::Relaxed);
+    }
+
+    /// Worker-side: records a sign of life plus the last fully-applied
+    /// sequence number.
+    pub fn record_progress(&self, seq: u64) {
+        self.consumed_seq.store(seq, Ordering::Relaxed);
+        self.beat();
+    }
+
+    /// The last sequence number the worker reported applying.
+    pub fn consumed_seq(&self) -> u64 {
+        self.consumed_seq.load(Ordering::Relaxed)
+    }
+
+    /// How long ago the last heartbeat was (time since birth, if the
+    /// worker never beat at all).
+    pub fn stale_for(&self) -> Duration {
+        self.born
+            .elapsed()
+            .saturating_sub(Duration::from_millis(self.beat_ms.load(Ordering::Relaxed)))
+    }
+
+    /// Whether the heartbeat is older than `lease`.
+    pub fn is_stale(&self, lease: Duration) -> bool {
+        self.stale_for() > lease
+    }
+
+    /// Watchdog-side: abandons this incarnation. Sticky.
+    pub fn retire(&self) {
+        self.retired.store(true, Ordering::Release);
+    }
+
+    /// Whether this incarnation has been abandoned. Checked once per
+    /// message by the worker loop (one relaxed-ish load — cheap).
+    pub fn retired(&self) -> bool {
+        self.retired.load(Ordering::Acquire)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -154,5 +237,29 @@ mod tests {
         assert_eq!(backoff(1), Duration::from_millis(20));
         assert_eq!(backoff(2), Duration::from_millis(40));
         assert!(backoff(40) >= backoff(3));
+    }
+
+    #[test]
+    fn lease_tracks_heartbeats_and_progress() {
+        let lease = WorkerLease::default();
+        assert_eq!(lease.consumed_seq(), 0);
+        lease.record_progress(41);
+        assert_eq!(lease.consumed_seq(), 41);
+        // A fresh beat resets staleness to (sub-millisecond) zero.
+        lease.beat();
+        assert!(!lease.is_stale(Duration::from_millis(50)));
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(lease.is_stale(Duration::from_millis(5)));
+        assert!(lease.stale_for() >= Duration::from_millis(20));
+    }
+
+    #[test]
+    fn lease_retirement_is_sticky() {
+        let lease = WorkerLease::default();
+        assert!(!lease.retired());
+        lease.retire();
+        assert!(lease.retired());
+        lease.beat(); // a zombie heartbeat does not un-retire
+        assert!(lease.retired());
     }
 }

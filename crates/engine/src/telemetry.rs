@@ -161,6 +161,11 @@ pub struct ShardTelemetry {
     pub lfta_evictions: AtomicU64,
     /// The worker engine's current LFTA slot occupancy.
     pub lfta_occupancy: AtomicU64,
+    /// Tuples the overload controller shed on this shard's ring
+    /// (displaced batches under `DropOldest`, thinned-away tuples under
+    /// `Subsample`). Sheds are never silent — every one is counted here
+    /// and in [`EngineTelemetry::shed_tuples`].
+    pub shed_tuples: AtomicU64,
     /// Per-batch worker processing time, nanoseconds.
     pub batch_ns: LogHistogram,
     /// Dispatch-to-apply latency per batch (send to fully processed),
@@ -194,6 +199,10 @@ pub struct ProducerTelemetry {
     /// This producer's batch-pool cold allocations (mirror of its
     /// [`BatchPool::allocs`](crate::spsc::BatchPool::allocs)).
     pub pool_allocs: AtomicU64,
+    /// Tuples the overload controller shed from this producer's epochs
+    /// (whole-epoch drops under `DropOldest`, thinned-away tuples under
+    /// `Subsample`).
+    pub shed_tuples: AtomicU64,
     /// Messages in flight on this producer's ring to each shard.
     pub ring_depth: Vec<AtomicU64>,
 }
@@ -272,6 +281,14 @@ pub struct EngineTelemetry {
     /// 1 when the durable store hit a persistent disk failure and the
     /// engine fell back to in-memory supervision only, else 0.
     pub durability_degraded: AtomicU64,
+    /// Tuples shed by the overload controller across all shards and
+    /// producers. Zero under `ShedPolicy::Block`.
+    pub shed_tuples: AtomicU64,
+    /// Whole batches/epochs shed by the overload controller.
+    pub shed_batches: AtomicU64,
+    /// Wedged (unresponsive but not dead) workers abandoned and respawned
+    /// by the stuck-shard watchdog.
+    pub wedged_respawns: AtomicU64,
     enabled: AtomicBool,
     shards: Vec<ShardTelemetry>,
     producers: Vec<ProducerTelemetry>,
@@ -308,6 +325,9 @@ impl EngineTelemetry {
             checkpoints_persisted: AtomicU64::new(0),
             recovery_replayed_batches: AtomicU64::new(0),
             durability_degraded: AtomicU64::new(0),
+            shed_tuples: AtomicU64::new(0),
+            shed_batches: AtomicU64::new(0),
+            wedged_respawns: AtomicU64::new(0),
             enabled: AtomicBool::new(true),
             shards: (0..n_shards).map(|_| ShardTelemetry::default()).collect(),
             producers: (0..n_producers)
@@ -365,6 +385,9 @@ impl EngineTelemetry {
             checkpoints_persisted: self.checkpoints_persisted.load(Relaxed),
             recovery_replayed_batches: self.recovery_replayed_batches.load(Relaxed),
             durability_degraded: self.durability_degraded.load(Relaxed),
+            shed_tuples: self.shed_tuples.load(Relaxed),
+            shed_batches: self.shed_batches.load(Relaxed),
+            wedged_respawns: self.wedged_respawns.load(Relaxed),
             shards: self
                 .shards
                 .iter()
@@ -379,6 +402,7 @@ impl EngineTelemetry {
                         watermark_lag_us: dispatcher_watermark_us.saturating_sub(applied),
                         lfta_evictions: s.lfta_evictions.load(Relaxed),
                         lfta_occupancy: s.lfta_occupancy.load(Relaxed),
+                        shed_tuples: s.shed_tuples.load(Relaxed),
                         batch_ns: s.batch_ns.snapshot(),
                         dispatch_lag_ns: s.dispatch_lag_ns.snapshot(),
                     }
@@ -395,6 +419,7 @@ impl EngineTelemetry {
                     epochs_sent: p.epochs_sent.load(Relaxed),
                     pool_reuses: p.pool_reuses.load(Relaxed),
                     pool_allocs: p.pool_allocs.load(Relaxed),
+                    shed_tuples: p.shed_tuples.load(Relaxed),
                     ring_depth: p.ring_depth.iter().map(|d| d.load(Relaxed)).collect(),
                 })
                 .collect(),
@@ -419,6 +444,8 @@ pub struct ProducerSnapshot {
     pub pool_reuses: u64,
     /// Its batch-pool cold allocations.
     pub pool_allocs: u64,
+    /// Tuples the overload controller shed from its epochs.
+    pub shed_tuples: u64,
     /// In-flight messages on its ring to each shard, indexed by shard.
     pub ring_depth: Vec<u64>,
 }
@@ -442,6 +469,8 @@ pub struct ShardSnapshot {
     pub lfta_evictions: u64,
     /// Current LFTA slot occupancy on this shard.
     pub lfta_occupancy: u64,
+    /// Tuples the overload controller shed on this shard's ring.
+    pub shed_tuples: u64,
     /// Per-batch processing-time histogram.
     pub batch_ns: HistogramSnapshot,
     /// Dispatch-to-apply latency histogram.
@@ -493,6 +522,12 @@ pub struct MetricsSnapshot {
     pub recovery_replayed_batches: u64,
     /// 1 when durability degraded to in-memory supervision, else 0.
     pub durability_degraded: u64,
+    /// Tuples shed by the overload controller.
+    pub shed_tuples: u64,
+    /// Whole batches/epochs shed by the overload controller.
+    pub shed_batches: u64,
+    /// Wedged workers respawned by the stuck-shard watchdog.
+    pub wedged_respawns: u64,
     /// Per-shard samples; empty for a single-threaded run.
     pub shards: Vec<ShardSnapshot>,
     /// Per-producer samples; empty unless the multi-producer ingress
@@ -524,6 +559,9 @@ impl MetricsSnapshot {
             checkpoints_persisted: 0,
             recovery_replayed_batches: 0,
             durability_degraded: 0,
+            shed_tuples: 0,
+            shed_batches: 0,
+            wedged_respawns: 0,
             shards: Vec::new(),
             producers: Vec::new(),
         }
@@ -576,6 +614,9 @@ impl MetricsSnapshot {
             self.recovery_replayed_batches,
         );
         scalar("fd_durability_degraded", "gauge", self.durability_degraded);
+        scalar("fd_shed_tuples", "counter", self.shed_tuples);
+        scalar("fd_shed_batches", "counter", self.shed_batches);
+        scalar("fd_wedged_respawns", "counter", self.wedged_respawns);
         scalar(
             "fd_dispatcher_watermark_us",
             "gauge",
@@ -606,6 +647,7 @@ impl MetricsSnapshot {
         });
         per_shard("fd_shard_lfta_evictions", "counter", &|s| s.lfta_evictions);
         per_shard("fd_shard_lfta_occupancy", "gauge", &|s| s.lfta_occupancy);
+        per_shard("fd_shard_shed_tuples", "counter", &|s| s.shed_tuples);
         let mut histogram = |name: &str, get: &dyn Fn(&ShardSnapshot) -> HistogramSnapshot| {
             let _ = writeln!(out, "# TYPE {name} summary");
             for (i, s) in self.shards.iter().enumerate() {
@@ -634,6 +676,7 @@ impl MetricsSnapshot {
         per_producer("fd_producer_epochs_sent", "counter", &|p| p.epochs_sent);
         per_producer("fd_producer_pool_reuses", "counter", &|p| p.pool_reuses);
         per_producer("fd_producer_pool_allocs", "counter", &|p| p.pool_allocs);
+        per_producer("fd_producer_shed_tuples", "counter", &|p| p.shed_tuples);
         let _ = writeln!(out, "# TYPE fd_producer_ring_depth gauge");
         for (i, p) in self.producers.iter().enumerate() {
             for (s, depth) in p.ring_depth.iter().enumerate() {
@@ -665,6 +708,7 @@ impl MetricsSnapshot {
                         "\"punctuations_sent\":{},\"tuples_processed\":{},",
                         "\"applied_watermark_us\":{},\"watermark_lag_us\":{},",
                         "\"lfta_evictions\":{},\"lfta_occupancy\":{},",
+                        "\"shed_tuples\":{},",
                         "\"batch_ns\":{},\"dispatch_lag_ns\":{}}}"
                     ),
                     s.queue_depth,
@@ -675,6 +719,7 @@ impl MetricsSnapshot {
                     s.watermark_lag_us,
                     s.lfta_evictions,
                     s.lfta_occupancy,
+                    s.shed_tuples,
                     histogram(&s.batch_ns),
                     histogram(&s.dispatch_lag_ns),
                 )
@@ -690,6 +735,7 @@ impl MetricsSnapshot {
                         "{{\"tuples_in\":{},\"filtered\":{},\"late_drops\":{},",
                         "\"watermark_us\":{},\"epochs_sent\":{},",
                         "\"pool_reuses\":{},\"pool_allocs\":{},",
+                        "\"shed_tuples\":{},",
                         "\"ring_depth\":[{}]}}"
                     ),
                     p.tuples_in,
@@ -699,6 +745,7 @@ impl MetricsSnapshot {
                     p.epochs_sent,
                     p.pool_reuses,
                     p.pool_allocs,
+                    p.shed_tuples,
                     depths.join(","),
                 )
             })
@@ -714,6 +761,7 @@ impl MetricsSnapshot {
                 "\"wal_bytes_written\":{},\"wal_records_truncated\":{},",
                 "\"checkpoints_persisted\":{},\"recovery_replayed_batches\":{},",
                 "\"durability_degraded\":{},",
+                "\"shed_tuples\":{},\"shed_batches\":{},\"wedged_respawns\":{},",
                 "\"rows_out\":{},\"buckets_closed\":{},\"shards\":[{}],",
                 "\"producers\":[{}]}}"
             ),
@@ -734,6 +782,9 @@ impl MetricsSnapshot {
             self.checkpoints_persisted,
             self.recovery_replayed_batches,
             self.durability_degraded,
+            self.shed_tuples,
+            self.shed_batches,
+            self.wedged_respawns,
             self.rows_out,
             self.buckets_closed,
             shards.join(","),

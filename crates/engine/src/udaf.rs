@@ -104,6 +104,34 @@ pub trait Aggregator: Any + Send {
     /// Folds one tuple into the state.
     fn update(&mut self, pkt: &Packet);
 
+    /// Whether [`update_scaled`](Aggregator::update_scaled) honors non-unit
+    /// Horvitz–Thompson scales. Linear decayed aggregates (forward-decayed
+    /// count / sum / average, undecayed sum) do; order statistics,
+    /// sketches and samplers keep the default `false`. The overload
+    /// controller refuses `ShedPolicy::Subsample` at configuration time
+    /// for queries whose aggregate reports `false` here.
+    fn supports_scaled_updates(&self) -> bool {
+        false
+    }
+
+    /// Folds one tuple carrying a Horvitz–Thompson scale: a survivor of
+    /// load shedding admitted with inclusion probability `p` arrives with
+    /// `scale = 1 / p`, keeping linear aggregates unbiased. A scale of
+    /// `1.0` must be exactly [`update`](Aggregator::update).
+    ///
+    /// The default delegates to `update` and debug-asserts the scale is
+    /// unit (the config-time gate on
+    /// [`supports_scaled_updates`](Aggregator::supports_scaled_updates)
+    /// makes a non-unit scale reaching an unsupporting aggregate an
+    /// engine bug, not a user error).
+    fn update_scaled(&mut self, pkt: &Packet, scale: f64) {
+        debug_assert!(
+            scale == 1.0,
+            "non-unit HT scale {scale} reached an aggregator without scaled-update support"
+        );
+        self.update(pkt);
+    }
+
     /// Absorbs a partial aggregate of the *same concrete type*.
     ///
     /// # Panics

@@ -796,6 +796,226 @@ fn regression_extremum_ignores_nan_values() {
 // emit the same rows, modulo floating-point summation order.
 // ---------------------------------------------------------------------------
 
+// ---------------------------------------------------------------------------
+// Shedding differential: the sharded engine under each `ShedPolicy`,
+// cross-checked against the single-threaded reference over the same stream.
+//
+//  - Block and DropOldest on a healthy run admit the entire stream: rows
+//    must match the reference exactly (modulo FP summation order) and the
+//    shed counters must read zero — "lossless when unpressured" is checked,
+//    not assumed.
+//  - DropOldest under forced ring pressure sheds whole epochs. Every
+//    surviving row aggregates a subset of the reference's tuples, and fwd
+//    contributions are non-negative, so each row is bounded above by the
+//    reference row — and every shed shows up in telemetry.
+//  - Subsample keeps tuple i with probability p_i ∝ its forward-decayed
+//    weight and scales survivors by 1/p_i (Horvitz–Thompson), so each row
+//    is an unbiased estimate of the reference. With ~1.5 k tuples per row
+//    the fixed-seed estimator error sits well inside the asserted ±25% per
+//    heavy row and ±5% in aggregate.
+// ---------------------------------------------------------------------------
+
+mod shedding {
+    use forward_decay::core::decay::{AnyDecay, Monomial};
+    use forward_decay::engine::prelude::*;
+    use forward_decay::gen::TraceConfig;
+    use std::collections::HashMap;
+    use std::time::Duration;
+
+    const FINAL_WM: Micros = 30 * MICROS_PER_SEC;
+
+    /// The shared stream: 20 s at 5 k pps with 2 s of reordering jitter,
+    /// punctuation interleaved every 1 000 events (lagging far enough that
+    /// the jitter never turns into late drops).
+    fn events() -> Vec<StreamEvent> {
+        let packets = TraceConfig {
+            seed: 47,
+            duration_secs: 20.0,
+            rate_pps: 5_000.0,
+            n_hosts: 200,
+            ooo_jitter_secs: 2.0,
+            ..Default::default()
+        }
+        .generate();
+        let mut events = Vec::with_capacity(packets.len() + packets.len() / 1000);
+        let mut max_ts: Micros = 0;
+        for (i, p) in packets.iter().enumerate() {
+            max_ts = max_ts.max(p.ts);
+            events.push(StreamEvent::Data(*p));
+            if i % 1000 == 999 {
+                events.push(StreamEvent::Punctuation(
+                    max_ts.saturating_sub(10 * MICROS_PER_SEC),
+                ));
+            }
+        }
+        events
+    }
+
+    /// Forward-decayed sum of packet lengths — linear, so Horvitz–Thompson
+    /// scaling applies, and non-negative, so shed rows are sub-sums.
+    fn build() -> Query {
+        Query::builder("shedding")
+            .group_by(|p| p.dst_host() % 16)
+            .bucket_secs(5)
+            .slack_secs(6.0)
+            .aggregate(fwd_sum_factory(Monomial::quadratic(), |p| p.len as f64))
+            .build()
+    }
+
+    fn reference() -> Vec<Row> {
+        let mut single = Engine::new(build());
+        replay(&mut single, &events(), FINAL_WM).expect("single-threaded replay")
+    }
+
+    fn by_key(rows: &[Row]) -> HashMap<(Micros, u64), f64> {
+        rows.iter()
+            .map(|r| {
+                (
+                    (r.bucket_start, r.key),
+                    r.value.as_float().expect("float row"),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn block_and_drop_oldest_admit_everything_when_healthy() {
+        let want = reference();
+        assert!(!want.is_empty());
+        for policy in [ShedPolicy::Block, ShedPolicy::DropOldest] {
+            let mut sharded = ShardedEngine::try_new(build(), 3)
+                .expect("spawn shards")
+                .try_overload(OverloadConfig {
+                    policy,
+                    ..OverloadConfig::default()
+                })
+                .expect("fwd sum accepts every policy");
+            let rows = replay(&mut sharded, &events(), FINAL_WM).expect("sharded replay");
+            let snap = sharded.telemetry().snapshot();
+            assert_eq!(snap.shed_tuples, 0, "{policy:?}: healthy run must not shed");
+            assert_eq!(
+                snap.shed_batches, 0,
+                "{policy:?}: healthy run must not shed"
+            );
+            assert_eq!(rows.len(), want.len(), "{policy:?}: row counts diverge");
+            for (x, y) in want.iter().zip(&rows) {
+                assert_eq!((x.bucket_start, x.key), (y.bucket_start, y.key));
+                let (xv, yv) = (x.value.as_float().unwrap(), y.value.as_float().unwrap());
+                assert!(
+                    (xv - yv).abs() <= 1e-9 * xv.abs().max(1.0),
+                    "{policy:?}: bucket {} key {}: {xv} vs {yv}",
+                    x.bucket_start,
+                    x.key
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn drop_oldest_rows_are_subsums_of_reference_under_pressure() {
+        // One shard, a deliberately slow worker and a 2 ms send deadline:
+        // the ring jams and DropOldest must displace whole epochs. The
+        // admitted tuples are a subset of the stream, so with non-negative
+        // contributions every surviving row is bounded by the reference.
+        let stream: Vec<Packet> = TraceConfig {
+            seed: 48,
+            duration_secs: 4.0,
+            rate_pps: 500.0,
+            n_hosts: 40,
+            ..Default::default()
+        }
+        .generate();
+        let want = by_key(&Engine::new(build()).run(stream.clone()));
+        let mut e = ShardedEngine::try_new(build(), 1)
+            .expect("spawn shard")
+            .batch_size(16)
+            .try_overload(OverloadConfig {
+                policy: ShedPolicy::DropOldest,
+                send_deadline: Duration::from_millis(2),
+                ..OverloadConfig::default()
+            })
+            .expect("overload config")
+            .inject_fault(FaultPlan::parse("slow:0:10").expect("plan"));
+        let rows = e.run(stream);
+        let snap = e.telemetry().snapshot();
+        assert!(snap.shed_batches > 0, "pressure must force displacement");
+        assert!(snap.shed_tuples >= snap.shed_batches);
+        assert!(!rows.is_empty(), "shedding must not erase the whole answer");
+        let total_want: f64 = want.values().sum();
+        let mut total_got = 0.0;
+        for r in &rows {
+            let got = r.value.as_float().expect("float row");
+            total_got += got;
+            let w = want
+                .get(&(r.bucket_start, r.key))
+                .unwrap_or_else(|| panic!("row ({}, {}) not in reference", r.bucket_start, r.key));
+            assert!(
+                got <= w * (1.0 + 1e-9) + 1e-9,
+                "bucket {} key {}: admitted subset sums to {got} > reference {w}",
+                r.bucket_start,
+                r.key
+            );
+        }
+        assert!(
+            total_got < total_want,
+            "sheds were counted ({}) but no mass is missing",
+            snap.shed_tuples
+        );
+    }
+
+    #[test]
+    fn subsample_is_unbiased_within_ht_variance_budget() {
+        let want = reference();
+        // lag_budget 0 marks every shard permanently lagging, so the
+        // thinner engages on every batch — the estimator's worst case.
+        let mut sharded = ShardedEngine::try_new(build(), 3)
+            .expect("spawn shards")
+            .try_overload(OverloadConfig {
+                policy: ShedPolicy::Subsample { target_rate: 0.5 },
+                lag_budget: 0,
+                decay: AnyDecay::Monomial(Monomial::quadratic()),
+                seed: 0xD1FF,
+                ..OverloadConfig::default()
+            })
+            .expect("fwd sum is linear, so HT scaling applies");
+        let rows = replay(&mut sharded, &events(), FINAL_WM).expect("sharded replay");
+        let snap = sharded.telemetry().snapshot();
+        assert!(snap.shed_tuples > 0, "rate 0.5 over 100 k tuples must thin");
+
+        // Survivors are a subset of the stream: no invented (bucket, key).
+        let want_map = by_key(&want);
+        let got_map = by_key(&rows);
+        for k in got_map.keys() {
+            assert!(want_map.contains_key(k), "row {k:?} not in reference");
+        }
+        // Aggregate mass: the HT estimate of the total is unbiased and
+        // averages over every row's noise.
+        let total_want: f64 = want_map.values().sum();
+        let total_got: f64 = got_map.values().sum();
+        assert!(
+            (total_got - total_want).abs() <= 0.05 * total_want,
+            "HT total {total_got} vs reference {total_want}"
+        );
+        // Per-row: every row carrying ≥1% of the mass must sit within the
+        // variance budget. (Tiny rows can legitimately vanish — each tuple
+        // survives with p ≥ P_MIN — so they are checked only for subset
+        // membership above.)
+        let floor = 0.01 * total_want;
+        for (k, w) in &want_map {
+            if *w < floor {
+                continue;
+            }
+            let got = got_map
+                .get(k)
+                .unwrap_or_else(|| panic!("heavy row {k:?} vanished under subsampling"));
+            assert!(
+                (got - w).abs() <= 0.25 * w,
+                "row {k:?}: HT estimate {got} vs reference {w} (±25% budget)"
+            );
+        }
+    }
+}
+
 #[test]
 fn differential_engine_vs_sharded_engine_replay() {
     use forward_decay::engine::prelude::*;

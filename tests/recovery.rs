@@ -308,6 +308,77 @@ fn crash_before_first_checkpoint_replays_from_scratch() {
     assert!(t.replayed_tuples > 0);
 }
 
+/// A wedge is the crash the panic path cannot see: the worker spins
+/// forever without dying or heartbeating. Only the overload plane's
+/// watchdog — ring jammed past the send deadline *and* a stale lease —
+/// can detect it. This test pins down all three guarantees at once:
+///
+///  - **losslessness**: the respawned incarnation restores the last
+///    checkpoint and replays the backlog, so the output is bit-identical
+///    to an unfaulted run of the same topology;
+///  - **detection latency**: the dispatcher may stall on the jammed ring
+///    for at most ~2 lease periods before the watchdog retires and
+///    respawns the worker, so the faulted run finishes within a 10%
+///    throughput slack plus that detection budget;
+///  - **sibling isolation**: the healthy shards still see their entire
+///    feeds — a wedge on one shard never becomes data loss on another.
+#[test]
+fn wedged_worker_respawns_within_the_lease_budget() {
+    use std::time::{Duration, Instant};
+
+    let packets = trace(4.0, 25_000.0, 17);
+    let lease = Duration::from_millis(250);
+
+    let mut clean = ShardedEngine::try_new(decayed_query(), 3)
+        .expect("spawn shards")
+        .batch_size(64);
+    let t0 = Instant::now();
+    let expected = clean.run(packets.iter().copied());
+    let clean_elapsed = t0.elapsed();
+    let clean_per_shard: Vec<u64> = clean
+        .per_shard_stats()
+        .iter()
+        .map(|s| s.tuples_in)
+        .collect();
+
+    let mut e = ShardedEngine::try_new(decayed_query(), 3)
+        .expect("spawn shards")
+        .batch_size(64)
+        .try_overload(OverloadConfig {
+            send_deadline: Duration::from_millis(5),
+            lease,
+            ..OverloadConfig::default()
+        })
+        .expect("overload config")
+        .inject_fault(FaultPlan {
+            shard: 1,
+            kind: FaultKind::WedgeAtTuple(5_000),
+        });
+    let t0 = Instant::now();
+    let rows = e.run(packets.iter().copied());
+    let elapsed = t0.elapsed();
+
+    assert_bit_identical(&expected, &rows, "respawned vs clean");
+    let t = e.telemetry().snapshot();
+    assert_eq!(t.wedged_respawns, 1, "exactly the injected wedge");
+    assert_eq!(t.restarts, 1, "the respawn spends one restart");
+    assert_eq!(t.worker_panics, 0, "a wedge is not a panic");
+    assert_eq!(t.degraded_shards, 0);
+    assert_eq!(t.shed_tuples, 0, "the default Block policy never sheds");
+    assert!(t.replayed_tuples > 0, "the backlog was replayed");
+
+    let got_per_shard: Vec<u64> = e.per_shard_stats().iter().map(|s| s.tuples_in).collect();
+    assert_eq!(
+        clean_per_shard, got_per_shard,
+        "every shard — wedged and healthy alike — saw its full feed"
+    );
+    assert!(
+        elapsed <= clean_elapsed.mul_f64(1.1) + 2 * lease,
+        "detection blew the lease budget: faulted run took {elapsed:?} \
+         against a {clean_elapsed:?} baseline (lease {lease:?})"
+    );
+}
+
 /// The checkpoint codec itself: freezing an engine mid-stream and
 /// restoring it must not perturb anything downstream.
 #[test]
